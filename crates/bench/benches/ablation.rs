@@ -1,0 +1,107 @@
+//! Ablation benches for design choices called out in DESIGN.md:
+//!
+//! * fork-join validation vs. serial re-validation vs. re-speculating
+//!   (running the parallel *miner* again, which is what a validator would
+//!   have to do without the published schedule),
+//! * validator thread scaling,
+//! * the cost of the validator's trace/race checking.
+
+use cc_bench::DEFAULT_THREADS;
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
+use cc_workload::{Benchmark, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_validator_strategies(c: &mut Criterion) {
+    let workload = WorkloadSpec::new(Benchmark::Mixed, 200, 0.15).generate();
+    let reference = ParallelMiner::new(DEFAULT_THREADS)
+        .mine(&workload.build_world(), workload.transactions())
+        .unwrap();
+
+    let mut group = c.benchmark_group("ablation/validator-strategy");
+    group.sample_size(10);
+    group.bench_function("fork-join", |b| {
+        b.iter(|| {
+            ParallelValidator::new(DEFAULT_THREADS)
+                .validate(&workload.build_world(), &reference.block)
+                .unwrap()
+        })
+    });
+    group.bench_function("fork-join-no-trace-checks", |b| {
+        b.iter(|| {
+            ParallelValidator::new(DEFAULT_THREADS)
+                .without_trace_checks()
+                .validate(&workload.build_world(), &reference.block)
+                .unwrap()
+        })
+    });
+    group.bench_function("serial-revalidation", |b| {
+        b.iter(|| {
+            SerialValidator::new()
+                .validate(&workload.build_world(), &reference.block)
+                .unwrap()
+        })
+    });
+    group.bench_function("re-speculate", |b| {
+        b.iter(|| {
+            // Without schedule metadata a concurrent validator would have to
+            // redo the miner's speculative work (and could not check the
+            // state deterministically) — this measures that cost.
+            ParallelMiner::new(DEFAULT_THREADS)
+                .mine(&workload.build_world(), workload.transactions())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_validator_thread_scaling(c: &mut Criterion) {
+    let workload = WorkloadSpec::new(Benchmark::Ballot, 200, 0.15).generate();
+    let reference = ParallelMiner::new(DEFAULT_THREADS)
+        .mine(&workload.build_world(), workload.transactions())
+        .unwrap();
+
+    let mut group = c.benchmark_group("ablation/validator-threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                ParallelValidator::new(t)
+                    .validate(&workload.build_world(), &reference.block)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_miner_thread_scaling(c: &mut Criterion) {
+    let workload = WorkloadSpec::new(Benchmark::Ballot, 200, 0.15).generate();
+    let mut group = c.benchmark_group("ablation/miner-threads");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            SerialMiner::new()
+                .mine(&workload.build_world(), workload.transactions())
+                .unwrap()
+        })
+    });
+    for threads in [1usize, 2, 3, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                ParallelMiner::new(t)
+                    .mine(&workload.build_world(), workload.transactions())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_validator_strategies,
+    bench_validator_thread_scaling,
+    bench_miner_thread_scaling
+);
+criterion_main!(benches);

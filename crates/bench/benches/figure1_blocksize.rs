@@ -1,0 +1,67 @@
+//! Criterion bench for Figure 1 (left column): serial miner, parallel
+//! miner and fork-join validator as the block size grows at 15% data
+//! conflict.
+//!
+//! Run with `cargo bench -p cc-bench --bench figure1_blocksize`. The
+//! `repro` binary prints the same series in the paper's speedup form.
+
+use cc_bench::DEFAULT_THREADS;
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_workload::{Benchmark, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A reduced block-size grid keeps a full `cargo bench` run tractable;
+/// the `repro` binary covers the paper's complete 10–400 grid.
+const BLOCK_SIZES: [usize; 3] = [50, 200, 400];
+
+fn bench_blocksize(c: &mut Criterion) {
+    for benchmark in Benchmark::ALL {
+        let mut group = c.benchmark_group(format!("figure1/blocksize/{benchmark}"));
+        group.sample_size(10);
+        for block_size in BLOCK_SIZES {
+            let workload = WorkloadSpec::new(benchmark, block_size, 0.15).generate();
+
+            group.bench_with_input(
+                BenchmarkId::new("serial-miner", block_size),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        SerialMiner::new()
+                            .mine(&w.build_world(), w.transactions())
+                            .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("parallel-miner", block_size),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        ParallelMiner::new(DEFAULT_THREADS)
+                            .mine(&w.build_world(), w.transactions())
+                            .unwrap()
+                    })
+                },
+            );
+            let reference = ParallelMiner::new(DEFAULT_THREADS)
+                .mine(&workload.build_world(), workload.transactions())
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("parallel-validator", block_size),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        ParallelValidator::new(DEFAULT_THREADS)
+                            .validate(&w.build_world(), &reference.block)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_blocksize);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 1 (right column): serial miner, parallel
+//! miner and fork-join validator as the data-conflict percentage grows at
+//! a fixed block size of 200 transactions.
+
+use cc_bench::DEFAULT_THREADS;
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_workload::{Benchmark, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A reduced conflict grid; the `repro` binary covers 0%–100% in 10%
+/// steps like the paper.
+const CONFLICTS: [f64; 3] = [0.0, 0.5, 1.0];
+const BLOCK_SIZE: usize = 200;
+
+fn bench_conflict(c: &mut Criterion) {
+    for benchmark in Benchmark::ALL {
+        let mut group = c.benchmark_group(format!("figure1/conflict/{benchmark}"));
+        group.sample_size(10);
+        for conflict in CONFLICTS {
+            let label = format!("{:.0}%", conflict * 100.0);
+            let workload = WorkloadSpec::new(benchmark, BLOCK_SIZE, conflict).generate();
+
+            group.bench_with_input(
+                BenchmarkId::new("serial-miner", &label),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        SerialMiner::new()
+                            .mine(&w.build_world(), w.transactions())
+                            .unwrap()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("parallel-miner", &label),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        ParallelMiner::new(DEFAULT_THREADS)
+                            .mine(&w.build_world(), w.transactions())
+                            .unwrap()
+                    })
+                },
+            );
+            let reference = ParallelMiner::new(DEFAULT_THREADS)
+                .mine(&workload.build_world(), workload.transactions())
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("parallel-validator", &label),
+                &workload,
+                |b, w| {
+                    b.iter(|| {
+                        ParallelValidator::new(DEFAULT_THREADS)
+                            .validate(&w.build_world(), &reference.block)
+                            .unwrap()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conflict);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Microbenchmarks of the transactional-boosting runtime itself: the cost
+//! of one boosted operation, of commit/abort, and of contended vs.
+//! uncontended additive updates. These quantify the constant factors the
+//! end-to-end Figure 1 numbers are built from.
+
+use cc_stm::{BoostedCounterMap, BoostedMap, Stm};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_boosted_map_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm/boosted-map");
+    group.sample_size(20);
+
+    group.bench_function("insert-commit", |b| {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("bench.map.insert");
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            stm.run(|txn| map.insert(txn, key, key)).unwrap()
+        })
+    });
+
+    group.bench_function("get-commit", |b| {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("bench.map.get");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % 1024;
+            stm.run(|txn| map.get(txn, &key)).unwrap()
+        })
+    });
+
+    group.bench_function("insert-abort", |b| {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("bench.map.abort");
+        let mut key = 0u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            let txn = stm.begin();
+            map.insert(&txn, key, key).unwrap();
+            txn.abort().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_additive_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm/contention");
+    group.sample_size(10);
+
+    group.bench_function("additive-8-threads-same-key", |b| {
+        b.iter(|| {
+            let stm = Stm::new();
+            let counters: Arc<BoostedCounterMap<u8>> = Arc::new(BoostedCounterMap::new("bench.cnt.add"));
+            crossbeam::scope(|s| {
+                for _ in 0..8 {
+                    let stm = stm.clone();
+                    let counters = Arc::clone(&counters);
+                    s.spawn(move |_| {
+                        for _ in 0..64 {
+                            stm.run(|txn| counters.add(txn, 0, 1)).unwrap();
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counters.peek(&0), 8 * 64);
+        })
+    });
+
+    group.bench_function("exclusive-8-threads-same-key", |b| {
+        b.iter(|| {
+            let stm = Stm::new();
+            let map: Arc<BoostedMap<u8, u64>> = Arc::new(BoostedMap::new("bench.map.hot"));
+            map.seed(0, 0);
+            crossbeam::scope(|s| {
+                for _ in 0..8 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move |_| {
+                        for _ in 0..64 {
+                            stm.run(|txn| map.update_or(txn, 0, 0, |v| *v += 1)).unwrap();
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(map.peek(&0), Some(8 * 64));
+        })
+    });
+
+    group.bench_function("disjoint-8-threads", |b| {
+        b.iter(|| {
+            let stm = Stm::new();
+            let map: Arc<BoostedMap<u64, u64>> = Arc::new(BoostedMap::new("bench.map.disjoint"));
+            crossbeam::scope(|s| {
+                for t in 0..8u64 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move |_| {
+                        for i in 0..64u64 {
+                            stm.run(|txn| map.insert(txn, t * 1000 + i, i)).unwrap();
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_boosted_map_ops, bench_additive_contention);
+criterion_main!(benches);

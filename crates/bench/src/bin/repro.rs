@@ -1,0 +1,327 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--threads N] [--reps R] [--quick] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|all]
+//! ```
+//!
+//! * `figure1-blocksize` — Figure 1, left column: speedup vs. block size at
+//!   15% conflict, for each of the four benchmarks.
+//! * `figure1-conflict` — Figure 1, right column: speedup vs. conflict
+//!   percentage at 200 transactions.
+//! * `table1` — Table 1: per-benchmark average speedups for the two sweeps.
+//! * `appendix-b` — the same sweeps reported as mean ± stddev running time
+//!   (ms) for serial, miner and validator.
+//! * `ablation` — design-choice ablations not in the paper: validator
+//!   thread scaling, trace-check overhead, serial re-validation.
+//! * `all` (default) — everything above.
+//!
+//! `--quick` shrinks the sweeps (fewer points, 2 repetitions) so the whole
+//! run finishes in a couple of minutes; the full run mirrors the paper's
+//! 5 repetitions + 3 warm-ups.
+
+use cc_bench::{
+    average_speedups, figure1_block_sizes, figure1_conflicts, measure, measure_serial_validation,
+    SweepPoint, DEFAULT_THREADS, REPETITIONS,
+};
+use cc_core::miner::{Miner, ParallelMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_workload::{Benchmark, WorkloadSpec};
+
+#[derive(Debug, Clone)]
+struct Options {
+    threads: usize,
+    repetitions: usize,
+    quick: bool,
+    command: String,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        threads: DEFAULT_THREADS,
+        repetitions: REPETITIONS,
+        quick: false,
+        command: "all".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_THREADS);
+            }
+            "--reps" => {
+                options.repetitions = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(REPETITIONS);
+            }
+            "--quick" => options.quick = true,
+            other if !other.starts_with("--") => options.command = other.to_string(),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    if options.quick {
+        options.repetitions = options.repetitions.min(2);
+    }
+    options
+}
+
+fn block_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![10, 100, 200, 400]
+    } else {
+        figure1_block_sizes()
+    }
+}
+
+fn conflicts(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.3, 0.6, 1.0]
+    } else {
+        figure1_conflicts()
+    }
+}
+
+fn sweep_blocksize_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoint> {
+    block_sizes(opts.quick)
+        .into_iter()
+        .map(|block_size| {
+            let workload = WorkloadSpec::new(benchmark, block_size, 0.15).generate();
+            SweepPoint {
+                block_size,
+                conflict: 0.15,
+                measurement: measure(&workload, opts.threads, opts.repetitions),
+            }
+        })
+        .collect()
+}
+
+fn sweep_conflict_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoint> {
+    conflicts(opts.quick)
+        .into_iter()
+        .map(|conflict| {
+            let workload = WorkloadSpec::new(benchmark, 200, conflict).generate();
+            SweepPoint {
+                block_size: 200,
+                conflict,
+                measurement: measure(&workload, opts.threads, opts.repetitions),
+            }
+        })
+        .collect()
+}
+
+fn print_figure1_blocksize(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
+    println!("\n== Figure 1 (left column): speedup vs. block size, 15% conflict, {} threads ==", opts.threads);
+    let mut all = Vec::new();
+    for benchmark in Benchmark::ALL {
+        println!("\n-- {benchmark} --");
+        println!("{:>8} {:>14} {:>18}", "txns", "miner speedup", "validator speedup");
+        let points = sweep_blocksize_points(benchmark, opts);
+        for p in &points {
+            println!(
+                "{:>8} {:>14.2} {:>18.2}",
+                p.block_size,
+                p.measurement.miner_speedup(),
+                p.measurement.validator_speedup()
+            );
+        }
+        all.push((benchmark, points));
+    }
+    all
+}
+
+fn print_figure1_conflict(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
+    println!("\n== Figure 1 (right column): speedup vs. conflict %, 200 transactions, {} threads ==", opts.threads);
+    let mut all = Vec::new();
+    for benchmark in Benchmark::ALL {
+        println!("\n-- {benchmark} --");
+        println!("{:>10} {:>14} {:>18}", "conflict", "miner speedup", "validator speedup");
+        let points = sweep_conflict_points(benchmark, opts);
+        for p in &points {
+            println!(
+                "{:>9.0}% {:>14.2} {:>18.2}",
+                p.conflict * 100.0,
+                p.measurement.miner_speedup(),
+                p.measurement.validator_speedup()
+            );
+        }
+        all.push((benchmark, points));
+    }
+    all
+}
+
+fn print_table1(
+    blocksize: &[(Benchmark, Vec<SweepPoint>)],
+    conflict: &[(Benchmark, Vec<SweepPoint>)],
+) {
+    println!("\n== Table 1: average speedups per benchmark ==");
+    println!(
+        "{:>15} {:>16} {:>16} {:>20} {:>20}",
+        "benchmark", "miner(conflict)", "miner(blocksize)", "validator(conflict)", "validator(blocksize)"
+    );
+    let mut overall_miner = Vec::new();
+    let mut overall_validator = Vec::new();
+    for (benchmark, bs_points) in blocksize {
+        let conflict_points = conflict
+            .iter()
+            .find(|(b, _)| b == benchmark)
+            .map(|(_, p)| p.as_slice())
+            .unwrap_or(&[]);
+        let (miner_conf, val_conf) = average_speedups(conflict_points);
+        let (miner_bs, val_bs) = average_speedups(bs_points);
+        println!(
+            "{:>15} {:>15.2}x {:>15.2}x {:>19.2}x {:>19.2}x",
+            benchmark.to_string(),
+            miner_conf,
+            miner_bs,
+            val_conf,
+            val_bs
+        );
+        overall_miner.extend([miner_conf, miner_bs]);
+        overall_validator.extend([val_conf, val_bs]);
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nOverall average speedup: miner {:.2}x, validator {:.2}x (paper: 1.33x and 1.69x with 3 threads)",
+        avg(&overall_miner),
+        avg(&overall_validator)
+    );
+}
+
+fn print_appendix_b(
+    blocksize: &[(Benchmark, Vec<SweepPoint>)],
+    conflict: &[(Benchmark, Vec<SweepPoint>)],
+) {
+    println!("\n== Appendix B: mean ± stddev running time (ms) ==");
+    for (label, sweeps) in [("block-size sweep (15% conflict)", blocksize), ("conflict sweep (200 txns)", conflict)] {
+        println!("\n-- {label} --");
+        for (benchmark, points) in sweeps {
+            println!("\n{benchmark}");
+            println!(
+                "{:>10} {:>10} {:>22} {:>22} {:>22}",
+                "txns", "conflict", "serial (ms)", "miner (ms)", "validator (ms)"
+            );
+            for p in points {
+                println!(
+                    "{:>10} {:>9.0}% {:>13.2} ± {:>6.2} {:>13.2} ± {:>6.2} {:>13.2} ± {:>6.2}",
+                    p.block_size,
+                    p.conflict * 100.0,
+                    p.measurement.serial.mean_ms(),
+                    p.measurement.serial.stddev_ms(),
+                    p.measurement.miner.mean_ms(),
+                    p.measurement.miner.stddev_ms(),
+                    p.measurement.validator.mean_ms(),
+                    p.measurement.validator.stddev_ms(),
+                );
+            }
+        }
+    }
+}
+
+fn print_ablation(opts: &Options) {
+    println!("\n== Ablation (not in the paper's tables) ==");
+    let workload = WorkloadSpec::new(Benchmark::Mixed, 200, 0.15).generate();
+    let base = measure(&workload, opts.threads, opts.repetitions);
+    println!(
+        "Mixed, 200 txns, 15% conflict, {} threads: serial {:.2} ms, parallel miner {:.2} ms, fork-join validator {:.2} ms",
+        opts.threads,
+        base.serial.mean_ms(),
+        base.miner.mean_ms(),
+        base.validator.mean_ms()
+    );
+
+    // (a) Serial re-validation (what validators do today).
+    let serial_validation = measure_serial_validation(&workload, opts.threads, opts.repetitions);
+    println!(
+        "  serial re-validation: {:.2} ms ({:.2}x vs fork-join validator)",
+        serial_validation.mean_ms(),
+        serial_validation.mean_ms() / base.validator.mean_ms()
+    );
+
+    // (b) Validator thread scaling (the fork-join program does not need to
+    // match the miner's parallelism).
+    let reference = ParallelMiner::new(opts.threads)
+        .mine(&workload.build_world(), workload.transactions())
+        .expect("reference block");
+    println!("  validator thread scaling (same block):");
+    for threads in [1usize, 2, 3, 4, 6, 8] {
+        let validator = ParallelValidator::new(threads);
+        let mut samples = Vec::new();
+        for _ in 0..opts.repetitions.max(1) {
+            let world = workload.build_world();
+            let start = std::time::Instant::now();
+            validator.validate(&world, &reference.block).expect("valid");
+            samples.push(start.elapsed());
+        }
+        let timing = cc_bench::Timing::from_samples(&samples);
+        println!("    {threads} thread(s): {:.2} ms", timing.mean_ms());
+    }
+
+    // (c) Trace-check overhead.
+    let with_checks = ParallelValidator::new(opts.threads);
+    let without_checks = ParallelValidator::new(opts.threads).without_trace_checks();
+    let time_validator = |v: &ParallelValidator| {
+        let mut samples = Vec::new();
+        for _ in 0..opts.repetitions.max(1) {
+            let world = workload.build_world();
+            let start = std::time::Instant::now();
+            v.validate(&world, &reference.block).expect("valid");
+            samples.push(start.elapsed());
+        }
+        cc_bench::Timing::from_samples(&samples)
+    };
+    let checked = time_validator(&with_checks);
+    let unchecked = time_validator(&without_checks);
+    println!(
+        "  trace/race checking overhead: {:.2} ms with checks vs {:.2} ms without ({:.1}% overhead)",
+        checked.mean_ms(),
+        unchecked.mean_ms(),
+        (checked.mean_ms() / unchecked.mean_ms() - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "concurrent-contracts reproduction harness — {} threads, {} repetitions{}",
+        opts.threads,
+        opts.repetitions,
+        if opts.quick { " (quick mode)" } else { "" }
+    );
+
+    match opts.command.as_str() {
+        "figure1-blocksize" => {
+            print_figure1_blocksize(&opts);
+        }
+        "figure1-conflict" => {
+            print_figure1_conflict(&opts);
+        }
+        "table1" => {
+            let blocksize = print_figure1_blocksize(&opts);
+            let conflict = print_figure1_conflict(&opts);
+            print_table1(&blocksize, &conflict);
+        }
+        "appendix-b" => {
+            let blocksize = print_figure1_blocksize(&opts);
+            let conflict = print_figure1_conflict(&opts);
+            print_appendix_b(&blocksize, &conflict);
+        }
+        "ablation" => {
+            print_ablation(&opts);
+        }
+        "all" => {
+            let blocksize = print_figure1_blocksize(&opts);
+            let conflict = print_figure1_conflict(&opts);
+            print_table1(&blocksize, &conflict);
+            print_appendix_b(&blocksize, &conflict);
+            print_ablation(&opts);
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|all]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Shared measurement harness for the paper-reproduction benchmarks.
+//!
+//! The paper's methodology (§7.2): for every benchmark and parameter
+//! combination, run the block on the **serial miner**, the **parallel
+//! miner** and the **(parallel) validator**, collect the running time five
+//! times after three warm-up runs, and report the mean and standard
+//! deviation; speedups are relative to the serial miner on the same
+//! machine. This crate implements that loop once so the Criterion benches,
+//! the `repro` binary and the tests all measure the same thing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
+use cc_workload::{Benchmark, Workload, WorkloadSpec};
+use std::time::{Duration, Instant};
+
+/// Number of measured repetitions (paper: "the running time is collected
+/// five times").
+pub const REPETITIONS: usize = 5;
+/// Number of warm-up runs before measuring (paper: "all runs are given
+/// three warm-up runs").
+pub const WARMUPS: usize = 3;
+/// Worker threads for the parallel miner and validator (paper: "a fixed
+/// pool of three threads").
+pub const DEFAULT_THREADS: usize = 3;
+
+/// Mean and standard deviation of a set of timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Mean running time.
+    pub mean: Duration,
+    /// Standard deviation of the running time.
+    pub stddev: Duration,
+}
+
+impl Timing {
+    /// Computes mean and standard deviation of raw samples.
+    pub fn from_samples(samples: &[Duration]) -> Timing {
+        assert!(!samples.is_empty(), "at least one sample required");
+        let mean_nanos =
+            samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / samples.len() as f64;
+        let variance = samples
+            .iter()
+            .map(|d| {
+                let x = d.as_nanos() as f64 - mean_nanos;
+                x * x
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        Timing {
+            mean: Duration::from_nanos(mean_nanos as u64),
+            stddev: Duration::from_nanos(variance.sqrt() as u64),
+        }
+    }
+
+    /// Mean in fractional milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1_000.0
+    }
+
+    /// Standard deviation in fractional milliseconds.
+    pub fn stddev_ms(&self) -> f64 {
+        self.stddev.as_secs_f64() * 1_000.0
+    }
+}
+
+/// The three timings measured for one parameter combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// The serial miner (the baseline).
+    pub serial: Timing,
+    /// The speculative parallel miner.
+    pub miner: Timing,
+    /// The deterministic fork-join validator.
+    pub validator: Timing,
+}
+
+impl Measurement {
+    /// Parallel-miner speedup over the serial baseline.
+    pub fn miner_speedup(&self) -> f64 {
+        self.serial.mean.as_secs_f64() / self.miner.mean.as_secs_f64()
+    }
+
+    /// Validator speedup over the serial baseline.
+    pub fn validator_speedup(&self) -> f64 {
+        self.serial.mean.as_secs_f64() / self.validator.mean.as_secs_f64()
+    }
+}
+
+/// One row of a sweep: the parameter value and its measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Block size (number of transactions).
+    pub block_size: usize,
+    /// Data-conflict fraction (0.0–1.0).
+    pub conflict: f64,
+    /// The measured timings.
+    pub measurement: Measurement,
+}
+
+/// Measures one workload: serial mining, parallel mining and parallel
+/// validation, each with [`WARMUPS`] warm-ups and `repetitions` measured
+/// runs on fresh worlds.
+pub fn measure(workload: &Workload, threads: usize, repetitions: usize) -> Measurement {
+    let serial_miner = SerialMiner::new();
+    let parallel_miner = ParallelMiner::new(threads);
+    let validator = ParallelValidator::new(threads);
+
+    // A reference block for the validator runs (any honest parallel block
+    // will do; we mine one up front).
+    let reference = parallel_miner
+        .mine(&workload.build_world(), workload.transactions())
+        .expect("reference mining succeeds");
+
+    let serial = time_runs(repetitions, || {
+        let world = workload.build_world();
+        let txs = workload.transactions();
+        let start = Instant::now();
+        serial_miner.mine(&world, txs).expect("serial mining succeeds");
+        start.elapsed()
+    });
+    let miner = time_runs(repetitions, || {
+        let world = workload.build_world();
+        let txs = workload.transactions();
+        let start = Instant::now();
+        parallel_miner.mine(&world, txs).expect("parallel mining succeeds");
+        start.elapsed()
+    });
+    let validator_timing = time_runs(repetitions, || {
+        let world = workload.build_world();
+        let start = Instant::now();
+        validator
+            .validate(&world, &reference.block)
+            .expect("honest block validates");
+        start.elapsed()
+    });
+
+    Measurement {
+        serial,
+        miner,
+        validator: validator_timing,
+    }
+}
+
+/// Measures the serial validator instead of the parallel one (used by the
+/// ablation bench).
+pub fn measure_serial_validation(workload: &Workload, threads: usize, repetitions: usize) -> Timing {
+    let reference = ParallelMiner::new(threads)
+        .mine(&workload.build_world(), workload.transactions())
+        .expect("reference mining succeeds");
+    let validator = SerialValidator::new();
+    time_runs(repetitions, || {
+        let world = workload.build_world();
+        let start = Instant::now();
+        validator
+            .validate(&world, &reference.block)
+            .expect("honest block validates");
+        start.elapsed()
+    })
+}
+
+fn time_runs(repetitions: usize, mut run: impl FnMut() -> Duration) -> Timing {
+    for _ in 0..WARMUPS {
+        run();
+    }
+    let samples: Vec<Duration> = (0..repetitions.max(1)).map(|_| run()).collect();
+    Timing::from_samples(&samples)
+}
+
+/// The block sizes of the paper's left-hand Figure 1 panels (10–400
+/// transactions at 15% conflict).
+pub fn figure1_block_sizes() -> Vec<usize> {
+    vec![10, 50, 100, 150, 200, 250, 300, 350, 400]
+}
+
+/// The conflict percentages of the paper's right-hand Figure 1 panels
+/// (0%–100% at 200 transactions).
+pub fn figure1_conflicts() -> Vec<f64> {
+    (0..=10).map(|i| f64::from(i) / 10.0).collect()
+}
+
+/// Runs the block-size sweep for one benchmark (Figure 1, left column).
+pub fn sweep_block_size(
+    benchmark: Benchmark,
+    threads: usize,
+    repetitions: usize,
+    mut observer: impl FnMut(&SweepPoint),
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for block_size in figure1_block_sizes() {
+        let workload = WorkloadSpec::new(benchmark, block_size, 0.15).generate();
+        let measurement = measure(&workload, threads, repetitions);
+        let point = SweepPoint {
+            block_size,
+            conflict: 0.15,
+            measurement,
+        };
+        observer(&point);
+        points.push(point);
+    }
+    points
+}
+
+/// Runs the conflict sweep for one benchmark (Figure 1, right column).
+pub fn sweep_conflict(
+    benchmark: Benchmark,
+    threads: usize,
+    repetitions: usize,
+    mut observer: impl FnMut(&SweepPoint),
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for conflict in figure1_conflicts() {
+        let workload = WorkloadSpec::new(benchmark, 200, conflict).generate();
+        let measurement = measure(&workload, threads, repetitions);
+        let point = SweepPoint {
+            block_size: 200,
+            conflict,
+            measurement,
+        };
+        observer(&point);
+        points.push(point);
+    }
+    points
+}
+
+/// Average miner/validator speedups over a sweep (one cell of Table 1).
+pub fn average_speedups(points: &[SweepPoint]) -> (f64, f64) {
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let miner = points.iter().map(|p| p.measurement.miner_speedup()).sum::<f64>() / points.len() as f64;
+    let validator =
+        points.iter().map(|p| p.measurement.validator_speedup()).sum::<f64>() / points.len() as f64;
+    (miner, validator)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_statistics() {
+        let t = Timing::from_samples(&[
+            Duration::from_millis(10),
+            Duration::from_millis(12),
+            Duration::from_millis(14),
+        ]);
+        assert_eq!(t.mean, Duration::from_millis(12));
+        assert!(t.stddev >= Duration::from_millis(1));
+        assert!(t.mean_ms() > 11.9 && t.mean_ms() < 12.1);
+        assert!(t.stddev_ms() > 0.0);
+    }
+
+    #[test]
+    fn sweep_parameter_lists_match_the_paper() {
+        assert_eq!(figure1_block_sizes().first(), Some(&10));
+        assert_eq!(figure1_block_sizes().last(), Some(&400));
+        assert_eq!(figure1_conflicts().len(), 11);
+        assert_eq!(figure1_conflicts()[0], 0.0);
+        assert_eq!(*figure1_conflicts().last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn measurement_speedups() {
+        let m = Measurement {
+            serial: Timing::from_samples(&[Duration::from_millis(30)]),
+            miner: Timing::from_samples(&[Duration::from_millis(20)]),
+            validator: Timing::from_samples(&[Duration::from_millis(15)]),
+        };
+        assert!((m.miner_speedup() - 1.5).abs() < 0.01);
+        assert!((m.validator_speedup() - 2.0).abs() < 0.01);
+        let (ms, vs) = average_speedups(&[SweepPoint {
+            block_size: 10,
+            conflict: 0.0,
+            measurement: m,
+        }]);
+        assert!(ms > 1.0 && vs > 1.0);
+        assert_eq!(average_speedups(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn small_measurement_end_to_end() {
+        // A tiny end-to-end measurement to keep the harness itself under
+        // test without taking benchmark-scale time.
+        let workload = WorkloadSpec::new(Benchmark::Ballot, 20, 0.2).generate();
+        let m = measure(&workload, 2, 1);
+        assert!(m.serial.mean > Duration::ZERO);
+        assert!(m.miner.mean > Duration::ZERO);
+        assert!(m.validator.mean > Duration::ZERO);
+        let sv = measure_serial_validation(&workload, 2, 1);
+        assert!(sv.mean > Duration::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! The example smart contracts evaluated in the paper, ported from
+//! Solidity to Rust.
+//!
+//! The paper's prototype translated three contracts from the Solidity
+//! documentation and the EtherDoc DApp into Scala and wrapped each function
+//! in a speculative atomic section. This crate performs the same port onto
+//! the `cc-vm` substrate:
+//!
+//! * [`Ballot`] — the voting contract from the Solidity documentation
+//!   (paper Listing 1 / Appendix A): register voters, vote, delegate,
+//!   compute the winner. Conflict in the paper's benchmark comes from
+//!   double-voting attempts, which `throw`.
+//! * [`SimpleAuction`] — the open-auction example: `bid`, `withdraw`,
+//!   `auction_end`, plus the paper's `bid_plus_one` helper that reads the
+//!   current highest bid and overbids it by one (the conflict generator of
+//!   the SimpleAuction benchmark).
+//! * [`EtherDoc`] — the proof-of-existence DApp: create documents, check
+//!   existence, transfer ownership. The benchmark's conflicts are
+//!   transfers that all credit the contract creator.
+//! * [`Token`] — an ERC20-style token used by additional examples and
+//!   tests (not part of the paper's benchmarks, but a natural extension
+//!   exercising cross-account transfers and cross-contract calls).
+//!
+//! Each contract struct owns its persistent state as boosted storage and
+//! implements [`cc_vm::Contract`], so the same object can be driven by the
+//! serial miner, the speculative parallel miner and the deterministic
+//! validator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ballot;
+pub mod crowdsale;
+pub mod etherdoc;
+pub mod simple_auction;
+pub mod token;
+
+pub use ballot::{Ballot, Voter};
+pub use crowdsale::Crowdsale;
+pub use etherdoc::{Document, EtherDoc};
+pub use simple_auction::SimpleAuction;
+pub use token::Token;

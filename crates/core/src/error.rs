@@ -1,0 +1,80 @@
+//! Errors produced by mining and validation.
+
+use cc_stm::StmError;
+use std::fmt;
+
+/// Failure of a mining or validation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A transaction could not be committed even after exhausting its
+    /// retry budget (pathological contention).
+    MiningFailed {
+        /// Index of the offending transaction within the block.
+        tx_index: usize,
+        /// The underlying speculative-execution error.
+        source: StmError,
+    },
+    /// The block under validation was rejected. The reasons list every
+    /// check that failed (state root, receipts, schedule consistency,
+    /// data races, missing profiles).
+    BlockRejected {
+        /// Human-readable reasons, one per failed check.
+        reasons: Vec<String>,
+    },
+    /// The block's schedule metadata is missing but the validator was
+    /// asked to replay it in parallel.
+    MissingSchedule,
+    /// The schedule is malformed (wrong length, cyclic, or indices out of
+    /// range) and cannot even be turned into a fork-join program.
+    MalformedSchedule {
+        /// Description of the structural problem.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for a single-reason rejection.
+    pub fn rejected(reason: impl Into<String>) -> Self {
+        CoreError::BlockRejected {
+            reasons: vec![reason.into()],
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MiningFailed { tx_index, source } => {
+                write!(f, "mining failed at transaction {tx_index}: {source}")
+            }
+            CoreError::BlockRejected { reasons } => {
+                write!(f, "block rejected: {}", reasons.join("; "))
+            }
+            CoreError::MissingSchedule => f.write_str("block carries no schedule metadata"),
+            CoreError::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        let e = CoreError::MiningFailed {
+            tx_index: 4,
+            source: StmError::RetriesExhausted { attempts: 64 },
+        };
+        assert!(e.to_string().contains("transaction 4"));
+        assert!(CoreError::rejected("state root mismatch")
+            .to_string()
+            .contains("state root mismatch"));
+        assert!(CoreError::MissingSchedule.to_string().contains("schedule"));
+        assert!(CoreError::MalformedSchedule { reason: "cycle".into() }
+            .to_string()
+            .contains("cycle"));
+    }
+}

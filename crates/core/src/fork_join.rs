@@ -1,0 +1,214 @@
+//! A deterministic fork-join executor for dependency DAGs.
+//!
+//! Paper Algorithm 2 turns the happens-before graph into a fork-join
+//! program: each transaction becomes a task that joins on its immediate
+//! predecessors before executing. This module provides the equivalent
+//! executor: a work-stealing pool (crossbeam deques) that runs each task
+//! exactly once, only after all of its predecessors have completed. The
+//! validator is free to use any number of threads — the paper notes the
+//! validator "is not required to match the miner's level of parallelism".
+//!
+//! The executor itself is generic over the task body, so it is also reused
+//! by tests and the ablation benchmarks.
+
+use crate::schedule::HappensBeforeGraph;
+use crossbeam::deque::{Injector, Steal};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `task(i)` for every `i in 0..graph.len()`, never running a task
+/// before all of its happens-before predecessors have finished, using
+/// `threads` worker threads.
+///
+/// Tasks with no ordering constraint run concurrently; the wall-clock
+/// lower bound is therefore the critical path of the graph, exactly as in
+/// a fork-join program built per Algorithm 2.
+///
+/// The `task` closure is called exactly once per index. Panics in tasks
+/// propagate after all workers stop.
+pub fn run_fork_join<F>(graph: &HappensBeforeGraph, threads: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = graph.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1);
+
+    // Remaining-predecessor counters; a task becomes ready when its
+    // counter reaches zero.
+    let pending: Vec<AtomicUsize> = (0..n)
+        .map(|i| AtomicUsize::new(graph.predecessors(i).count()))
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..n {
+        if pending[i].load(Ordering::Relaxed) == 0 {
+            injector.push(i);
+        }
+    }
+
+    let run_one = |i: usize| {
+        task(i);
+        completed.fetch_add(1, Ordering::Release);
+        for succ in graph.successors(i) {
+            if pending[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                injector.push(succ);
+            }
+        }
+    };
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // Idle workers back off exponentially so that a long
+                // dependency chain executed by one worker is not slowed
+                // down by the others hammering the injector.
+                let mut idle_spins = 0u32;
+                loop {
+                    match injector.steal() {
+                        Steal::Success(i) => {
+                            idle_spins = 0;
+                            run_one(i);
+                        }
+                        Steal::Retry => continue,
+                        Steal::Empty => {
+                            if completed.load(Ordering::Acquire) >= n {
+                                break;
+                            }
+                            idle_spins = idle_spins.saturating_add(1);
+                            if idle_spins < 16 {
+                                std::hint::spin_loop();
+                            } else if idle_spins < 64 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(std::time::Duration::from_micros(20));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("fork-join worker panicked");
+}
+
+/// Runs the tasks strictly in the given serial order on the calling
+/// thread. Used by the serial validator baseline and by tests comparing
+/// serial and parallel replays.
+pub fn run_serial<F>(order: &[usize], task: F)
+where
+    F: Fn(usize),
+{
+    for &i in order {
+        task(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    fn chain(n: usize) -> HappensBeforeGraph {
+        let mut g = HappensBeforeGraph::new(n);
+        for i in 1..n {
+            g.add_edge(i - 1, i);
+        }
+        g
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let g = HappensBeforeGraph::new(100);
+        let counts: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_fork_join(&g, 4, |i| {
+            counts[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn chain_preserves_order() {
+        let g = chain(50);
+        let log = Mutex::new(Vec::new());
+        run_fork_join(&g, 4, |i| {
+            log.lock().push(i);
+        });
+        assert_eq!(*log.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_dependencies_respected() {
+        // 0 -> {1, 2} -> 3
+        let mut g = HappensBeforeGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        for _ in 0..20 {
+            let log = Mutex::new(Vec::new());
+            run_fork_join(&g, 3, |i| {
+                log.lock().push(i);
+            });
+            let order = log.lock().clone();
+            let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+            assert_eq!(pos(0), 0);
+            assert_eq!(pos(3), 3);
+        }
+    }
+
+    #[test]
+    fn random_dag_respects_all_edges() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 60;
+        let mut g = HappensBeforeGraph::new(n);
+        for b in 1..n {
+            for a in 0..b {
+                if rng.gen_bool(0.08) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        let log = Mutex::new(Vec::new());
+        run_fork_join(&g, 5, |i| {
+            log.lock().push(i);
+        });
+        let order = log.lock().clone();
+        assert_eq!(order.iter().copied().collect::<HashSet<_>>().len(), n);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; n];
+            for (idx, &v) in order.iter().enumerate() {
+                p[v] = idx;
+            }
+            p
+        };
+        for (a, b) in g.edges() {
+            assert!(pos[a] < pos[b], "edge ({a},{b}) violated");
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_topological_execution() {
+        let g = chain(10);
+        let log = Mutex::new(Vec::new());
+        run_fork_join(&g, 1, |i| log.lock().push(i));
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = HappensBeforeGraph::new(0);
+        run_fork_join(&g, 3, |_| panic!("no tasks expected"));
+    }
+
+    #[test]
+    fn run_serial_follows_given_order() {
+        let log = Mutex::new(Vec::new());
+        run_serial(&[2, 0, 1], |i| log.lock().push(i));
+        assert_eq!(*log.lock(), vec![2, 0, 1]);
+    }
+}

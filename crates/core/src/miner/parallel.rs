@@ -1,0 +1,341 @@
+//! The speculative parallel miner (paper §3 and Algorithm 1).
+
+use crate::error::CoreError;
+use crate::miner::{MinedBlock, Miner};
+use crate::schedule::HappensBeforeGraph;
+use crate::stats::MinerStats;
+use cc_ledger::{Block, Transaction};
+use cc_primitives::hash::Hash256;
+use cc_stm::{LockProfile, RetryPolicy};
+use cc_vm::{Receipt, World};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Mines a block by executing its transactions as speculative atomic
+/// actions on a fixed pool of worker threads.
+///
+/// Each worker repeatedly takes the next unexecuted transaction, runs it
+/// inside a speculative STM transaction (acquiring abstract locks and
+/// logging inverses), and commits. Deadlock victims roll back and retry
+/// with backoff. When all transactions have committed, the miner derives
+/// the happens-before graph from the registered lock profiles, computes an
+/// equivalent serial order by topological sort (Algorithm 1's
+/// `MineInParallel`), and publishes both in the block together with the
+/// profiles themselves.
+#[derive(Debug, Clone)]
+pub struct ParallelMiner {
+    threads: usize,
+    retry: RetryPolicy,
+}
+
+impl ParallelMiner {
+    /// Creates a miner with `threads` worker threads (the paper's
+    /// evaluation uses three) and the default retry policy.
+    pub fn new(threads: usize) -> Self {
+        ParallelMiner {
+            threads: threads.max(1),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the retry policy used for deadlock victims.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Number of worker threads this miner uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Miner for ParallelMiner {
+    fn mine(&self, world: &World, transactions: Vec<Transaction>) -> Result<MinedBlock, CoreError> {
+        self.mine_on(world, transactions, Hash256::ZERO, 1)
+    }
+
+    fn mine_on(
+        &self,
+        world: &World,
+        transactions: Vec<Transaction>,
+        parent_hash: Hash256,
+        number: u64,
+    ) -> Result<MinedBlock, CoreError> {
+        let start = Instant::now();
+        let stm = world.stm();
+        stm.begin_block();
+
+        let n = transactions.len();
+        let slots: Vec<Mutex<Option<(Receipt, LockProfile)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let retries = AtomicU64::new(0);
+        let failed = AtomicBool::new(false);
+        let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|_| {
+                    loop {
+                        if failed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        let tx = &transactions[index];
+                        let mut attempt = 0u32;
+                        loop {
+                            attempt += 1;
+                            let txn = stm.begin();
+                            match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit)
+                            {
+                                Ok(receipt) => match txn.commit() {
+                                    Ok(commit) => {
+                                        *slots[index].lock() = Some((receipt, commit.profile));
+                                        break;
+                                    }
+                                    Err(source) => {
+                                        failed.store(true, Ordering::Release);
+                                        failure.lock().get_or_insert(CoreError::MiningFailed {
+                                            tx_index: index,
+                                            source,
+                                        });
+                                        break;
+                                    }
+                                },
+                                Err(source) => {
+                                    // Deadlock victim: undo and retry.
+                                    let _ = txn.abort();
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    if attempt >= self.retry.max_attempts {
+                                        failed.store(true, Ordering::Release);
+                                        failure.lock().get_or_insert(CoreError::MiningFailed {
+                                            tx_index: index,
+                                            source,
+                                        });
+                                        break;
+                                    }
+                                    self.retry.backoff(attempt);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("miner worker panicked");
+
+        if let Some(err) = failure.into_inner() {
+            return Err(err);
+        }
+
+        let mut receipts = Vec::with_capacity(n);
+        let mut profiles = Vec::with_capacity(n);
+        for slot in slots {
+            let (receipt, profile) = slot
+                .into_inner()
+                .expect("every transaction slot is filled on success");
+            receipts.push(receipt);
+            profiles.push(profile);
+        }
+
+        // Algorithm 1: derive the happens-before graph from the lock log
+        // and produce the equivalent serial order by topological sort.
+        let graph = HappensBeforeGraph::from_profiles(&profiles);
+        let schedule = graph.to_metadata(&profiles)?;
+        let critical_path = graph.critical_path();
+        let hb_edges = graph.edge_count();
+
+        let elapsed = start.elapsed();
+        let gas_used = receipts.iter().map(|r| r.gas_used).sum();
+        let block = Block::build(
+            parent_hash,
+            number,
+            transactions,
+            receipts,
+            world.state_root(),
+            Some(schedule),
+        );
+        Ok(MinedBlock {
+            block,
+            stats: MinerStats {
+                threads: self.threads,
+                transactions: n,
+                retries: retries.load(Ordering::Relaxed),
+                elapsed,
+                gas_used,
+                critical_path,
+                hb_edges,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::SerialMiner;
+    use cc_contracts::{Ballot, SimpleAuction};
+    use cc_vm::testing::CounterContract;
+    use cc_vm::{Address, ArgValue, CallData, ExecutionStatus};
+    use std::sync::Arc;
+
+    fn counter_world() -> (World, Address) {
+        let world = World::new();
+        let addr = Address::from_name("counter-parallel");
+        world.deploy(Arc::new(CounterContract::new(addr)));
+        (world, addr)
+    }
+
+    fn increment_tx(i: u64, to: Address) -> Transaction {
+        Transaction::new(
+            i,
+            Address::from_index(i),
+            to,
+            CallData::new("increment", vec![ArgValue::Uint(1)]),
+            1_000_000,
+        )
+    }
+
+    #[test]
+    fn parallel_and_serial_mining_agree_on_state() {
+        let build = || {
+            let (world, addr) = counter_world();
+            let txs: Vec<Transaction> = (0..40).map(|i| increment_tx(i, addr)).collect();
+            (world, txs)
+        };
+        let (world_serial, txs) = build();
+        let serial = SerialMiner::new().mine(&world_serial, txs.clone()).unwrap();
+
+        let (world_parallel, _) = build();
+        let parallel = ParallelMiner::new(4).mine(&world_parallel, txs).unwrap();
+
+        assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+        assert_eq!(serial.block.header.tx_root, parallel.block.header.tx_root);
+        assert_eq!(parallel.stats.threads, 4);
+        assert!(parallel.block.is_well_formed());
+    }
+
+    #[test]
+    fn profiles_and_schedule_are_published() {
+        let (world, addr) = counter_world();
+        // Two senders issue interleaved increments: same-sender
+        // transactions conflict (same counts entry), different senders do
+        // not (the shared total uses the additive tally).
+        let txs: Vec<Transaction> = (0..20)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    Address::from_index(i % 2),
+                    addr,
+                    CallData::new("increment", vec![ArgValue::Uint(1)]),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let mined = ParallelMiner::new(3).mine(&world, txs).unwrap();
+        let schedule = mined.block.schedule.as_ref().unwrap();
+        assert_eq!(schedule.profiles.len(), 20);
+        assert!(!schedule.edges.is_empty(), "same-sender conflicts must be ordered");
+        assert!(schedule.critical_path() >= 10, "10 txns per sender serialize");
+        assert!(
+            schedule.critical_path() < 20,
+            "the two senders' chains run in parallel (critical path {} should be < 20)",
+            schedule.critical_path()
+        );
+    }
+
+    #[test]
+    fn ballot_double_votes_revert_exactly_once_in_parallel() {
+        let world = World::new();
+        let chair = Address::from_index(0);
+        let ballot = Arc::new(Ballot::with_numbered_proposals(
+            Address::from_name("Ballot-pm"),
+            chair,
+            2,
+        ));
+        let voters: Vec<Address> = (1..=10).map(Address::from_index).collect();
+        for v in &voters {
+            ballot.seed_registered_voter(*v);
+        }
+        world.deploy(ballot.clone());
+
+        // Every voter votes once, and voters 0..3 attempt a second vote.
+        let mut txs = Vec::new();
+        for (i, v) in voters.iter().enumerate() {
+            txs.push(Transaction::new(
+                i as u64,
+                *v,
+                Address::from_name("Ballot-pm"),
+                CallData::new("vote", vec![ArgValue::Uint(0)]),
+                1_000_000,
+            ));
+        }
+        for (i, v) in voters.iter().take(3).enumerate() {
+            txs.push(Transaction::new(
+                100 + i as u64,
+                *v,
+                Address::from_name("Ballot-pm"),
+                CallData::new("vote", vec![ArgValue::Uint(0)]),
+                1_000_000,
+            ));
+        }
+
+        let mined = ParallelMiner::new(3).mine(&world, txs).unwrap();
+        let reverted = mined
+            .block
+            .receipts
+            .iter()
+            .filter(|r| matches!(r.status, ExecutionStatus::Reverted { .. }))
+            .count();
+        assert_eq!(reverted, 3, "exactly the duplicate votes revert");
+        assert_eq!(ballot.tally(0), 10, "each voter counted once");
+    }
+
+    #[test]
+    fn contended_auction_bids_serialize_but_commit() {
+        let world = World::new();
+        let auction = Arc::new(SimpleAuction::new(
+            Address::from_name("Auction-pm"),
+            Address::from_index(0),
+        ));
+        world.deploy(auction.clone());
+        let txs: Vec<Transaction> = (1..=12)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    Address::from_index(i),
+                    Address::from_name("Auction-pm"),
+                    CallData::nullary("bidPlusOne"),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let mined = ParallelMiner::new(4).mine(&world, txs).unwrap();
+        assert!(mined.block.receipts.iter().all(Receipt::succeeded));
+        assert_eq!(auction.current_highest_bid(), 12);
+        // All bids touch the highest-bid cell, so the schedule is a chain.
+        assert_eq!(mined.block.schedule.as_ref().unwrap().critical_path(), 12);
+    }
+
+    #[test]
+    fn single_thread_parallel_miner_still_works() {
+        let (world, addr) = counter_world();
+        let txs: Vec<Transaction> = (0..5).map(|i| increment_tx(i, addr)).collect();
+        let mined = ParallelMiner::new(1).mine(&world, txs).unwrap();
+        assert_eq!(mined.block.len(), 5);
+        assert_eq!(ParallelMiner::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_block_mines() {
+        let (world, _) = counter_world();
+        let mined = ParallelMiner::new(3).mine(&world, Vec::new()).unwrap();
+        assert!(mined.block.is_empty());
+        assert!(mined.block.is_well_formed());
+    }
+}

@@ -1,0 +1,163 @@
+//! A convenience full node: mine, append, validate.
+
+use crate::error::CoreError;
+use crate::miner::{MinedBlock, Miner};
+use crate::stats::ValidationReport;
+use crate::validator::Validator;
+use cc_ledger::{Block, Blockchain, ChainError, Transaction};
+use cc_vm::World;
+
+/// A node that owns a world and a chain and keeps them consistent.
+///
+/// `Node` is a thin orchestration layer used by the examples and the
+/// benchmark harness:
+///
+/// * a **mining node** calls [`Node::mine_and_append`] to execute client
+///   transactions with whatever [`Miner`] it was given and extend its
+///   chain;
+/// * a **validating node** calls [`Node::validate_and_append`] with blocks
+///   received from the network; its world is advanced only when the block
+///   is accepted.
+#[derive(Debug)]
+pub struct Node {
+    world: World,
+    chain: Blockchain,
+}
+
+impl Node {
+    /// Creates a node over an already-populated world (deployed contracts,
+    /// seeded state). The genesis block commits to that initial state.
+    pub fn new(world: World) -> Self {
+        let genesis_root = world.state_root();
+        Node {
+            world,
+            chain: Blockchain::with_genesis_state(genesis_root),
+        }
+    }
+
+    /// The node's world (current state).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The node's chain.
+    pub fn chain(&self) -> &Blockchain {
+        &self.chain
+    }
+
+    /// Mines a block of `transactions` with `miner` on top of the current
+    /// head and appends it to the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the miner's error, or a [`CoreError::BlockRejected`] if the
+    /// assembled block unexpectedly fails structural chain checks.
+    pub fn mine_and_append(
+        &mut self,
+        miner: &dyn Miner,
+        transactions: Vec<Transaction>,
+    ) -> Result<MinedBlock, CoreError> {
+        let parent_hash = self.chain.head_hash();
+        let number = self.chain.head().header.number + 1;
+        let mined = miner.mine_on(&self.world, transactions, parent_hash, number)?;
+        self.chain
+            .append(mined.block.clone())
+            .map_err(|e: ChainError| CoreError::rejected(e.to_string()))?;
+        Ok(mined)
+    }
+
+    /// Validates a block received from another node with `validator` and
+    /// appends it on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validator's rejection, or rejects blocks that do not
+    /// extend this node's chain.
+    pub fn validate_and_append(
+        &mut self,
+        validator: &dyn Validator,
+        block: &Block,
+    ) -> Result<ValidationReport, CoreError> {
+        if block.header.parent_hash != self.chain.head_hash() {
+            return Err(CoreError::rejected("block does not extend this node's head"));
+        }
+        let report = validator.validate(&self.world, block)?;
+        self.chain
+            .append(block.clone())
+            .map_err(|e| CoreError::rejected(e.to_string()))?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::ParallelMiner;
+    use crate::validator::ParallelValidator;
+    use cc_vm::testing::CounterContract;
+    use cc_vm::{Address, ArgValue, CallData};
+    use std::sync::Arc;
+
+    fn fresh_world() -> World {
+        let world = World::new();
+        world.deploy(Arc::new(CounterContract::new(Address::from_name("counter-node"))));
+        world
+    }
+
+    fn block_txs(base: u64, n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                Transaction::new(
+                    base + i,
+                    Address::from_index(i),
+                    Address::from_name("counter-node"),
+                    CallData::new("increment", vec![ArgValue::Uint(1)]),
+                    1_000_000,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn miner_node_and_validator_node_stay_in_sync() {
+        let mut miner_node = Node::new(fresh_world());
+        let mut validator_node = Node::new(fresh_world());
+        let miner = ParallelMiner::new(3);
+        let validator = ParallelValidator::new(3);
+
+        for block_number in 0..3u64 {
+            let mined = miner_node
+                .mine_and_append(&miner, block_txs(block_number * 100, 12))
+                .unwrap();
+            let report = validator_node
+                .validate_and_append(&validator, &mined.block)
+                .unwrap();
+            assert_eq!(report.state_root, mined.block.header.state_root);
+        }
+        assert_eq!(miner_node.chain().len(), 4);
+        assert_eq!(validator_node.chain().len(), 4);
+        assert_eq!(
+            miner_node.world().state_root(),
+            validator_node.world().state_root()
+        );
+        assert!(miner_node.chain().verify_structure());
+    }
+
+    #[test]
+    fn validator_node_rejects_blocks_that_do_not_extend_its_head() {
+        let mut miner_node = Node::new(fresh_world());
+        let mut validator_node = Node::new(fresh_world());
+        let miner = ParallelMiner::new(2);
+        let validator = ParallelValidator::new(2);
+
+        let first = miner_node.mine_and_append(&miner, block_txs(0, 4)).unwrap();
+        let second = miner_node.mine_and_append(&miner, block_txs(100, 4)).unwrap();
+        // Skipping the first block: the second does not extend genesis.
+        let err = validator_node
+            .validate_and_append(&validator, &second.block)
+            .unwrap_err();
+        assert!(err.to_string().contains("does not extend"));
+        validator_node.validate_and_append(&validator, &first.block).unwrap();
+        validator_node.validate_and_append(&validator, &second.block).unwrap();
+    }
+}

@@ -1,0 +1,450 @@
+//! The happens-before graph over a block's transactions.
+//!
+//! Paper §4: every abstract lock carries a use counter; a committing
+//! speculative action increments the counters of the locks it holds and
+//! publishes the resulting lock profile. "If an abstract lock has counter
+//! value 1 in A's profile and 2 in C's profile, then C must be scheduled
+//! after A." This module reconstructs that ordering.
+
+use crate::error::CoreError;
+use cc_ledger::{ProfileRecord, ScheduleMetadata};
+use cc_stm::{LockId, LockMode, LockProfile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed acyclic graph whose vertices are the block's transaction
+/// indices and whose edges order conflicting transactions according to the
+/// miner's commit order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HappensBeforeGraph {
+    n: usize,
+    succs: Vec<BTreeSet<usize>>,
+    preds: Vec<BTreeSet<usize>>,
+}
+
+impl HappensBeforeGraph {
+    /// Creates a graph over `n` transactions with no edges.
+    pub fn new(n: usize) -> Self {
+        HappensBeforeGraph {
+            n,
+            succs: vec![BTreeSet::new(); n],
+            preds: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of vertices (transactions).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the edge `before → after` (self-edges and duplicates are
+    /// ignored).
+    pub fn add_edge(&mut self, before: usize, after: usize) {
+        if before == after || before >= self.n || after >= self.n {
+            return;
+        }
+        self.succs[before].insert(after);
+        self.preds[after].insert(before);
+    }
+
+    /// Whether the edge `before → after` is present.
+    pub fn has_edge(&self, before: usize, after: usize) -> bool {
+        before < self.n && self.succs[before].contains(&after)
+    }
+
+    /// Immediate predecessors of `i` (the transactions a fork-join task
+    /// for `i` must join on — paper Algorithm 2's `B`).
+    pub fn predecessors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.preds[i].iter().copied()
+    }
+
+    /// Immediate successors of `i`.
+    pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.succs[i].iter().copied()
+    }
+
+    /// All edges as `(before, after)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (a, succs) in self.succs.iter().enumerate() {
+            for &b in succs {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Builds the happens-before graph from the lock profiles of a block's
+    /// committed transactions (`profiles[i]` is transaction `i`'s profile).
+    ///
+    /// For every abstract lock, the committing transactions that held it
+    /// are ordered by their counter values; an edge is added between every
+    /// ordered pair whose lock modes do not commute. Two transactions that
+    /// only ever held a lock in additive (commutative) mode are left
+    /// unordered, preserving the parallelism the miner actually exploited.
+    pub fn from_profiles(profiles: &[LockProfile]) -> Self {
+        let mut graph = HappensBeforeGraph::new(profiles.len());
+        // lock -> [(counter, tx_index, mode)]
+        let mut by_lock: BTreeMap<LockId, Vec<(u64, usize, LockMode)>> = BTreeMap::new();
+        for (tx_index, profile) in profiles.iter().enumerate() {
+            for entry in &profile.locks {
+                by_lock
+                    .entry(entry.lock)
+                    .or_default()
+                    .push((entry.counter, tx_index, entry.mode));
+            }
+        }
+        for holders in by_lock.values_mut() {
+            holders.sort_unstable();
+            for i in 0..holders.len() {
+                for j in (i + 1)..holders.len() {
+                    let (_, tx_a, mode_a) = holders[i];
+                    let (_, tx_b, mode_b) = holders[j];
+                    if mode_a.conflicts(mode_b) {
+                        graph.add_edge(tx_a, tx_b);
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// A topological order of the vertices, or `None` if the graph has a
+    /// cycle (which can only happen for a corrupted schedule — profiles
+    /// produced by an actual speculative execution are acyclic because
+    /// counter order is commit order).
+    pub fn topological_sort(&self) -> Option<Vec<usize>> {
+        let mut indegree: Vec<usize> = (0..self.n).map(|i| self.preds[i].len()).collect();
+        // Deterministic Kahn's algorithm: always pick the smallest ready
+        // index, so the published serial order is reproducible.
+        let mut ready: BTreeSet<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(&next) = ready.iter().next() {
+            ready.remove(&next);
+            order.push(next);
+            for &succ in &self.succs[next] {
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    ready.insert(succ);
+                }
+            }
+        }
+        if order.len() == self.n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Length (in vertices) of the longest path — the critical path of the
+    /// fork-join program a validator will execute. Zero for an empty
+    /// graph.
+    pub fn critical_path(&self) -> usize {
+        let Some(order) = self.topological_sort() else {
+            return self.n; // a cyclic (corrupt) graph is maximally serial
+        };
+        let mut depth = vec![1usize; self.n];
+        for &v in &order {
+            for &succ in &self.succs[v] {
+                depth[succ] = depth[succ].max(depth[v] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Computes reachability (the transitive closure), used by validators
+    /// to check that every pair of conflicting transactions is ordered by
+    /// the published schedule.
+    pub fn reachability(&self) -> Reachability {
+        let words = self.n.div_ceil(64);
+        let mut reach = vec![vec![0u64; words]; self.n];
+        let order = self.topological_sort().unwrap_or_else(|| (0..self.n).collect());
+        // Process in reverse topological order so each vertex's set is
+        // complete before its predecessors use it.
+        for &v in order.iter().rev() {
+            for &succ in &self.succs[v] {
+                // reach[v] |= reach[succ]; reach[v] |= {succ}
+                let (head, tail) = reach.split_at_mut(v.max(succ));
+                let (a, b) = if v < succ {
+                    (&mut head[v], &tail[0])
+                } else {
+                    (&mut tail[0], &head[succ])
+                };
+                for (av, bv) in a.iter_mut().zip(b.iter()) {
+                    *av |= *bv;
+                }
+                a[succ / 64] |= 1u64 << (succ % 64);
+            }
+        }
+        Reachability { n: self.n, reach }
+    }
+
+    /// Converts the graph plus the per-transaction profiles into the
+    /// metadata a miner publishes in the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedSchedule`] if the graph is cyclic.
+    pub fn to_metadata(&self, profiles: &[LockProfile]) -> Result<ScheduleMetadata, CoreError> {
+        let serial_order = self
+            .topological_sort()
+            .ok_or_else(|| CoreError::MalformedSchedule {
+                reason: "happens-before graph contains a cycle".into(),
+            })?;
+        Ok(ScheduleMetadata {
+            serial_order,
+            edges: self.edges(),
+            profiles: profiles
+                .iter()
+                .enumerate()
+                .map(|(tx_index, profile)| ProfileRecord {
+                    tx_index,
+                    profile: profile.clone(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Reconstructs a graph from published metadata, validating its shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedSchedule`] if the serial order is not
+    /// a permutation of `0..n`, an edge index is out of range, the edge
+    /// set is cyclic, or the serial order is inconsistent with the edges.
+    pub fn from_metadata(meta: &ScheduleMetadata, n: usize) -> Result<Self, CoreError> {
+        if meta.serial_order.len() != n {
+            return Err(CoreError::MalformedSchedule {
+                reason: format!(
+                    "serial order covers {} transactions, block has {n}",
+                    meta.serial_order.len()
+                ),
+            });
+        }
+        let mut seen = vec![false; n];
+        for &i in &meta.serial_order {
+            if i >= n || seen[i] {
+                return Err(CoreError::MalformedSchedule {
+                    reason: "serial order is not a permutation of the block's transactions".into(),
+                });
+            }
+            seen[i] = true;
+        }
+        let mut graph = HappensBeforeGraph::new(n);
+        for &(a, b) in &meta.edges {
+            if a >= n || b >= n || a == b {
+                return Err(CoreError::MalformedSchedule {
+                    reason: format!("edge ({a}, {b}) is out of range"),
+                });
+            }
+            graph.add_edge(a, b);
+        }
+        let Some(_) = graph.topological_sort() else {
+            return Err(CoreError::MalformedSchedule {
+                reason: "published edges contain a cycle".into(),
+            });
+        };
+        // The published serial order must itself respect every edge.
+        let mut position = vec![0usize; n];
+        for (pos, &tx) in meta.serial_order.iter().enumerate() {
+            position[tx] = pos;
+        }
+        for &(a, b) in &meta.edges {
+            if position[a] > position[b] {
+                return Err(CoreError::MalformedSchedule {
+                    reason: format!("serial order places {b} before its predecessor {a}"),
+                });
+            }
+        }
+        Ok(graph)
+    }
+}
+
+/// Precomputed reachability over a [`HappensBeforeGraph`].
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    n: usize,
+    reach: Vec<Vec<u64>>,
+}
+
+impl Reachability {
+    /// Whether there is a (possibly multi-edge) path `from → … → to`.
+    pub fn can_reach(&self, from: usize, to: usize) -> bool {
+        if from >= self.n || to >= self.n {
+            return false;
+        }
+        self.reach[from][to / 64] & (1u64 << (to % 64)) != 0
+    }
+
+    /// Whether two transactions are ordered one way or the other.
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        self.can_reach(a, b) || self.can_reach(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stm::{LockSpace, ProfileEntry};
+
+    fn profile(entries: &[(LockId, LockMode, u64)]) -> LockProfile {
+        LockProfile::new(
+            entries
+                .iter()
+                .map(|&(lock, mode, counter)| ProfileEntry { lock, mode, counter })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn edges_from_conflicting_profiles_follow_counters() {
+        let voters = LockSpace::new("voters");
+        let alice = voters.lock_for(&"alice");
+        let bob = voters.lock_for(&"bob");
+        // tx0 and tx2 both touch alice (counters 1 then 2); tx1 touches bob.
+        let profiles = vec![
+            profile(&[(alice, LockMode::Exclusive, 1)]),
+            profile(&[(bob, LockMode::Exclusive, 1)]),
+            profile(&[(alice, LockMode::Exclusive, 2)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.critical_path(), 2);
+    }
+
+    #[test]
+    fn additive_holders_stay_unordered() {
+        let counts = LockSpace::new("voteCounts");
+        let p0 = counts.lock_for(&0u64);
+        let profiles = vec![
+            profile(&[(p0, LockMode::Additive, 1)]),
+            profile(&[(p0, LockMode::Additive, 2)]),
+            profile(&[(p0, LockMode::Exclusive, 3)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert!(!g.has_edge(0, 1), "commutative increments are unordered");
+        assert!(g.has_edge(0, 2), "the exclusive read is ordered after both");
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.critical_path(), 2);
+    }
+
+    #[test]
+    fn topological_sort_respects_edges_and_is_deterministic() {
+        let mut g = HappensBeforeGraph::new(4);
+        g.add_edge(2, 0);
+        g.add_edge(0, 3);
+        let order = g.topological_sort().unwrap();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(2) < pos(0));
+        assert!(pos(0) < pos(3));
+        assert_eq!(order, g.topological_sort().unwrap());
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = HappensBeforeGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.topological_sort().is_none());
+        assert!(g.to_metadata(&[LockProfile::default(), LockProfile::default()]).is_err());
+    }
+
+    #[test]
+    fn critical_path_of_chain_and_antichain() {
+        let mut chain = HappensBeforeGraph::new(5);
+        for i in 0..4 {
+            chain.add_edge(i, i + 1);
+        }
+        assert_eq!(chain.critical_path(), 5);
+        let antichain = HappensBeforeGraph::new(5);
+        assert_eq!(antichain.critical_path(), 1);
+        assert_eq!(HappensBeforeGraph::new(0).critical_path(), 0);
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let mut g = HappensBeforeGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        let r = g.reachability();
+        assert!(r.can_reach(0, 2));
+        assert!(!r.can_reach(2, 0));
+        assert!(!r.can_reach(0, 4));
+        assert!(r.ordered(0, 2));
+        assert!(r.ordered(2, 0));
+        assert!(!r.ordered(0, 3));
+        assert!(!r.can_reach(0, 99));
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let voters = LockSpace::new("v");
+        let a = voters.lock_for(&1u64);
+        let profiles = vec![
+            profile(&[(a, LockMode::Exclusive, 1)]),
+            profile(&[(a, LockMode::Exclusive, 2)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        let meta = g.to_metadata(&profiles).unwrap();
+        assert_eq!(meta.serial_order, vec![0, 1]);
+        assert_eq!(meta.profiles.len(), 2);
+        let g2 = HappensBeforeGraph::from_metadata(&meta, 2).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn malformed_metadata_is_rejected() {
+        // Wrong length.
+        let meta = ScheduleMetadata::sequential(3);
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+        // Not a permutation.
+        let meta = ScheduleMetadata {
+            serial_order: vec![0, 0],
+            edges: vec![],
+            profiles: vec![],
+        };
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+        // Edge out of range.
+        let meta = ScheduleMetadata {
+            serial_order: vec![0, 1],
+            edges: vec![(0, 5)],
+            profiles: vec![],
+        };
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+        // Cyclic edges.
+        let meta = ScheduleMetadata {
+            serial_order: vec![0, 1],
+            edges: vec![(0, 1), (1, 0)],
+            profiles: vec![],
+        };
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+        // Serial order contradicting an edge.
+        let meta = ScheduleMetadata {
+            serial_order: vec![1, 0],
+            edges: vec![(0, 1)],
+            profiles: vec![],
+        };
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = HappensBeforeGraph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.topological_sort().unwrap(), Vec::<usize>::new());
+        assert_eq!(g.edge_count(), 0);
+    }
+}

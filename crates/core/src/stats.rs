@@ -1,0 +1,91 @@
+//! Execution statistics and validation reports.
+
+use cc_primitives::hash::Hash256;
+use std::fmt;
+use std::time::Duration;
+
+/// Statistics gathered while mining one block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinerStats {
+    /// Number of worker threads used (1 for the serial miner).
+    pub threads: usize,
+    /// Number of transactions in the block.
+    pub transactions: usize,
+    /// How many speculative executions were aborted and retried
+    /// (deadlock victims).
+    pub retries: u64,
+    /// Wall-clock time spent executing the block's transactions.
+    pub elapsed: Duration,
+    /// Total gas charged across all transactions.
+    pub gas_used: u64,
+    /// Critical-path length of the discovered schedule (in transactions).
+    pub critical_path: usize,
+    /// Number of happens-before edges discovered.
+    pub hb_edges: usize,
+}
+
+impl fmt::Display for MinerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} txns on {} thread(s) in {:?} ({} retries, critical path {}, {} edges)",
+            self.transactions, self.threads, self.elapsed, self.retries, self.critical_path, self.hb_edges
+        )
+    }
+}
+
+/// The successful outcome of validating a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Number of worker threads used (1 for the serial validator).
+    pub threads: usize,
+    /// Number of transactions replayed.
+    pub transactions: usize,
+    /// The state root computed by replay (always equal to the block's
+    /// state root when validation succeeds).
+    pub state_root: Hash256,
+    /// Wall-clock time spent re-executing the block.
+    pub elapsed: Duration,
+    /// Critical-path length of the replayed schedule.
+    pub critical_path: usize,
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "validated {} txns on {} thread(s) in {:?} (critical path {})",
+            self.transactions, self.threads, self.elapsed, self.critical_path
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let stats = MinerStats {
+            threads: 3,
+            transactions: 200,
+            retries: 5,
+            elapsed: Duration::from_millis(12),
+            gas_used: 1_000,
+            critical_path: 7,
+            hb_edges: 30,
+        };
+        let s = stats.to_string();
+        assert!(s.contains("200 txns"));
+        assert!(s.contains("3 thread"));
+
+        let report = ValidationReport {
+            threads: 3,
+            transactions: 200,
+            state_root: Hash256::ZERO,
+            elapsed: Duration::from_millis(8),
+            critical_path: 7,
+        };
+        assert!(report.to_string().contains("validated 200"));
+    }
+}

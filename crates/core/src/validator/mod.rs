@@ -1,0 +1,58 @@
+//! Block validation: the serial baseline and the deterministic fork-join
+//! validator.
+
+mod parallel;
+mod serial;
+
+pub use parallel::ParallelValidator;
+pub use serial::SerialValidator;
+
+use crate::error::CoreError;
+use crate::stats::ValidationReport;
+use cc_ledger::Block;
+use cc_vm::World;
+
+/// Something that re-executes a block against the parent state and decides
+/// whether to accept it.
+///
+/// Validation **mutates** the world: on success the world holds the
+/// block's post-state (so the same world can then validate the next block
+/// of a chain). On rejection the world contents are unspecified — a real
+/// node discards that state and resynchronizes, and the tests follow the
+/// same discipline.
+pub trait Validator {
+    /// Replays `block` on top of `world` and checks every commitment.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::BlockRejected`] when the block is dishonest: the
+    ///   recomputed state root, receipts or gas differ, a replayed
+    ///   transaction's lock trace is inconsistent with the published
+    ///   profile, or the published schedule hides a data race.
+    /// * [`CoreError::MissingSchedule`] / [`CoreError::MalformedSchedule`]
+    ///   when the schedule cannot be replayed at all.
+    fn validate(&self, world: &World, block: &Block) -> Result<ValidationReport, CoreError>;
+}
+
+/// Shared check: compare replayed receipts against the block's receipts.
+/// Returns human-readable reasons for every mismatch.
+pub(crate) fn receipt_mismatches(
+    expected: &[cc_vm::Receipt],
+    actual: &[cc_vm::Receipt],
+) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if expected.len() != actual.len() {
+        reasons.push(format!(
+            "receipt count mismatch: block has {}, replay produced {}",
+            expected.len(),
+            actual.len()
+        ));
+        return reasons;
+    }
+    for (i, (e, a)) in expected.iter().zip(actual.iter()).enumerate() {
+        if e != a {
+            reasons.push(format!("receipt {i} differs between block and replay"));
+        }
+    }
+    reasons
+}

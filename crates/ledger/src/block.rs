@@ -1,0 +1,232 @@
+//! Blocks and block headers.
+
+use crate::schedule_meta::ScheduleMetadata;
+use crate::tx::{transactions_root, Transaction};
+use cc_primitives::codec::Encoder;
+use cc_primitives::hash::{sha256, Hash256};
+use cc_vm::Receipt;
+use std::fmt;
+
+/// The header of a block: everything another node needs to decide whether
+/// to accept the block, given the transactions and receipts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Hash of the parent block (all-zero for genesis).
+    pub parent_hash: Hash256,
+    /// Height of this block (genesis is 0).
+    pub number: u64,
+    /// Commitment to the ordered transaction list.
+    pub tx_root: Hash256,
+    /// Commitment to the post-state of executing the block.
+    pub state_root: Hash256,
+    /// Commitment to the receipts.
+    pub receipts_root: Hash256,
+    /// Commitment to the published schedule (zero when the miner published
+    /// no parallel schedule, i.e. a purely sequential block).
+    pub schedule_digest: Hash256,
+    /// Total gas consumed by the block's transactions.
+    pub gas_used: u64,
+}
+
+impl BlockHeader {
+    /// The hash of this header (which is "the block hash").
+    pub fn hash(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        enc.put_raw(self.parent_hash.as_bytes());
+        enc.put_u64(self.number);
+        enc.put_raw(self.tx_root.as_bytes());
+        enc.put_raw(self.state_root.as_bytes());
+        enc.put_raw(self.receipts_root.as_bytes());
+        enc.put_raw(self.schedule_digest.as_bytes());
+        enc.put_u64(self.gas_used);
+        sha256(enc.as_slice())
+    }
+}
+
+/// A block: header, transactions, receipts and (optionally) the parallel
+/// schedule the miner discovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// The transactions, in block order.
+    pub transactions: Vec<Transaction>,
+    /// Receipts, indexed like the transactions.
+    pub receipts: Vec<Receipt>,
+    /// The schedule metadata published by a parallel miner (`None` for a
+    /// block mined serially by a legacy miner).
+    pub schedule: Option<ScheduleMetadata>,
+}
+
+impl Block {
+    /// Assembles a block, computing all header commitments.
+    pub fn build(
+        parent_hash: Hash256,
+        number: u64,
+        transactions: Vec<Transaction>,
+        receipts: Vec<Receipt>,
+        state_root: Hash256,
+        schedule: Option<ScheduleMetadata>,
+    ) -> Self {
+        let gas_used = receipts.iter().map(|r| r.gas_used).sum();
+        let header = BlockHeader {
+            parent_hash,
+            number,
+            tx_root: transactions_root(&transactions),
+            state_root,
+            receipts_root: receipts_root(&receipts),
+            schedule_digest: schedule
+                .as_ref()
+                .map(ScheduleMetadata::digest)
+                .unwrap_or(Hash256::ZERO),
+            gas_used,
+        };
+        Block {
+            header,
+            transactions,
+            receipts,
+            schedule,
+        }
+    }
+
+    /// The block hash (hash of the header).
+    pub fn hash(&self) -> Hash256 {
+        self.header.hash()
+    }
+
+    /// Number of transactions in the block.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether the block contains no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Structural self-consistency: do the header's commitments match the
+    /// body? (Semantic validation — re-executing the transactions — is the
+    /// validator's job in `cc-core`.)
+    pub fn is_well_formed(&self) -> bool {
+        self.header.tx_root == transactions_root(&self.transactions)
+            && self.header.receipts_root == receipts_root(&self.receipts)
+            && self.header.schedule_digest
+                == self
+                    .schedule
+                    .as_ref()
+                    .map(ScheduleMetadata::digest)
+                    .unwrap_or(Hash256::ZERO)
+            && self.header.gas_used == self.receipts.iter().map(|r| r.gas_used).sum::<u64>()
+            && self
+                .schedule
+                .as_ref()
+                .map(|s| s.len() == self.transactions.len())
+                .unwrap_or(true)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block #{} ({} txns, gas {})",
+            self.header.number,
+            self.transactions.len(),
+            self.header.gas_used
+        )
+    }
+}
+
+/// Hashes the receipts into a single commitment.
+pub fn receipts_root(receipts: &[Receipt]) -> Hash256 {
+    let mut enc = Encoder::new();
+    enc.put_u64(receipts.len() as u64);
+    for receipt in receipts {
+        receipt.encode(&mut enc);
+    }
+    sha256(enc.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vm::{Address, ArgValue, CallData, ExecutionStatus, ReturnValue};
+
+    fn tx(nonce: u64) -> Transaction {
+        Transaction::new(
+            nonce,
+            Address::from_index(nonce),
+            Address::from_name("Ballot"),
+            CallData::new("vote", vec![ArgValue::Uint(0)]),
+            100_000,
+        )
+    }
+
+    fn receipt(i: usize) -> Receipt {
+        Receipt {
+            tx_index: i,
+            status: ExecutionStatus::Succeeded,
+            gas_used: 21_000,
+            output: ReturnValue::Unit,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn build_and_well_formed() {
+        let block = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(0), tx(1)],
+            vec![receipt(0), receipt(1)],
+            Hash256::ZERO,
+            Some(ScheduleMetadata::sequential(2)),
+        );
+        assert!(block.is_well_formed());
+        assert_eq!(block.header.gas_used, 42_000);
+        assert_eq!(block.len(), 2);
+        assert!(!block.is_empty());
+    }
+
+    #[test]
+    fn tampering_with_body_breaks_well_formedness() {
+        let mut block = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(0), tx(1)],
+            vec![receipt(0), receipt(1)],
+            Hash256::ZERO,
+            Some(ScheduleMetadata::sequential(2)),
+        );
+        block.transactions.pop();
+        assert!(!block.is_well_formed());
+    }
+
+    #[test]
+    fn tampering_with_schedule_breaks_well_formedness() {
+        let mut block = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(0), tx(1)],
+            vec![receipt(0), receipt(1)],
+            Hash256::ZERO,
+            Some(ScheduleMetadata::sequential(2)),
+        );
+        block.schedule.as_mut().unwrap().edges.clear();
+        assert!(!block.is_well_formed());
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_dependent() {
+        let a = Block::build(Hash256::ZERO, 1, vec![tx(0)], vec![receipt(0)], Hash256::ZERO, None);
+        let b = Block::build(Hash256::ZERO, 1, vec![tx(1)], vec![receipt(0)], Hash256::ZERO, None);
+        assert_eq!(a.hash(), a.hash());
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn display() {
+        let block = Block::build(Hash256::ZERO, 3, vec![tx(0)], vec![receipt(0)], Hash256::ZERO, None);
+        assert!(block.to_string().contains("block #3"));
+    }
+}

@@ -1,0 +1,262 @@
+//! The scheduling metadata a miner publishes alongside a block.
+//!
+//! Paper §4: "A miner includes these profiles in the blockchain along with
+//! usual information. From this profile information, validators can
+//! construct a fork-join program that deterministically reproduces the
+//! miner's original, speculative schedule."
+
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
+use cc_primitives::hash::{sha256, Hash256};
+use cc_stm::{LockId, LockMode, LockProfile, ProfileEntry};
+use std::fmt;
+
+/// One transaction's published lock profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRecord {
+    /// The transaction's index within the block.
+    pub tx_index: usize,
+    /// The lock profile it registered when it committed.
+    pub profile: LockProfile,
+}
+
+/// The schedule a miner discovered while executing a block speculatively.
+///
+/// * `serial_order` — a serialization of the block equivalent to the
+///   concurrent execution (a topological sort of the happens-before graph).
+/// * `edges` — the happens-before graph as `(before, after)` pairs of
+///   transaction indices.
+/// * `profiles` — per-transaction lock profiles, letting validators verify
+///   that the published graph is consistent with what re-execution
+///   actually accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleMetadata {
+    /// Equivalent serial order of transaction indices.
+    pub serial_order: Vec<usize>,
+    /// Happens-before edges between transaction indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Published lock profiles.
+    pub profiles: Vec<ProfileRecord>,
+}
+
+impl ScheduleMetadata {
+    /// The schedule of a block mined serially: transactions totally
+    /// ordered by their block position.
+    pub fn sequential(n: usize) -> Self {
+        ScheduleMetadata {
+            serial_order: (0..n).collect(),
+            edges: (1..n).map(|i| (i - 1, i)).collect(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// A schedule with no constraints at all (used in tests and as the
+    /// degenerate case for an empty block).
+    pub fn unconstrained(n: usize) -> Self {
+        ScheduleMetadata {
+            serial_order: (0..n).collect(),
+            edges: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+
+    /// Number of transactions the schedule covers.
+    pub fn len(&self) -> usize {
+        self.serial_order.len()
+    }
+
+    /// Whether the schedule covers no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.serial_order.is_empty()
+    }
+
+    /// The length of the longest chain of happens-before edges, plus one —
+    /// the critical path of the fork-join program a validator will run.
+    /// The paper proposes rewarding miners for publishing schedules with
+    /// short critical paths.
+    pub fn critical_path(&self) -> usize {
+        let n = self.serial_order.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut depth = vec![1usize; n];
+        // serial_order is a topological order, so a single pass suffices.
+        let mut order_pos = vec![0usize; n];
+        for (pos, &tx) in self.serial_order.iter().enumerate() {
+            if tx < n {
+                order_pos[tx] = pos;
+            }
+        }
+        let mut edges = self.edges.clone();
+        edges.sort_by_key(|&(a, _)| order_pos.get(a).copied().unwrap_or(0));
+        for &(a, b) in &edges {
+            if a < n && b < n {
+                depth[b] = depth[b].max(depth[a] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Canonical encoding of the schedule (hashed into the block header so
+    /// a validator knows the schedule it replays is the one the miner
+    /// committed to).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.serial_order.len() as u64);
+        for &i in &self.serial_order {
+            enc.put_u64(i as u64);
+        }
+        enc.put_u64(self.edges.len() as u64);
+        for &(a, b) in &self.edges {
+            enc.put_u64(a as u64);
+            enc.put_u64(b as u64);
+        }
+        enc.put_u64(self.profiles.len() as u64);
+        for record in &self.profiles {
+            enc.put_u64(record.tx_index as u64);
+            enc.put_u64(record.profile.locks.len() as u64);
+            for entry in &record.profile.locks {
+                enc.put_u64(entry.lock.space);
+                enc.put_u64(entry.lock.key);
+                enc.put_u8(entry.mode.to_byte());
+                enc.put_u64(entry.counter);
+            }
+        }
+    }
+
+    /// Decodes a schedule written by [`ScheduleMetadata::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<ScheduleMetadata, DecodeError> {
+        let n = dec.get_u64()? as usize;
+        let serial_order = (0..n)
+            .map(|_| dec.get_u64().map(|v| v as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        let e = dec.get_u64()? as usize;
+        let mut edges = Vec::with_capacity(e);
+        for _ in 0..e {
+            let a = dec.get_u64()? as usize;
+            let b = dec.get_u64()? as usize;
+            edges.push((a, b));
+        }
+        let p = dec.get_u64()? as usize;
+        let mut profiles = Vec::with_capacity(p);
+        for _ in 0..p {
+            let tx_index = dec.get_u64()? as usize;
+            let l = dec.get_u64()? as usize;
+            let mut locks = Vec::with_capacity(l);
+            for _ in 0..l {
+                let space = dec.get_u64()?;
+                let key = dec.get_u64()?;
+                let mode = LockMode::from_byte(dec.get_u8()?);
+                let counter = dec.get_u64()?;
+                locks.push(ProfileEntry {
+                    lock: LockId::from_raw(space, key),
+                    mode,
+                    counter,
+                });
+            }
+            profiles.push(ProfileRecord {
+                tx_index,
+                profile: LockProfile::new(locks),
+            });
+        }
+        Ok(ScheduleMetadata {
+            serial_order,
+            edges,
+            profiles,
+        })
+    }
+
+    /// Hash of the canonical encoding.
+    pub fn digest(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        sha256(enc.as_slice())
+    }
+}
+
+impl fmt::Display for ScheduleMetadata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "schedule: {} txns, {} edges, critical path {}",
+            self.serial_order.len(),
+            self.edges.len(),
+            self.critical_path()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stm::LockSpace;
+
+    fn sample() -> ScheduleMetadata {
+        let lock = LockSpace::new("voters").lock_for(&"alice");
+        ScheduleMetadata {
+            serial_order: vec![0, 2, 1],
+            edges: vec![(0, 1), (2, 1)],
+            profiles: vec![ProfileRecord {
+                tx_index: 0,
+                profile: LockProfile::new(vec![ProfileEntry {
+                    lock,
+                    mode: LockMode::Exclusive,
+                    counter: 1,
+                }]),
+            }],
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_shape() {
+        let s = ScheduleMetadata::sequential(4);
+        assert_eq!(s.serial_order, vec![0, 1, 2, 3]);
+        assert_eq!(s.edges.len(), 3);
+        assert_eq!(s.critical_path(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn unconstrained_critical_path_is_one() {
+        let s = ScheduleMetadata::unconstrained(10);
+        assert_eq!(s.critical_path(), 1);
+        assert_eq!(ScheduleMetadata::unconstrained(0).critical_path(), 0);
+    }
+
+    #[test]
+    fn critical_path_with_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: path length 3.
+        let s = ScheduleMetadata {
+            serial_order: vec![0, 1, 2, 3],
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+            profiles: Vec::new(),
+        };
+        assert_eq!(s.critical_path(), 3);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample();
+        let mut enc = Encoder::new();
+        s.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let decoded = ScheduleMetadata::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn digest_changes_with_edges() {
+        let a = sample();
+        let mut b = a.clone();
+        b.edges.pop();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn display_mentions_critical_path() {
+        assert!(sample().to_string().contains("critical path"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Transactions: client-submitted contract call descriptors.
+
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
+use cc_primitives::hash::{sha256, Hash256};
+use cc_vm::{Address, CallData, Msg, Wei};
+use std::fmt;
+
+/// Identifier of a transaction within its block (its index).
+pub type TxId = usize;
+
+/// A client request: "call this function of this contract with these
+/// arguments, paying for at most `gas_limit` gas".
+///
+/// Following the paper's terminology, a *transaction* is the unit a miner
+/// packages into blocks and executes as one speculative atomic action — not
+/// a database-style transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Client-assigned nonce (unique per sender; used only for hashing).
+    pub nonce: u64,
+    /// The account submitting the request.
+    pub sender: Address,
+    /// The contract being called.
+    pub to: Address,
+    /// Currency attached to the call.
+    pub value: Wei,
+    /// The function and arguments.
+    pub call: CallData,
+    /// Maximum gas the sender is willing to pay for.
+    pub gas_limit: u64,
+}
+
+impl Transaction {
+    /// Creates a transaction carrying no currency.
+    pub fn new(
+        nonce: u64,
+        sender: Address,
+        to: Address,
+        call: CallData,
+        gas_limit: u64,
+    ) -> Self {
+        Transaction {
+            nonce,
+            sender,
+            to,
+            value: Wei::ZERO,
+            call,
+            gas_limit,
+        }
+    }
+
+    /// Creates a transaction carrying `value`.
+    pub fn with_value(
+        nonce: u64,
+        sender: Address,
+        to: Address,
+        value: Wei,
+        call: CallData,
+        gas_limit: u64,
+    ) -> Self {
+        Transaction {
+            nonce,
+            sender,
+            to,
+            value,
+            call,
+            gas_limit,
+        }
+    }
+
+    /// The `msg` context this transaction executes under.
+    pub fn msg(&self) -> Msg {
+        Msg {
+            sender: self.sender,
+            value: self.value,
+        }
+    }
+
+    /// Canonical encoding (used for the block's transaction-root hash).
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.nonce);
+        enc.put_raw(self.sender.as_bytes());
+        enc.put_raw(self.to.as_bytes());
+        enc.put_u128(self.value.amount());
+        self.call.encode(enc);
+        enc.put_u64(self.gas_limit);
+    }
+
+    /// Decodes a transaction written by [`Transaction::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Transaction, DecodeError> {
+        let nonce = dec.get_u64()?;
+        let mut sender = [0u8; 20];
+        sender.copy_from_slice(dec.get_raw(20)?);
+        let mut to = [0u8; 20];
+        to.copy_from_slice(dec.get_raw(20)?);
+        let value = Wei::new(dec.get_u128()?);
+        let call = CallData::decode(dec)?;
+        let gas_limit = dec.get_u64()?;
+        Ok(Transaction {
+            nonce,
+            sender: Address(sender),
+            to: Address(to),
+            value,
+            call,
+            gas_limit,
+        })
+    }
+
+    /// The transaction's hash.
+    pub fn hash(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        sha256(enc.as_slice())
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}::{}", self.sender, self.to, self.call)
+    }
+}
+
+/// Hashes a list of transactions into a single commitment (the block's
+/// transaction root).
+pub fn transactions_root(transactions: &[Transaction]) -> Hash256 {
+    let mut enc = Encoder::new();
+    enc.put_u64(transactions.len() as u64);
+    for tx in transactions {
+        enc.put_raw(tx.hash().as_bytes());
+    }
+    sha256(enc.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vm::ArgValue;
+
+    fn sample(nonce: u64) -> Transaction {
+        Transaction::with_value(
+            nonce,
+            Address::from_index(1),
+            Address::from_name("Ballot"),
+            Wei::new(5),
+            CallData::new("vote", vec![ArgValue::Uint(2)]),
+            100_000,
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tx = sample(7);
+        let mut enc = Encoder::new();
+        tx.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let decoded = Transaction::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(decoded, tx);
+    }
+
+    #[test]
+    fn hash_depends_on_contents() {
+        assert_ne!(sample(1).hash(), sample(2).hash());
+        assert_eq!(sample(1).hash(), sample(1).hash());
+    }
+
+    #[test]
+    fn msg_reflects_sender_and_value() {
+        let tx = sample(1);
+        assert_eq!(tx.msg().sender, tx.sender);
+        assert_eq!(tx.msg().value, Wei::new(5));
+    }
+
+    #[test]
+    fn transactions_root_is_order_sensitive() {
+        let a = sample(1);
+        let b = sample(2);
+        assert_ne!(
+            transactions_root(&[a.clone(), b.clone()]),
+            transactions_root(&[b, a])
+        );
+        assert_ne!(transactions_root(&[]), Hash256::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert!(sample(1).to_string().contains("vote"));
+    }
+}

@@ -1,0 +1,340 @@
+//! SHA-256 and the [`Hash256`] digest type.
+//!
+//! The paper's blockchain substrate needs a tamper-evident commitment to
+//! block contents and contract state. Rather than pulling in an external
+//! crypto crate, SHA-256 (FIPS 180-4) is implemented here directly; it is
+//! validated against the standard test vectors in the unit tests below.
+
+use crate::hex;
+use std::fmt;
+
+/// A 256-bit digest, produced by [`sha256`] or [`Sha256`].
+///
+/// Used for block hashes, state roots and schedule commitments throughout
+/// the workspace.
+///
+/// # Example
+///
+/// ```
+/// use cc_primitives::hash::sha256;
+/// let d = sha256(b"hello");
+/// assert_ne!(d, sha256(b"world"));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest, used as the parent hash of a genesis block.
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Renders the digest as a lowercase hex string (64 characters).
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the string is not exactly 64 hex characters.
+    pub fn from_hex(s: &str) -> Option<Hash256> {
+        let bytes = hex::decode(s)?;
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Some(Hash256(out))
+    }
+
+    /// Returns true if this is the all-zero digest.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", &self.to_hex()[..16])
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for Hash256 {
+    fn from(value: [u8; 32]) -> Self {
+        Hash256(value)
+    }
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Convenience wrapper: hash a byte slice in one call.
+///
+/// # Example
+///
+/// ```
+/// use cc_primitives::hash::sha256;
+/// // FIPS 180-4 test vector for "abc".
+/// assert_eq!(
+///     sha256(b"abc").to_hex(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+pub fn sha256(data: &[u8]) -> Hash256 {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// # Example
+///
+/// ```
+/// use cc_primitives::hash::{sha256, Sha256};
+/// let mut h = Sha256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha256(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a new hasher in its initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buffer_len > 0 {
+            let take = (64 - self.buffer_len).min(rest.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&rest[..take]);
+            self.buffer_len += take;
+            rest = &rest[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&rest[..64]);
+            self.compress(&block);
+            rest = &rest[64..];
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
+        }
+    }
+
+    /// Appends `u64` in big-endian to the hash state; convenience for digests
+    /// built from structured data.
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_be_bytes());
+    }
+
+    /// Finishes the computation and returns the digest, consuming the hasher.
+    pub fn finalize(mut self) -> Hash256 {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then 64-bit big-endian length.
+        self.update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update(&[0x00]);
+        }
+        // Manual write of length so total_len bookkeeping does not matter any more.
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Hash256(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_vector() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn long_input_vector() {
+        // One million 'a' characters (FIPS 180-4 long message test).
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha256(b"roundtrip");
+        assert_eq!(Hash256::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Hash256::from_hex("zz"), None);
+        assert_eq!(Hash256::from_hex("ab"), None);
+    }
+
+    #[test]
+    fn zero_digest() {
+        assert!(Hash256::ZERO.is_zero());
+        assert!(!sha256(b"x").is_zero());
+    }
+
+    #[test]
+    fn debug_and_display_nonempty() {
+        let d = sha256(b"dbg");
+        assert!(!format!("{d:?}").is_empty());
+        assert_eq!(format!("{d}").len(), 64);
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 55/56/64-byte padding boundaries exercise all
+        // padding paths.
+        let known = [
+            (55usize, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318"),
+            (56usize, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a"),
+            (57usize, "f13b2d724659eb3bf47f2dd6af1accc87b81f09f59f2b75e5c0bed6589dfe8c6"),
+            (64usize, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"),
+        ];
+        for (len, expect) in known {
+            let data = vec![b'a'; len];
+            assert_eq!(sha256(&data).to_hex(), expect, "length {len}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal hex encoding/decoding helpers.
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cc_primitives::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    const CHARS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(CHARS[(b >> 4) as usize] as char);
+        out.push(CHARS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive) into bytes.
+///
+/// Returns `None` on odd length or non-hex characters.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(cc_primitives::hex::decode("DEAD"), Some(vec![0xde, 0xad]));
+/// assert_eq!(cc_primitives::hex::decode("xyz"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = hex_val(pair[0])?;
+        let lo = hex_val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)), Some(data));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), None);
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode(""), Some(vec![]));
+    }
+}

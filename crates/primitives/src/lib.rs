@@ -1,0 +1,37 @@
+//! Shared primitives for the concurrent-contracts workspace.
+//!
+//! This crate provides the low-level building blocks used by every other
+//! crate in the reproduction of *Adding Concurrency to Smart Contracts*
+//! (Dickerson, Gazzillo, Herlihy, Koskinen — PODC 2017):
+//!
+//! * [`hash`] — an in-repo SHA-256 implementation and the [`Hash256`] digest
+//!   type used for block hashes and state roots.
+//! * [`fnv`] — the FNV-1a 64-bit hash used to derive abstract-lock keys.
+//!   It is deliberately *not* cryptographic: a collision merely produces a
+//!   false conflict (extra serialization), never an incorrect result.
+//! * [`codec`] — a deterministic, byte-oriented encoder/decoder used for
+//!   state snapshots, schedule metadata and block serialization.
+//! * [`hex`] — tiny hex formatting helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_primitives::hash::{sha256, Hash256};
+//! use cc_primitives::codec::Encoder;
+//!
+//! let mut enc = Encoder::new();
+//! enc.put_u64(42);
+//! enc.put_bytes(b"ballot");
+//! let digest: Hash256 = sha256(enc.as_slice());
+//! assert_eq!(digest.to_hex().len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fnv;
+pub mod hex;
+pub mod hash;
+
+pub use hash::{sha256, Hash256};

@@ -1,0 +1,205 @@
+//! A boosted scalar cell: one state variable protected by one abstract
+//! lock.
+
+use crate::error::StmError;
+use crate::lock::{LockId, LockMode, LockSpace};
+use crate::txn::Transaction;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single transactional state variable (e.g. `highestBid`,
+/// `chairperson`, `ended`).
+///
+/// All accesses map to the same abstract lock, so any two transactions
+/// that touch the cell conflict — which is exactly the semantics of a
+/// scalar Solidity state variable, and is what produces the
+/// SimpleAuction/EtherDoc conflict behaviour studied in the paper.
+///
+/// # Example
+///
+/// ```
+/// use cc_stm::{Stm, BoostedCell};
+/// let stm = Stm::new();
+/// let highest: BoostedCell<u64> = BoostedCell::new("auction.highest_bid", 0);
+/// stm.run(|txn| {
+///     let current = highest.get(txn)?;
+///     highest.set(txn, current + 1)?;
+///     Ok(())
+/// }).unwrap();
+/// assert_eq!(highest.peek(), 1);
+/// ```
+pub struct BoostedCell<T> {
+    name: String,
+    lock: LockId,
+    value: Arc<RwLock<T>>,
+}
+
+impl<T> Clone for BoostedCell<T> {
+    fn clone(&self) -> Self {
+        BoostedCell {
+            name: self.name.clone(),
+            lock: self.lock,
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for BoostedCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoostedCell")
+            .field("name", &self.name)
+            .field("value", &*self.value.read())
+            .finish()
+    }
+}
+
+impl<T> BoostedCell<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Creates a cell named `name` (stable, globally unique) holding
+    /// `initial`.
+    pub fn new(name: &str, initial: T) -> Self {
+        BoostedCell {
+            name: name.to_string(),
+            lock: LockSpace::new(name).whole(),
+            value: Arc::new(RwLock::new(initial)),
+        }
+    }
+
+    /// The stable name of this cell.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The abstract lock protecting the cell.
+    pub fn lock_id(&self) -> LockId {
+        self.lock
+    }
+
+    /// Transactionally reads the value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn get(&self, txn: &Transaction) -> Result<T, StmError> {
+        txn.acquire(self.lock, LockMode::Exclusive)?;
+        Ok(self.value.read().clone())
+    }
+
+    /// Transactionally overwrites the value, logging the previous value as
+    /// the inverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn set(&self, txn: &Transaction, new: T) -> Result<(), StmError> {
+        txn.acquire(self.lock, LockMode::Exclusive)?;
+        let previous = {
+            let mut slot = self.value.write();
+            std::mem::replace(&mut *slot, new)
+        };
+        let value = Arc::clone(&self.value);
+        txn.log_undo(move || {
+            *value.write() = previous;
+        });
+        Ok(())
+    }
+
+    /// Transactionally applies `f` to the value in place and returns the
+    /// updated value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn modify(&self, txn: &Transaction, f: impl FnOnce(&mut T)) -> Result<T, StmError> {
+        txn.acquire(self.lock, LockMode::Exclusive)?;
+        let previous = self.value.read().clone();
+        let updated = {
+            let mut slot = self.value.write();
+            f(&mut slot);
+            slot.clone()
+        };
+        let value = Arc::clone(&self.value);
+        txn.log_undo(move || {
+            *value.write() = previous;
+        });
+        Ok(updated)
+    }
+
+    /// Non-transactional read (setup, state commitment, tests).
+    pub fn peek(&self) -> T {
+        self.value.read().clone()
+    }
+
+    /// Non-transactional write (setup / snapshot restore only).
+    pub fn seed(&self, value: T) {
+        *self.value.write() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Stm;
+
+    #[test]
+    fn get_set_modify() {
+        let stm = Stm::new();
+        let c = BoostedCell::new("cell.a", 5u32);
+        stm.run(|txn| {
+            assert_eq!(c.get(txn)?, 5);
+            c.set(txn, 6)?;
+            assert_eq!(c.modify(txn, |v| *v *= 2)?, 12);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.peek(), 12);
+    }
+
+    #[test]
+    fn abort_restores_value() {
+        let stm = Stm::new();
+        let c = BoostedCell::new("cell.b", String::from("genesis"));
+        let txn = stm.begin();
+        c.set(&txn, "tentative".into()).unwrap();
+        c.modify(&txn, |s| s.push('!')).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(c.peek(), "genesis");
+    }
+
+    #[test]
+    fn two_cells_do_not_conflict() {
+        let stm = Stm::new();
+        let a = BoostedCell::new("cell.x", 0u8);
+        let b = BoostedCell::new("cell.y", 0u8);
+        let t1 = stm.begin();
+        let t2 = stm.begin();
+        a.set(&t1, 1).unwrap();
+        b.set(&t2, 2).unwrap();
+        let p1 = t1.commit().unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(!p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn same_cell_conflicts() {
+        let stm = Stm::new();
+        let a = BoostedCell::new("cell.same", 0u8);
+        let t1 = stm.begin();
+        a.set(&t1, 1).unwrap();
+        let p1 = t1.commit().unwrap();
+        let t2 = stm.begin();
+        a.get(&t2).unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn seed_bypasses_transactions() {
+        let c = BoostedCell::new("cell.seed", 0u64);
+        c.seed(77);
+        assert_eq!(c.peek(), 77);
+    }
+}

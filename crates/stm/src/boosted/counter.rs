@@ -1,0 +1,265 @@
+//! A boosted tally map whose `add` operation uses the commutative
+//! (additive) lock mode.
+
+use crate::error::StmError;
+use crate::lock::{LockMode, LockSpace};
+use crate::txn::Transaction;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A map from keys to `u64` tallies supporting a commutative `add`.
+///
+/// `add(k, δ)` acquires the key's abstract lock in **additive** mode:
+/// additive holders commute, so many transactions can increment the same
+/// tally concurrently (the Ballot contract's
+/// `proposals[p].voteCount += weight`). Reads (`get`) and `set` take the
+/// lock exclusively and therefore order against all concurrent adds.
+///
+/// # Example
+///
+/// ```
+/// use cc_stm::{Stm, BoostedCounterMap};
+/// let stm = Stm::new();
+/// let votes: BoostedCounterMap<u32> = BoostedCounterMap::new("ballot.vote_counts");
+/// stm.run(|txn| {
+///     votes.add(txn, 0, 3)?;
+///     votes.add(txn, 0, 2)?;
+///     Ok(())
+/// }).unwrap();
+/// assert_eq!(votes.peek(&0), 5);
+/// ```
+pub struct BoostedCounterMap<K> {
+    name: String,
+    space: LockSpace,
+    inner: Arc<RwLock<HashMap<K, u64>>>,
+}
+
+impl<K> Clone for BoostedCounterMap<K> {
+    fn clone(&self) -> Self {
+        BoostedCounterMap {
+            name: self.name.clone(),
+            space: self.space,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K> fmt::Debug for BoostedCounterMap<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoostedCounterMap")
+            .field("name", &self.name)
+            .field("len", &self.inner.read().len())
+            .finish()
+    }
+}
+
+impl<K> BoostedCounterMap<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Creates an empty tally map in the lock space derived from `name`.
+    pub fn new(name: &str) -> Self {
+        BoostedCounterMap {
+            name: name.to_string(),
+            space: LockSpace::new(name),
+            inner: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The stable name of this map.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Transactionally adds `delta` to the tally for `key` (starting from
+    /// zero if absent). Acquires the key lock in additive mode, so
+    /// concurrent adds to the same key commute. Returns nothing — reading
+    /// the running total would break commutativity; use [`get`](Self::get)
+    /// if the current value is needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn add(&self, txn: &Transaction, key: K, delta: u64) -> Result<(), StmError> {
+        txn.acquire(self.space.lock_for(&key), LockMode::Additive)?;
+        {
+            let mut map = self.inner.write();
+            *map.entry(key.clone()).or_insert(0) += delta;
+        }
+        let inner = Arc::clone(&self.inner);
+        txn.log_undo(move || {
+            let mut map = inner.write();
+            if let Some(v) = map.get_mut(&key) {
+                *v = v.saturating_sub(delta);
+            }
+        });
+        Ok(())
+    }
+
+    /// Transactionally reads the tally for `key` (0 if absent). Exclusive:
+    /// orders against concurrent adds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn get(&self, txn: &Transaction, key: &K) -> Result<u64, StmError> {
+        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        Ok(self.inner.read().get(key).copied().unwrap_or(0))
+    }
+
+    /// Transactionally overwrites the tally for `key` (exclusive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn set(&self, txn: &Transaction, key: K, value: u64) -> Result<(), StmError> {
+        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
+        let previous = self.inner.write().insert(key.clone(), value);
+        let inner = Arc::clone(&self.inner);
+        txn.log_undo(move || {
+            let mut map = inner.write();
+            match previous {
+                Some(v) => {
+                    map.insert(key, v);
+                }
+                None => {
+                    map.remove(&key);
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Non-transactional read (setup, commitment, tests).
+    pub fn peek(&self, key: &K) -> u64 {
+        self.inner.read().get(key).copied().unwrap_or(0)
+    }
+
+    /// Non-transactional write used during setup.
+    pub fn seed(&self, key: K, value: u64) {
+        self.inner.write().insert(key, value);
+    }
+
+    /// Point-in-time copy of all tallies.
+    ///
+    /// Zero tallies are omitted: a tally that was incremented and then
+    /// undone (the inverse of `add` is "subtract") must be
+    /// indistinguishable from one that was never touched, otherwise state
+    /// commitments would depend on aborted speculation.
+    pub fn snapshot(&self) -> Vec<(K, u64)> {
+        self.inner
+            .read()
+            .iter()
+            .filter(|(_, v)| **v != 0)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Replaces all tallies (snapshot restore / setup only).
+    pub fn restore(&self, entries: impl IntoIterator<Item = (K, u64)>) {
+        let mut map = self.inner.write();
+        map.clear();
+        map.extend(entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Stm;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn add_get_set() {
+        let stm = Stm::new();
+        let c: BoostedCounterMap<u8> = BoostedCounterMap::new("cnt.basic");
+        stm.run(|txn| {
+            c.add(txn, 1, 5)?;
+            c.add(txn, 1, 2)?;
+            assert_eq!(c.get(txn, &1)?, 7);
+            c.set(txn, 2, 100)?;
+            assert_eq!(c.get(txn, &2)?, 100);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(c.peek(&1), 7);
+    }
+
+    #[test]
+    fn abort_undoes_adds_and_sets() {
+        let stm = Stm::new();
+        let c: BoostedCounterMap<u8> = BoostedCounterMap::new("cnt.abort");
+        c.seed(1, 10);
+        let txn = stm.begin();
+        c.add(&txn, 1, 5).unwrap();
+        c.set(&txn, 2, 7).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(c.peek(&1), 10);
+        assert_eq!(c.peek(&2), 0);
+        assert_eq!(c.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_adds_commute_and_do_not_conflict() {
+        let stm = Stm::new();
+        let c: BoostedCounterMap<u8> = BoostedCounterMap::new("cnt.additive");
+        // Both transactions hold the additive lock on the same key at the
+        // same time — neither blocks.
+        let t1 = stm.begin();
+        let t2 = stm.begin();
+        c.add(&t1, 0, 1).unwrap();
+        c.add(&t2, 0, 2).unwrap();
+        let p1 = t1.commit().unwrap();
+        let p2 = t2.commit().unwrap();
+        assert_eq!(c.peek(&0), 3);
+        assert!(!p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn read_conflicts_with_add() {
+        let stm = Stm::new();
+        let c: BoostedCounterMap<u8> = BoostedCounterMap::new("cnt.read");
+        let t1 = stm.begin();
+        c.add(&t1, 3, 1).unwrap();
+        let p1 = t1.commit().unwrap();
+        let t2 = stm.begin();
+        c.get(&t2, &3).unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn parallel_adds_from_many_threads_sum_correctly() {
+        let stm = Stm::new();
+        let c: StdArc<BoostedCounterMap<u8>> = StdArc::new(BoostedCounterMap::new("cnt.par"));
+        crossbeam::scope(|s| {
+            for _ in 0..8 {
+                let stm = stm.clone();
+                let c = StdArc::clone(&c);
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        stm.run(|txn| c.add(txn, 0, 1)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(c.peek(&0), 800);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let c: BoostedCounterMap<u8> = BoostedCounterMap::new("cnt.snap");
+        c.seed(1, 5);
+        c.seed(2, 6);
+        let snap = c.snapshot();
+        c.restore(vec![(9, 9)]);
+        assert_eq!(c.peek(&1), 0);
+        c.restore(snap);
+        assert_eq!(c.peek(&1), 5);
+        assert_eq!(c.peek(&2), 6);
+    }
+}

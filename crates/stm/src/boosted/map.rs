@@ -1,0 +1,377 @@
+//! A boosted hash map: the workhorse behind Solidity `mapping` state
+//! variables.
+
+use crate::error::StmError;
+use crate::lock::{LockMode, LockSpace};
+use crate::txn::Transaction;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A concurrent map whose per-key operations are speculative atomic
+/// actions.
+///
+/// Each logical key maps to its own abstract lock, so operations on
+/// distinct keys commute and run in parallel, while operations on the same
+/// key serialize — exactly the behaviour of the paper's boosted hashtable
+/// (binding Alice's vote commutes with binding Bob's, but not with deleting
+/// Alice's).
+///
+/// # Example
+///
+/// ```
+/// use cc_stm::{Stm, BoostedMap};
+/// let stm = Stm::new();
+/// let m: BoostedMap<u64, String> = BoostedMap::new("accounts");
+/// stm.run(|txn| {
+///     m.insert(txn, 7, "alice".to_string())?;
+///     assert_eq!(m.get(txn, &7)?, Some("alice".to_string()));
+///     Ok(())
+/// }).unwrap();
+/// ```
+pub struct BoostedMap<K, V> {
+    name: String,
+    space: LockSpace,
+    inner: Arc<RwLock<HashMap<K, V>>>,
+}
+
+impl<K, V> Clone for BoostedMap<K, V> {
+    fn clone(&self) -> Self {
+        BoostedMap {
+            name: self.name.clone(),
+            space: self.space,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K, V> fmt::Debug for BoostedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoostedMap")
+            .field("name", &self.name)
+            .field("len", &self.inner.read().len())
+            .finish()
+    }
+}
+
+impl<K, V> BoostedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty boosted map whose abstract locks live in the lock
+    /// space derived from `name` (use a globally unique, stable name such
+    /// as `"Ballot.voters"`).
+    pub fn new(name: &str) -> Self {
+        BoostedMap {
+            name: name.to_string(),
+            space: LockSpace::new(name),
+            inner: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// The stable name this map was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The lock space backing this map (exposed for diagnostics).
+    pub fn lock_space(&self) -> LockSpace {
+        self.space
+    }
+
+    /// Transactionally reads the value bound to `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures (deadlock victim, closed
+    /// transaction).
+    pub fn get(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
+        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        Ok(self.inner.read().get(key).cloned())
+    }
+
+    /// Transactionally checks whether `key` is bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn contains_key(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
+        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        Ok(self.inner.read().contains_key(key))
+    }
+
+    /// Transactionally binds `key` to `value`, returning the previous
+    /// binding. The inverse (restore or remove) is recorded in the undo
+    /// log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn insert(&self, txn: &Transaction, key: K, value: V) -> Result<Option<V>, StmError> {
+        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
+        let previous = self.inner.write().insert(key.clone(), value);
+        let inner = Arc::clone(&self.inner);
+        let undo_prev = previous.clone();
+        txn.log_undo(move || {
+            let mut map = inner.write();
+            match undo_prev {
+                Some(v) => {
+                    map.insert(key, v);
+                }
+                None => {
+                    map.remove(&key);
+                }
+            }
+        });
+        Ok(previous)
+    }
+
+    /// Transactionally removes the binding for `key`, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn remove(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
+        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        let previous = self.inner.write().remove(key);
+        if let Some(prev) = previous.clone() {
+            let inner = Arc::clone(&self.inner);
+            let key = key.clone();
+            txn.log_undo(move || {
+                inner.write().insert(key, prev);
+            });
+        }
+        Ok(previous)
+    }
+
+    /// Transactionally applies `f` to the value bound to `key` (inserting
+    /// `default` first if absent) and stores the result. Returns the new
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn update_or(
+        &self,
+        txn: &Transaction,
+        key: K,
+        default: V,
+        f: impl FnOnce(&mut V),
+    ) -> Result<V, StmError> {
+        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
+        let previous = self.inner.read().get(&key).cloned();
+        let mut next = previous.clone().unwrap_or(default);
+        f(&mut next);
+        self.inner.write().insert(key.clone(), next.clone());
+        let inner = Arc::clone(&self.inner);
+        txn.log_undo(move || {
+            let mut map = inner.write();
+            match previous {
+                Some(v) => {
+                    map.insert(key, v);
+                }
+                None => {
+                    map.remove(&key);
+                }
+            }
+        });
+        Ok(next)
+    }
+
+    /// Non-transactional read used only during setup (e.g. building a
+    /// genesis state) and in tests. Not linearized with respect to running
+    /// transactions.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Non-transactional insert used only during setup.
+    pub fn seed(&self, key: K, value: V) {
+        self.inner.write().insert(key, value);
+    }
+
+    /// Number of bindings (non-transactional; setup/tests only).
+    pub fn snapshot_len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// A point-in-time copy of the whole map (non-transactional; used for
+    /// state commitment and world cloning).
+    pub fn snapshot(&self) -> Vec<(K, V)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Replaces the entire contents (non-transactional; used to restore a
+    /// world snapshot before validation).
+    pub fn restore(&self, entries: impl IntoIterator<Item = (K, V)>) {
+        let mut map = self.inner.write();
+        map.clear();
+        map.extend(entries);
+    }
+
+    /// Removes every binding (non-transactional).
+    pub fn clear(&self) {
+        self.inner.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Stm;
+    use proptest::prelude::*;
+    use std::collections::HashMap as StdMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let stm = Stm::new();
+        let m: BoostedMap<String, u64> = BoostedMap::new("t.map");
+        stm.run(|txn| {
+            assert_eq!(m.insert(txn, "a".into(), 1)?, None);
+            assert_eq!(m.insert(txn, "a".into(), 2)?, Some(1));
+            assert_eq!(m.get(txn, &"a".to_string())?, Some(2));
+            assert_eq!(m.remove(txn, &"a".to_string())?, Some(2));
+            assert_eq!(m.get(txn, &"a".to_string())?, None);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn abort_undoes_all_mutations() {
+        let stm = Stm::new();
+        let m: BoostedMap<u32, u32> = BoostedMap::new("t.abort");
+        m.seed(1, 10);
+        m.seed(2, 20);
+
+        let txn = stm.begin();
+        m.insert(&txn, 1, 11).unwrap();
+        m.remove(&txn, &2).unwrap();
+        m.insert(&txn, 3, 30).unwrap();
+        m.update_or(&txn, 4, 0, |v| *v += 5).unwrap();
+        txn.abort().unwrap();
+
+        assert_eq!(m.peek(&1), Some(10));
+        assert_eq!(m.peek(&2), Some(20));
+        assert_eq!(m.peek(&3), None);
+        assert_eq!(m.peek(&4), None);
+        assert_eq!(m.snapshot_len(), 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_conflict() {
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.disjoint");
+        let t1 = stm.begin();
+        let t2 = stm.begin();
+        m.insert(&t1, 1, 100).unwrap();
+        // Second transaction can proceed on a different key without
+        // blocking even though t1 has not committed.
+        m.insert(&t2, 2, 200).unwrap();
+        let p1 = t1.commit().unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(!p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn same_key_profiles_conflict() {
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.conflict");
+        let t1 = stm.begin();
+        m.insert(&t1, 5, 1).unwrap();
+        let p1 = t1.commit().unwrap();
+        let t2 = stm.begin();
+        m.insert(&t2, 5, 2).unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p2.profile));
+        // Counter ordering reflects commit order.
+        let lock = m.lock_space().lock_for(&5u64);
+        assert!(p1.profile.entry(lock).unwrap().counter < p2.profile.entry(lock).unwrap().counter);
+    }
+
+    #[test]
+    fn update_or_creates_and_updates() {
+        let stm = Stm::new();
+        let m: BoostedMap<&'static str, u64> = BoostedMap::new("t.update");
+        stm.run(|txn| {
+            assert_eq!(m.update_or(txn, "x", 0, |v| *v += 3)?, 3);
+            assert_eq!(m.update_or(txn, "x", 0, |v| *v += 3)?, 6);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(m.peek(&"x"), Some(6));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let m: BoostedMap<u32, String> = BoostedMap::new("t.snap");
+        m.seed(1, "one".into());
+        m.seed(2, "two".into());
+        let snap = m.snapshot();
+        m.clear();
+        assert_eq!(m.snapshot_len(), 0);
+        m.restore(snap.clone());
+        let mut roundtrip = m.snapshot();
+        let mut original = snap;
+        roundtrip.sort();
+        original.sort();
+        assert_eq!(roundtrip, original);
+    }
+
+    proptest! {
+        /// Applying a random batch of operations inside a transaction and
+        /// aborting must leave the map exactly as it started; committing
+        /// must leave it equal to a reference HashMap that applied the same
+        /// operations.
+        #[test]
+        fn prop_abort_restores_commit_applies(
+            seed_entries in proptest::collection::vec((0u8..32, 0u64..1000), 0..16),
+            ops in proptest::collection::vec((0u8..3, 0u8..32, 0u64..1000), 0..32),
+            commit in any::<bool>(),
+        ) {
+            let stm = Stm::new();
+            let m: BoostedMap<u8, u64> = BoostedMap::new("t.prop");
+            let mut reference: StdMap<u8, u64> = StdMap::new();
+            for (k, v) in &seed_entries {
+                m.seed(*k, *v);
+                reference.insert(*k, *v);
+            }
+            let before: StdMap<u8, u64> = m.snapshot().into_iter().collect();
+
+            let txn = stm.begin();
+            for (op, k, v) in &ops {
+                match op % 3 {
+                    0 => {
+                        m.insert(&txn, *k, *v).unwrap();
+                        reference.insert(*k, *v);
+                    }
+                    1 => {
+                        m.remove(&txn, k).unwrap();
+                        reference.remove(k);
+                    }
+                    _ => {
+                        m.update_or(&txn, *k, 0, |x| *x = x.wrapping_add(*v)).unwrap();
+                        let prev = reference.get(k).copied().unwrap_or(0);
+                        reference.insert(*k, prev.wrapping_add(*v));
+                    }
+                }
+            }
+            if commit {
+                txn.commit().unwrap();
+                let after: StdMap<u8, u64> = m.snapshot().into_iter().collect();
+                prop_assert_eq!(after, reference);
+            } else {
+                txn.abort().unwrap();
+                let after: StdMap<u8, u64> = m.snapshot().into_iter().collect();
+                prop_assert_eq!(after, before);
+            }
+        }
+    }
+}

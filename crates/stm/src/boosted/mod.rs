@@ -1,0 +1,25 @@
+//! Boosted (transaction-aware) collections.
+//!
+//! These are the equivalents of the paper's "boosted hashtables": ordinary
+//! concurrent containers whose operations, when performed inside a
+//! [`crate::Transaction`], first acquire the appropriate abstract lock and
+//! record an inverse operation. Outside of a transaction they can only be
+//! inspected through the non-transactional `snapshot`/`restore` methods
+//! used for state commitment and test assertions.
+//!
+//! | Type | Protects | Lock granularity |
+//! |------|----------|------------------|
+//! | [`BoostedMap`] | a key→value mapping (Solidity `mapping`) | one lock per key |
+//! | [`BoostedCell`] | a single scalar state variable | one lock per cell |
+//! | [`BoostedVec`] | a dynamically sized array | one lock per index + a length lock |
+//! | [`BoostedCounterMap`] | a key→integer tally | per-key lock, **additive** mode for `add` |
+
+mod cell;
+mod counter;
+mod map;
+mod vec;
+
+pub use cell::BoostedCell;
+pub use counter::BoostedCounterMap;
+pub use map::BoostedMap;
+pub use vec::BoostedVec;

@@ -1,0 +1,350 @@
+//! A boosted growable array (Solidity dynamically-sized array).
+
+use crate::error::StmError;
+use crate::lock::{LockId, LockMode, LockSpace};
+use crate::txn::Transaction;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::Arc;
+
+/// A transactional vector.
+///
+/// * element reads/writes lock the individual index, so updates to
+///   different proposals commute,
+/// * `push`/`pop`/`len` lock a dedicated *length* lock, because they do not
+///   commute with each other.
+///
+/// # Example
+///
+/// ```
+/// use cc_stm::{Stm, BoostedVec};
+/// let stm = Stm::new();
+/// let proposals: BoostedVec<&'static str> = BoostedVec::new("ballot.proposals");
+/// stm.run(|txn| {
+///     proposals.push(txn, "expand the park")?;
+///     proposals.push(txn, "repave main st")?;
+///     assert_eq!(proposals.len(txn)?, 2);
+///     assert_eq!(proposals.get(txn, 0)?, Some("expand the park"));
+///     Ok(())
+/// }).unwrap();
+/// ```
+pub struct BoostedVec<T> {
+    name: String,
+    space: LockSpace,
+    length_lock: LockId,
+    inner: Arc<RwLock<Vec<T>>>,
+}
+
+impl<T> Clone for BoostedVec<T> {
+    fn clone(&self) -> Self {
+        BoostedVec {
+            name: self.name.clone(),
+            space: self.space,
+            length_lock: self.length_lock,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for BoostedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BoostedVec")
+            .field("name", &self.name)
+            .field("len", &self.inner.read().len())
+            .finish()
+    }
+}
+
+impl<T> BoostedVec<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty boosted vector with locks in the space derived from
+    /// `name`.
+    pub fn new(name: &str) -> Self {
+        let space = LockSpace::new(name);
+        BoostedVec {
+            name: name.to_string(),
+            space,
+            length_lock: space.whole(),
+            inner: Arc::new(RwLock::new(Vec::new())),
+        }
+    }
+
+    /// The stable name of this vector.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Transactionally returns the number of elements. Locks the length
+    /// lock (conflicts with push/pop but not with element updates).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn len(&self, txn: &Transaction) -> Result<usize, StmError> {
+        txn.acquire(self.length_lock, LockMode::Exclusive)?;
+        Ok(self.inner.read().len())
+    }
+
+    /// Transactionally reports whether the vector is empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn is_empty(&self, txn: &Transaction) -> Result<bool, StmError> {
+        Ok(self.len(txn)? == 0)
+    }
+
+    /// Transactionally reads index `i` (None if out of bounds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn get(&self, txn: &Transaction, i: usize) -> Result<Option<T>, StmError> {
+        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
+        Ok(self.inner.read().get(i).cloned())
+    }
+
+    /// Transactionally overwrites index `i`. Returns `false` (and does
+    /// nothing) if `i` is out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn set(&self, txn: &Transaction, i: usize, value: T) -> Result<bool, StmError> {
+        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
+        let previous = {
+            let mut v = self.inner.write();
+            match v.get_mut(i) {
+                Some(slot) => Some(std::mem::replace(slot, value)),
+                None => None,
+            }
+        };
+        match previous {
+            Some(prev) => {
+                let inner = Arc::clone(&self.inner);
+                txn.log_undo(move || {
+                    if let Some(slot) = inner.write().get_mut(i) {
+                        *slot = prev;
+                    }
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Transactionally applies `f` to element `i` in place. Returns the
+    /// updated value, or `None` if out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn modify(
+        &self,
+        txn: &Transaction,
+        i: usize,
+        f: impl FnOnce(&mut T),
+    ) -> Result<Option<T>, StmError> {
+        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
+        let previous = self.inner.read().get(i).cloned();
+        let Some(prev) = previous else {
+            return Ok(None);
+        };
+        let updated = {
+            let mut v = self.inner.write();
+            let slot = &mut v[i];
+            f(slot);
+            slot.clone()
+        };
+        let inner = Arc::clone(&self.inner);
+        txn.log_undo(move || {
+            if let Some(slot) = inner.write().get_mut(i) {
+                *slot = prev;
+            }
+        });
+        Ok(Some(updated))
+    }
+
+    /// Transactionally appends a value, returning its index. Locks the
+    /// length lock plus the new element's index lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn push(&self, txn: &Transaction, value: T) -> Result<usize, StmError> {
+        txn.acquire(self.length_lock, LockMode::Exclusive)?;
+        let index = self.inner.read().len();
+        txn.acquire(self.space.lock_for(&index), LockMode::Exclusive)?;
+        self.inner.write().push(value);
+        let inner = Arc::clone(&self.inner);
+        txn.log_undo(move || {
+            let mut v = inner.write();
+            if v.len() == index + 1 {
+                v.pop();
+            }
+        });
+        Ok(index)
+    }
+
+    /// Transactionally removes and returns the last element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn pop(&self, txn: &Transaction) -> Result<Option<T>, StmError> {
+        txn.acquire(self.length_lock, LockMode::Exclusive)?;
+        let last_index = {
+            let v = self.inner.read();
+            if v.is_empty() {
+                return Ok(None);
+            }
+            v.len() - 1
+        };
+        txn.acquire(self.space.lock_for(&last_index), LockMode::Exclusive)?;
+        let popped = self.inner.write().pop();
+        if let Some(value) = popped.clone() {
+            let inner = Arc::clone(&self.inner);
+            txn.log_undo(move || {
+                inner.write().push(value);
+            });
+        }
+        Ok(popped)
+    }
+
+    /// Non-transactional element read (setup/tests only).
+    pub fn peek(&self, i: usize) -> Option<T> {
+        self.inner.read().get(i).cloned()
+    }
+
+    /// Non-transactional length (setup/tests only).
+    pub fn snapshot_len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Non-transactional append used while building initial state.
+    pub fn seed_push(&self, value: T) {
+        self.inner.write().push(value);
+    }
+
+    /// Point-in-time copy of the vector contents.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.read().clone()
+    }
+
+    /// Replaces the contents (snapshot restore / setup only).
+    pub fn restore(&self, values: impl IntoIterator<Item = T>) {
+        let mut v = self.inner.write();
+        v.clear();
+        v.extend(values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Stm;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_get_set_len() {
+        let stm = Stm::new();
+        let v: BoostedVec<u32> = BoostedVec::new("vec.basic");
+        stm.run(|txn| {
+            assert_eq!(v.push(txn, 10)?, 0);
+            assert_eq!(v.push(txn, 20)?, 1);
+            assert_eq!(v.len(txn)?, 2);
+            assert!(!v.is_empty(txn)?);
+            assert!(v.set(txn, 0, 11)?);
+            assert!(!v.set(txn, 9, 99)?);
+            assert_eq!(v.get(txn, 0)?, Some(11));
+            assert_eq!(v.get(txn, 9)?, None);
+            assert_eq!(v.modify(txn, 1, |x| *x += 1)?, Some(21));
+            assert_eq!(v.modify(txn, 9, |x| *x += 1)?, None);
+            assert_eq!(v.pop(txn)?, Some(21));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(v.snapshot(), vec![11]);
+    }
+
+    #[test]
+    fn abort_undoes_push_set_pop() {
+        let stm = Stm::new();
+        let v: BoostedVec<i64> = BoostedVec::new("vec.abort");
+        v.seed_push(1);
+        v.seed_push(2);
+
+        let txn = stm.begin();
+        v.push(&txn, 3).unwrap();
+        v.set(&txn, 0, 100).unwrap();
+        v.pop(&txn).unwrap();
+        v.pop(&txn).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(v.snapshot(), vec![1, 2]);
+    }
+
+    #[test]
+    fn element_updates_on_distinct_indices_commute() {
+        let stm = Stm::new();
+        let v: BoostedVec<u64> = BoostedVec::new("vec.disjoint");
+        v.seed_push(0);
+        v.seed_push(0);
+        let t1 = stm.begin();
+        let t2 = stm.begin();
+        v.set(&t1, 0, 7).unwrap();
+        v.set(&t2, 1, 8).unwrap();
+        let p1 = t1.commit().unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(!p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn pushes_conflict_via_length_lock() {
+        let stm = Stm::new();
+        let v: BoostedVec<u64> = BoostedVec::new("vec.pushes");
+        let t1 = stm.begin();
+        v.push(&t1, 1).unwrap();
+        let p1 = t1.commit().unwrap();
+        let t2 = stm.begin();
+        v.push(&t2, 2).unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p2.profile));
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let stm = Stm::new();
+        let v: BoostedVec<u8> = BoostedVec::new("vec.empty");
+        stm.run(|txn| {
+            assert_eq!(v.pop(txn)?, None);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    proptest! {
+        /// A random interleaving of pushes/pops/sets aborted must restore
+        /// the initial contents exactly.
+        #[test]
+        fn prop_abort_restores(initial in proptest::collection::vec(any::<u16>(), 0..12),
+                               ops in proptest::collection::vec((0u8..3, 0usize..16, any::<u16>()), 0..24)) {
+            let stm = Stm::new();
+            let v: BoostedVec<u16> = BoostedVec::new("vec.prop");
+            for x in &initial {
+                v.seed_push(*x);
+            }
+            let txn = stm.begin();
+            for (op, idx, val) in &ops {
+                match op % 3 {
+                    0 => { v.push(&txn, *val).unwrap(); }
+                    1 => { v.pop(&txn).unwrap(); }
+                    _ => { v.set(&txn, *idx, *val).unwrap(); }
+                }
+            }
+            txn.abort().unwrap();
+            prop_assert_eq!(v.snapshot(), initial);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for speculative execution.
+
+use crate::lock::LockId;
+use crate::txn::TxnId;
+use std::fmt;
+
+/// Error raised while executing a speculative atomic action.
+///
+/// Conflicts and deadlocks are *retryable*: the transaction rolls back its
+/// inverse log, releases its locks and can simply be re-executed (the
+/// miner's worker pool does this automatically). All other variants are
+/// surfaced to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmError {
+    /// A deadlock was detected while waiting for `lock`; this transaction
+    /// was chosen as the victim and must abort and retry.
+    Deadlock {
+        /// The transaction that was aborted (the requester).
+        victim: TxnId,
+        /// The lock whose acquisition closed the cycle.
+        lock: LockId,
+    },
+    /// The transaction was explicitly aborted by the caller.
+    Aborted {
+        /// Human-readable reason recorded at the abort site.
+        reason: String,
+    },
+    /// The retry budget of [`crate::Stm::run`] was exhausted.
+    RetriesExhausted {
+        /// Number of attempts made before giving up.
+        attempts: u32,
+    },
+    /// An operation was attempted on a transaction that already committed
+    /// or aborted.
+    TransactionClosed,
+}
+
+impl StmError {
+    /// Whether re-executing the transaction may succeed (deadlock victims
+    /// and explicit conflict aborts are retryable).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, StmError::Deadlock { .. })
+    }
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmError::Deadlock { victim, lock } => {
+                write!(f, "deadlock detected: transaction {victim} aborted while acquiring {lock}")
+            }
+            StmError::Aborted { reason } => write!(f, "transaction aborted: {reason}"),
+            StmError::RetriesExhausted { attempts } => {
+                write!(f, "transaction failed to commit after {attempts} attempts")
+            }
+            StmError::TransactionClosed => f.write_str("transaction already committed or aborted"),
+        }
+    }
+}
+
+impl std::error::Error for StmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockSpace;
+
+    #[test]
+    fn retryability() {
+        let deadlock = StmError::Deadlock {
+            victim: TxnId(1),
+            lock: LockSpace::new("x").whole(),
+        };
+        assert!(deadlock.is_retryable());
+        assert!(!StmError::TransactionClosed.is_retryable());
+        assert!(!StmError::Aborted { reason: "user".into() }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = StmError::RetriesExhausted { attempts: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = StmError::Aborted { reason: "double vote".into() };
+        assert!(e.to_string().contains("double vote"));
+    }
+}

@@ -1,0 +1,235 @@
+//! Abstract-lock identifiers and lock modes.
+//!
+//! The rule from the paper (§3, *Storage Operations*): **if two storage
+//! operations map to distinct abstract locks, then they must commute.** A
+//! lock is therefore keyed semantically — by the collection it protects
+//! (the [`LockSpace`]) and by the logical key being operated on — rather
+//! than by memory location, which is what lets, say, binding Alice's vote
+//! and binding Bob's vote proceed in parallel.
+
+use cc_primitives::fnv::fnv1a_of;
+use std::fmt;
+use std::hash::Hash;
+
+/// A namespace for abstract locks, one per boosted collection (or per
+/// scalar cell).
+///
+/// The space is derived from a human-readable name such as
+/// `"Ballot.voters"` so that lock traces are debuggable, but only the
+/// 64-bit hash is carried at run time.
+///
+/// # Example
+///
+/// ```
+/// use cc_stm::LockSpace;
+/// let a = LockSpace::new("Ballot.voters");
+/// let b = LockSpace::new("Ballot.proposals");
+/// assert_ne!(a, b);
+/// assert_eq!(a, LockSpace::new("Ballot.voters"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockSpace(u64);
+
+impl LockSpace {
+    /// Derives a lock space from a stable name.
+    pub fn new(name: &str) -> Self {
+        LockSpace(fnv1a_of(name))
+    }
+
+    /// Creates a lock space directly from its raw 64-bit identifier.
+    pub fn from_raw(raw: u64) -> Self {
+        LockSpace(raw)
+    }
+
+    /// The raw 64-bit identifier of this space.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Builds the [`LockId`] for a specific key within this space.
+    pub fn lock_for<K: Hash + ?Sized>(&self, key: &K) -> LockId {
+        LockId {
+            space: self.0,
+            key: fnv1a_of(key),
+        }
+    }
+
+    /// Builds the [`LockId`] protecting the space as a whole (used by
+    /// scalar cells and by whole-collection operations).
+    pub fn whole(&self) -> LockId {
+        LockId {
+            space: self.0,
+            key: u64::MAX,
+        }
+    }
+}
+
+/// Identifier of one abstract lock: a `(space, key)` pair.
+///
+/// Distinct keys of the same collection hash to distinct `key` values (up
+/// to FNV collisions, which conservatively create extra conflicts and are
+/// therefore safe).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockId {
+    /// The lock space (collection / cell) this lock belongs to.
+    pub space: u64,
+    /// The hashed logical key within the space.
+    pub key: u64,
+}
+
+impl LockId {
+    /// Constructs a lock id from raw parts (used when decoding published
+    /// schedule metadata).
+    pub fn from_raw(space: u64, key: u64) -> Self {
+        LockId { space, key }
+    }
+}
+
+impl fmt::Debug for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lock({:016x}:{:016x})", self.space, self.key)
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}:{:016x}", self.space, self.key)
+    }
+}
+
+/// The mode in which an abstract lock is held.
+///
+/// The paper notes (§3, footnote 3) that abstract locks are described as
+/// mutually exclusive for ease of exposition but that shared and other
+/// modes are easy to accommodate. We provide two modes:
+///
+/// * [`LockMode::Exclusive`] — arbitrary read/write access; conflicts with
+///   every other holder.
+/// * [`LockMode::Additive`] — a commutative update (e.g. `voteCount += w`).
+///   Additive holders commute with each other and therefore may hold the
+///   lock simultaneously, but conflict with exclusive holders.
+///
+/// Additive mode is what lets all Ballot `vote` transactions update the
+/// same proposal's tally concurrently, matching the paper's observation
+/// that Ballot speedup "suffers little from extra data conflict".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockMode {
+    /// Commutative accumulate; compatible with other additive holders.
+    Additive,
+    /// Full exclusive access; incompatible with every other holder.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Whether two holders in modes `self` and `other` may hold the same
+    /// lock simultaneously.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Additive, LockMode::Additive))
+    }
+
+    /// Whether operations performed in the two modes conflict (i.e. do not
+    /// commute). Used when deriving happens-before edges from lock
+    /// profiles.
+    pub fn conflicts(self, other: LockMode) -> bool {
+        !self.compatible(other)
+    }
+
+    /// The stronger of two modes (`Exclusive` absorbs `Additive`).
+    pub fn strongest(self, other: LockMode) -> LockMode {
+        if self == LockMode::Exclusive || other == LockMode::Exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::Additive
+        }
+    }
+
+    /// Stable single-byte encoding used in schedule metadata.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            LockMode::Additive => 0,
+            LockMode::Exclusive => 1,
+        }
+    }
+
+    /// Decodes a mode from [`LockMode::to_byte`]; unknown bytes decode to
+    /// `Exclusive` (the conservative choice).
+    pub fn from_byte(b: u8) -> LockMode {
+        match b {
+            0 => LockMode::Additive,
+            _ => LockMode::Exclusive,
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Additive => f.write_str("additive"),
+            LockMode::Exclusive => f.write_str("exclusive"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_locks() {
+        let space = LockSpace::new("voters");
+        assert_ne!(space.lock_for(&"alice"), space.lock_for(&"bob"));
+        assert_eq!(space.lock_for(&"alice"), space.lock_for(&"alice"));
+    }
+
+    #[test]
+    fn distinct_spaces_distinct_locks() {
+        let a = LockSpace::new("voters");
+        let b = LockSpace::new("proposals");
+        assert_ne!(a.lock_for(&1u64), b.lock_for(&1u64));
+    }
+
+    #[test]
+    fn whole_lock_is_stable_and_disjoint_from_keys() {
+        let space = LockSpace::new("highest_bid");
+        assert_eq!(space.whole(), space.whole());
+        assert_ne!(space.whole(), space.lock_for(&0u64));
+    }
+
+    #[test]
+    fn mode_compatibility_matrix() {
+        use LockMode::*;
+        assert!(Additive.compatible(Additive));
+        assert!(!Additive.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Additive));
+        assert!(!Exclusive.compatible(Exclusive));
+        assert!(Exclusive.conflicts(Exclusive));
+        assert!(!Additive.conflicts(Additive));
+    }
+
+    #[test]
+    fn mode_max_and_bytes() {
+        use LockMode::*;
+        assert_eq!(Additive.strongest(Exclusive), Exclusive);
+        assert_eq!(Additive.strongest(Additive), Additive);
+        assert_eq!(LockMode::from_byte(Additive.to_byte()), Additive);
+        assert_eq!(LockMode::from_byte(Exclusive.to_byte()), Exclusive);
+        assert_eq!(LockMode::from_byte(200), Exclusive);
+    }
+
+    #[test]
+    fn display_formats() {
+        let space = LockSpace::new("x");
+        let id = space.lock_for(&7u32);
+        assert!(format!("{id}").contains(':'));
+        assert!(format!("{id:?}").starts_with("Lock("));
+        assert_eq!(format!("{}", LockMode::Additive), "additive");
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let id = LockId::from_raw(3, 9);
+        assert_eq!(id.space, 3);
+        assert_eq!(id.key, 9);
+        assert_eq!(LockSpace::from_raw(5).raw(), 5);
+    }
+}

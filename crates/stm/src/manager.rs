@@ -1,0 +1,447 @@
+//! The abstract-lock manager.
+//!
+//! A single [`LockManager`] is shared by all speculative transactions of a
+//! miner. It implements:
+//!
+//! * blocking acquisition with mode compatibility (exclusive vs. additive),
+//! * lock upgrades (additive → exclusive) for a sole holder,
+//! * deadlock detection on the wait-for graph, resolved by aborting the
+//!   requesting transaction (the paper: "deadlocks are detected and
+//!   resolved by aborting one execution"),
+//! * per-lock **use counters** incremented by committing transactions,
+//!   which is the raw material for the published lock profiles.
+
+use crate::error::StmError;
+use crate::lock::{LockId, LockMode};
+use crate::txn::TxnId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Snapshot of lock-manager activity, used by the miner's statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Number of successful acquisitions (including re-entrant ones).
+    pub acquisitions: u64,
+    /// Number of times a transaction had to block waiting for a lock.
+    pub waits: u64,
+    /// Number of deadlocks detected (each aborts the requester).
+    pub deadlocks: u64,
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    /// Current holders and the mode each holds the lock in.
+    holders: HashMap<TxnId, LockMode>,
+    /// Number of times a committing transaction has released this lock
+    /// since the manager was last reset (i.e. since the block started).
+    use_counter: u64,
+    /// Transactions currently blocked on this lock (kept only so that a
+    /// fully released entry with waiters is not garbage collected).
+    waiters: VecDeque<TxnId>,
+}
+
+impl LockEntry {
+    fn can_grant(&self, txn: TxnId, mode: LockMode) -> bool {
+        if self.holders.is_empty() {
+            return true;
+        }
+        if let Some(held) = self.holders.get(&txn) {
+            // Re-entrant request: same or weaker mode is trivially fine;
+            // an upgrade is possible only if we are the sole holder.
+            if held.strongest(mode) == *held {
+                return true;
+            }
+            return self.holders.len() == 1;
+        }
+        // New holder: every current holder must be compatible.
+        self.holders.values().all(|h| h.compatible(mode))
+    }
+
+    fn is_idle(&self) -> bool {
+        self.holders.is_empty() && self.waiters.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ManagerState {
+    locks: HashMap<LockId, LockEntry>,
+    /// For each blocked transaction, the lock it is waiting for. This is
+    /// the wait-for graph used for deadlock detection.
+    waits_for: HashMap<TxnId, LockId>,
+    stats: LockStats,
+}
+
+impl ManagerState {
+    /// Would `requester` waiting for `lock` close a cycle in the wait-for
+    /// graph? Follows holder → waited-lock → holder edges.
+    fn would_deadlock(&self, requester: TxnId, lock: LockId) -> bool {
+        let mut stack: Vec<TxnId> = Vec::new();
+        let mut visited: Vec<TxnId> = Vec::new();
+        if let Some(entry) = self.locks.get(&lock) {
+            stack.extend(entry.holders.keys().copied().filter(|&h| h != requester));
+        }
+        while let Some(t) = stack.pop() {
+            if t == requester {
+                return true;
+            }
+            if visited.contains(&t) {
+                continue;
+            }
+            visited.push(t);
+            if let Some(waited) = self.waits_for.get(&t) {
+                if let Some(entry) = self.locks.get(waited) {
+                    stack.extend(entry.holders.keys().copied());
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The shared abstract-lock manager.
+///
+/// Cheap to share: internally a mutex-protected table plus a condvar that
+/// blocked transactions wait on. Critical sections are short (constant
+/// work per lock operation plus the deadlock check, which only walks the
+/// wait-for graph of currently blocked transactions).
+#[derive(Debug, Default)]
+pub struct LockManager {
+    state: Mutex<ManagerState>,
+    available: Condvar,
+}
+
+impl LockManager {
+    /// Creates an empty lock manager with all counters at zero.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Acquires `lock` in `mode` on behalf of `txn`, blocking while an
+    /// incompatible holder exists.
+    ///
+    /// Returns `Ok(true)` if this call actually acquired (or upgraded) the
+    /// lock and `Ok(false)` if the transaction already held it in a
+    /// sufficient mode (the caller uses this to know whether to register
+    /// the lock for later release).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::Deadlock`] if blocking would create a cycle in
+    /// the wait-for graph; the caller is expected to abort and retry.
+    pub fn acquire(&self, txn: TxnId, lock: LockId, mode: LockMode) -> Result<bool, StmError> {
+        let mut state = self.state.lock();
+        loop {
+            let entry = state.locks.entry(lock).or_default();
+            if entry.can_grant(txn, mode) {
+                let newly = match entry.holders.get(&txn) {
+                    Some(held) => {
+                        let upgraded = held.strongest(mode);
+                        entry.holders.insert(txn, upgraded);
+                        false
+                    }
+                    None => {
+                        entry.holders.insert(txn, mode);
+                        true
+                    }
+                };
+                state.waits_for.remove(&txn);
+                state.stats.acquisitions += 1;
+                return Ok(newly);
+            }
+
+            // Cannot grant now: check for deadlock before blocking.
+            if state.would_deadlock(txn, lock) {
+                state.stats.deadlocks += 1;
+                state.waits_for.remove(&txn);
+                return Err(StmError::Deadlock { victim: txn, lock });
+            }
+
+            state.stats.waits += 1;
+            state.waits_for.insert(txn, lock);
+            state.locks.entry(lock).or_default().waiters.push_back(txn);
+            // Re-check the deadlock condition periodically: a cycle can also
+            // form *after* we start waiting, when some holder subsequently
+            // blocks on a lock we hold.
+            self.available
+                .wait_for(&mut state, Duration::from_millis(2));
+            if let Some(entry) = state.locks.get_mut(&lock) {
+                if let Some(pos) = entry.waiters.iter().position(|&t| t == txn) {
+                    entry.waiters.remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Releases every lock in `locks` on behalf of a **committing**
+    /// transaction: each lock's use counter is incremented and the new
+    /// counter value returned (in the same order as the input).
+    pub fn release_commit(&self, txn: TxnId, locks: &[LockId]) -> Vec<u64> {
+        let mut state = self.state.lock();
+        let mut counters = Vec::with_capacity(locks.len());
+        for lock in locks {
+            let counter = match state.locks.get_mut(lock) {
+                Some(entry) => {
+                    entry.holders.remove(&txn);
+                    entry.use_counter += 1;
+                    let c = entry.use_counter;
+                    if entry.is_idle() {
+                        // Keep the entry: the counter must survive for the
+                        // rest of the block so later transactions continue
+                        // the sequence.
+                    }
+                    c
+                }
+                None => 0,
+            };
+            counters.push(counter);
+        }
+        state.waits_for.remove(&txn);
+        drop(state);
+        self.available.notify_all();
+        counters
+    }
+
+    /// Releases every lock in `locks` on behalf of an **aborting**
+    /// transaction; use counters are not incremented.
+    pub fn release_abort(&self, txn: TxnId, locks: &[LockId]) {
+        let mut state = self.state.lock();
+        for lock in locks {
+            if let Some(entry) = state.locks.get_mut(lock) {
+                entry.holders.remove(&txn);
+            }
+        }
+        state.waits_for.remove(&txn);
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Downgrades/releases a single lock held by `txn` without touching the
+    /// use counter (used when a *nested* action aborts and must give back
+    /// only the locks it acquired itself).
+    pub fn release_single(&self, txn: TxnId, lock: LockId) {
+        self.release_abort(txn, &[lock]);
+    }
+
+    /// Resets all use counters and forgets idle locks. The miner calls this
+    /// when it starts assembling a new block (paper §4: "When a miner
+    /// starts a block, it sets these counters to zero").
+    pub fn reset_counters(&self) {
+        let mut state = self.state.lock();
+        state.locks.retain(|_, entry| !entry.is_idle());
+        for entry in state.locks.values_mut() {
+            entry.use_counter = 0;
+        }
+    }
+
+    /// Returns activity statistics accumulated since creation.
+    pub fn stats(&self) -> LockStats {
+        self.state.lock().stats
+    }
+
+    /// Current use counter of a lock (0 if never committed through).
+    pub fn use_counter(&self, lock: LockId) -> u64 {
+        self.state
+            .lock()
+            .locks
+            .get(&lock)
+            .map(|e| e.use_counter)
+            .unwrap_or(0)
+    }
+
+    /// Number of locks currently held by anyone (for tests/diagnostics).
+    pub fn held_lock_count(&self) -> usize {
+        self.state
+            .lock()
+            .locks
+            .values()
+            .filter(|e| !e.holders.is_empty())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockSpace;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn lock(name: &str, key: u64) -> LockId {
+        LockSpace::new(name).lock_for(&key)
+    }
+
+    #[test]
+    fn exclusive_then_reentrant() {
+        let m = LockManager::new();
+        let l = lock("m", 1);
+        assert!(m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap());
+        // Re-entrant acquisition by the same transaction is not "new".
+        assert!(!m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap());
+        assert_eq!(m.held_lock_count(), 1);
+        m.release_commit(TxnId(1), &[l]);
+        assert_eq!(m.held_lock_count(), 0);
+    }
+
+    #[test]
+    fn additive_holders_share() {
+        let m = LockManager::new();
+        let l = lock("votes", 3);
+        assert!(m.acquire(TxnId(1), l, LockMode::Additive).unwrap());
+        assert!(m.acquire(TxnId(2), l, LockMode::Additive).unwrap());
+        assert_eq!(m.held_lock_count(), 1);
+        m.release_commit(TxnId(1), &[l]);
+        m.release_commit(TxnId(2), &[l]);
+        assert_eq!(m.use_counter(l), 2);
+    }
+
+    #[test]
+    fn upgrade_sole_holder() {
+        let m = LockManager::new();
+        let l = lock("bid", 0);
+        m.acquire(TxnId(1), l, LockMode::Additive).unwrap();
+        // Sole holder can upgrade.
+        assert!(!m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap());
+        // Another additive request must now wait; we only verify it would
+        // not be granted immediately by checking in a thread with a commit
+        // unblocking it.
+        let m = Arc::new(m);
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || m2.acquire(TxnId(2), l, LockMode::Additive).unwrap());
+        thread::sleep(Duration::from_millis(20));
+        m.release_commit(TxnId(1), &[l]);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn exclusive_blocks_until_commit() {
+        let m = Arc::new(LockManager::new());
+        let l = lock("voter", 42);
+        m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap();
+
+        let m2 = Arc::clone(&m);
+        let waiter = thread::spawn(move || {
+            m2.acquire(TxnId(2), l, LockMode::Exclusive).unwrap();
+            m2.release_commit(TxnId(2), &[l])
+        });
+
+        thread::sleep(Duration::from_millis(20));
+        let counters = m.release_commit(TxnId(1), &[l]);
+        assert_eq!(counters, vec![1]);
+        let counters2 = waiter.join().unwrap();
+        // The second committer sees the next counter value, establishing
+        // the happens-before edge T1 -> T2.
+        assert_eq!(counters2, vec![2]);
+    }
+
+    #[test]
+    fn deadlock_detected_and_victim_aborted() {
+        let m = Arc::new(LockManager::new());
+        let la = lock("a", 0);
+        let lb = lock("b", 0);
+        m.acquire(TxnId(1), la, LockMode::Exclusive).unwrap();
+        m.acquire(TxnId(2), lb, LockMode::Exclusive).unwrap();
+
+        // T1 blocks on b (held by T2).
+        let m1 = Arc::clone(&m);
+        let t1 = thread::spawn(move || {
+            let r = m1.acquire(TxnId(1), lb, LockMode::Exclusive);
+            if r.is_ok() {
+                m1.release_commit(TxnId(1), &[la, lb]);
+            } else {
+                m1.release_abort(TxnId(1), &[la]);
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(20));
+        // T2 requests a (held by T1): cycle. One of the two must abort.
+        let r2 = m.acquire(TxnId(2), la, LockMode::Exclusive);
+        // Release T2's locks *before* joining: if T2 was the deadlock
+        // victim, T1 is still blocked waiting for lock b and can only make
+        // progress once T2 gives it up.
+        if r2.is_ok() {
+            m.release_commit(TxnId(2), &[la, lb]);
+        } else {
+            m.release_abort(TxnId(2), &[lb]);
+        }
+        let r1 = t1.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "at least one transaction must be chosen as deadlock victim"
+        );
+        let err = if r1.is_err() { r1.unwrap_err() } else { r2.unwrap_err() };
+        assert!(err.is_retryable());
+        assert!(m.stats().deadlocks >= 1);
+    }
+
+    #[test]
+    fn abort_does_not_increment_counter() {
+        let m = LockManager::new();
+        let l = lock("doc", 9);
+        m.acquire(TxnId(5), l, LockMode::Exclusive).unwrap();
+        m.release_abort(TxnId(5), &[l]);
+        assert_eq!(m.use_counter(l), 0);
+        m.acquire(TxnId(6), l, LockMode::Exclusive).unwrap();
+        assert_eq!(m.release_commit(TxnId(6), &[l]), vec![1]);
+    }
+
+    #[test]
+    fn reset_counters_clears_history() {
+        let m = LockManager::new();
+        let l = lock("doc", 1);
+        m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap();
+        m.release_commit(TxnId(1), &[l]);
+        assert_eq!(m.use_counter(l), 1);
+        m.reset_counters();
+        assert_eq!(m.use_counter(l), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let m = LockManager::new();
+        let l = lock("s", 0);
+        m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap();
+        m.release_commit(TxnId(1), &[l]);
+        assert!(m.stats().acquisitions >= 1);
+    }
+
+    #[test]
+    fn many_threads_distinct_locks_commit() {
+        let m = Arc::new(LockManager::new());
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                let l = lock("parallel", i);
+                m.acquire(TxnId(i), l, LockMode::Exclusive).unwrap();
+                let c = m.release_commit(TxnId(i), &[l]);
+                assert_eq!(c, vec![1], "disjoint locks never contend");
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn contended_lock_serializes_counters() {
+        let m = Arc::new(LockManager::new());
+        let l = lock("hot", 0);
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                loop {
+                    match m.acquire(TxnId(i), l, LockMode::Exclusive) {
+                        Ok(_) => break,
+                        Err(_) => continue,
+                    }
+                }
+                m.release_commit(TxnId(i), &[l])[0]
+            }));
+        }
+        let mut counters: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        counters.sort_unstable();
+        assert_eq!(counters, (1..=8).collect::<Vec<_>>());
+    }
+}

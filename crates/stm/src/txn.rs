@@ -1,0 +1,688 @@
+//! Speculative transactions: undo logs, nested actions, savepoints,
+//! commit/abort, and replay-mode tracing.
+
+use crate::error::StmError;
+use crate::lock::{LockId, LockMode};
+use crate::manager::{LockManager, LockStats};
+use crate::profile::{CommitProfile, LockProfile, ProfileEntry, TraceEntry};
+use crate::retry::RetryPolicy;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Runtime identifier of one transaction *attempt*. Retrying an aborted
+/// transaction produces a fresh id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// How a transaction synchronizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Miner-side speculative execution: abstract locks are acquired and
+    /// inverse operations logged; the transaction may block, deadlock and
+    /// retry.
+    Speculative,
+    /// Validator-side deterministic replay: no locks are taken (the
+    /// published fork-join schedule already orders conflicting
+    /// transactions); instead each would-be acquisition is recorded in a
+    /// thread-local trace that is later compared against the miner's lock
+    /// profile. Inverse operations are still logged so contract-level
+    /// `throw` can roll back.
+    Replay,
+}
+
+/// An undo-log entry: a closure that reverses one storage operation.
+type UndoOp = Box<dyn FnOnce() + Send>;
+
+/// A position in the undo log that execution can be rolled back to while
+/// keeping all acquired locks (used to emulate Solidity `throw`, which
+/// reverts state but still participates in scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Savepoint {
+    undo_len: usize,
+}
+
+struct TxnInner {
+    /// Undo log, oldest first. Replayed in reverse on abort/rollback.
+    undo: Vec<UndoOp>,
+    /// All locks held by this transaction (top-level and nested frames),
+    /// with the strongest mode acquired so far.
+    held: HashMap<LockId, LockMode>,
+    /// Acquisition order, used to release in a deterministic order.
+    held_order: Vec<LockId>,
+    /// Validator-side trace of would-be acquisitions.
+    trace: Vec<TraceEntry>,
+    /// Nested-action bookkeeping: locks newly acquired by each open nested
+    /// frame (so an aborting child can release exactly what it acquired).
+    frames: Vec<Vec<LockId>>,
+    closed: bool,
+}
+
+impl fmt::Debug for TxnInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnInner")
+            .field("undo_len", &self.undo.len())
+            .field("held", &self.held_order)
+            .field("frames", &self.frames.len())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+/// A speculative atomic action (or a deterministic replay of one).
+///
+/// Created by [`Stm::begin`], [`Stm::begin_replay`] or the retrying helper
+/// [`Stm::run`]. Boosted collections take `&Transaction` and call
+/// [`Transaction::acquire`] / [`Transaction::log_undo`]; user code normally
+/// never calls those directly.
+pub struct Transaction {
+    id: TxnId,
+    kind: TxnKind,
+    manager: Arc<LockManager>,
+    inner: Mutex<TxnInner>,
+}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.id)
+            .field("kind", &self.kind)
+            .field("inner", &*self.inner.lock())
+            .finish()
+    }
+}
+
+impl Transaction {
+    fn new(id: TxnId, kind: TxnKind, manager: Arc<LockManager>) -> Self {
+        Transaction {
+            id,
+            kind,
+            manager,
+            inner: Mutex::new(TxnInner {
+                undo: Vec::new(),
+                held: HashMap::new(),
+                held_order: Vec::new(),
+                trace: Vec::new(),
+                frames: Vec::new(),
+                closed: false,
+            }),
+        }
+    }
+
+    /// The runtime id of this transaction attempt.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Whether this is a speculative (mining) or replay (validation)
+    /// transaction.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// Acquires `lock` in `mode` (speculative) or records it in the trace
+    /// (replay).
+    ///
+    /// Boosted collections call this before every storage operation.
+    ///
+    /// # Errors
+    ///
+    /// * [`StmError::Deadlock`] if blocking would deadlock (speculative
+    ///   mode only); the caller should propagate this so the whole
+    ///   transaction aborts and retries.
+    /// * [`StmError::TransactionClosed`] if the transaction already
+    ///   committed or aborted.
+    pub fn acquire(&self, lock: LockId, mode: LockMode) -> Result<(), StmError> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(StmError::TransactionClosed);
+        }
+        match self.kind {
+            TxnKind::Replay => {
+                inner.trace.push(TraceEntry { lock, mode });
+                Ok(())
+            }
+            TxnKind::Speculative => {
+                let currently = inner.held.get(&lock).copied();
+                let sufficient = matches!(currently, Some(held) if held.strongest(mode) == held);
+                if sufficient {
+                    return Ok(());
+                }
+                // Drop the inner lock while potentially blocking in the
+                // manager so that other threads can inspect this
+                // transaction (e.g. nothing else needs it, but holding a
+                // mutex across a blocking wait is poor hygiene).
+                drop(inner);
+                let newly = self.manager.acquire(self.id, lock, mode)?;
+                let mut inner = self.inner.lock();
+                let entry = inner.held.entry(lock).or_insert(mode);
+                *entry = entry.strongest(mode);
+                if newly {
+                    inner.held_order.push(lock);
+                    if let Some(frame) = inner.frames.last_mut() {
+                        frame.push(lock);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Records an inverse operation that will be run if the transaction
+    /// (or the enclosing nested action / savepoint scope) rolls back.
+    pub fn log_undo(&self, undo: impl FnOnce() + Send + 'static) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        inner.undo.push(Box::new(undo));
+    }
+
+    /// Returns a savepoint capturing the current undo-log position.
+    pub fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            undo_len: self.inner.lock().undo.len(),
+        }
+    }
+
+    /// Rolls the transaction back to `savepoint`: every inverse operation
+    /// logged after the savepoint is replayed (most recent first). Locks
+    /// acquired since the savepoint are **kept** — this mirrors a contract
+    /// `throw`, which discards tentative storage changes but whose reads
+    /// and writes still determine the block's happens-before order.
+    pub fn rollback_to(&self, savepoint: Savepoint) {
+        let to_undo: Vec<UndoOp> = {
+            let mut inner = self.inner.lock();
+            if savepoint.undo_len >= inner.undo.len() {
+                return;
+            }
+            inner.undo.split_off(savepoint.undo_len)
+        };
+        for op in to_undo.into_iter().rev() {
+            op();
+        }
+    }
+
+    /// Runs `body` as a **nested speculative action** (paper §3): the child
+    /// inherits the parent's locks, keeps its own inverse log, and
+    ///
+    /// * on `Ok`, its effects and newly acquired locks are merged into the
+    ///   parent (they become permanent only when the parent commits);
+    /// * on `Err`, its inverse log is replayed and the locks *it* acquired
+    ///   are released, without aborting the parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error `body` returned after undoing the child's
+    /// effects.
+    pub fn nested<R, E>(
+        &self,
+        body: impl FnOnce(&Transaction) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let undo_start = {
+            let mut inner = self.inner.lock();
+            inner.frames.push(Vec::new());
+            inner.undo.len()
+        };
+        let result = body(self);
+        match result {
+            Ok(value) => {
+                let mut inner = self.inner.lock();
+                let child_locks = inner.frames.pop().unwrap_or_default();
+                // Merge the child's acquisitions into the parent frame (if
+                // any) so a later aborting ancestor releases them too.
+                if let Some(parent) = inner.frames.last_mut() {
+                    parent.extend(child_locks);
+                }
+                Ok(value)
+            }
+            Err(err) => {
+                // Undo the child's operations.
+                let to_undo: Vec<UndoOp> = {
+                    let mut inner = self.inner.lock();
+                    inner.undo.split_off(undo_start)
+                };
+                for op in to_undo.into_iter().rev() {
+                    op();
+                }
+                // Release the locks the child acquired (they are not needed
+                // for the parent's consistency: the child's effects are gone).
+                let child_locks = {
+                    let mut inner = self.inner.lock();
+                    let child_locks = inner.frames.pop().unwrap_or_default();
+                    for lock in &child_locks {
+                        inner.held.remove(lock);
+                        if let Some(pos) = inner.held_order.iter().position(|l| l == lock) {
+                            inner.held_order.remove(pos);
+                        }
+                    }
+                    child_locks
+                };
+                if self.kind == TxnKind::Speculative {
+                    self.manager.release_abort(self.id, &child_locks);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Commits the transaction: locks are released, each lock's use counter
+    /// is incremented, and the resulting [`LockProfile`] is returned. The
+    /// inverse log is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::TransactionClosed`] if already closed.
+    pub fn commit(&self) -> Result<CommitProfile, StmError> {
+        let (locks, modes) = {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(StmError::TransactionClosed);
+            }
+            inner.closed = true;
+            inner.undo.clear();
+            let locks: Vec<LockId> = inner.held_order.clone();
+            let modes: Vec<LockMode> = locks
+                .iter()
+                .map(|l| inner.held.get(l).copied().unwrap_or(LockMode::Exclusive))
+                .collect();
+            (locks, modes)
+        };
+        let profile = if self.kind == TxnKind::Speculative {
+            let counters = self.manager.release_commit(self.id, &locks);
+            let entries = locks
+                .iter()
+                .zip(modes.iter())
+                .zip(counters.iter())
+                .map(|((lock, mode), counter)| ProfileEntry {
+                    lock: *lock,
+                    mode: *mode,
+                    counter: *counter,
+                })
+                .collect();
+            LockProfile::new(entries)
+        } else {
+            LockProfile::default()
+        };
+        Ok(CommitProfile {
+            txn: self.id,
+            profile,
+        })
+    }
+
+    /// Aborts the transaction: the inverse log is replayed (most recent
+    /// operation first) and all locks are released without incrementing
+    /// use counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::TransactionClosed`] if already closed.
+    pub fn abort(&self) -> Result<(), StmError> {
+        let (to_undo, locks) = {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(StmError::TransactionClosed);
+            }
+            inner.closed = true;
+            let to_undo = std::mem::take(&mut inner.undo);
+            let locks = std::mem::take(&mut inner.held_order);
+            inner.held.clear();
+            (to_undo, locks)
+        };
+        for op in to_undo.into_iter().rev() {
+            op();
+        }
+        if self.kind == TxnKind::Speculative {
+            self.manager.release_abort(self.id, &locks);
+        }
+        Ok(())
+    }
+
+    /// The validator-side trace accumulated so far (empty for speculative
+    /// transactions).
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.inner.lock().trace.clone()
+    }
+
+    /// Number of locks currently held (diagnostics and tests).
+    pub fn held_locks(&self) -> usize {
+        self.inner.lock().held.len()
+    }
+
+    /// Length of the undo log (diagnostics and tests).
+    pub fn undo_len(&self) -> usize {
+        self.inner.lock().undo.len()
+    }
+
+    /// Whether the transaction has already committed or aborted.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        // A transaction dropped without commit is aborted, so that panics in
+        // contract code do not leak abstract locks and wedge the miner.
+        if !self.is_closed() {
+            let _ = self.abort();
+        }
+    }
+}
+
+/// The speculative-execution runtime: a shared lock manager plus a
+/// transaction-id allocator.
+///
+/// One `Stm` instance corresponds to one miner (or validator) process in
+/// the paper's model. It is cheap to clone (`Arc` internals) and safe to
+/// share across worker threads.
+#[derive(Debug, Clone)]
+pub struct Stm {
+    manager: Arc<LockManager>,
+    next_id: Arc<AtomicU64>,
+    retry: RetryPolicy,
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stm {
+    /// Creates a new runtime with the default retry policy.
+    pub fn new() -> Self {
+        Stm {
+            manager: Arc::new(LockManager::new()),
+            next_id: Arc::new(AtomicU64::new(1)),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Creates a runtime with a custom retry policy for [`Stm::run`].
+    pub fn with_retry_policy(retry: RetryPolicy) -> Self {
+        Stm {
+            retry,
+            ..Stm::new()
+        }
+    }
+
+    /// The shared lock manager (exposed for statistics and for the miner's
+    /// per-block counter reset).
+    pub fn lock_manager(&self) -> &Arc<LockManager> {
+        &self.manager
+    }
+
+    /// Resets per-block lock state (use counters). Call when starting a new
+    /// block.
+    pub fn begin_block(&self) {
+        self.manager.reset_counters();
+    }
+
+    /// Lock-manager statistics (acquisitions, waits, deadlocks).
+    pub fn lock_stats(&self) -> LockStats {
+        self.manager.stats()
+    }
+
+    /// Begins a speculative transaction. The caller is responsible for
+    /// calling [`Transaction::commit`] or [`Transaction::abort`].
+    pub fn begin(&self) -> Transaction {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        Transaction::new(id, TxnKind::Speculative, Arc::clone(&self.manager))
+    }
+
+    /// Begins a replay (validation) transaction: no locks are acquired, a
+    /// trace of would-be acquisitions is recorded instead.
+    pub fn begin_replay(&self) -> Transaction {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        Transaction::new(id, TxnKind::Replay, Arc::clone(&self.manager))
+    }
+
+    /// Runs `body` as a speculative transaction, retrying automatically on
+    /// deadlock aborts according to the runtime's [`RetryPolicy`].
+    ///
+    /// `body` returning `Ok` commits; returning `Err` aborts and propagates
+    /// the error (retrying only if the error is retryable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's terminal error, or
+    /// [`StmError::RetriesExhausted`] if the retry budget runs out.
+    pub fn run<R>(
+        &self,
+        mut body: impl FnMut(&Transaction) -> Result<R, StmError>,
+    ) -> Result<(R, CommitProfile), StmError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(value) => {
+                    let profile = txn.commit()?;
+                    return Ok((value, profile));
+                }
+                Err(err) => {
+                    let _ = txn.abort();
+                    if err.is_retryable() && attempt < self.retry.max_attempts {
+                        self.retry.backoff(attempt);
+                        continue;
+                    }
+                    if err.is_retryable() {
+                        return Err(StmError::RetriesExhausted { attempts: attempt });
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockSpace;
+    use std::sync::atomic::AtomicI64;
+
+    fn stm() -> Stm {
+        Stm::new()
+    }
+
+    #[test]
+    fn commit_produces_profile_with_counters() {
+        let stm = stm();
+        let space = LockSpace::new("t");
+        let txn = stm.begin();
+        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive).unwrap();
+        txn.acquire(space.lock_for(&2u64), LockMode::Additive).unwrap();
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.profile.len(), 2);
+        assert!(commit.profile.locks.iter().all(|e| e.counter == 1));
+    }
+
+    #[test]
+    fn undo_restores_shared_state_on_abort() {
+        let stm = stm();
+        let value = Arc::new(AtomicI64::new(10));
+        let txn = stm.begin();
+        let v = Arc::clone(&value);
+        value.store(99, Ordering::SeqCst);
+        txn.log_undo(move || v.store(10, Ordering::SeqCst));
+        txn.abort().unwrap();
+        assert_eq!(value.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn undo_runs_most_recent_first() {
+        let stm = stm();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let txn = stm.begin();
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            txn.log_undo(move || order.lock().push(i));
+        }
+        txn.abort().unwrap();
+        assert_eq!(*order.lock(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn savepoint_rollback_keeps_locks() {
+        let stm = stm();
+        let space = LockSpace::new("sp");
+        let value = Arc::new(AtomicI64::new(0));
+        let txn = stm.begin();
+        txn.acquire(space.whole(), LockMode::Exclusive).unwrap();
+        let sp = txn.savepoint();
+        value.store(7, Ordering::SeqCst);
+        let v = Arc::clone(&value);
+        txn.log_undo(move || v.store(0, Ordering::SeqCst));
+        txn.rollback_to(sp);
+        assert_eq!(value.load(Ordering::SeqCst), 0, "state rolled back");
+        assert_eq!(txn.held_locks(), 1, "locks survive the rollback");
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.profile.len(), 1, "profile still records the lock");
+    }
+
+    #[test]
+    fn nested_commit_merges_into_parent() {
+        let stm = stm();
+        let space = LockSpace::new("nested");
+        let txn = stm.begin();
+        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive).unwrap();
+        let out: Result<u32, StmError> = txn.nested(|t| {
+            t.acquire(space.lock_for(&"child"), LockMode::Exclusive)?;
+            Ok(5)
+        });
+        assert_eq!(out.unwrap(), 5);
+        assert_eq!(txn.held_locks(), 2);
+        let commit = txn.commit().unwrap();
+        assert_eq!(commit.profile.len(), 2);
+    }
+
+    #[test]
+    fn nested_abort_releases_only_child_locks_and_undoes_child_ops() {
+        let stm = stm();
+        let space = LockSpace::new("nested2");
+        let value = Arc::new(AtomicI64::new(1));
+        let txn = stm.begin();
+        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive).unwrap();
+
+        let v = Arc::clone(&value);
+        let res: Result<(), StmError> = txn.nested(|t| {
+            t.acquire(space.lock_for(&"child"), LockMode::Exclusive)?;
+            value.store(2, Ordering::SeqCst);
+            let v2 = Arc::clone(&v);
+            t.log_undo(move || v2.store(1, Ordering::SeqCst));
+            Err(StmError::Aborted { reason: "child throws".into() })
+        });
+        assert!(res.is_err());
+        assert_eq!(value.load(Ordering::SeqCst), 1, "child effects undone");
+        assert_eq!(txn.held_locks(), 1, "parent keeps its own lock");
+
+        // The child's lock is actually free for other transactions now.
+        let other = stm.begin();
+        other.acquire(space.lock_for(&"child"), LockMode::Exclusive).unwrap();
+        other.commit().unwrap();
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn replay_mode_records_trace_and_takes_no_locks() {
+        let stm = stm();
+        let space = LockSpace::new("replay");
+        let txn = stm.begin_replay();
+        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive).unwrap();
+        txn.acquire(space.lock_for(&1u64), LockMode::Additive).unwrap();
+        assert_eq!(txn.trace().len(), 2);
+        assert_eq!(stm.lock_manager().held_lock_count(), 0);
+        let commit = txn.commit().unwrap();
+        assert!(commit.profile.is_empty());
+    }
+
+    #[test]
+    fn run_retries_on_deadlock_and_commits() {
+        // Construct an artificial deadlock between two threads and verify
+        // both eventually commit via Stm::run retry. The barrier forces the
+        // lock-order inversion on the *first* attempt only; a retried
+        // (deadlock-victim) execution must not wait on it again, since the
+        // surviving transaction has already moved on.
+        let stm = stm();
+        let space = LockSpace::new("dl");
+        let la = space.lock_for(&"a");
+        let lb = space.lock_for(&"b");
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+
+        crossbeam::scope(|s| {
+            for (first, second) in [(la, lb), (lb, la)] {
+                let stm = stm.clone();
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move |_| {
+                    let mut attempt = 0;
+                    stm.run(|txn| {
+                        attempt += 1;
+                        txn.acquire(first, LockMode::Exclusive)?;
+                        if attempt == 1 {
+                            barrier.wait();
+                        }
+                        txn.acquire(second, LockMode::Exclusive)?;
+                        Ok(())
+                    })
+                    .unwrap();
+                });
+            }
+        })
+        .unwrap();
+        // Both committed; locks are free.
+        assert_eq!(stm.lock_manager().held_lock_count(), 0);
+    }
+
+    #[test]
+    fn run_propagates_non_retryable_errors() {
+        let stm = stm();
+        let result: Result<((), CommitProfile), StmError> =
+            stm.run(|_| Err(StmError::Aborted { reason: "no".into() }));
+        assert!(matches!(result, Err(StmError::Aborted { .. })));
+    }
+
+    #[test]
+    fn closed_transaction_rejects_operations() {
+        let stm = stm();
+        let txn = stm.begin();
+        txn.commit().unwrap();
+        assert_eq!(
+            txn.acquire(LockSpace::new("x").whole(), LockMode::Exclusive),
+            Err(StmError::TransactionClosed)
+        );
+        assert_eq!(txn.commit().unwrap_err(), StmError::TransactionClosed);
+        assert_eq!(txn.abort().unwrap_err(), StmError::TransactionClosed);
+    }
+
+    #[test]
+    fn dropped_transaction_releases_locks() {
+        let stm = stm();
+        let lock = LockSpace::new("drop").whole();
+        {
+            let txn = stm.begin();
+            txn.acquire(lock, LockMode::Exclusive).unwrap();
+            // Dropped without commit.
+        }
+        assert_eq!(stm.lock_manager().held_lock_count(), 0);
+    }
+
+    #[test]
+    fn txn_ids_are_unique() {
+        let stm = stm();
+        let a = stm.begin();
+        let b = stm.begin();
+        assert_ne!(a.id(), b.id());
+        a.commit().unwrap();
+        b.commit().unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Account and contract addresses.
+
+use cc_primitives::{codec::Encoder, hex, sha256};
+use std::fmt;
+
+/// A 20-byte account identifier, analogous to an Ethereum address.
+///
+/// Addresses identify both externally-owned accounts (clients submitting
+/// transactions) and deployed contracts.
+///
+/// # Example
+///
+/// ```
+/// use cc_vm::Address;
+/// let alice = Address::from_index(1);
+/// let bob = Address::from_index(2);
+/// assert_ne!(alice, bob);
+/// assert_eq!(alice, Address::from_index(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address (Solidity `address(0)`), used as "no delegate" /
+    /// "no owner" sentinel.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Derives a deterministic address from a small index. Convenient for
+    /// workload generation and tests ("account #7").
+    pub fn from_index(index: u64) -> Self {
+        let digest = sha256(&{
+            let mut enc = Encoder::with_capacity(16);
+            enc.put_str("account");
+            enc.put_u64(index);
+            enc.into_bytes()
+        });
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(&digest.as_bytes()[..20]);
+        Address(bytes)
+    }
+
+    /// Derives a deterministic contract address from a human-readable name
+    /// (e.g. `"Ballot"`).
+    pub fn from_name(name: &str) -> Self {
+        let digest = sha256(&{
+            let mut enc = Encoder::with_capacity(name.len() + 9);
+            enc.put_str("contract");
+            enc.put_str(name);
+            enc.into_bytes()
+        });
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(&digest.as_bytes()[..20]);
+        Address(bytes)
+    }
+
+    /// Raw bytes of the address.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Whether this is the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 20]
+    }
+
+    /// Hex rendering (40 characters, no `0x` prefix).
+    pub fn to_hex(&self) -> String {
+        hex::encode(&self.0)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address(0x{}..)", &self.to_hex()[..8])
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl From<[u8; 20]> for Address {
+    fn from(value: [u8; 20]) -> Self {
+        Address(value)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn derived_addresses_are_deterministic_and_distinct() {
+        assert_eq!(Address::from_index(3), Address::from_index(3));
+        assert_ne!(Address::from_index(3), Address::from_index(4));
+        assert_ne!(Address::from_name("Ballot"), Address::from_name("SimpleAuction"));
+        assert_ne!(Address::from_index(1), Address::from_name("1"));
+    }
+
+    #[test]
+    fn no_collisions_in_small_range() {
+        let set: HashSet<Address> = (0..10_000).map(Address::from_index).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn zero_address() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_index(0).is_zero());
+        assert_eq!(Address::default(), Address::ZERO);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = Address::from_index(1);
+        assert!(format!("{a}").starts_with("0x"));
+        assert_eq!(format!("{a}").len(), 42);
+        assert!(!format!("{a:?}").is_empty());
+    }
+}

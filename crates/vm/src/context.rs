@@ -1,0 +1,270 @@
+//! The per-call execution context handed to contract code.
+
+use crate::abi::{ArgValue, CallData, ReturnValue};
+use crate::address::Address;
+use crate::error::VmError;
+use crate::event::Event;
+use crate::gas::GasMeter;
+use crate::msg::Msg;
+use crate::world::World;
+use cc_stm::Transaction;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Maximum depth of nested contract calls (Ethereum's limit is 1024; a
+/// small bound is plenty for the reproduced workloads and keeps runaway
+/// recursion from overflowing the stack).
+pub const MAX_CALL_DEPTH: usize = 64;
+
+/// Everything a contract function needs while executing: the enclosing
+/// speculative transaction, the `msg` context, the gas meter, the event
+/// sink and the ability to call other contracts.
+///
+/// Contract code receives `&mut CallContext` and uses
+/// [`crate::StorageMap`]-style wrappers (which charge gas and go through
+/// the boosted collections) for all persistent state.
+pub struct CallContext<'a> {
+    txn: &'a Transaction,
+    world: &'a World,
+    msg: Msg,
+    this: Address,
+    gas: Arc<Mutex<GasMeter>>,
+    events: Vec<Event>,
+    depth: usize,
+}
+
+impl<'a> CallContext<'a> {
+    /// Creates the root context for one transaction. Normally called only
+    /// by [`World::call`].
+    pub(crate) fn root(
+        txn: &'a Transaction,
+        world: &'a World,
+        msg: Msg,
+        this: Address,
+        gas: GasMeter,
+    ) -> Self {
+        CallContext {
+            txn,
+            world,
+            msg,
+            this,
+            gas: Arc::new(Mutex::new(gas)),
+            events: Vec::new(),
+            depth: 0,
+        }
+    }
+
+    /// The enclosing speculative (or replay) transaction.
+    pub fn txn(&self) -> &'a Transaction {
+        self.txn
+    }
+
+    /// The invocation context (`msg.sender`, `msg.value`).
+    pub fn msg(&self) -> Msg {
+        self.msg
+    }
+
+    /// Shorthand for `msg().sender`.
+    pub fn sender(&self) -> Address {
+        self.msg.sender
+    }
+
+    /// The address of the currently executing contract (`this`).
+    pub fn this(&self) -> Address {
+        self.this
+    }
+
+    /// Current nested-call depth (0 for the outermost call).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Gas consumed so far by the whole transaction (across nested calls).
+    pub fn gas_used(&self) -> u64 {
+        self.gas.lock().used()
+    }
+
+    /// Performs the synthetic interpretation work associated with `gas`
+    /// units of contract execution (see [`crate::load`]).
+    fn interpret(&self, gas: u64) {
+        let factor = self.gas.lock().schedule().work_per_gas;
+        if factor > 0 {
+            crate::load::synthetic_load(gas.saturating_mul(factor));
+        }
+    }
+
+    /// Charges `amount` gas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the limit is exceeded.
+    pub fn charge(&mut self, amount: u64) -> Result<(), VmError> {
+        self.gas.lock().charge(amount)?;
+        self.interpret(amount);
+        Ok(())
+    }
+
+    /// Charges the base cost of a transaction. The base charge represents
+    /// intrinsic per-transaction overhead (calldata handling, signature
+    /// checking); it carries a reduced interpretation load (one quarter of
+    /// its gas) since most of it is not contract-body execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the limit is exceeded.
+    pub fn charge_tx_base(&mut self) -> Result<(), VmError> {
+        let cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_tx_base()?;
+            gas.schedule().tx_base / 4
+        };
+        self.interpret(cost);
+        Ok(())
+    }
+
+    /// Charges a storage read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the limit is exceeded.
+    pub fn charge_sload(&mut self) -> Result<(), VmError> {
+        let cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_sload()?;
+            gas.schedule().sload
+        };
+        self.interpret(cost);
+        Ok(())
+    }
+
+    /// Charges a storage write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the limit is exceeded.
+    pub fn charge_sstore(&mut self) -> Result<(), VmError> {
+        let cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_sstore()?;
+            gas.schedule().sstore
+        };
+        self.interpret(cost);
+        Ok(())
+    }
+
+    /// Charges `n` computation steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when the limit is exceeded.
+    pub fn charge_steps(&mut self, n: u64) -> Result<(), VmError> {
+        let cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_steps(n)?;
+            gas.schedule().step.saturating_mul(n)
+        };
+        self.interpret(cost);
+        Ok(())
+    }
+
+    /// Emits an event. Events are attached to the receipt only if the call
+    /// (and its ancestors) complete successfully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfGas`] when charging the log cost exceeds the
+    /// limit.
+    pub fn emit(&mut self, name: &str, data: Vec<ArgValue>) -> Result<(), VmError> {
+        let cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_log()?;
+            gas.schedule().log
+        };
+        self.interpret(cost);
+        self.events.push(Event::new(self.this, name, data));
+        Ok(())
+    }
+
+    /// Takes the events accumulated so far (used by [`World::call`] when
+    /// building the receipt).
+    pub(crate) fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Aborts the current call with a `throw`, exactly like Solidity's
+    /// `throw` statement: the caller of [`World::call`] rolls back all
+    /// tentative storage changes of this call.
+    ///
+    /// # Errors
+    ///
+    /// Always returns [`VmError::Revert`]; provided so contract code can
+    /// write `return ctx.throw("reason")`.
+    pub fn throw<T>(&self, reason: &str) -> Result<T, VmError> {
+        Err(VmError::revert(reason))
+    }
+
+    /// Calls another contract as a **nested speculative action** (paper
+    /// §3): if the callee throws, its storage effects are rolled back and
+    /// the locks it acquired are released, without aborting this (parent)
+    /// call — the parent decides whether to propagate the failure.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmError::UnknownContract`] if no contract is deployed at `to`;
+    /// * [`VmError::OutOfGas`] if the call cost cannot be paid;
+    /// * whatever error the callee produced (after its effects were undone);
+    /// * STM conflicts are propagated untouched so the whole transaction
+    ///   can retry.
+    pub fn call_contract(
+        &mut self,
+        to: Address,
+        call: &CallData,
+        value: crate::value::Wei,
+    ) -> Result<ReturnValue, VmError> {
+        if self.depth + 1 >= MAX_CALL_DEPTH {
+            return Err(VmError::revert("max call depth exceeded"));
+        }
+        let call_cost = {
+            let mut gas = self.gas.lock();
+            gas.charge_call()?;
+            gas.schedule().call
+        };
+        self.interpret(call_cost);
+        let callee = self.world.contract(to).ok_or(VmError::UnknownContract)?;
+
+        let mut child = CallContext {
+            txn: self.txn,
+            world: self.world,
+            msg: Msg {
+                sender: self.this,
+                value,
+            },
+            this: to,
+            gas: Arc::clone(&self.gas),
+            events: Vec::new(),
+            depth: self.depth + 1,
+        };
+
+        let result = self.txn.nested(|_| callee.call(&mut child, call));
+        match result {
+            Ok(ret) => {
+                // Child events become visible only through the parent.
+                self.events.append(&mut child.events);
+                Ok(ret)
+            }
+            Err(err) => Err(err),
+        }
+    }
+}
+
+impl std::fmt::Debug for CallContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallContext")
+            .field("this", &self.this)
+            .field("sender", &self.msg.sender)
+            .field("depth", &self.depth)
+            .field("gas_used", &self.gas_used())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}

@@ -1,0 +1,124 @@
+//! Contract-level execution errors.
+
+use cc_stm::StmError;
+use std::fmt;
+
+/// Failure of one contract invocation.
+///
+/// A `VmError` terminates and reverts the *contract call* (Solidity
+/// `throw`), but — unlike an STM conflict — it does **not** mean the
+/// speculative transaction must retry: a reverted call is a legitimate
+/// outcome that is recorded in the receipt and re-produced by validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Explicit `throw`/`revert` by contract logic (e.g. double vote).
+    Revert {
+        /// Human-readable reason, recorded in the receipt.
+        reason: String,
+    },
+    /// The gas limit was exhausted.
+    OutOfGas {
+        /// The limit that was in force.
+        limit: u64,
+        /// The amount that would have been needed.
+        needed: u64,
+    },
+    /// The call named a function the contract does not export.
+    UnknownFunction {
+        /// The requested function name.
+        function: String,
+    },
+    /// The call's arguments did not match the function signature.
+    BadArguments {
+        /// Description of the mismatch.
+        expected: String,
+    },
+    /// The call targeted an address with no deployed contract.
+    UnknownContract,
+    /// The speculative runtime aborted the enclosing transaction (deadlock
+    /// victim). Propagated so the miner can retry the whole transaction.
+    Stm(StmError),
+}
+
+impl VmError {
+    /// Convenience constructor for contract `throw`.
+    pub fn revert(reason: impl Into<String>) -> Self {
+        VmError::Revert {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the error is an STM-level conflict that warrants retrying
+    /// the whole speculative transaction (as opposed to a contract-level
+    /// failure that simply reverts the call).
+    pub fn is_stm_retry(&self) -> bool {
+        matches!(self, VmError::Stm(e) if e.is_retryable())
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Revert { reason } => write!(f, "contract reverted: {reason}"),
+            VmError::OutOfGas { limit, needed } => {
+                write!(f, "out of gas: needed {needed} with limit {limit}")
+            }
+            VmError::UnknownFunction { function } => write!(f, "unknown function `{function}`"),
+            VmError::BadArguments { expected } => write!(f, "bad arguments: expected {expected}"),
+            VmError::UnknownContract => f.write_str("no contract deployed at target address"),
+            VmError::Stm(e) => write!(f, "speculative execution aborted: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Stm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StmError> for VmError {
+    fn from(value: StmError) -> Self {
+        VmError::Stm(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stm::{LockSpace, TxnId};
+
+    #[test]
+    fn retry_classification() {
+        let deadlock = VmError::Stm(StmError::Deadlock {
+            victim: TxnId(1),
+            lock: LockSpace::new("x").whole(),
+        });
+        assert!(deadlock.is_stm_retry());
+        assert!(!VmError::revert("double vote").is_stm_retry());
+        assert!(!VmError::OutOfGas { limit: 1, needed: 2 }.is_stm_retry());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert!(VmError::revert("nope").to_string().contains("nope"));
+        assert!(VmError::UnknownFunction { function: "vote".into() }
+            .to_string()
+            .contains("vote"));
+        assert!(VmError::UnknownContract.to_string().contains("contract"));
+        assert!(VmError::BadArguments { expected: "uint".into() }
+            .to_string()
+            .contains("uint"));
+    }
+
+    #[test]
+    fn stm_error_converts() {
+        let e: VmError = StmError::TransactionClosed.into();
+        assert!(matches!(e, VmError::Stm(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! Contract events (Solidity `event` / `emit`).
+
+use crate::abi::ArgValue;
+use crate::address::Address;
+use std::fmt;
+
+/// An event emitted during contract execution.
+///
+/// Events are collected in the [`crate::CallContext`] and surfaced in the
+/// transaction [`crate::Receipt`]. Because they live in the call context
+/// (not in shared storage) they are discarded automatically when a call
+/// reverts, mirroring EVM semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// The contract that emitted the event.
+    pub contract: Address,
+    /// Event name (e.g. `"HighestBidIncreased"`).
+    pub name: String,
+    /// Event payload.
+    pub data: Vec<ArgValue>,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(contract: Address, name: impl Into<String>, data: Vec<ArgValue>) -> Self {
+        Event {
+            contract,
+            name: name.into(),
+            data,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}({} args)", self.contract, self.name, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_display() {
+        let e = Event::new(Address::from_index(1), "Voted", vec![ArgValue::Uint(2)]);
+        assert_eq!(e.name, "Voted");
+        assert_eq!(e.data.len(), 1);
+        assert!(format!("{e}").contains("Voted"));
+    }
+}

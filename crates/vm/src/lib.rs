@@ -1,0 +1,76 @@
+//! Smart-contract execution substrate.
+//!
+//! The paper evaluates its concurrency scheme on Solidity contracts running
+//! on the Ethereum virtual machine (translated to Scala/JVM in the
+//! authors' prototype). This crate provides the equivalent substrate for
+//! the Rust reproduction:
+//!
+//! * [`Address`] and [`Wei`] — account identifiers and currency amounts,
+//! * [`Msg`] — the implicit `msg` call context (`msg.sender`, `msg.value`),
+//! * [`GasMeter`] / [`GasSchedule`] — per-operation gas accounting with the
+//!   Solidity `throw`-style out-of-gas abort,
+//! * [`VmError`] — contract-level failure (throw/revert, out of gas, bad
+//!   call), distinct from STM-level conflicts,
+//! * [`storage`] — `StorageMap` / `StorageCell` / `StorageVec` /
+//!   `StorageCounterMap`, thin gas-charging wrappers over the boosted
+//!   collections of [`cc_stm`],
+//! * [`Contract`] + [`World`] — the contract trait, registry and the entry
+//!   point used by miners and validators to execute one call descriptor
+//!   inside a speculative (or replay) transaction.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_vm::{Address, CallData, ArgValue, World, Msg, Wei};
+//! use cc_vm::testing::CounterContract;
+//! use std::sync::Arc;
+//!
+//! let world = World::new();
+//! let counter_addr = Address::from_index(1);
+//! world.deploy(Arc::new(CounterContract::new(counter_addr)));
+//!
+//! let stm = world.stm().clone();
+//! let txn = stm.begin();
+//! let receipt = world.call(
+//!     &txn,
+//!     Msg { sender: Address::from_index(9), value: Wei::ZERO },
+//!     counter_addr,
+//!     &CallData::new("increment", vec![ArgValue::Uint(5)]),
+//!     1_000_000,
+//! );
+//! txn.commit().unwrap();
+//! assert!(receipt.succeeded());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod address;
+pub mod contract;
+pub mod context;
+pub mod error;
+pub mod event;
+pub mod gas;
+pub mod load;
+pub mod msg;
+pub mod receipt;
+pub mod snapshot;
+pub mod storage;
+pub mod testing;
+pub mod value;
+pub mod world;
+
+pub use abi::{ArgValue, CallData, ReturnValue};
+pub use address::Address;
+pub use contract::{Contract, ContractKind};
+pub use context::CallContext;
+pub use error::VmError;
+pub use event::Event;
+pub use gas::{GasMeter, GasSchedule};
+pub use msg::Msg;
+pub use receipt::{ExecutionStatus, Receipt};
+pub use snapshot::{ContractSnapshot, FieldSnapshot, WorldSnapshot};
+pub use storage::{StorageCell, StorageCounterMap, StorageMap, StorageVec};
+pub use value::Wei;
+pub use world::World;

@@ -1,0 +1,50 @@
+//! The implicit call context (`msg` in Solidity).
+
+use crate::address::Address;
+use crate::value::Wei;
+
+/// Details of the current invocation, equivalent to Solidity's global
+/// `msg` variable.
+///
+/// # Example
+///
+/// ```
+/// use cc_vm::{Msg, Address, Wei};
+/// let msg = Msg::from_sender(Address::from_index(4));
+/// assert!(msg.value.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Msg {
+    /// The account that invoked the function (`msg.sender`).
+    pub sender: Address,
+    /// The currency attached to the call (`msg.value`).
+    pub value: Wei,
+}
+
+impl Msg {
+    /// A call from `sender` with no attached value.
+    pub fn from_sender(sender: Address) -> Self {
+        Msg {
+            sender,
+            value: Wei::ZERO,
+        }
+    }
+
+    /// A call from `sender` carrying `value`.
+    pub fn with_value(sender: Address, value: Wei) -> Self {
+        Msg { sender, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let a = Address::from_index(1);
+        assert_eq!(Msg::from_sender(a).value, Wei::ZERO);
+        assert_eq!(Msg::with_value(a, Wei::new(5)).value, Wei::new(5));
+        assert_eq!(Msg::from_sender(a).sender, a);
+    }
+}

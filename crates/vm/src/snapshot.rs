@@ -1,0 +1,268 @@
+//! Deterministic state snapshots and state roots.
+//!
+//! A block commits to the post-state of its transactions via a *state
+//! root*. The reproduction computes it by snapshotting every contract's
+//! storage into a canonical byte form, hashing each contract, and hashing
+//! the sorted list of per-contract digests. Any divergence between the
+//! miner's and a validator's final state therefore changes the root and
+//! causes the block to be rejected.
+
+use crate::address::Address;
+use crate::value::Wei;
+use cc_primitives::codec::Encoder;
+use cc_primitives::hash::{Hash256, Sha256};
+
+/// Conversion into canonical bytes for state commitment.
+///
+/// Implemented for the primitive field types contracts use; contract
+/// crates implement it for their own structs (e.g. `Voter`).
+pub trait ToBytes {
+    /// Canonical byte encoding of the value.
+    fn to_bytes(&self) -> Vec<u8>;
+}
+
+impl ToBytes for u64 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl ToBytes for u128 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl ToBytes for u32 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl ToBytes for u8 {
+    fn to_bytes(&self) -> Vec<u8> {
+        vec![*self]
+    }
+}
+
+impl ToBytes for u16 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+}
+
+impl ToBytes for usize {
+    fn to_bytes(&self) -> Vec<u8> {
+        (*self as u64).to_le_bytes().to_vec()
+    }
+}
+
+impl ToBytes for bool {
+    fn to_bytes(&self) -> Vec<u8> {
+        vec![u8::from(*self)]
+    }
+}
+
+impl ToBytes for String {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl ToBytes for [u8; 32] {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+}
+
+impl ToBytes for Address {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+}
+
+impl ToBytes for Wei {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.amount().to_le_bytes().to_vec()
+    }
+}
+
+/// Snapshot of one storage field (one boosted collection or cell): a
+/// sorted list of `(encoded key, encoded value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSnapshot {
+    /// The field's stable name (e.g. `"Ballot.voters"`).
+    pub name: String,
+    /// Entries sorted by encoded key.
+    pub entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl FieldSnapshot {
+    /// Builds a snapshot from unsorted entries, sorting them canonically.
+    pub fn new(name: impl Into<String>, mut entries: Vec<(Vec<u8>, Vec<u8>)>) -> Self {
+        entries.sort();
+        FieldSnapshot {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// Builds a snapshot of a single scalar value.
+    pub fn scalar(name: impl Into<String>, value: &impl ToBytes) -> Self {
+        FieldSnapshot {
+            name: name.into(),
+            entries: vec![(Vec::new(), value.to_bytes())],
+        }
+    }
+
+    /// Builds a snapshot from typed entries.
+    pub fn from_typed<K: ToBytes, V: ToBytes>(
+        name: impl Into<String>,
+        entries: impl IntoIterator<Item = (K, V)>,
+    ) -> Self {
+        FieldSnapshot::new(
+            name,
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_bytes(), v.to_bytes()))
+                .collect(),
+        )
+    }
+
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.name);
+        enc.put_u64(self.entries.len() as u64);
+        for (k, v) in &self.entries {
+            enc.put_bytes(k);
+            enc.put_bytes(v);
+        }
+    }
+}
+
+/// Snapshot of one contract's entire persistent state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractSnapshot {
+    /// The contract kind (e.g. `"Ballot"`).
+    pub kind: String,
+    /// The contract's address.
+    pub address: Address,
+    /// All storage fields, in declaration order.
+    pub fields: Vec<FieldSnapshot>,
+}
+
+impl ContractSnapshot {
+    /// Creates a snapshot.
+    pub fn new(kind: impl Into<String>, address: Address, fields: Vec<FieldSnapshot>) -> Self {
+        ContractSnapshot {
+            kind: kind.into(),
+            address,
+            fields,
+        }
+    }
+
+    /// Canonical digest of this contract's state.
+    pub fn digest(&self) -> Hash256 {
+        let mut enc = Encoder::new();
+        enc.put_str(&self.kind);
+        enc.put_raw(self.address.as_bytes());
+        enc.put_u64(self.fields.len() as u64);
+        for field in &self.fields {
+            field.encode(&mut enc);
+        }
+        cc_primitives::sha256(enc.as_slice())
+    }
+}
+
+/// Snapshot of every contract in a [`crate::World`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WorldSnapshot {
+    /// Per-contract snapshots sorted by address.
+    pub contracts: Vec<ContractSnapshot>,
+}
+
+impl WorldSnapshot {
+    /// Builds a world snapshot, sorting contracts by address.
+    pub fn new(mut contracts: Vec<ContractSnapshot>) -> Self {
+        contracts.sort_by_key(|c| c.address);
+        WorldSnapshot { contracts }
+    }
+
+    /// The state root committed to in block headers.
+    pub fn state_root(&self) -> Hash256 {
+        let mut hasher = Sha256::new();
+        hasher.update_u64(self.contracts.len() as u64);
+        for contract in &self.contracts {
+            hasher.update(contract.digest().as_bytes());
+        }
+        hasher.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_snapshot_sorts_entries() {
+        let f = FieldSnapshot::new("m", vec![(vec![2], vec![20]), (vec![1], vec![10])]);
+        assert_eq!(f.entries[0].0, vec![1]);
+    }
+
+    #[test]
+    fn typed_and_scalar_snapshots() {
+        let f = FieldSnapshot::from_typed("counts", vec![(2u64, 20u64), (1u64, 10u64)]);
+        assert_eq!(f.entries.len(), 2);
+        let s = FieldSnapshot::scalar("highest", &42u64);
+        assert_eq!(s.entries.len(), 1);
+        assert!(s.entries[0].0.is_empty());
+    }
+
+    #[test]
+    fn digest_changes_with_content() {
+        let a = ContractSnapshot::new(
+            "Ballot",
+            Address::from_index(1),
+            vec![FieldSnapshot::from_typed("votes", vec![(1u64, 5u64)])],
+        );
+        let mut b = a.clone();
+        b.fields = vec![FieldSnapshot::from_typed("votes", vec![(1u64, 6u64)])];
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn state_root_independent_of_insertion_order() {
+        let c1 = ContractSnapshot::new("A", Address::from_index(1), vec![]);
+        let c2 = ContractSnapshot::new("B", Address::from_index(2), vec![]);
+        let w1 = WorldSnapshot::new(vec![c1.clone(), c2.clone()]);
+        let w2 = WorldSnapshot::new(vec![c2, c1]);
+        assert_eq!(w1.state_root(), w2.state_root());
+    }
+
+    #[test]
+    fn state_root_sensitive_to_state() {
+        let base = WorldSnapshot::new(vec![ContractSnapshot::new(
+            "A",
+            Address::from_index(1),
+            vec![FieldSnapshot::from_typed("m", vec![(1u64, 1u64)])],
+        )]);
+        let changed = WorldSnapshot::new(vec![ContractSnapshot::new(
+            "A",
+            Address::from_index(1),
+            vec![FieldSnapshot::from_typed("m", vec![(1u64, 2u64)])],
+        )]);
+        assert_ne!(base.state_root(), changed.state_root());
+    }
+
+    #[test]
+    fn to_bytes_primitives() {
+        assert_eq!(7u64.to_bytes().len(), 8);
+        assert_eq!(7u32.to_bytes().len(), 4);
+        assert_eq!(7u128.to_bytes().len(), 16);
+        assert_eq!(7usize.to_bytes().len(), 8);
+        assert_eq!(true.to_bytes(), vec![1]);
+        assert_eq!("ab".to_string().to_bytes(), b"ab".to_vec());
+        assert_eq!([1u8; 32].to_bytes().len(), 32);
+        assert_eq!(Address::from_index(1).to_bytes().len(), 20);
+        assert_eq!(Wei::new(9).to_bytes().len(), 16);
+    }
+}

@@ -1,0 +1,387 @@
+//! Gas-charging storage wrappers over the boosted collections.
+//!
+//! Contracts declare persistent state with these types. Every operation
+//! takes the [`CallContext`]: it charges gas and then performs the
+//! corresponding boosted operation inside the enclosing transaction, so
+//! state access is simultaneously metered and speculative.
+
+use crate::context::CallContext;
+use crate::error::VmError;
+use crate::snapshot::{FieldSnapshot, ToBytes};
+use cc_stm::{BoostedCell, BoostedCounterMap, BoostedMap, BoostedVec};
+use std::hash::Hash;
+
+/// A persistent `mapping(K => V)` state variable.
+#[derive(Debug, Clone)]
+pub struct StorageMap<K, V> {
+    inner: BoostedMap<K, V>,
+}
+
+impl<K, V> StorageMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Declares a mapping with a stable, globally unique name
+    /// (`"Ballot.voters"`).
+    pub fn new(name: &str) -> Self {
+        StorageMap {
+            inner: BoostedMap::new(name),
+        }
+    }
+
+    /// Reads the value bound to `key` (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get(ctx.txn(), key)?)
+    }
+
+    /// Whether `key` is bound (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn contains_key(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<bool, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.contains_key(ctx.txn(), key)?)
+    }
+
+    /// Binds `key` to `value` (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn insert(&self, ctx: &mut CallContext<'_>, key: K, value: V) -> Result<Option<V>, VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.insert(ctx.txn(), key, value)?)
+    }
+
+    /// Removes the binding for `key` (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn remove(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.remove(ctx.txn(), key)?)
+    }
+
+    /// Read-modify-write of the value bound to `key`, inserting `default`
+    /// first when absent (charges an `sload` plus an `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn update_or(
+        &self,
+        ctx: &mut CallContext<'_>,
+        key: K,
+        default: V,
+        f: impl FnOnce(&mut V),
+    ) -> Result<V, VmError> {
+        ctx.charge_sload()?;
+        ctx.charge_sstore()?;
+        Ok(self.inner.update_or(ctx.txn(), key, default, f)?)
+    }
+
+    /// Non-transactional write used while constructing initial state.
+    pub fn seed(&self, key: K, value: V) {
+        self.inner.seed(key, value);
+    }
+
+    /// Non-transactional read for tests and diagnostics.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.inner.peek(key)
+    }
+
+    /// Number of bindings (non-transactional).
+    pub fn len(&self) -> usize {
+        self.inner.snapshot_len()
+    }
+
+    /// Whether the map has no bindings (non-transactional).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time copy of the map contents.
+    pub fn entries(&self) -> Vec<(K, V)> {
+        self.inner.snapshot()
+    }
+}
+
+impl<K, V> StorageMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + ToBytes + 'static,
+    V: Clone + Send + Sync + ToBytes + 'static,
+{
+    /// Canonical snapshot of the field for state-root computation.
+    pub fn snapshot_field(&self) -> FieldSnapshot {
+        FieldSnapshot::from_typed(self.inner.name(), self.inner.snapshot())
+    }
+}
+
+/// A persistent scalar state variable.
+#[derive(Debug, Clone)]
+pub struct StorageCell<T> {
+    inner: BoostedCell<T>,
+}
+
+impl<T> StorageCell<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Declares a scalar with a stable name and initial value.
+    pub fn new(name: &str, initial: T) -> Self {
+        StorageCell {
+            inner: BoostedCell::new(name, initial),
+        }
+    }
+
+    /// Reads the value (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get(&self, ctx: &mut CallContext<'_>) -> Result<T, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get(ctx.txn())?)
+    }
+
+    /// Overwrites the value (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn set(&self, ctx: &mut CallContext<'_>, value: T) -> Result<(), VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.set(ctx.txn(), value)?)
+    }
+
+    /// Read-modify-write (charges an `sload` plus an `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn modify(&self, ctx: &mut CallContext<'_>, f: impl FnOnce(&mut T)) -> Result<T, VmError> {
+        ctx.charge_sload()?;
+        ctx.charge_sstore()?;
+        Ok(self.inner.modify(ctx.txn(), f)?)
+    }
+
+    /// Non-transactional write used while constructing initial state.
+    pub fn seed(&self, value: T) {
+        self.inner.seed(value);
+    }
+
+    /// Non-transactional read for tests and diagnostics.
+    pub fn peek(&self) -> T {
+        self.inner.peek()
+    }
+}
+
+impl<T> StorageCell<T>
+where
+    T: Clone + Send + Sync + ToBytes + 'static,
+{
+    /// Canonical snapshot of the scalar for state-root computation.
+    pub fn snapshot_field(&self) -> FieldSnapshot {
+        FieldSnapshot::scalar(self.inner.name(), &self.inner.peek())
+    }
+}
+
+/// A persistent dynamically-sized array.
+#[derive(Debug, Clone)]
+pub struct StorageVec<T> {
+    inner: BoostedVec<T>,
+}
+
+impl<T> StorageVec<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Declares an array with a stable name.
+    pub fn new(name: &str) -> Self {
+        StorageVec {
+            inner: BoostedVec::new(name),
+        }
+    }
+
+    /// Number of elements (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn len(&self, ctx: &mut CallContext<'_>) -> Result<usize, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.len(ctx.txn())?)
+    }
+
+    /// Whether the array is empty (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn is_empty(&self, ctx: &mut CallContext<'_>) -> Result<bool, VmError> {
+        Ok(self.len(ctx)? == 0)
+    }
+
+    /// Reads element `i` (charges one `sload`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get(&self, ctx: &mut CallContext<'_>, i: usize) -> Result<Option<T>, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get(ctx.txn(), i)?)
+    }
+
+    /// Overwrites element `i` (charges one `sstore`); `Ok(false)` if out of
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn set(&self, ctx: &mut CallContext<'_>, i: usize, value: T) -> Result<bool, VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.set(ctx.txn(), i, value)?)
+    }
+
+    /// Read-modify-write of element `i` (charges an `sload` + `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn modify(
+        &self,
+        ctx: &mut CallContext<'_>,
+        i: usize,
+        f: impl FnOnce(&mut T),
+    ) -> Result<Option<T>, VmError> {
+        ctx.charge_sload()?;
+        ctx.charge_sstore()?;
+        Ok(self.inner.modify(ctx.txn(), i, f)?)
+    }
+
+    /// Appends an element, returning its index (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn push(&self, ctx: &mut CallContext<'_>, value: T) -> Result<usize, VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.push(ctx.txn(), value)?)
+    }
+
+    /// Non-transactional append used while constructing initial state.
+    pub fn seed_push(&self, value: T) {
+        self.inner.seed_push(value);
+    }
+
+    /// Non-transactional element read for tests and diagnostics.
+    pub fn peek(&self, i: usize) -> Option<T> {
+        self.inner.peek(i)
+    }
+
+    /// Non-transactional length.
+    pub fn snapshot_len(&self) -> usize {
+        self.inner.snapshot_len()
+    }
+
+    /// Point-in-time copy of the contents.
+    pub fn items(&self) -> Vec<T> {
+        self.inner.snapshot()
+    }
+}
+
+impl<T> StorageVec<T>
+where
+    T: Clone + Send + Sync + ToBytes + 'static,
+{
+    /// Canonical snapshot of the array for state-root computation.
+    pub fn snapshot_field(&self) -> FieldSnapshot {
+        FieldSnapshot::from_typed(
+            self.inner.name(),
+            self.inner
+                .snapshot()
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (i as u64, v)),
+        )
+    }
+}
+
+/// A persistent tally map with a commutative `add` (used for vote counts
+/// and similar accumulators).
+#[derive(Debug, Clone)]
+pub struct StorageCounterMap<K> {
+    inner: BoostedCounterMap<K>,
+}
+
+impl<K> StorageCounterMap<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Declares a tally map with a stable name.
+    pub fn new(name: &str) -> Self {
+        StorageCounterMap {
+            inner: BoostedCounterMap::new(name),
+        }
+    }
+
+    /// Adds `delta` to the tally for `key` (charges one `sstore`);
+    /// commutes with concurrent adds to the same key.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn add(&self, ctx: &mut CallContext<'_>, key: K, delta: u64) -> Result<(), VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.add(ctx.txn(), key, delta)?)
+    }
+
+    /// Reads the tally for `key` (charges one `sload`); orders against
+    /// concurrent adds.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<u64, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get(ctx.txn(), key)?)
+    }
+
+    /// Overwrites the tally for `key` (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn set(&self, ctx: &mut CallContext<'_>, key: K, value: u64) -> Result<(), VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.set(ctx.txn(), key, value)?)
+    }
+
+    /// Non-transactional write used while constructing initial state.
+    pub fn seed(&self, key: K, value: u64) {
+        self.inner.seed(key, value);
+    }
+
+    /// Non-transactional read for tests and diagnostics.
+    pub fn peek(&self, key: &K) -> u64 {
+        self.inner.peek(key)
+    }
+}
+
+impl<K> StorageCounterMap<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + ToBytes + 'static,
+{
+    /// Canonical snapshot of the tallies for state-root computation.
+    pub fn snapshot_field(&self) -> FieldSnapshot {
+        FieldSnapshot::from_typed(self.inner.name(), self.inner.snapshot())
+    }
+}

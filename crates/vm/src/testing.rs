@@ -1,0 +1,255 @@
+//! Small contracts used by this crate's own tests, doctests and
+//! downstream smoke tests. The real benchmark contracts (Ballot,
+//! SimpleAuction, EtherDoc) live in the `cc-contracts` crate.
+
+use crate::abi::{ArgValue, CallData, ReturnValue};
+use crate::address::Address;
+use crate::contract::{Contract, ContractKind};
+use crate::context::CallContext;
+use crate::error::VmError;
+use crate::snapshot::ContractSnapshot;
+use crate::storage::{StorageCell, StorageCounterMap, StorageMap};
+use crate::value::Wei;
+
+/// A tiny contract with a per-sender counter, a global total and a
+/// deposit box — enough surface to exercise every storage wrapper, gas
+/// accounting, revert and events.
+#[derive(Debug)]
+pub struct CounterContract {
+    address: Address,
+    counts: StorageMap<Address, u64>,
+    total: StorageCounterMap<u8>,
+    deposits: StorageCell<u128>,
+}
+
+impl CounterContract {
+    /// Deploys the counter at `address`.
+    pub fn new(address: Address) -> Self {
+        let tag = address.to_hex();
+        CounterContract {
+            address,
+            counts: StorageMap::new(&format!("Counter.counts.{tag}")),
+            total: StorageCounterMap::new(&format!("Counter.total.{tag}")),
+            deposits: StorageCell::new(&format!("Counter.deposits.{tag}"), 0),
+        }
+    }
+
+    /// Non-transactional view of a sender's count (tests only).
+    pub fn count_of(&self, sender: &Address) -> u64 {
+        self.counts.peek(sender).unwrap_or(0)
+    }
+
+    /// Non-transactional view of the global total (tests only).
+    pub fn total(&self) -> u64 {
+        self.total.peek(&0)
+    }
+}
+
+impl Contract for CounterContract {
+    fn kind(&self) -> ContractKind {
+        ContractKind("Counter")
+    }
+
+    fn address(&self) -> Address {
+        self.address
+    }
+
+    fn call(&self, ctx: &mut CallContext<'_>, call: &CallData) -> Result<ReturnValue, VmError> {
+        match call.function.as_str() {
+            "increment" => {
+                let delta = call.arg(0)?.as_uint()? as u64;
+                let sender = ctx.sender();
+                self.counts.update_or(ctx, sender, 0, |c| *c += delta)?;
+                self.total.add(ctx, 0, delta)?;
+                ctx.emit("Incremented", vec![ArgValue::Uint(u128::from(delta))])?;
+                Ok(ReturnValue::Uint(u128::from(delta)))
+            }
+            "increment_then_fail" => {
+                let delta = call.arg(0)?.as_uint()? as u64;
+                let sender = ctx.sender();
+                self.counts.update_or(ctx, sender, 0, |c| *c += delta)?;
+                self.total.add(ctx, 0, delta)?;
+                ctx.throw("deliberate failure after mutation")
+            }
+            "get" => {
+                let who = call.arg(0)?.as_address()?;
+                let count = self.counts.get(ctx, &who)?.unwrap_or(0);
+                Ok(ReturnValue::Uint(u128::from(count)))
+            }
+            "total" => Ok(ReturnValue::Uint(u128::from(self.total.get(ctx, &0)?))),
+            "deposit" => {
+                let value = ctx.msg().value;
+                self.deposits.modify(ctx, |d| *d += value.amount())?;
+                Ok(ReturnValue::Amount(Wei::new(self.deposits.get(ctx)?)))
+            }
+            other => Err(VmError::UnknownFunction {
+                function: other.to_string(),
+            }),
+        }
+    }
+
+    fn snapshot(&self) -> ContractSnapshot {
+        ContractSnapshot::new(
+            "Counter",
+            self.address,
+            vec![
+                self.counts.snapshot_field(),
+                self.total.snapshot_field(),
+                self.deposits.snapshot_field(),
+            ],
+        )
+    }
+}
+
+/// A contract that forwards calls to a [`CounterContract`], used to test
+/// nested speculative actions.
+#[derive(Debug)]
+pub struct ProxyContract {
+    address: Address,
+    target: Address,
+    forwarded: StorageCell<u64>,
+}
+
+impl ProxyContract {
+    /// Deploys a proxy at `address` pointing at `target`.
+    pub fn new(address: Address, target: Address) -> Self {
+        ProxyContract {
+            address,
+            target,
+            forwarded: StorageCell::new(&format!("Proxy.forwarded.{}", address.to_hex()), 0),
+        }
+    }
+}
+
+impl Contract for ProxyContract {
+    fn kind(&self) -> ContractKind {
+        ContractKind("Proxy")
+    }
+
+    fn address(&self) -> Address {
+        self.address
+    }
+
+    fn call(&self, ctx: &mut CallContext<'_>, call: &CallData) -> Result<ReturnValue, VmError> {
+        match call.function.as_str() {
+            // Forward an increment to the target contract.
+            "proxy_increment" => {
+                let delta = call.arg(0)?.as_uint()?;
+                self.forwarded.modify(ctx, |n| *n += 1)?;
+                ctx.call_contract(
+                    self.target,
+                    &CallData::new("increment", vec![ArgValue::Uint(delta)]),
+                    Wei::ZERO,
+                )
+            }
+            // Make two nested calls, the second of which fails; swallow the
+            // failure and report how many succeeded. Exercises child-abort
+            // without parent-abort.
+            "proxy_try_both" => {
+                let delta = call.arg(0)?.as_uint()?;
+                let mut succeeded = 0u128;
+                if ctx
+                    .call_contract(
+                        self.target,
+                        &CallData::new("increment", vec![ArgValue::Uint(delta)]),
+                        Wei::ZERO,
+                    )
+                    .is_ok()
+                {
+                    succeeded += 1;
+                }
+                if ctx
+                    .call_contract(
+                        self.target,
+                        &CallData::new("increment_then_fail", vec![ArgValue::Uint(delta)]),
+                        Wei::ZERO,
+                    )
+                    .is_ok()
+                {
+                    succeeded += 1;
+                }
+                Ok(ReturnValue::Uint(succeeded))
+            }
+            other => Err(VmError::UnknownFunction {
+                function: other.to_string(),
+            }),
+        }
+    }
+
+    fn snapshot(&self) -> ContractSnapshot {
+        ContractSnapshot::new(
+            "Proxy",
+            self.address,
+            vec![self.forwarded.snapshot_field()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Msg;
+    use crate::world::World;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_state_helpers() {
+        let world = World::new();
+        let addr = Address::from_name("counter-helpers");
+        let counter = Arc::new(CounterContract::new(addr));
+        world.deploy(counter.clone());
+
+        let sender = Address::from_index(3);
+        let txn = world.stm().begin();
+        world.call(
+            &txn,
+            Msg::from_sender(sender),
+            addr,
+            &CallData::new("increment", vec![ArgValue::Uint(2)]),
+            1_000_000,
+        );
+        world.call(
+            &txn,
+            Msg::from_sender(sender),
+            addr,
+            &CallData::new("increment", vec![ArgValue::Uint(5)]),
+            1_000_000,
+        );
+        txn.commit().unwrap();
+        assert_eq!(counter.count_of(&sender), 7);
+        assert_eq!(counter.total(), 7);
+    }
+
+    #[test]
+    fn get_and_total_functions() {
+        let world = World::new();
+        let addr = Address::from_name("counter-get");
+        world.deploy(Arc::new(CounterContract::new(addr)));
+        let sender = Address::from_index(3);
+        let txn = world.stm().begin();
+        world.call(
+            &txn,
+            Msg::from_sender(sender),
+            addr,
+            &CallData::new("increment", vec![ArgValue::Uint(2)]),
+            1_000_000,
+        );
+        let r = world.call(
+            &txn,
+            Msg::from_sender(sender),
+            addr,
+            &CallData::new("get", vec![ArgValue::Addr(sender)]),
+            1_000_000,
+        );
+        assert_eq!(r.output, ReturnValue::Uint(2));
+        let t = world.call(
+            &txn,
+            Msg::from_sender(sender),
+            addr,
+            &CallData::nullary("total"),
+            1_000_000,
+        );
+        assert_eq!(t.output, ReturnValue::Uint(2));
+        txn.commit().unwrap();
+    }
+}

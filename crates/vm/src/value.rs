@@ -1,0 +1,148 @@
+//! Currency amounts.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An amount of currency in the smallest unit (analogous to Ethereum wei).
+///
+/// Arithmetic is checked: overflowing additions and underflowing
+/// subtractions panic in debug terms via the checked constructors below,
+/// while the `+`/`-` operators saturate nowhere — contracts use
+/// [`Wei::checked_add`] / [`Wei::checked_sub`] and treat `None` as a
+/// `throw`.
+///
+/// # Example
+///
+/// ```
+/// use cc_vm::Wei;
+/// let a = Wei::new(100);
+/// let b = Wei::new(42);
+/// assert_eq!((a + b).amount(), 142);
+/// assert_eq!(a.checked_sub(b), Some(Wei::new(58)));
+/// assert_eq!(b.checked_sub(a), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Wei(u128);
+
+impl Wei {
+    /// Zero currency.
+    pub const ZERO: Wei = Wei(0);
+
+    /// Creates an amount from a raw integer.
+    pub const fn new(amount: u128) -> Self {
+        Wei(amount)
+    }
+
+    /// The raw integer amount.
+    pub const fn amount(&self) -> u128 {
+        self.0
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, other: Wei) -> Option<Wei> {
+        self.0.checked_add(other.0).map(Wei)
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, other: Wei) -> Option<Wei> {
+        self.0.checked_sub(other.0).map(Wei)
+    }
+
+    /// Whether the amount is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Wei {
+    type Output = Wei;
+
+    fn add(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_add(rhs.0).expect("wei overflow"))
+    }
+}
+
+impl AddAssign for Wei {
+    fn add_assign(&mut self, rhs: Wei) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Wei {
+    type Output = Wei;
+
+    fn sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_sub(rhs.0).expect("wei underflow"))
+    }
+}
+
+impl SubAssign for Wei {
+    fn sub_assign(&mut self, rhs: Wei) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        iter.fold(Wei::ZERO, |acc, w| acc + w)
+    }
+}
+
+impl From<u128> for Wei {
+    fn from(value: u128) -> Self {
+        Wei(value)
+    }
+}
+
+impl From<u64> for Wei {
+    fn from(value: u64) -> Self {
+        Wei(u128::from(value))
+    }
+}
+
+impl fmt::Display for Wei {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} wei", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Wei::new(10);
+        let b = Wei::new(3);
+        assert_eq!(a + b, Wei::new(13));
+        assert_eq!(a - b, Wei::new(7));
+        let mut c = a;
+        c += b;
+        c -= Wei::new(1);
+        assert_eq!(c, Wei::new(12));
+    }
+
+    #[test]
+    fn checked_paths() {
+        assert_eq!(Wei::new(u128::MAX).checked_add(Wei::new(1)), None);
+        assert_eq!(Wei::new(0).checked_sub(Wei::new(1)), None);
+        assert_eq!(Wei::new(5).checked_sub(Wei::new(5)), Some(Wei::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "wei underflow")]
+    fn underflow_panics() {
+        let _ = Wei::new(1) - Wei::new(2);
+    }
+
+    #[test]
+    fn sum_and_conversions() {
+        let total: Wei = vec![Wei::new(1), Wei::new(2), Wei::new(3)].into_iter().sum();
+        assert_eq!(total, Wei::new(6));
+        assert_eq!(Wei::from(7u64), Wei::new(7));
+        assert_eq!(Wei::from(7u128), Wei::new(7));
+        assert!(Wei::ZERO.is_zero());
+        assert_eq!(format!("{}", Wei::new(9)), "9 wei");
+    }
+}

@@ -1,0 +1,390 @@
+//! The contract registry and transaction execution entry point.
+
+use crate::abi::CallData;
+use crate::address::Address;
+use crate::context::CallContext;
+use crate::contract::Contract;
+use crate::error::VmError;
+use crate::gas::{GasMeter, GasSchedule};
+use crate::msg::Msg;
+use crate::receipt::{ExecutionStatus, Receipt};
+use crate::snapshot::WorldSnapshot;
+use cc_primitives::hash::Hash256;
+use cc_stm::{Stm, StmError, Transaction};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The set of deployed contracts plus the speculative runtime they execute
+/// under — the "ledger state" a miner starts from when assembling a block.
+///
+/// `World` is shared by reference across the miner's worker threads; all
+/// mutation happens through contract storage inside transactions.
+pub struct World {
+    stm: Stm,
+    gas_schedule: GasSchedule,
+    contracts: RwLock<BTreeMap<Address, Arc<dyn Contract>>>,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("contracts", &self.contracts.read().len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with a fresh speculative runtime and the
+    /// default gas schedule.
+    pub fn new() -> Self {
+        World {
+            stm: Stm::new(),
+            gas_schedule: GasSchedule::default(),
+            contracts: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates a world with an explicit gas schedule.
+    pub fn with_gas_schedule(gas_schedule: GasSchedule) -> Self {
+        World {
+            gas_schedule,
+            ..World::new()
+        }
+    }
+
+    /// The speculative runtime used by this world.
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// The gas schedule in force.
+    pub fn gas_schedule(&self) -> GasSchedule {
+        self.gas_schedule
+    }
+
+    /// Deploys a contract at its self-reported address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a contract is already deployed at that address (deploying
+    /// twice is always a harness bug).
+    pub fn deploy(&self, contract: Arc<dyn Contract>) {
+        let address = contract.address();
+        let mut contracts = self.contracts.write();
+        assert!(
+            !contracts.contains_key(&address),
+            "contract already deployed at {address}"
+        );
+        contracts.insert(address, contract);
+    }
+
+    /// Looks up the contract deployed at `address`.
+    pub fn contract(&self, address: Address) -> Option<Arc<dyn Contract>> {
+        self.contracts.read().get(&address).cloned()
+    }
+
+    /// Addresses of all deployed contracts (sorted).
+    pub fn addresses(&self) -> Vec<Address> {
+        self.contracts.read().keys().copied().collect()
+    }
+
+    /// Number of deployed contracts.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.read().len()
+    }
+
+    /// Executes one contract call inside the given transaction and returns
+    /// its receipt.
+    ///
+    /// Contract-level failures (`throw`, out of gas, bad call) roll back
+    /// the call's tentative storage changes via the transaction's undo log
+    /// — while keeping its abstract locks, so the failed call still
+    /// participates in the block's happens-before order — and produce a
+    /// non-successful receipt.
+    ///
+    /// The transaction itself is *not* committed or aborted here; that is
+    /// the caller's (miner's / validator's) decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`StmError`] only when the speculative runtime requires
+    /// the whole transaction to abort and retry (deadlock victim).
+    pub fn execute(
+        &self,
+        txn: &Transaction,
+        tx_index: usize,
+        msg: Msg,
+        to: Address,
+        call: &CallData,
+        gas_limit: u64,
+    ) -> Result<Receipt, StmError> {
+        let meter = GasMeter::new(gas_limit, self.gas_schedule);
+        let mut ctx = CallContext::root(txn, self, msg, to, meter);
+        let savepoint = txn.savepoint();
+
+        let outcome = ctx
+            .charge_tx_base()
+            .and_then(|_| match self.contract(to) {
+                Some(contract) => contract.call(&mut ctx, call),
+                None => Err(VmError::UnknownContract),
+            });
+
+        match outcome {
+            Ok(output) => Ok(Receipt {
+                tx_index,
+                status: ExecutionStatus::Succeeded,
+                gas_used: ctx.gas_used(),
+                output,
+                events: ctx.take_events(),
+            }),
+            Err(err) => {
+                if let VmError::Stm(stm_err) = &err {
+                    if stm_err.is_retryable() {
+                        return Err(stm_err.clone());
+                    }
+                }
+                // Contract-level failure: discard tentative effects but keep
+                // the locks (Solidity `throw` semantics under boosting).
+                txn.rollback_to(savepoint);
+                Ok(Receipt {
+                    tx_index,
+                    status: ExecutionStatus::from_error(&err),
+                    gas_used: ctx.gas_used().min(gas_limit),
+                    output: Default::default(),
+                    events: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Convenience wrapper around [`World::execute`] for callers that do
+    /// not track a block position (doctests, examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the speculative runtime demands a retry; use
+    /// [`World::execute`] in miner code.
+    pub fn call(
+        &self,
+        txn: &Transaction,
+        msg: Msg,
+        to: Address,
+        call: &CallData,
+        gas_limit: u64,
+    ) -> Receipt {
+        self.execute(txn, 0, msg, to, call, gas_limit)
+            .expect("unexpected speculative conflict in direct call")
+    }
+
+    /// Snapshot of every deployed contract's state.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot::new(
+            self.contracts
+                .read()
+                .values()
+                .map(|c| c.snapshot())
+                .collect(),
+        )
+    }
+
+    /// The state root committing to the current world state.
+    pub fn state_root(&self) -> Hash256 {
+        self.snapshot().state_root()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abi::{ArgValue, ReturnValue};
+    use crate::testing::{CounterContract, ProxyContract};
+    use crate::value::Wei;
+
+    fn world_with_counter() -> (World, Address) {
+        let world = World::new();
+        let addr = Address::from_name("counter");
+        world.deploy(Arc::new(CounterContract::new(addr)));
+        (world, addr)
+    }
+
+    #[test]
+    fn successful_call_produces_receipt_and_state() {
+        let (world, addr) = world_with_counter();
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                0,
+                Msg::from_sender(Address::from_index(1)),
+                addr,
+                &CallData::new("increment", vec![ArgValue::Uint(3)]),
+                1_000_000,
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert!(receipt.succeeded());
+        assert!(receipt.gas_used >= 21_000);
+        let counter = world.contract(addr).unwrap();
+        let snap = counter.snapshot();
+        assert_eq!(snap.kind, "Counter");
+    }
+
+    #[test]
+    fn revert_rolls_back_but_keeps_receipt() {
+        let (world, addr) = world_with_counter();
+        let root_before = world.state_root();
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                1,
+                Msg::from_sender(Address::from_index(1)),
+                addr,
+                &CallData::new("increment_then_fail", vec![ArgValue::Uint(3)]),
+                1_000_000,
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert!(matches!(receipt.status, ExecutionStatus::Reverted { .. }));
+        assert_eq!(world.state_root(), root_before, "state unchanged after revert");
+    }
+
+    #[test]
+    fn unknown_contract_and_function() {
+        let (world, addr) = world_with_counter();
+        let txn = world.stm().begin();
+        let r1 = world
+            .execute(
+                &txn,
+                0,
+                Msg::from_sender(Address::from_index(1)),
+                Address::from_index(99),
+                &CallData::nullary("anything"),
+                1_000_000,
+            )
+            .unwrap();
+        assert!(matches!(r1.status, ExecutionStatus::Invalid { .. }));
+        let r2 = world
+            .execute(
+                &txn,
+                1,
+                Msg::from_sender(Address::from_index(1)),
+                addr,
+                &CallData::nullary("not_a_function"),
+                1_000_000,
+            )
+            .unwrap();
+        assert!(matches!(r2.status, ExecutionStatus::Invalid { .. }));
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn out_of_gas_is_reported_and_rolled_back() {
+        let (world, addr) = world_with_counter();
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                0,
+                Msg::from_sender(Address::from_index(1)),
+                addr,
+                &CallData::new("increment", vec![ArgValue::Uint(3)]),
+                21_100, // enough for the base charge but not the stores
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert_eq!(receipt.status, ExecutionStatus::OutOfGas);
+        let counter = world.contract(addr).unwrap();
+        assert!(counter.snapshot().fields.iter().all(|f| f.entries.iter().all(|(_, v)| v
+            .iter()
+            .all(|&b| b == 0))));
+    }
+
+    #[test]
+    fn cross_contract_call_through_proxy() {
+        let (world, counter_addr) = world_with_counter();
+        let proxy_addr = Address::from_name("proxy");
+        world.deploy(Arc::new(ProxyContract::new(proxy_addr, counter_addr)));
+
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                0,
+                Msg::from_sender(Address::from_index(5)),
+                proxy_addr,
+                &CallData::new("proxy_increment", vec![ArgValue::Uint(4)]),
+                1_000_000,
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert!(receipt.succeeded());
+        assert_eq!(receipt.output, ReturnValue::Uint(4));
+    }
+
+    #[test]
+    fn nested_failure_does_not_abort_parent() {
+        let (world, counter_addr) = world_with_counter();
+        let proxy_addr = Address::from_name("proxy2");
+        world.deploy(Arc::new(ProxyContract::new(proxy_addr, counter_addr)));
+
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                0,
+                Msg::from_sender(Address::from_index(5)),
+                proxy_addr,
+                // The proxy swallows the callee's failure and reports how
+                // many nested calls succeeded.
+                &CallData::new("proxy_try_both", vec![ArgValue::Uint(4)]),
+                1_000_000,
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert!(receipt.succeeded());
+        assert_eq!(receipt.output, ReturnValue::Uint(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already deployed")]
+    fn double_deploy_panics() {
+        let (world, addr) = world_with_counter();
+        world.deploy(Arc::new(CounterContract::new(addr)));
+    }
+
+    #[test]
+    fn value_transfer_is_visible_to_callee() {
+        let (world, addr) = world_with_counter();
+        let txn = world.stm().begin();
+        let receipt = world
+            .execute(
+                &txn,
+                0,
+                Msg::with_value(Address::from_index(1), Wei::new(250)),
+                addr,
+                &CallData::nullary("deposit"),
+                1_000_000,
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        assert!(receipt.succeeded());
+        assert_eq!(receipt.output, ReturnValue::Amount(Wei::new(250)));
+    }
+
+    #[test]
+    fn addresses_and_counts() {
+        let (world, addr) = world_with_counter();
+        assert_eq!(world.addresses(), vec![addr]);
+        assert_eq!(world.contract_count(), 1);
+        assert!(world.contract(Address::ZERO).is_none());
+    }
+}

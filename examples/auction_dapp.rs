@@ -1,0 +1,107 @@
+//! SimpleAuction DApp walk-through: a full auction lifecycle — bidding
+//! waves, withdrawals of outbid funds, and closing the auction — mined in
+//! parallel and validated deterministically.
+//!
+//! ```text
+//! cargo run -p cc-examples --release --example auction_dapp
+//! ```
+
+use cc_contracts::SimpleAuction;
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_examples::{print_mined, speedup};
+use cc_ledger::Transaction;
+use cc_vm::{Address, CallData, Wei, World};
+use std::sync::Arc;
+
+const AUCTION: &str = "AuctionDapp";
+
+fn beneficiary() -> Address {
+    Address::from_index(0)
+}
+
+fn bidder(i: u64) -> Address {
+    Address::from_index(100 + i)
+}
+
+fn build_world() -> (World, Arc<SimpleAuction>) {
+    let world = World::new();
+    let auction = Arc::new(SimpleAuction::new(Address::from_name(AUCTION), beneficiary()));
+    world.deploy(auction.clone());
+    (world, auction)
+}
+
+fn bid(sender: Address, amount: u128) -> Transaction {
+    Transaction::with_value(
+        0,
+        sender,
+        Address::from_name(AUCTION),
+        Wei::new(amount),
+        CallData::nullary("bid"),
+        1_000_000,
+    )
+}
+
+fn nullary(sender: Address, function: &str) -> Transaction {
+    Transaction::new(0, sender, Address::from_name(AUCTION), CallData::nullary(function), 1_000_000)
+}
+
+fn main() {
+    println!("== SimpleAuction DApp ==");
+    let (world, auction) = build_world();
+    let miner = ParallelMiner::new(3);
+
+    // Block 1: 40 bidders place strictly increasing bids. These all touch
+    // the shared highest-bid cell, so the block is inherently serial — the
+    // schedule's critical path shows it.
+    let bids: Vec<Transaction> = (1..=40).map(|i| bid(bidder(i), 100 + i as u128 * 10)).collect();
+    let block1 = miner.mine(&world, bids).expect("bidding block");
+    print_mined("block 1 (bidding war)", &block1.block, &block1.stats);
+    println!(
+        "highest bid after block 1: {} by {}",
+        auction.current_highest_bid(),
+        auction.current_highest_bidder()
+    );
+
+    // Block 2: the 39 outbid bidders withdraw their pending returns —
+    // these all commute, so the parallel miner finds a wide schedule.
+    let withdrawals: Vec<Transaction> = (1..=39).map(|i| nullary(bidder(i), "withdraw")).collect();
+    let serial_world = {
+        // Mine the same block serially on a copy of the state for a
+        // like-for-like wall-clock comparison.
+        let (w, a) = build_world();
+        for i in 1..=39u64 {
+            a.seed_pending_return(bidder(i), 100 + i as u128 * 10);
+        }
+        a.seed_highest_bid(bidder(40), auction.current_highest_bid());
+        w
+    };
+    let serial2 = SerialMiner::new()
+        .mine(&serial_world, withdrawals.clone())
+        .expect("serial withdrawal block");
+    let block2 = miner
+        .mine_on(&world, withdrawals, block1.block.hash(), 2)
+        .expect("withdrawal block");
+    print_mined("block 2 (withdrawals)", &block2.block, &block2.stats);
+    println!(
+        "withdrawal block: critical path {} of {} txns, parallel speedup {}",
+        block2.stats.critical_path,
+        block2.block.len(),
+        speedup(serial2.stats.elapsed, block2.stats.elapsed)
+    );
+
+    // Block 3: the beneficiary ends the auction.
+    let block3 = miner
+        .mine_on(&world, vec![nullary(beneficiary(), "auctionEnd")], block2.block.hash(), 3)
+        .expect("closing block");
+    print_mined("block 3 (auctionEnd)", &block3.block, &block3.stats);
+
+    // A validating node replays the whole history.
+    let (validator_world, _) = build_world();
+    let validator = ParallelValidator::new(3);
+    for block in [&block1.block, &block2.block, &block3.block] {
+        validator.validate(&validator_world, block).expect("honest block accepted");
+    }
+    assert_eq!(validator_world.state_root(), world.state_root());
+    println!("auction history validated — final state roots match.");
+}

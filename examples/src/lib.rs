@@ -1,0 +1,54 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples themselves live next to this package's `Cargo.toml` and
+//! are run with, e.g.:
+//!
+//! ```text
+//! cargo run -p cc-examples --release --example quickstart
+//! cargo run -p cc-examples --release --example full_node
+//! ```
+
+use cc_core::stats::{MinerStats, ValidationReport};
+use cc_ledger::Block;
+
+/// Prints a one-line summary of a mined block.
+pub fn print_mined(label: &str, block: &Block, stats: &MinerStats) {
+    println!(
+        "[{label}] block #{} — {} txns, gas {}, {:?} wall time, critical path {}, {} happens-before edges, {} retries",
+        block.header.number,
+        block.transactions.len(),
+        block.header.gas_used,
+        stats.elapsed,
+        stats.critical_path,
+        stats.hb_edges,
+        stats.retries,
+    );
+    println!("[{label}]   state root {}", block.header.state_root);
+}
+
+/// Prints a one-line summary of a validation run.
+pub fn print_validated(label: &str, report: &ValidationReport) {
+    println!(
+        "[{label}] validated {} txns on {} thread(s) in {:?} (critical path {})",
+        report.transactions, report.threads, report.elapsed, report.critical_path
+    );
+}
+
+/// Formats a speedup comparison.
+pub fn speedup(serial: std::time::Duration, parallel: std::time::Duration) -> String {
+    format!(
+        "{:.2}x",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(f64::EPSILON)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(Duration::from_millis(30), Duration::from_millis(15)), "2.00x");
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-contract calls as nested speculative actions: a child call can
+//! commit or abort independently of its parent (paper §3), and blocks
+//! containing such calls still mine and validate concurrently.
+
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_ledger::Transaction;
+use cc_vm::testing::{CounterContract, ProxyContract};
+use cc_vm::{Address, ArgValue, CallData, ExecutionStatus, World};
+use std::sync::Arc;
+
+fn counter() -> Address {
+    Address::from_name("xc.counter")
+}
+
+fn proxy() -> Address {
+    Address::from_name("xc.proxy")
+}
+
+fn build_world() -> (World, Arc<CounterContract>) {
+    let world = World::new();
+    let counter_contract = Arc::new(CounterContract::new(counter()));
+    world.deploy(counter_contract.clone());
+    world.deploy(Arc::new(ProxyContract::new(proxy(), counter())));
+    (world, counter_contract)
+}
+
+fn proxy_tx(nonce: u64, sender: u64, function: &str, delta: u64) -> Transaction {
+    Transaction::new(
+        nonce,
+        Address::from_index(sender),
+        proxy(),
+        CallData::new(function, vec![ArgValue::Uint(u128::from(delta))]),
+        1_000_000,
+    )
+}
+
+#[test]
+fn proxied_increments_update_the_target_contract() {
+    let (world, counter_contract) = build_world();
+    let txs: Vec<Transaction> = (0..20).map(|i| proxy_tx(i, i, "proxy_increment", 2)).collect();
+    let mined = ParallelMiner::new(3).mine(&world, txs).expect("mining succeeds");
+    assert!(mined.block.receipts.iter().all(|r| r.succeeded()));
+    assert_eq!(counter_contract.total(), 40);
+
+    let (validator_world, _) = build_world();
+    let report = ParallelValidator::new(3)
+        .validate(&validator_world, &mined.block)
+        .expect("block accepted");
+    assert_eq!(report.state_root, mined.block.header.state_root);
+}
+
+#[test]
+fn failed_nested_calls_do_not_poison_the_parent_or_the_block() {
+    // proxy_try_both makes two nested calls; the second always throws
+    // inside the callee after mutating it. The child's effects must be
+    // rolled back while the parent's (and the first call's) survive.
+    let (world, counter_contract) = build_world();
+    let txs: Vec<Transaction> = (0..16).map(|i| proxy_tx(i, i, "proxy_try_both", 3)).collect();
+    let mined = ParallelMiner::new(4).mine(&world, txs).expect("mining succeeds");
+
+    assert!(mined.block.receipts.iter().all(|r| r.succeeded()));
+    for receipt in &mined.block.receipts {
+        assert_eq!(
+            receipt.output.as_uint(),
+            Some(1),
+            "exactly one of the two nested calls succeeds"
+        );
+    }
+    // Only the successful nested increments are visible.
+    assert_eq!(counter_contract.total(), 16 * 3);
+
+    let (validator_world, validator_counter) = build_world();
+    ParallelValidator::new(3)
+        .validate(&validator_world, &mined.block)
+        .expect("block accepted");
+    assert_eq!(validator_counter.total(), 16 * 3);
+}
+
+#[test]
+fn serial_and_parallel_agree_on_nested_call_blocks() {
+    let txs: Vec<Transaction> = (0..24)
+        .map(|i| {
+            if i % 3 == 0 {
+                proxy_tx(i, i, "proxy_try_both", 1)
+            } else {
+                proxy_tx(i, i, "proxy_increment", 1)
+            }
+        })
+        .collect();
+    let (serial_world, _) = build_world();
+    let serial = SerialMiner::new().mine(&serial_world, txs.clone()).unwrap();
+    let (parallel_world, _) = build_world();
+    let parallel = ParallelMiner::new(4).mine(&parallel_world, txs).unwrap();
+    assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+}
+
+#[test]
+fn calling_a_missing_contract_is_an_invalid_receipt_not_a_crash() {
+    let (world, _) = build_world();
+    let mut txs: Vec<Transaction> = (0..4).map(|i| proxy_tx(i, i, "proxy_increment", 1)).collect();
+    txs.push(Transaction::new(
+        99,
+        Address::from_index(99),
+        Address::from_name("not-deployed"),
+        CallData::nullary("anything"),
+        1_000_000,
+    ));
+    let mined = ParallelMiner::new(2).mine(&world, txs).expect("mining succeeds");
+    let invalid = mined
+        .block
+        .receipts
+        .iter()
+        .filter(|r| matches!(r.status, ExecutionStatus::Invalid { .. }))
+        .count();
+    assert_eq!(invalid, 1);
+
+    let (validator_world, _) = build_world();
+    ParallelValidator::new(2)
+        .validate(&validator_world, &mined.block)
+        .expect("block with an invalid call still validates deterministically");
+}

@@ -1,0 +1,122 @@
+//! Gas determinism: serial mining, parallel mining and validation must
+//! charge exactly the same gas for every transaction, and the gas limit
+//! must bound execution the way the paper's correctness argument assumes.
+
+use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_integration_tests::{counter_address, counter_world, increment_tx, workload};
+use cc_ledger::Transaction;
+use cc_vm::{Address, ArgValue, CallData, ExecutionStatus};
+use cc_workload::Benchmark;
+
+#[test]
+fn gas_is_identical_between_serial_and_parallel_mining() {
+    for benchmark in Benchmark::ALL {
+        let w = workload(benchmark, 60, 0.2, 31);
+        // Use the published serial order so that order-dependent contracts
+        // (SimpleAuction) execute the same calls in both runs.
+        let parallel = ParallelMiner::new(3)
+            .mine(&w.build_world(), w.transactions())
+            .expect("parallel mining succeeds");
+        let schedule = parallel.block.schedule.as_ref().unwrap();
+        let txs = w.transactions();
+        let reordered: Vec<Transaction> =
+            schedule.serial_order.iter().map(|&i| txs[i].clone()).collect();
+        let serial = SerialMiner::new()
+            .mine(&w.build_world(), reordered)
+            .expect("serial mining succeeds");
+
+        // Compare per-transaction gas by original transaction identity.
+        let mut parallel_gas: Vec<(u64, u64)> = parallel
+            .block
+            .transactions
+            .iter()
+            .zip(&parallel.block.receipts)
+            .map(|(tx, r)| (tx.nonce, r.gas_used))
+            .collect();
+        let mut serial_gas: Vec<(u64, u64)> = serial
+            .block
+            .transactions
+            .iter()
+            .zip(&serial.block.receipts)
+            .map(|(tx, r)| (tx.nonce, r.gas_used))
+            .collect();
+        parallel_gas.sort_unstable();
+        serial_gas.sort_unstable();
+        assert_eq!(parallel_gas, serial_gas, "{benchmark}");
+        assert_eq!(
+            parallel.block.header.gas_used, serial.block.header.gas_used,
+            "{benchmark}: total block gas must match"
+        );
+    }
+}
+
+#[test]
+fn validators_recompute_the_same_gas() {
+    let w = workload(Benchmark::Mixed, 90, 0.3, 37);
+    let mined = ParallelMiner::new(3)
+        .mine(&w.build_world(), w.transactions())
+        .expect("mining succeeds");
+    // Validation re-derives receipts (including gas) and compares them; a
+    // success therefore certifies gas equality.
+    ParallelValidator::new(4)
+        .validate(&w.build_world(), &mined.block)
+        .expect("gas-consistent block accepted");
+}
+
+#[test]
+fn out_of_gas_transactions_revert_consistently_everywhere() {
+    let world = counter_world();
+    let mut txs: Vec<Transaction> = (0..10).map(|i| increment_tx(i, i, 1)).collect();
+    // Transaction 5 gets a gas limit that covers the base cost but not the
+    // storage writes: it must fail with OutOfGas in every execution mode.
+    txs[5] = Transaction::new(
+        5,
+        Address::from_index(5),
+        counter_address(),
+        CallData::new("increment", vec![ArgValue::Uint(1)]),
+        21_500,
+    );
+
+    let serial = SerialMiner::new().mine(&counter_world(), txs.clone()).unwrap();
+    let parallel = ParallelMiner::new(3).mine(&world, txs).unwrap();
+
+    for block in [&serial.block, &parallel.block] {
+        let oog: Vec<usize> = block
+            .receipts
+            .iter()
+            .filter(|r| r.status == ExecutionStatus::OutOfGas)
+            .map(|r| r.tx_index)
+            .collect();
+        assert_eq!(oog.len(), 1);
+        let failing_nonce = block.transactions[oog[0]].nonce;
+        assert_eq!(failing_nonce, 5);
+    }
+    assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+
+    let report = ParallelValidator::new(3)
+        .validate(&counter_world(), &parallel.block)
+        .expect("block with an out-of-gas transaction validates");
+    assert_eq!(report.state_root, parallel.block.header.state_root);
+}
+
+#[test]
+fn reverted_transactions_still_pay_gas() {
+    // A double vote reverts but consumes gas; the block's gas total must
+    // include it (and the validator agrees, since receipts match).
+    let w = workload(Benchmark::Ballot, 40, 1.0, 41);
+    let mined = ParallelMiner::new(3)
+        .mine(&w.build_world(), w.transactions())
+        .expect("mining succeeds");
+    let reverted_gas: u64 = mined
+        .block
+        .receipts
+        .iter()
+        .filter(|r| matches!(r.status, ExecutionStatus::Reverted { .. }))
+        .map(|r| r.gas_used)
+        .sum();
+    assert!(reverted_gas > 0, "reverted transactions are charged");
+    ParallelValidator::new(3)
+        .validate(&w.build_world(), &mined.block)
+        .expect("block accepted");
+}

@@ -1,0 +1,186 @@
+//! Dishonest-miner scenarios: every way a published block can lie must be
+//! caught either by structural well-formedness checks or by the
+//! validator's replay checks (paper §4–5: "A miner who publishes an
+//! incorrect schedule will be detected and its block rejected").
+
+use cc_core::error::CoreError;
+use cc_core::miner::{MinedBlock, Miner, ParallelMiner};
+use cc_core::validator::{ParallelValidator, Validator};
+use cc_integration_tests::workload;
+use cc_ledger::Block;
+use cc_stm::{LockMode, LockProfile, ProfileEntry};
+use cc_workload::{Benchmark, Workload};
+
+fn mined_reference(benchmark: Benchmark, conflict: f64) -> (Workload, MinedBlock) {
+    let w = workload(benchmark, 80, conflict, 23);
+    let mined = ParallelMiner::new(3)
+        .mine(&w.build_world(), w.transactions())
+        .expect("mining succeeds");
+    (w, mined)
+}
+
+fn expect_rejection(w: &Workload, block: &Block) -> CoreError {
+    ParallelValidator::new(3)
+        .validate(&w.build_world(), block)
+        .expect_err("tampered block must be rejected")
+}
+
+/// Recomputes the header commitments a dishonest miner would recompute so
+/// the tampering is not caught by mere structural checks.
+fn recommit(block: &mut Block) {
+    let rebuilt = Block::build(
+        block.header.parent_hash,
+        block.header.number,
+        block.transactions.clone(),
+        block.receipts.clone(),
+        block.header.state_root,
+        block.schedule.clone(),
+    );
+    block.header = rebuilt.header;
+}
+
+#[test]
+fn forged_state_root_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::Ballot, 0.2);
+    let mut block = mined.block.clone();
+    block.header.state_root = cc_primitives::sha256(b"i promise this is fine");
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("state root"));
+}
+
+#[test]
+fn forged_receipt_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::SimpleAuction, 0.3);
+    let mut block = mined.block.clone();
+    block.receipts[0].gas_used = block.receipts[0].gas_used.saturating_sub(1);
+    recommit(&mut block);
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("receipt"));
+}
+
+#[test]
+fn dropped_happens_before_edges_are_rejected_as_a_race() {
+    let (w, mined) = mined_reference(Benchmark::EtherDoc, 0.5);
+    let mut block = mined.block.clone();
+    let schedule = block.schedule.as_mut().unwrap();
+    assert!(!schedule.edges.is_empty(), "conflicting workload must have edges");
+    schedule.edges.clear();
+    recommit(&mut block);
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("data race"), "got: {err}");
+}
+
+#[test]
+fn reordering_the_serial_order_across_a_dependency_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::SimpleAuction, 0.4);
+    let mut block = mined.block.clone();
+    let schedule = block.schedule.as_mut().unwrap();
+    // Find a published edge and flip the two endpoints in the serial order.
+    let (a, b) = schedule.edges[0];
+    let pos_a = schedule.serial_order.iter().position(|&x| x == a).unwrap();
+    let pos_b = schedule.serial_order.iter().position(|&x| x == b).unwrap();
+    schedule.serial_order.swap(pos_a, pos_b);
+    recommit(&mut block);
+    let err = expect_rejection(&w, &block);
+    assert!(matches!(err, CoreError::MalformedSchedule { .. }), "got: {err}");
+}
+
+#[test]
+fn lying_about_lock_profiles_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::Ballot, 0.3);
+    let mut block = mined.block.clone();
+    {
+        let schedule = block.schedule.as_mut().unwrap();
+        // Pretend transaction 0 touched nothing at all.
+        schedule.profiles[0].profile = LockProfile::default();
+        recommit(&mut block);
+    }
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("lock trace"), "got: {err}");
+
+    // Claiming extra locks is caught the same way.
+    let mut block = mined.block.clone();
+    {
+        let schedule = block.schedule.as_mut().unwrap();
+        let bogus = ProfileEntry {
+            lock: cc_stm::LockSpace::new("made-up-space").lock_for(&42u64),
+            mode: LockMode::Exclusive,
+            counter: 1,
+        };
+        let mut locks = schedule.profiles[0].profile.locks.clone();
+        locks.push(bogus);
+        schedule.profiles[0].profile = LockProfile::new(locks);
+        recommit(&mut block);
+    }
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("lock trace"), "got: {err}");
+}
+
+#[test]
+fn cyclic_schedule_is_rejected_as_malformed() {
+    let (w, mined) = mined_reference(Benchmark::Ballot, 0.2);
+    let mut block = mined.block.clone();
+    {
+        let schedule = block.schedule.as_mut().unwrap();
+        schedule.edges.push((0, 1));
+        schedule.edges.push((1, 0));
+        recommit(&mut block);
+    }
+    let err = expect_rejection(&w, &block);
+    assert!(matches!(err, CoreError::MalformedSchedule { .. }));
+}
+
+#[test]
+fn truncated_schedule_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::Mixed, 0.2);
+    let mut block = mined.block.clone();
+    {
+        let schedule = block.schedule.as_mut().unwrap();
+        schedule.serial_order.pop();
+        recommit(&mut block);
+    }
+    let err = expect_rejection(&w, &block);
+    // Depending on which check fires first this is either caught by the
+    // structural length check (the schedule no longer covers every
+    // transaction) or by schedule reconstruction.
+    assert!(matches!(
+        err,
+        CoreError::MalformedSchedule { .. } | CoreError::BlockRejected { .. }
+    ));
+}
+
+#[test]
+fn dropping_a_transaction_breaks_structural_checks() {
+    let (w, mined) = mined_reference(Benchmark::Ballot, 0.1);
+    let mut block = mined.block.clone();
+    block.transactions.pop();
+    // Without recommitting, the tx root no longer matches.
+    assert!(!block.is_well_formed());
+    let err = expect_rejection(&w, &block);
+    assert!(err.to_string().contains("commitments"));
+}
+
+#[test]
+fn smuggling_in_an_extra_transaction_is_rejected() {
+    let (w, mined) = mined_reference(Benchmark::Ballot, 0.1);
+    let mut block = mined.block.clone();
+    // Duplicate the last transaction and its receipt, extend the schedule
+    // naively, and recommit everything — the replayed state diverges.
+    let extra_tx = block.transactions.last().unwrap().clone();
+    let mut extra_receipt = block.receipts.last().unwrap().clone();
+    extra_receipt.tx_index = block.transactions.len();
+    block.transactions.push(extra_tx);
+    block.receipts.push(extra_receipt);
+    {
+        let schedule = block.schedule.as_mut().unwrap();
+        let new_index = schedule.serial_order.len();
+        schedule.serial_order.push(new_index);
+        if let Some(last) = schedule.profiles.last().cloned() {
+            let mut copy = last;
+            copy.tx_index = new_index;
+            schedule.profiles.push(copy);
+        }
+    }
+    recommit(&mut block);
+    let _err = expect_rejection(&w, &block);
+}
