@@ -6,15 +6,21 @@
 //! * validator thread scaling,
 //! * the cost of the validator's trace/race checking.
 
-use cc_bench::DEFAULT_THREADS;
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
+use cc_bench::{engine, DEFAULT_THREADS};
+use cc_core::engine::{EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_validator_strategies(c: &mut Criterion) {
     let workload = WorkloadSpec::new(Benchmark::Mixed, 200, 0.15).generate();
-    let reference = ParallelMiner::new(DEFAULT_THREADS)
+    let speculative = engine(ExecutionStrategy::SpeculativeStm, DEFAULT_THREADS);
+    let no_trace_checks = EngineConfig::new()
+        .threads(DEFAULT_THREADS)
+        .check_traces(false)
+        .build()
+        .unwrap();
+    let serial = engine(ExecutionStrategy::Serial, 1);
+    let reference = speculative
         .mine(&workload.build_world(), workload.transactions())
         .unwrap();
 
@@ -22,22 +28,21 @@ fn bench_validator_strategies(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("fork-join", |b| {
         b.iter(|| {
-            ParallelValidator::new(DEFAULT_THREADS)
+            speculative
                 .validate(&workload.build_world(), &reference.block)
                 .unwrap()
         })
     });
     group.bench_function("fork-join-no-trace-checks", |b| {
         b.iter(|| {
-            ParallelValidator::new(DEFAULT_THREADS)
-                .without_trace_checks()
+            no_trace_checks
                 .validate(&workload.build_world(), &reference.block)
                 .unwrap()
         })
     });
     group.bench_function("serial-revalidation", |b| {
         b.iter(|| {
-            SerialValidator::new()
+            serial
                 .validate(&workload.build_world(), &reference.block)
                 .unwrap()
         })
@@ -47,7 +52,7 @@ fn bench_validator_strategies(c: &mut Criterion) {
             // Without schedule metadata a concurrent validator would have to
             // redo the miner's speculative work (and could not check the
             // state deterministically) — this measures that cost.
-            ParallelMiner::new(DEFAULT_THREADS)
+            speculative
                 .mine(&workload.build_world(), workload.transactions())
                 .unwrap()
         })
@@ -57,16 +62,17 @@ fn bench_validator_strategies(c: &mut Criterion) {
 
 fn bench_validator_thread_scaling(c: &mut Criterion) {
     let workload = WorkloadSpec::new(Benchmark::Ballot, 200, 0.15).generate();
-    let reference = ParallelMiner::new(DEFAULT_THREADS)
+    let reference = engine(ExecutionStrategy::SpeculativeStm, DEFAULT_THREADS)
         .mine(&workload.build_world(), workload.transactions())
         .unwrap();
 
     let mut group = c.benchmark_group("ablation/validator-threads");
     group.sample_size(10);
     for threads in [1usize, 2, 3, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+        let validator = engine(ExecutionStrategy::SpeculativeStm, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
-                ParallelValidator::new(t)
+                validator
                     .validate(&workload.build_world(), &reference.block)
                     .unwrap()
             })
@@ -79,17 +85,19 @@ fn bench_miner_thread_scaling(c: &mut Criterion) {
     let workload = WorkloadSpec::new(Benchmark::Ballot, 200, 0.15).generate();
     let mut group = c.benchmark_group("ablation/miner-threads");
     group.sample_size(10);
+    let serial = engine(ExecutionStrategy::Serial, 1);
     group.bench_function("serial", |b| {
         b.iter(|| {
-            SerialMiner::new()
+            serial
                 .mine(&workload.build_world(), workload.transactions())
                 .unwrap()
         })
     });
     for threads in [1usize, 2, 3, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+        let miner = engine(ExecutionStrategy::SpeculativeStm, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
-                ParallelMiner::new(t)
+                miner
                     .mine(&workload.build_world(), workload.transactions())
                     .unwrap()
             })

@@ -5,9 +5,8 @@
 //! Run with `cargo bench -p cc-bench --bench figure1_blocksize`. The
 //! `repro` binary prints the same series in the paper's speedup form.
 
-use cc_bench::DEFAULT_THREADS;
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_bench::{engine, DEFAULT_THREADS};
+use cc_core::engine::ExecutionStrategy;
 use cc_workload::{Benchmark, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -16,6 +15,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 const BLOCK_SIZES: [usize; 3] = [50, 200, 400];
 
 fn bench_blocksize(c: &mut Criterion) {
+    let serial = engine(ExecutionStrategy::Serial, 1);
+    let speculative = engine(ExecutionStrategy::SpeculativeStm, DEFAULT_THREADS);
     for benchmark in Benchmark::ALL {
         let mut group = c.benchmark_group(format!("figure1/blocksize/{benchmark}"));
         group.sample_size(10);
@@ -25,26 +26,20 @@ fn bench_blocksize(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("serial-miner", block_size),
                 &workload,
-                |b, w| {
-                    b.iter(|| {
-                        SerialMiner::new()
-                            .mine(&w.build_world(), w.transactions())
-                            .unwrap()
-                    })
-                },
+                |b, w| b.iter(|| serial.mine(&w.build_world(), w.transactions()).unwrap()),
             );
             group.bench_with_input(
                 BenchmarkId::new("parallel-miner", block_size),
                 &workload,
                 |b, w| {
                     b.iter(|| {
-                        ParallelMiner::new(DEFAULT_THREADS)
+                        speculative
                             .mine(&w.build_world(), w.transactions())
                             .unwrap()
                     })
                 },
             );
-            let reference = ParallelMiner::new(DEFAULT_THREADS)
+            let reference = speculative
                 .mine(&workload.build_world(), workload.transactions())
                 .unwrap();
             group.bench_with_input(
@@ -52,7 +47,7 @@ fn bench_blocksize(c: &mut Criterion) {
                 &workload,
                 |b, w| {
                     b.iter(|| {
-                        ParallelValidator::new(DEFAULT_THREADS)
+                        speculative
                             .validate(&w.build_world(), &reference.block)
                             .unwrap()
                     })

@@ -2,9 +2,8 @@
 //! miner and fork-join validator as the data-conflict percentage grows at
 //! a fixed block size of 200 transactions.
 
-use cc_bench::DEFAULT_THREADS;
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_bench::{engine, DEFAULT_THREADS};
+use cc_core::engine::ExecutionStrategy;
 use cc_workload::{Benchmark, WorkloadSpec};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -14,6 +13,8 @@ const CONFLICTS: [f64; 3] = [0.0, 0.5, 1.0];
 const BLOCK_SIZE: usize = 200;
 
 fn bench_conflict(c: &mut Criterion) {
+    let serial = engine(ExecutionStrategy::Serial, 1);
+    let speculative = engine(ExecutionStrategy::SpeculativeStm, DEFAULT_THREADS);
     for benchmark in Benchmark::ALL {
         let mut group = c.benchmark_group(format!("figure1/conflict/{benchmark}"));
         group.sample_size(10);
@@ -24,26 +25,20 @@ fn bench_conflict(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new("serial-miner", &label),
                 &workload,
-                |b, w| {
-                    b.iter(|| {
-                        SerialMiner::new()
-                            .mine(&w.build_world(), w.transactions())
-                            .unwrap()
-                    })
-                },
+                |b, w| b.iter(|| serial.mine(&w.build_world(), w.transactions()).unwrap()),
             );
             group.bench_with_input(
                 BenchmarkId::new("parallel-miner", &label),
                 &workload,
                 |b, w| {
                     b.iter(|| {
-                        ParallelMiner::new(DEFAULT_THREADS)
+                        speculative
                             .mine(&w.build_world(), w.transactions())
                             .unwrap()
                     })
                 },
             );
-            let reference = ParallelMiner::new(DEFAULT_THREADS)
+            let reference = speculative
                 .mine(&workload.build_world(), workload.transactions())
                 .unwrap();
             group.bench_with_input(
@@ -51,7 +46,7 @@ fn bench_conflict(c: &mut Criterion) {
                 &workload,
                 |b, w| {
                     b.iter(|| {
-                        ParallelValidator::new(DEFAULT_THREADS)
+                        speculative
                             .validate(&w.build_world(), &reference.block)
                             .unwrap()
                     })

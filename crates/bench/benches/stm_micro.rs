@@ -55,7 +55,8 @@ fn bench_additive_contention(c: &mut Criterion) {
     group.bench_function("additive-8-threads-same-key", |b| {
         b.iter(|| {
             let stm = Stm::new();
-            let counters: Arc<BoostedCounterMap<u8>> = Arc::new(BoostedCounterMap::new("bench.cnt.add"));
+            let counters: Arc<BoostedCounterMap<u8>> =
+                Arc::new(BoostedCounterMap::new("bench.cnt.add"));
             crossbeam::scope(|s| {
                 for _ in 0..8 {
                     let stm = stm.clone();
@@ -83,7 +84,8 @@ fn bench_additive_contention(c: &mut Criterion) {
                     let map = Arc::clone(&map);
                     s.spawn(move |_| {
                         for _ in 0..64 {
-                            stm.run(|txn| map.update_or(txn, 0, 0, |v| *v += 1)).unwrap();
+                            stm.run(|txn| map.update_or(txn, 0, 0, |v| *v += 1))
+                                .unwrap();
                         }
                     });
                 }

@@ -20,11 +20,10 @@
 //! 5 repetitions + 3 warm-ups.
 
 use cc_bench::{
-    average_speedups, figure1_block_sizes, figure1_conflicts, measure, measure_serial_validation,
-    SweepPoint, DEFAULT_THREADS, REPETITIONS,
+    average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure,
+    measure_serial_validation, SweepPoint, DEFAULT_THREADS, REPETITIONS,
 };
-use cc_core::miner::{Miner, ParallelMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, WorkloadSpec};
 
 #[derive(Debug, Clone)]
@@ -50,6 +49,10 @@ fn parse_args() -> Options {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(DEFAULT_THREADS);
+                if options.threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    std::process::exit(2);
+                }
             }
             "--reps" => {
                 options.repetitions = args
@@ -113,11 +116,17 @@ fn sweep_conflict_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoint
 }
 
 fn print_figure1_blocksize(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
-    println!("\n== Figure 1 (left column): speedup vs. block size, 15% conflict, {} threads ==", opts.threads);
+    println!(
+        "\n== Figure 1 (left column): speedup vs. block size, 15% conflict, {} threads ==",
+        opts.threads
+    );
     let mut all = Vec::new();
     for benchmark in Benchmark::ALL {
         println!("\n-- {benchmark} --");
-        println!("{:>8} {:>14} {:>18}", "txns", "miner speedup", "validator speedup");
+        println!(
+            "{:>8} {:>14} {:>18}",
+            "txns", "miner speedup", "validator speedup"
+        );
         let points = sweep_blocksize_points(benchmark, opts);
         for p in &points {
             println!(
@@ -133,11 +142,17 @@ fn print_figure1_blocksize(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> 
 }
 
 fn print_figure1_conflict(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
-    println!("\n== Figure 1 (right column): speedup vs. conflict %, 200 transactions, {} threads ==", opts.threads);
+    println!(
+        "\n== Figure 1 (right column): speedup vs. conflict %, 200 transactions, {} threads ==",
+        opts.threads
+    );
     let mut all = Vec::new();
     for benchmark in Benchmark::ALL {
         println!("\n-- {benchmark} --");
-        println!("{:>10} {:>14} {:>18}", "conflict", "miner speedup", "validator speedup");
+        println!(
+            "{:>10} {:>14} {:>18}",
+            "conflict", "miner speedup", "validator speedup"
+        );
         let points = sweep_conflict_points(benchmark, opts);
         for p in &points {
             println!(
@@ -159,7 +174,11 @@ fn print_table1(
     println!("\n== Table 1: average speedups per benchmark ==");
     println!(
         "{:>15} {:>16} {:>16} {:>20} {:>20}",
-        "benchmark", "miner(conflict)", "miner(blocksize)", "validator(conflict)", "validator(blocksize)"
+        "benchmark",
+        "miner(conflict)",
+        "miner(blocksize)",
+        "validator(conflict)",
+        "validator(blocksize)"
     );
     let mut overall_miner = Vec::new();
     let mut overall_validator = Vec::new();
@@ -195,7 +214,10 @@ fn print_appendix_b(
     conflict: &[(Benchmark, Vec<SweepPoint>)],
 ) {
     println!("\n== Appendix B: mean ± stddev running time (ms) ==");
-    for (label, sweeps) in [("block-size sweep (15% conflict)", blocksize), ("conflict sweep (200 txns)", conflict)] {
+    for (label, sweeps) in [
+        ("block-size sweep (15% conflict)", blocksize),
+        ("conflict sweep (200 txns)", conflict),
+    ] {
         println!("\n-- {label} --");
         for (benchmark, points) in sweeps {
             println!("\n{benchmark}");
@@ -242,27 +264,10 @@ fn print_ablation(opts: &Options) {
 
     // (b) Validator thread scaling (the fork-join program does not need to
     // match the miner's parallelism).
-    let reference = ParallelMiner::new(opts.threads)
+    let reference = engine(ExecutionStrategy::SpeculativeStm, opts.threads)
         .mine(&workload.build_world(), workload.transactions())
         .expect("reference block");
-    println!("  validator thread scaling (same block):");
-    for threads in [1usize, 2, 3, 4, 6, 8] {
-        let validator = ParallelValidator::new(threads);
-        let mut samples = Vec::new();
-        for _ in 0..opts.repetitions.max(1) {
-            let world = workload.build_world();
-            let start = std::time::Instant::now();
-            validator.validate(&world, &reference.block).expect("valid");
-            samples.push(start.elapsed());
-        }
-        let timing = cc_bench::Timing::from_samples(&samples);
-        println!("    {threads} thread(s): {:.2} ms", timing.mean_ms());
-    }
-
-    // (c) Trace-check overhead.
-    let with_checks = ParallelValidator::new(opts.threads);
-    let without_checks = ParallelValidator::new(opts.threads).without_trace_checks();
-    let time_validator = |v: &ParallelValidator| {
+    let time_validator = |v: &Engine| {
         let mut samples = Vec::new();
         for _ in 0..opts.repetitions.max(1) {
             let world = workload.build_world();
@@ -272,6 +277,20 @@ fn print_ablation(opts: &Options) {
         }
         cc_bench::Timing::from_samples(&samples)
     };
+    println!("  validator thread scaling (same block):");
+    for threads in [1usize, 2, 3, 4, 6, 8] {
+        let validator = engine(ExecutionStrategy::SpeculativeStm, threads);
+        let timing = time_validator(&validator);
+        println!("    {threads} thread(s): {:.2} ms", timing.mean_ms());
+    }
+
+    // (c) Trace-check overhead.
+    let with_checks = engine(ExecutionStrategy::SpeculativeStm, opts.threads);
+    let without_checks = EngineConfig::new()
+        .threads(opts.threads)
+        .check_traces(false)
+        .build()
+        .expect("valid config");
     let checked = time_validator(&with_checks);
     let unchecked = time_validator(&without_checks);
     println!(

@@ -11,8 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
+use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, Workload, WorkloadSpec};
 use std::time::{Duration, Instant};
 
@@ -23,8 +22,10 @@ pub const REPETITIONS: usize = 5;
 /// three warm-up runs").
 pub const WARMUPS: usize = 3;
 /// Worker threads for the parallel miner and validator (paper: "a fixed
-/// pool of three threads").
-pub const DEFAULT_THREADS: usize = 3;
+/// pool of three threads"). The value itself lives in
+/// [`EngineConfig::DEFAULT_THREADS`]; this re-export keeps bench-side
+/// call sites short.
+pub const DEFAULT_THREADS: usize = EngineConfig::DEFAULT_THREADS;
 
 /// Mean and standard deviation of a set of timings.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,13 +105,12 @@ pub struct SweepPoint {
 /// validation, each with [`WARMUPS`] warm-ups and `repetitions` measured
 /// runs on fresh worlds.
 pub fn measure(workload: &Workload, threads: usize, repetitions: usize) -> Measurement {
-    let serial_miner = SerialMiner::new();
-    let parallel_miner = ParallelMiner::new(threads);
-    let validator = ParallelValidator::new(threads);
+    let serial_engine = engine(ExecutionStrategy::Serial, threads);
+    let speculative_engine = engine(ExecutionStrategy::SpeculativeStm, threads);
 
     // A reference block for the validator runs (any honest parallel block
     // will do; we mine one up front).
-    let reference = parallel_miner
+    let reference = speculative_engine
         .mine(&workload.build_world(), workload.transactions())
         .expect("reference mining succeeds");
 
@@ -118,20 +118,24 @@ pub fn measure(workload: &Workload, threads: usize, repetitions: usize) -> Measu
         let world = workload.build_world();
         let txs = workload.transactions();
         let start = Instant::now();
-        serial_miner.mine(&world, txs).expect("serial mining succeeds");
+        serial_engine
+            .mine(&world, txs)
+            .expect("serial mining succeeds");
         start.elapsed()
     });
     let miner = time_runs(repetitions, || {
         let world = workload.build_world();
         let txs = workload.transactions();
         let start = Instant::now();
-        parallel_miner.mine(&world, txs).expect("parallel mining succeeds");
+        speculative_engine
+            .mine(&world, txs)
+            .expect("parallel mining succeeds");
         start.elapsed()
     });
     let validator_timing = time_runs(repetitions, || {
         let world = workload.build_world();
         let start = Instant::now();
-        validator
+        speculative_engine
             .validate(&world, &reference.block)
             .expect("honest block validates");
         start.elapsed()
@@ -146,19 +150,38 @@ pub fn measure(workload: &Workload, threads: usize, repetitions: usize) -> Measu
 
 /// Measures the serial validator instead of the parallel one (used by the
 /// ablation bench).
-pub fn measure_serial_validation(workload: &Workload, threads: usize, repetitions: usize) -> Timing {
-    let reference = ParallelMiner::new(threads)
+pub fn measure_serial_validation(
+    workload: &Workload,
+    threads: usize,
+    repetitions: usize,
+) -> Timing {
+    let reference = engine(ExecutionStrategy::SpeculativeStm, threads)
         .mine(&workload.build_world(), workload.transactions())
         .expect("reference mining succeeds");
-    let validator = SerialValidator::new();
+    let serial_engine = engine(ExecutionStrategy::Serial, threads);
     time_runs(repetitions, || {
         let world = workload.build_world();
         let start = Instant::now();
-        validator
+        serial_engine
             .validate(&world, &reference.block)
             .expect("honest block validates");
         start.elapsed()
     })
+}
+
+/// The engine used for one side of a measurement: the given strategy at
+/// the given thread count, everything else at the paper's defaults.
+///
+/// # Panics
+///
+/// Panics on a configuration [`EngineConfig::build`] rejects (e.g. zero
+/// threads) — benchmark thread counts are caller-validated inputs.
+pub fn engine(strategy: ExecutionStrategy, threads: usize) -> Engine {
+    EngineConfig::new()
+        .strategy(strategy)
+        .threads(threads)
+        .build()
+        .expect("benchmark engine config must be valid (threads >= 1)")
 }
 
 fn time_runs(repetitions: usize, mut run: impl FnMut() -> Duration) -> Timing {
@@ -230,9 +253,16 @@ pub fn average_speedups(points: &[SweepPoint]) -> (f64, f64) {
     if points.is_empty() {
         return (0.0, 0.0);
     }
-    let miner = points.iter().map(|p| p.measurement.miner_speedup()).sum::<f64>() / points.len() as f64;
-    let validator =
-        points.iter().map(|p| p.measurement.validator_speedup()).sum::<f64>() / points.len() as f64;
+    let miner = points
+        .iter()
+        .map(|p| p.measurement.miner_speedup())
+        .sum::<f64>()
+        / points.len() as f64;
+    let validator = points
+        .iter()
+        .map(|p| p.measurement.validator_speedup())
+        .sum::<f64>()
+        / points.len() as f64;
     (miner, validator)
 }
 

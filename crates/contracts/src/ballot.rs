@@ -199,7 +199,10 @@ impl Ballot {
                 },
             )?;
         }
-        ctx.emit("Delegated", vec![ArgValue::Addr(sender_addr), ArgValue::Addr(to)])?;
+        ctx.emit(
+            "Delegated",
+            vec![ArgValue::Addr(sender_addr), ArgValue::Addr(to)],
+        )?;
         Ok(ReturnValue::Unit)
     }
 
@@ -223,7 +226,13 @@ impl Ballot {
             },
         )?;
         self.vote_counts.add(ctx, proposal, sender.weight)?;
-        ctx.emit("Voted", vec![ArgValue::Addr(sender_addr), ArgValue::Uint(u128::from(proposal))])?;
+        ctx.emit(
+            "Voted",
+            vec![
+                ArgValue::Addr(sender_addr),
+                ArgValue::Uint(u128::from(proposal)),
+            ],
+        )?;
         Ok(ReturnValue::Unit)
     }
 
@@ -377,9 +386,19 @@ mod tests {
         let (world, ballot, accounts) = setup(1);
         let chair = Address::from_index(0);
         let newcomer = Address::from_index(50);
-        let denied = call(&world, accounts[0], "giveRightToVote", vec![ArgValue::Addr(newcomer)]);
+        let denied = call(
+            &world,
+            accounts[0],
+            "giveRightToVote",
+            vec![ArgValue::Addr(newcomer)],
+        );
         assert!(matches!(denied.status, ExecutionStatus::Reverted { .. }));
-        let granted = call(&world, chair, "giveRightToVote", vec![ArgValue::Addr(newcomer)]);
+        let granted = call(
+            &world,
+            chair,
+            "giveRightToVote",
+            vec![ArgValue::Addr(newcomer)],
+        );
         assert!(granted.succeeded());
         assert_eq!(ballot.voter(&newcomer).unwrap().weight, 1);
     }
@@ -452,6 +471,10 @@ mod tests {
     fn proposal_name_encoding() {
         let name = Ballot::proposal_name(7);
         assert!(name.starts_with(b"proposal-7"));
-        assert_eq!(Ballot::with_numbered_proposals(Address::from_name("B2"), Address::from_index(0), 4).proposal_count(), 4);
+        assert_eq!(
+            Ballot::with_numbered_proposals(Address::from_name("B2"), Address::from_index(0), 4)
+                .proposal_count(),
+            4
+        );
     }
 }

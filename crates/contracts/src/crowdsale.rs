@@ -37,7 +37,13 @@ pub struct Crowdsale {
 impl Crowdsale {
     /// Deploys a crowdsale at `address` selling `token` at `price` wei per
     /// unit with a per-buyer cap.
-    pub fn new(address: Address, token: Address, owner: Address, price: u128, per_buyer_cap: u128) -> Self {
+    pub fn new(
+        address: Address,
+        token: Address,
+        owner: Address,
+        price: u128,
+        per_buyer_cap: u128,
+    ) -> Self {
         let tag = address.to_hex();
         Crowdsale {
             address,
@@ -94,7 +100,10 @@ impl Crowdsale {
 
         self.purchased.insert(ctx, buyer, already + units)?;
         self.raised.modify(ctx, |r| *r += units * price)?;
-        ctx.emit("TokensPurchased", vec![ArgValue::Addr(buyer), ArgValue::Uint(units)])?;
+        ctx.emit(
+            "TokensPurchased",
+            vec![ArgValue::Addr(buyer), ArgValue::Uint(units)],
+        )?;
         Ok(ReturnValue::Uint(units))
     }
 
@@ -159,7 +168,13 @@ mod tests {
         let token_addr = Address::from_name("Crowdsale.Token");
         // The crowdsale contract itself is the token's minter.
         let token = Arc::new(Token::new(token_addr, sale_addr));
-        let sale = Arc::new(Crowdsale::new(sale_addr, token_addr, Address::from_index(0), 10, cap));
+        let sale = Arc::new(Crowdsale::new(
+            sale_addr,
+            token_addr,
+            Address::from_index(0),
+            10,
+            cap,
+        ));
         world.deploy(token.clone());
         world.deploy(sale.clone());
         (world, sale, token)

@@ -111,7 +111,11 @@ impl EtherDoc {
 
     // ---- contract functions -------------------------------------------------
 
-    fn new_document(&self, ctx: &mut CallContext<'_>, hash: [u8; 32]) -> Result<ReturnValue, VmError> {
+    fn new_document(
+        &self,
+        ctx: &mut CallContext<'_>,
+        hash: [u8; 32],
+    ) -> Result<ReturnValue, VmError> {
         if self.documents.contains_key(ctx, &hash)? {
             return ctx.throw("document already exists");
         }
@@ -127,11 +131,18 @@ impl EtherDoc {
             },
         )?;
         self.owned_count.update_or(ctx, sender, 0, |c| *c += 1)?;
-        ctx.emit("DocumentCreated", vec![ArgValue::Bytes32(hash), ArgValue::Addr(sender)])?;
+        ctx.emit(
+            "DocumentCreated",
+            vec![ArgValue::Bytes32(hash), ArgValue::Addr(sender)],
+        )?;
         Ok(ReturnValue::Uint(u128::from(serial)))
     }
 
-    fn has_document(&self, ctx: &mut CallContext<'_>, hash: [u8; 32]) -> Result<ReturnValue, VmError> {
+    fn has_document(
+        &self,
+        ctx: &mut CallContext<'_>,
+        hash: [u8; 32],
+    ) -> Result<ReturnValue, VmError> {
         Ok(ReturnValue::Bool(self.documents.contains_key(ctx, &hash)?))
     }
 
@@ -265,13 +276,23 @@ mod tests {
         let (world, etherdoc) = setup();
         let creator = Address::from_index(5);
         let hash = EtherDoc::document_hash(1);
-        let r = call(&world, creator, "newDocument", vec![ArgValue::Bytes32(hash)]);
+        let r = call(
+            &world,
+            creator,
+            "newDocument",
+            vec![ArgValue::Bytes32(hash)],
+        );
         assert!(r.succeeded());
         assert_eq!(r.output, ReturnValue::Uint(1));
         assert_eq!(etherdoc.total(), 1);
         assert_eq!(etherdoc.owned_by(&creator), 1);
 
-        let has = call(&world, creator, "hasDocument", vec![ArgValue::Bytes32(hash)]);
+        let has = call(
+            &world,
+            creator,
+            "hasDocument",
+            vec![ArgValue::Bytes32(hash)],
+        );
         assert_eq!(has.output, ReturnValue::Bool(true));
         let missing = call(
             &world,
@@ -289,8 +310,18 @@ mod tests {
     fn duplicate_creation_reverts() {
         let (world, etherdoc) = setup();
         let hash = EtherDoc::document_hash(1);
-        call(&world, Address::from_index(1), "newDocument", vec![ArgValue::Bytes32(hash)]);
-        let dup = call(&world, Address::from_index(2), "newDocument", vec![ArgValue::Bytes32(hash)]);
+        call(
+            &world,
+            Address::from_index(1),
+            "newDocument",
+            vec![ArgValue::Bytes32(hash)],
+        );
+        let dup = call(
+            &world,
+            Address::from_index(2),
+            "newDocument",
+            vec![ArgValue::Bytes32(hash)],
+        );
         assert!(matches!(dup.status, ExecutionStatus::Reverted { .. }));
         assert_eq!(etherdoc.total(), 1);
     }
@@ -332,7 +363,10 @@ mod tests {
             &world,
             a,
             "transferDocument",
-            vec![ArgValue::Bytes32(EtherDoc::document_hash(99)), ArgValue::Addr(b)],
+            vec![
+                ArgValue::Bytes32(EtherDoc::document_hash(99)),
+                ArgValue::Addr(b),
+            ],
         );
         assert!(matches!(missing.status, ExecutionStatus::Reverted { .. }));
         assert_eq!(etherdoc.document(&hash).unwrap().owner, a);
@@ -365,7 +399,12 @@ mod tests {
         let (world, _) = setup();
         let unknown = call(&world, Address::from_index(1), "shredDocument", vec![]);
         assert!(matches!(unknown.status, ExecutionStatus::Invalid { .. }));
-        let bad = call(&world, Address::from_index(1), "hasDocument", vec![ArgValue::Uint(1)]);
+        let bad = call(
+            &world,
+            Address::from_index(1),
+            "hasDocument",
+            vec![ArgValue::Uint(1)],
+        );
         assert!(matches!(bad.status, ExecutionStatus::Invalid { .. }));
     }
 

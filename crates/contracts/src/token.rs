@@ -75,7 +75,12 @@ impl Token {
 
     // ---- contract functions -------------------------------------------------
 
-    fn mint(&self, ctx: &mut CallContext<'_>, to: Address, amount: u128) -> Result<ReturnValue, VmError> {
+    fn mint(
+        &self,
+        ctx: &mut CallContext<'_>,
+        to: Address,
+        amount: u128,
+    ) -> Result<ReturnValue, VmError> {
         if ctx.sender() != self.minter.get(ctx)? {
             return ctx.throw("only the minter can mint");
         }
@@ -100,7 +105,11 @@ impl Token {
         self.balances.update_or(ctx, to, 0, |b| *b += amount)?;
         ctx.emit(
             "Transfer",
-            vec![ArgValue::Addr(from), ArgValue::Addr(to), ArgValue::Uint(amount)],
+            vec![
+                ArgValue::Addr(from),
+                ArgValue::Addr(to),
+                ArgValue::Uint(amount),
+            ],
         )?;
         Ok(ReturnValue::Bool(true))
     }
@@ -116,7 +125,11 @@ impl Token {
             .insert(ctx, AllowanceKey { owner, spender }, amount)?;
         ctx.emit(
             "Approval",
-            vec![ArgValue::Addr(owner), ArgValue::Addr(spender), ArgValue::Uint(amount)],
+            vec![
+                ArgValue::Addr(owner),
+                ArgValue::Addr(spender),
+                ArgValue::Uint(amount),
+            ],
         )?;
         Ok(ReturnValue::Bool(true))
     }
@@ -209,7 +222,10 @@ mod tests {
 
     fn setup() -> (World, Arc<Token>) {
         let world = World::new();
-        let token = Arc::new(Token::new(Address::from_name("Token"), Address::from_index(0)));
+        let token = Arc::new(Token::new(
+            Address::from_name("Token"),
+            Address::from_index(0),
+        ));
         world.deploy(token.clone());
         (world, token)
     }
@@ -232,9 +248,21 @@ mod tests {
         let (world, token) = setup();
         let minter = Address::from_index(0);
         let (a, b) = (Address::from_index(1), Address::from_index(2));
-        assert!(call(&world, minter, "mint", vec![ArgValue::Addr(a), ArgValue::Uint(100)]).succeeded());
+        assert!(call(
+            &world,
+            minter,
+            "mint",
+            vec![ArgValue::Addr(a), ArgValue::Uint(100)]
+        )
+        .succeeded());
         assert_eq!(token.supply(), 100);
-        assert!(call(&world, a, "transfer", vec![ArgValue::Addr(b), ArgValue::Uint(30)]).succeeded());
+        assert!(call(
+            &world,
+            a,
+            "transfer",
+            vec![ArgValue::Addr(b), ArgValue::Uint(30)]
+        )
+        .succeeded());
         assert_eq!(token.balance(&a), 70);
         assert_eq!(token.balance(&b), 30);
     }
@@ -243,9 +271,19 @@ mod tests {
     fn mint_requires_minter_and_transfer_requires_funds() {
         let (world, token) = setup();
         let a = Address::from_index(1);
-        let denied = call(&world, a, "mint", vec![ArgValue::Addr(a), ArgValue::Uint(5)]);
+        let denied = call(
+            &world,
+            a,
+            "mint",
+            vec![ArgValue::Addr(a), ArgValue::Uint(5)],
+        );
         assert!(matches!(denied.status, ExecutionStatus::Reverted { .. }));
-        let broke = call(&world, a, "transfer", vec![ArgValue::Addr(a), ArgValue::Uint(5)]);
+        let broke = call(
+            &world,
+            a,
+            "transfer",
+            vec![ArgValue::Addr(a), ArgValue::Uint(5)],
+        );
         assert!(matches!(broke.status, ExecutionStatus::Reverted { .. }));
         assert_eq!(token.supply(), 0);
     }
@@ -259,12 +297,22 @@ mod tests {
             Address::from_index(3),
         );
         token.seed_balance(owner, 50);
-        assert!(call(&world, owner, "approve", vec![ArgValue::Addr(spender), ArgValue::Uint(20)]).succeeded());
+        assert!(call(
+            &world,
+            owner,
+            "approve",
+            vec![ArgValue::Addr(spender), ArgValue::Uint(20)]
+        )
+        .succeeded());
         assert!(call(
             &world,
             spender,
             "transferFrom",
-            vec![ArgValue::Addr(owner), ArgValue::Addr(dest), ArgValue::Uint(15)]
+            vec![
+                ArgValue::Addr(owner),
+                ArgValue::Addr(dest),
+                ArgValue::Uint(15)
+            ]
         )
         .succeeded());
         assert_eq!(token.balance(&dest), 15);
@@ -272,7 +320,11 @@ mod tests {
             &world,
             spender,
             "transferFrom",
-            vec![ArgValue::Addr(owner), ArgValue::Addr(dest), ArgValue::Uint(15)],
+            vec![
+                ArgValue::Addr(owner),
+                ArgValue::Addr(dest),
+                ArgValue::Uint(15),
+            ],
         );
         assert!(matches!(too_much.status, ExecutionStatus::Reverted { .. }));
     }

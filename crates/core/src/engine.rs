@@ -1,0 +1,494 @@
+//! The unified engine: one configurable entry point for executing blocks.
+//!
+//! The paper contributes two algorithms — speculative parallel mining and
+//! deterministic fork-join validation — and the repo previously exposed
+//! them as four unrelated structs whose constructors every consumer wired
+//! up by hand. [`EngineConfig`] replaces that wiring: it names an
+//! [`ExecutionStrategy`], a worker-thread count, a retry/backoff budget
+//! and the schedule-capture / trace-check toggles, and [`EngineConfig::build`]
+//! turns it into an [`Engine`] holding the matching [`Miner`] +
+//! [`Validator`] pair. Everything above `cc_stm` — the benchmark harness,
+//! the `repro` binary, the examples and the integration tests — goes
+//! through this module.
+//!
+//! The strategy enum is the extension seam for future concurrency
+//! back-ends (e.g. OptSmart-style optimistic multi-version execution):
+//! adding a variant plus a `build` arm is all a new strategy needs for
+//! every consumer to be able to select and benchmark it.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
+//! use cc_ledger::Transaction;
+//! use cc_vm::{Address, ArgValue, CallData, World, testing::CounterContract};
+//! use std::sync::Arc;
+//!
+//! let build_world = || {
+//!     let world = World::new();
+//!     world.deploy(Arc::new(CounterContract::new(Address::from_name("counter"))));
+//!     world
+//! };
+//! let txs: Vec<Transaction> = (0..16)
+//!     .map(|i| Transaction::new(i, Address::from_index(i), Address::from_name("counter"),
+//!          CallData::new("increment", vec![ArgValue::Uint(1)]), 1_000_000))
+//!     .collect();
+//!
+//! // The default engine: the paper's speculative miner + fork-join
+//! // validator with a fixed pool of three threads.
+//! let engine = Engine::default();
+//! let mined = engine.mine(&build_world(), txs.clone()).expect("mining succeeds");
+//!
+//! // A serial engine executes the same block the way Ethereum does today.
+//! let serial = EngineConfig::new()
+//!     .strategy(ExecutionStrategy::Serial)
+//!     .build()
+//!     .expect("valid config");
+//! let baseline = serial.mine(&build_world(), txs).expect("serial mining succeeds");
+//! assert_eq!(mined.block.header.state_root, baseline.block.header.state_root);
+//!
+//! // The engine's validator replays the published schedule and checks
+//! // every commitment.
+//! let report = engine.validate(&build_world(), &mined.block).expect("honest block");
+//! assert_eq!(report.state_root, mined.block.header.state_root);
+//! ```
+
+use crate::error::CoreError;
+use crate::miner::{MinedBlock, Miner, ParallelMiner, SerialMiner};
+use crate::stats::ValidationReport;
+use crate::validator::{ParallelValidator, SerialValidator, Validator};
+use cc_ledger::{Block, Transaction};
+use cc_primitives::hash::Hash256;
+use cc_stm::RetryPolicy;
+use cc_vm::World;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which concurrency back-end executes blocks.
+///
+/// Marked non-exhaustive: OptSmart-style optimistic multi-version
+/// execution (Anjana et al.) is the next planned variant, and consumers
+/// should be ready for more.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionStrategy {
+    /// One transaction at a time, in block order — today's Ethereum
+    /// behaviour and the baseline all the paper's speedups are measured
+    /// against.
+    Serial,
+    /// The paper's pair: speculative STM mining (Algorithm 1) plus
+    /// deterministic fork-join validation of the published schedule
+    /// (Algorithm 2).
+    #[default]
+    SpeculativeStm,
+}
+
+impl fmt::Display for ExecutionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutionStrategy::Serial => f.write_str("serial"),
+            ExecutionStrategy::SpeculativeStm => f.write_str("speculative-stm"),
+        }
+    }
+}
+
+/// Builder-style configuration for an [`Engine`].
+///
+/// Fields are public so code can *inspect* a configuration (the
+/// benchmark harness prints them); construction reads best through the
+/// fluent setters, which share names with the fields:
+///
+/// ```
+/// use cc_core::engine::{EngineConfig, ExecutionStrategy};
+/// let config = EngineConfig::new()
+///     .strategy(ExecutionStrategy::SpeculativeStm)
+///     .threads(4)
+///     .capture_schedule(true);
+/// assert_eq!(config.threads, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The concurrency back-end to construct.
+    pub strategy: ExecutionStrategy,
+    /// Worker threads for parallel strategies (ignored by
+    /// [`ExecutionStrategy::Serial`], which always runs one).
+    pub threads: usize,
+    /// Retry/backoff budget for speculative deadlock victims.
+    pub retry: RetryPolicy,
+    /// Whether the miner publishes schedule metadata (happens-before
+    /// graph + lock profiles) in the block. Disabling is benchmark-only:
+    /// without a schedule the fork-join validator must reject the block.
+    pub capture_schedule: bool,
+    /// Whether the validator replays and cross-checks lock traces
+    /// (rejecting hidden data races). Disabling is ablation-only.
+    pub check_traces: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: ExecutionStrategy::default(),
+            threads: EngineConfig::DEFAULT_THREADS,
+            retry: RetryPolicy::default(),
+            capture_schedule: true,
+            check_traces: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The paper's evaluation runs "a fixed pool of three threads"; this
+    /// is the single place that number lives.
+    pub const DEFAULT_THREADS: usize = 3;
+
+    /// The default configuration: speculative STM, three threads,
+    /// default retry budget, schedule capture and trace checks on.
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// A configuration for the serial baseline.
+    pub fn serial() -> Self {
+        EngineConfig::new().strategy(ExecutionStrategy::Serial)
+    }
+
+    /// A configuration for the paper's speculative strategy (explicit
+    /// form of [`EngineConfig::new`]).
+    pub fn speculative() -> Self {
+        EngineConfig::new().strategy(ExecutionStrategy::SpeculativeStm)
+    }
+
+    /// Selects the concurrency back-end.
+    pub fn strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker-thread count for parallel strategies.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the full retry/backoff policy for speculative execution.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Caps how many times a deadlock victim is retried before the block
+    /// fails to mine (keeps the rest of the retry policy unchanged).
+    pub fn max_retries(mut self, max_attempts: u32) -> Self {
+        self.retry.max_attempts = max_attempts;
+        self
+    }
+
+    /// Toggles publication of schedule metadata by the miner.
+    pub fn capture_schedule(mut self, capture: bool) -> Self {
+        self.capture_schedule = capture;
+        self
+    }
+
+    /// Toggles the validator's lock-trace / data-race checks.
+    pub fn check_traces(mut self, check: bool) -> Self {
+        self.check_traces = check;
+        self
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `threads` is zero or the
+    /// retry budget allows no attempts at all.
+    pub fn build(self) -> Result<Engine, CoreError> {
+        if self.threads == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "worker thread count must be at least 1".into(),
+            });
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "retry budget must allow at least one attempt".into(),
+            });
+        }
+        let (miner, validator): (
+            Arc<dyn Miner + Send + Sync>,
+            Arc<dyn Validator + Send + Sync>,
+        ) = match self.strategy {
+            ExecutionStrategy::Serial => (
+                Arc::new(SerialMiner::new().with_schedule_capture(self.capture_schedule)),
+                Arc::new(SerialValidator::new()),
+            ),
+            ExecutionStrategy::SpeculativeStm => (
+                Arc::new(
+                    ParallelMiner::new(self.threads)
+                        .with_retry_policy(self.retry)
+                        .with_schedule_capture(self.capture_schedule),
+                ),
+                Arc::new(ParallelValidator::new(self.threads).with_trace_checks(self.check_traces)),
+            ),
+        };
+        Ok(Engine {
+            config: self,
+            miner,
+            validator,
+        })
+    }
+}
+
+/// A miner + validator pair constructed from one [`EngineConfig`].
+///
+/// The engine is cheap to clone (the strategy internals are shared) and
+/// is the only execution entry point the benches, examples and
+/// integration tests use.
+#[derive(Clone)]
+pub struct Engine {
+    config: EngineConfig,
+    miner: Arc<dyn Miner + Send + Sync>,
+    validator: Arc<dyn Validator + Send + Sync>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        EngineConfig::default()
+            .build()
+            .expect("the default config is valid")
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts a configuration (alias for [`EngineConfig::new`], so call
+    /// sites can read `Engine::builder().threads(4).build()`).
+    pub fn builder() -> EngineConfig {
+        EngineConfig::new()
+    }
+
+    /// A serial-baseline engine.
+    pub fn serial() -> Engine {
+        EngineConfig::serial()
+            .build()
+            .expect("the serial config is valid")
+    }
+
+    /// A speculative engine with `threads` workers and defaults for
+    /// everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `threads` is zero.
+    pub fn speculative(threads: usize) -> Result<Engine, CoreError> {
+        EngineConfig::speculative().threads(threads).build()
+    }
+
+    /// The configuration this engine was built from.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The engine's concurrency back-end.
+    pub fn strategy(&self) -> ExecutionStrategy {
+        self.config.strategy
+    }
+
+    /// Worker threads actually used when executing blocks (1 for the
+    /// serial strategy regardless of the configured count).
+    pub fn threads(&self) -> usize {
+        match self.config.strategy {
+            ExecutionStrategy::Serial => 1,
+            ExecutionStrategy::SpeculativeStm => self.config.threads,
+        }
+    }
+
+    /// The strategy's miner, for call sites that need the raw trait
+    /// object (e.g. driving someone else's [`crate::node::Node`]).
+    pub fn miner(&self) -> &dyn Miner {
+        self.miner.as_ref()
+    }
+
+    /// The strategy's validator.
+    pub fn validator(&self) -> &dyn Validator {
+        self.validator.as_ref()
+    }
+
+    /// Executes `transactions` against `world` and assembles a block at
+    /// height 1 (see [`Miner::mine`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the miner's [`CoreError::MiningFailed`].
+    pub fn mine(
+        &self,
+        world: &World,
+        transactions: Vec<Transaction>,
+    ) -> Result<MinedBlock, CoreError> {
+        self.miner.mine(world, transactions)
+    }
+
+    /// Mines on top of an explicit parent (see [`Miner::mine_on`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the miner's [`CoreError::MiningFailed`].
+    pub fn mine_on(
+        &self,
+        world: &World,
+        transactions: Vec<Transaction>,
+        parent_hash: Hash256,
+        number: u64,
+    ) -> Result<MinedBlock, CoreError> {
+        self.miner.mine_on(world, transactions, parent_hash, number)
+    }
+
+    /// Replays `block` on `world` and checks every commitment (see
+    /// [`Validator::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validator's rejection.
+    pub fn validate(&self, world: &World, block: &Block) -> Result<ValidationReport, CoreError> {
+        self.validator.validate(world, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_vm::testing::CounterContract;
+    use cc_vm::{Address, ArgValue, CallData};
+
+    fn counter_world() -> World {
+        let world = World::new();
+        world.deploy(Arc::new(CounterContract::new(Address::from_name(
+            "counter-engine",
+        ))));
+        world
+    }
+
+    fn counter_txs(n: u64) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    Address::from_index(i % 3),
+                    Address::from_name("counter-engine"),
+                    CallData::new("increment", vec![ArgValue::Uint(1)]),
+                    1_000_000,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let config = EngineConfig::default();
+        assert_eq!(config.strategy, ExecutionStrategy::SpeculativeStm);
+        assert_eq!(config.threads, EngineConfig::DEFAULT_THREADS);
+        assert_eq!(config.threads, 3, "the paper's fixed pool of three threads");
+        assert!(config.capture_schedule);
+        assert!(config.check_traces);
+    }
+
+    #[test]
+    fn zero_threads_and_zero_retries_are_rejected() {
+        assert!(matches!(
+            EngineConfig::new().threads(0).build(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            EngineConfig::new().max_retries(0).build(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(Engine::speculative(0).is_err());
+    }
+
+    #[test]
+    fn engines_mine_and_validate() {
+        let engine = Engine::default();
+        let mined = engine.mine(&counter_world(), counter_txs(20)).unwrap();
+        let report = engine.validate(&counter_world(), &mined.block).unwrap();
+        assert_eq!(report.state_root, mined.block.header.state_root);
+        assert_eq!(report.threads, 3);
+    }
+
+    #[test]
+    fn serial_and_speculative_agree() {
+        let serial = Engine::serial();
+        let speculative = Engine::speculative(4).unwrap();
+        let a = serial.mine(&counter_world(), counter_txs(25)).unwrap();
+        let b = speculative.mine(&counter_world(), counter_txs(25)).unwrap();
+        assert_eq!(a.block.header.state_root, b.block.header.state_root);
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(speculative.threads(), 4);
+    }
+
+    #[test]
+    fn capture_toggle_removes_the_schedule() {
+        let engine = Engine::builder().capture_schedule(false).build().unwrap();
+        let mined = engine.mine(&counter_world(), counter_txs(8)).unwrap();
+        assert!(mined.block.schedule.is_none());
+        assert!(mined.block.is_well_formed());
+        // Without a published schedule the fork-join validator must
+        // reject the block.
+        assert!(matches!(
+            engine.validate(&counter_world(), &mined.block),
+            Err(CoreError::MissingSchedule)
+        ));
+        // A serial engine without capture also mines schedule-less blocks
+        // and its validator still accepts them (block-order replay).
+        let serial = EngineConfig::serial()
+            .capture_schedule(false)
+            .build()
+            .unwrap();
+        let mined = serial.mine(&counter_world(), counter_txs(8)).unwrap();
+        assert!(mined.block.schedule.is_none());
+        serial.validate(&counter_world(), &mined.block).unwrap();
+    }
+
+    #[test]
+    fn trace_check_toggle_reaches_the_validator() {
+        // A serially-mined block has no lock profiles; the speculative
+        // validator accepts it only with trace checks disabled.
+        let serial_block = Engine::serial()
+            .mine(&counter_world(), counter_txs(6))
+            .unwrap();
+        let strict = Engine::default();
+        assert!(strict
+            .validate(&counter_world(), &serial_block.block)
+            .is_err());
+        let lenient = Engine::builder().check_traces(false).build().unwrap();
+        lenient
+            .validate(&counter_world(), &serial_block.block)
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_is_cloneable_and_debuggable() {
+        let engine = Engine::default();
+        let clone = engine.clone();
+        let mined = clone.mine(&counter_world(), counter_txs(4)).unwrap();
+        engine.validate(&counter_world(), &mined.block).unwrap();
+        assert!(format!("{engine:?}").contains("SpeculativeStm"));
+        assert!(ExecutionStrategy::Serial.to_string().contains("serial"));
+    }
+
+    #[test]
+    fn custom_retry_policy_is_threaded_through() {
+        let config = EngineConfig::new()
+            .retry_policy(RetryPolicy::no_backoff(16))
+            .max_retries(8);
+        assert_eq!(config.retry.max_attempts, 8);
+        assert_eq!(config.retry.base_backoff_us, 0);
+        let engine = config.build().unwrap();
+        let mined = engine.mine(&counter_world(), counter_txs(30)).unwrap();
+        assert_eq!(mined.block.len(), 30);
+    }
+}

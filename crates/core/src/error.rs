@@ -30,6 +30,12 @@ pub enum CoreError {
         /// Description of the structural problem.
         reason: String,
     },
+    /// An [`crate::engine::EngineConfig`] could not be turned into an
+    /// engine (zero worker threads, empty retry budget, …).
+    InvalidConfig {
+        /// Description of the rejected setting.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -52,6 +58,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::MissingSchedule => f.write_str("block carries no schedule metadata"),
             CoreError::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
+            CoreError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
         }
     }
 }
@@ -73,8 +80,15 @@ mod tests {
             .to_string()
             .contains("state root mismatch"));
         assert!(CoreError::MissingSchedule.to_string().contains("schedule"));
-        assert!(CoreError::MalformedSchedule { reason: "cycle".into() }
-            .to_string()
-            .contains("cycle"));
+        assert!(CoreError::MalformedSchedule {
+            reason: "cycle".into()
+        }
+        .to_string()
+        .contains("cycle"));
+        assert!(CoreError::InvalidConfig {
+            reason: "0 threads".into()
+        }
+        .to_string()
+        .contains("0 threads"));
     }
 }

@@ -42,8 +42,8 @@ where
         .collect();
     let completed = AtomicUsize::new(0);
     let injector: Injector<usize> = Injector::new();
-    for i in 0..n {
-        if pending[i].load(Ordering::Relaxed) == 0 {
+    for (i, count) in pending.iter().enumerate() {
+        if count.load(Ordering::Relaxed) == 0 {
             injector.push(i);
         }
     }

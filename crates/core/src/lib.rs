@@ -31,39 +31,61 @@
 //! The serial baselines used throughout the paper's evaluation are
 //! [`miner::SerialMiner`] and [`validator::SerialValidator`].
 //!
+//! All of the above is selected and wired through **one entry point**:
+//! the [`engine`] module. An [`engine::EngineConfig`] names an
+//! [`engine::ExecutionStrategy`] (serial baseline or the paper's
+//! speculative-STM pair), a worker-thread count, a retry budget and the
+//! schedule-capture / trace-check toggles; building it yields an
+//! [`engine::Engine`] that mines and validates blocks.
+//!
 //! # Example
 //!
 //! ```
-//! use cc_core::{miner::{ParallelMiner, Miner}, validator::{ParallelValidator, Validator}};
+//! use cc_core::engine::{Engine, EngineConfig};
 //! use cc_core::node::Node;
 //! use cc_ledger::Transaction;
 //! use cc_vm::{Address, ArgValue, CallData, World, testing::CounterContract};
 //! use std::sync::Arc;
 //!
-//! // A world with one contract, mined with 3 threads and validated with 3.
-//! let world = World::new();
-//! let counter = Address::from_name("counter");
-//! world.deploy(Arc::new(CounterContract::new(counter)));
-//!
+//! let build_world = || {
+//!     let world = World::new();
+//!     world.deploy(Arc::new(CounterContract::new(Address::from_name("counter"))));
+//!     world
+//! };
 //! let txs: Vec<Transaction> = (0..16)
-//!     .map(|i| Transaction::new(i, Address::from_index(i), counter,
+//!     .map(|i| Transaction::new(i, Address::from_index(i), Address::from_name("counter"),
 //!          CallData::new("increment", vec![ArgValue::Uint(1)]), 1_000_000))
 //!     .collect();
 //!
-//! let miner = ParallelMiner::new(3);
-//! let mined = miner.mine(&world, txs).expect("mining succeeds");
+//! // The default engine is the paper's configuration: speculative
+//! // mining + fork-join validation on a fixed pool of three threads.
+//! let engine = Engine::default();
+//! let mined = engine.mine(&build_world(), txs).expect("mining succeeds");
 //!
 //! // Validate against a fresh copy of the initial state.
-//! let world2 = World::new();
-//! world2.deploy(Arc::new(CounterContract::new(counter)));
-//! let validator = ParallelValidator::new(3);
-//! let report = validator.validate(&world2, &mined.block).expect("block is honest");
+//! let report = engine
+//!     .validate(&build_world(), &mined.block)
+//!     .expect("block is honest");
 //! assert_eq!(report.state_root, mined.block.header.state_root);
+//!
+//! // A Node bundles an engine with a world and a chain.
+//! let mut node = Node::builder()
+//!     .world(build_world())
+//!     .config(EngineConfig::new().threads(3))
+//!     .build()
+//!     .expect("valid config");
+//! let more: Vec<Transaction> = (0..8)
+//!     .map(|i| Transaction::new(i, Address::from_index(i), Address::from_name("counter"),
+//!          CallData::new("increment", vec![ArgValue::Uint(1)]), 1_000_000))
+//!     .collect();
+//! node.mine_and_append(more).expect("block appended");
+//! assert_eq!(node.chain().len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod fork_join;
 pub mod miner;
@@ -72,8 +94,10 @@ pub mod schedule;
 pub mod stats;
 pub mod validator;
 
+pub use engine::{Engine, EngineConfig, ExecutionStrategy};
 pub use error::CoreError;
 pub use miner::{MinedBlock, Miner, ParallelMiner, SerialMiner};
+pub use node::{Node, NodeBuilder};
 pub use schedule::HappensBeforeGraph;
 pub use stats::{MinerStats, ValidationReport};
 pub use validator::{ParallelValidator, SerialValidator, Validator};

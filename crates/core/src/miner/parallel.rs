@@ -27,6 +27,7 @@ use std::time::Instant;
 pub struct ParallelMiner {
     threads: usize,
     retry: RetryPolicy,
+    capture_schedule: bool,
 }
 
 impl ParallelMiner {
@@ -36,12 +37,22 @@ impl ParallelMiner {
         ParallelMiner {
             threads: threads.max(1),
             retry: RetryPolicy::default(),
+            capture_schedule: true,
         }
     }
 
     /// Overrides the retry policy used for deadlock victims.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Enables or disables schedule capture. When disabled the miner
+    /// still executes speculatively but publishes no schedule metadata,
+    /// so blocks cannot be validated by the fork-join validator —
+    /// benchmark-only, to measure what capture itself costs.
+    pub fn with_schedule_capture(mut self, capture: bool) -> Self {
+        self.capture_schedule = capture;
         self
     }
 
@@ -91,8 +102,14 @@ impl Miner for ParallelMiner {
                         loop {
                             attempt += 1;
                             let txn = stm.begin();
-                            match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit)
-                            {
+                            match world.execute(
+                                &txn,
+                                index,
+                                tx.msg(),
+                                tx.to,
+                                &tx.call,
+                                tx.gas_limit,
+                            ) {
                                 Ok(receipt) => match txn.commit() {
                                     Ok(commit) => {
                                         *slots[index].lock() = Some((receipt, commit.profile));
@@ -145,10 +162,13 @@ impl Miner for ParallelMiner {
 
         // Algorithm 1: derive the happens-before graph from the lock log
         // and produce the equivalent serial order by topological sort.
-        let graph = HappensBeforeGraph::from_profiles(&profiles);
-        let schedule = graph.to_metadata(&profiles)?;
-        let critical_path = graph.critical_path();
-        let hb_edges = graph.edge_count();
+        let (schedule, critical_path, hb_edges) = if self.capture_schedule {
+            let graph = HappensBeforeGraph::from_profiles(&profiles);
+            let schedule = graph.to_metadata(&profiles)?;
+            (Some(schedule), graph.critical_path(), graph.edge_count())
+        } else {
+            (None, 0, 0)
+        };
 
         let elapsed = start.elapsed();
         let gas_used = receipts.iter().map(|r| r.gas_used).sum();
@@ -158,7 +178,7 @@ impl Miner for ParallelMiner {
             transactions,
             receipts,
             world.state_root(),
-            Some(schedule),
+            schedule,
         );
         Ok(MinedBlock {
             block,
@@ -214,7 +234,10 @@ mod tests {
         let (world_parallel, _) = build();
         let parallel = ParallelMiner::new(4).mine(&world_parallel, txs).unwrap();
 
-        assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+        assert_eq!(
+            serial.block.header.state_root,
+            parallel.block.header.state_root
+        );
         assert_eq!(serial.block.header.tx_root, parallel.block.header.tx_root);
         assert_eq!(parallel.stats.threads, 4);
         assert!(parallel.block.is_well_formed());
@@ -240,8 +263,14 @@ mod tests {
         let mined = ParallelMiner::new(3).mine(&world, txs).unwrap();
         let schedule = mined.block.schedule.as_ref().unwrap();
         assert_eq!(schedule.profiles.len(), 20);
-        assert!(!schedule.edges.is_empty(), "same-sender conflicts must be ordered");
-        assert!(schedule.critical_path() >= 10, "10 txns per sender serialize");
+        assert!(
+            !schedule.edges.is_empty(),
+            "same-sender conflicts must be ordered"
+        );
+        assert!(
+            schedule.critical_path() >= 10,
+            "10 txns per sender serialize"
+        );
         assert!(
             schedule.critical_path() < 20,
             "the two senders' chains run in parallel (critical path {} should be < 20)",

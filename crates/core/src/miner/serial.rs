@@ -15,13 +15,31 @@ use std::time::Instant;
 /// Each transaction still runs inside an STM transaction (committed
 /// immediately), so `throw` semantics and gas accounting are byte-for-byte
 /// identical to the parallel miner; only the concurrency differs.
-#[derive(Debug, Clone, Default)]
-pub struct SerialMiner;
+#[derive(Debug, Clone)]
+pub struct SerialMiner {
+    capture_schedule: bool,
+}
+
+impl Default for SerialMiner {
+    fn default() -> Self {
+        SerialMiner::new()
+    }
+}
 
 impl SerialMiner {
     /// Creates a serial miner.
     pub fn new() -> Self {
-        SerialMiner
+        SerialMiner {
+            capture_schedule: true,
+        }
+    }
+
+    /// Enables or disables publication of the (trivial, sequential)
+    /// schedule metadata. Disabled only for benchmarking the bare
+    /// execution path.
+    pub fn with_schedule_capture(mut self, capture: bool) -> Self {
+        self.capture_schedule = capture;
+        self
     }
 }
 
@@ -70,16 +88,21 @@ impl Miner for SerialMiner {
         let elapsed = start.elapsed();
         let gas_used = receipts.iter().map(|r| r.gas_used).sum();
         let n = transactions.len();
-        let schedule = ScheduleMetadata::sequential(n);
-        let critical_path = schedule.critical_path();
-        let hb_edges = schedule.edges.len();
+        let (schedule, critical_path, hb_edges) = if self.capture_schedule {
+            let schedule = ScheduleMetadata::sequential(n);
+            let critical_path = schedule.critical_path();
+            let hb_edges = schedule.edges.len();
+            (Some(schedule), critical_path, hb_edges)
+        } else {
+            (None, 0, 0)
+        };
         let block = Block::build(
             parent_hash,
             number,
             transactions,
             receipts,
             world.state_root(),
-            Some(schedule),
+            schedule,
         );
         Ok(MinedBlock {
             block,

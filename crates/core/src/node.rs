@@ -1,5 +1,6 @@
-//! A convenience full node: mine, append, validate.
+//! A convenience full node: an [`Engine`], a world and a chain.
 
+use crate::engine::{Engine, EngineConfig};
 use crate::error::CoreError;
 use crate::miner::{MinedBlock, Miner};
 use crate::stats::ValidationReport;
@@ -7,32 +8,123 @@ use crate::validator::Validator;
 use cc_ledger::{Block, Blockchain, ChainError, Transaction};
 use cc_vm::World;
 
-/// A node that owns a world and a chain and keeps them consistent.
+/// A node that owns a world, a chain and the [`Engine`] that executes
+/// blocks, keeping all three consistent.
 ///
 /// `Node` is a thin orchestration layer used by the examples and the
 /// benchmark harness:
 ///
 /// * a **mining node** calls [`Node::mine_and_append`] to execute client
-///   transactions with whatever [`Miner`] it was given and extend its
-///   chain;
+///   transactions with its engine's miner and extend its chain;
 /// * a **validating node** calls [`Node::validate_and_append`] with blocks
 ///   received from the network; its world is advanced only when the block
 ///   is accepted.
+///
+/// Build one with [`Node::builder`]:
+///
+/// ```
+/// use cc_core::engine::EngineConfig;
+/// use cc_core::node::Node;
+/// use cc_vm::World;
+///
+/// let node = Node::builder()
+///     .world(World::new())
+///     .config(EngineConfig::new().threads(2))
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(node.engine().threads(), 2);
+/// ```
 #[derive(Debug)]
 pub struct Node {
     world: World,
     chain: Blockchain,
+    engine: Engine,
+    /// Set when a validation rejected a block *after* replaying it: the
+    /// world then holds effects of a block that was never appended and
+    /// every later result would silently diverge. A stale node refuses
+    /// further work; rebuild it from a trusted state.
+    stale: bool,
+}
+
+/// Builder for [`Node`]: a world (deployed contracts, seeded state) plus
+/// either a ready [`Engine`] or an [`EngineConfig`] to build one from.
+#[derive(Debug, Default)]
+pub struct NodeBuilder {
+    world: Option<World>,
+    engine: Option<Engine>,
+    config: Option<EngineConfig>,
+}
+
+impl NodeBuilder {
+    /// Sets the node's initial world. The genesis block commits to this
+    /// world's state root. Defaults to an empty [`World`].
+    pub fn world(mut self, world: World) -> Self {
+        self.world = Some(world);
+        self
+    }
+
+    /// Uses an already-built engine (e.g. one shared with other nodes).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Builds the node's engine from a configuration. Overridden by
+    /// [`NodeBuilder::engine`] if both are given.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Constructs the node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the supplied configuration
+    /// is rejected by [`EngineConfig::build`].
+    pub fn build(self) -> Result<Node, CoreError> {
+        let engine = match (self.engine, self.config) {
+            (Some(engine), _) => engine,
+            (None, Some(config)) => config.build()?,
+            (None, None) => Engine::default(),
+        };
+        Ok(Node::new(self.world.unwrap_or_default(), engine))
+    }
 }
 
 impl Node {
+    /// Starts building a node.
+    pub fn builder() -> NodeBuilder {
+        NodeBuilder::default()
+    }
+
     /// Creates a node over an already-populated world (deployed contracts,
-    /// seeded state). The genesis block commits to that initial state.
-    pub fn new(world: World) -> Self {
+    /// seeded state) executing blocks with `engine`. The genesis block
+    /// commits to that initial state.
+    pub fn new(world: World, engine: Engine) -> Self {
         let genesis_root = world.state_root();
         Node {
             world,
             chain: Blockchain::with_genesis_state(genesis_root),
+            engine,
+            stale: false,
         }
+    }
+
+    /// Whether this node's world has been corrupted by a rejected
+    /// validation (see [`Node::validate_and_append`]). A stale node
+    /// refuses to mine or validate; rebuild it from a trusted state.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    fn ensure_fresh(&self) -> Result<(), CoreError> {
+        if self.stale {
+            return Err(CoreError::rejected(
+                "node world is stale after a rejected validation; rebuild the node from a trusted state",
+            ));
+        }
+        Ok(())
     }
 
     /// The node's world (current state).
@@ -45,8 +137,13 @@ impl Node {
         &self.chain
     }
 
-    /// Mines a block of `transactions` with `miner` on top of the current
-    /// head and appends it to the chain.
+    /// The engine executing this node's blocks.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mines a block of `transactions` with the node's engine on top of
+    /// the current head and appends it to the chain.
     ///
     /// # Errors
     ///
@@ -54,9 +151,25 @@ impl Node {
     /// assembled block unexpectedly fails structural chain checks.
     pub fn mine_and_append(
         &mut self,
+        transactions: Vec<Transaction>,
+    ) -> Result<MinedBlock, CoreError> {
+        let miner = self.engine.clone();
+        self.mine_and_append_with(miner.miner(), transactions)
+    }
+
+    /// Like [`Node::mine_and_append`] but with an explicit miner — the
+    /// escape hatch for driving one node with several strategies (e.g.
+    /// the interoperability tests alternating serial and parallel blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::mine_and_append`].
+    pub fn mine_and_append_with(
+        &mut self,
         miner: &dyn Miner,
         transactions: Vec<Transaction>,
     ) -> Result<MinedBlock, CoreError> {
+        self.ensure_fresh()?;
         let parent_hash = self.chain.head_hash();
         let number = self.chain.head().header.number + 1;
         let mined = miner.mine_on(&self.world, transactions, parent_hash, number)?;
@@ -66,22 +179,53 @@ impl Node {
         Ok(mined)
     }
 
-    /// Validates a block received from another node with `validator` and
-    /// appends it on success.
+    /// Validates a block received from another node with the node's
+    /// engine and appends it on success.
     ///
     /// # Errors
     ///
     /// Propagates the validator's rejection, or rejects blocks that do not
     /// extend this node's chain.
-    pub fn validate_and_append(
+    ///
+    /// A rejection may leave the world holding effects of the rejected
+    /// block (validation mutates the world; see
+    /// [`crate::validator::Validator`]), so the node conservatively
+    /// marks itself stale on *any* validator rejection and every
+    /// subsequent call fails fast — a real node discards that state and
+    /// resynchronizes, and so must callers of this API (rebuild the node
+    /// from a trusted world). Blocks turned away before the validator
+    /// runs (wrong parent) do not stale the node.
+    pub fn validate_and_append(&mut self, block: &Block) -> Result<ValidationReport, CoreError> {
+        let engine = self.engine.clone();
+        self.validate_and_append_with(engine.validator(), block)
+    }
+
+    /// Like [`Node::validate_and_append`] but with an explicit validator
+    /// (e.g. a legacy replay validator for schedule-less blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::validate_and_append`].
+    pub fn validate_and_append_with(
         &mut self,
         validator: &dyn Validator,
         block: &Block,
     ) -> Result<ValidationReport, CoreError> {
+        self.ensure_fresh()?;
         if block.header.parent_hash != self.chain.head_hash() {
-            return Err(CoreError::rejected("block does not extend this node's head"));
+            return Err(CoreError::rejected(
+                "block does not extend this node's head",
+            ));
         }
-        let report = validator.validate(&self.world, block)?;
+        let report = match validator.validate(&self.world, block) {
+            Ok(report) => report,
+            Err(err) => {
+                // The replay already mutated this node's world; nothing
+                // built on it can be trusted any more.
+                self.stale = true;
+                return Err(err);
+            }
+        };
         self.chain
             .append(block.clone())
             .map_err(|e| CoreError::rejected(e.to_string()))?;
@@ -92,16 +236,25 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::miner::ParallelMiner;
-    use crate::validator::ParallelValidator;
+    use crate::engine::ExecutionStrategy;
     use cc_vm::testing::CounterContract;
     use cc_vm::{Address, ArgValue, CallData};
     use std::sync::Arc;
 
     fn fresh_world() -> World {
         let world = World::new();
-        world.deploy(Arc::new(CounterContract::new(Address::from_name("counter-node"))));
+        world.deploy(Arc::new(CounterContract::new(Address::from_name(
+            "counter-node",
+        ))));
         world
+    }
+
+    fn engine_node(threads: usize) -> Node {
+        Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(threads))
+            .build()
+            .expect("valid config")
     }
 
     fn block_txs(base: u64, n: u64) -> Vec<Transaction> {
@@ -120,18 +273,14 @@ mod tests {
 
     #[test]
     fn miner_node_and_validator_node_stay_in_sync() {
-        let mut miner_node = Node::new(fresh_world());
-        let mut validator_node = Node::new(fresh_world());
-        let miner = ParallelMiner::new(3);
-        let validator = ParallelValidator::new(3);
+        let mut miner_node = engine_node(3);
+        let mut validator_node = engine_node(3);
 
         for block_number in 0..3u64 {
             let mined = miner_node
-                .mine_and_append(&miner, block_txs(block_number * 100, 12))
+                .mine_and_append(block_txs(block_number * 100, 12))
                 .unwrap();
-            let report = validator_node
-                .validate_and_append(&validator, &mined.block)
-                .unwrap();
+            let report = validator_node.validate_and_append(&mined.block).unwrap();
             assert_eq!(report.state_root, mined.block.header.state_root);
         }
         assert_eq!(miner_node.chain().len(), 4);
@@ -145,19 +294,100 @@ mod tests {
 
     #[test]
     fn validator_node_rejects_blocks_that_do_not_extend_its_head() {
-        let mut miner_node = Node::new(fresh_world());
-        let mut validator_node = Node::new(fresh_world());
-        let miner = ParallelMiner::new(2);
-        let validator = ParallelValidator::new(2);
+        let mut miner_node = engine_node(2);
+        let mut validator_node = engine_node(2);
 
-        let first = miner_node.mine_and_append(&miner, block_txs(0, 4)).unwrap();
-        let second = miner_node.mine_and_append(&miner, block_txs(100, 4)).unwrap();
+        let first = miner_node.mine_and_append(block_txs(0, 4)).unwrap();
+        let second = miner_node.mine_and_append(block_txs(100, 4)).unwrap();
         // Skipping the first block: the second does not extend genesis.
         let err = validator_node
-            .validate_and_append(&validator, &second.block)
+            .validate_and_append(&second.block)
             .unwrap_err();
         assert!(err.to_string().contains("does not extend"));
-        validator_node.validate_and_append(&validator, &first.block).unwrap();
-        validator_node.validate_and_append(&validator, &second.block).unwrap();
+        validator_node.validate_and_append(&first.block).unwrap();
+        validator_node.validate_and_append(&second.block).unwrap();
+    }
+
+    #[test]
+    fn rejected_validation_stales_the_node() {
+        let mut miner_node = engine_node(2);
+        let mut validator_node = engine_node(2);
+
+        let mined = miner_node.mine_and_append(block_txs(0, 6)).unwrap();
+        let mut forged = mined.block.clone();
+        forged.header.state_root = cc_primitives::sha256(b"forged");
+        assert!(validator_node.validate_and_append(&forged).is_err());
+        assert!(validator_node.is_stale());
+
+        // The replay mutated the validator's world; the node now refuses
+        // all further work instead of silently diverging.
+        let err = validator_node
+            .validate_and_append(&mined.block)
+            .unwrap_err();
+        assert!(err.to_string().contains("stale"), "got: {err}");
+        let err = validator_node
+            .mine_and_append(block_txs(100, 2))
+            .unwrap_err();
+        assert!(err.to_string().contains("stale"), "got: {err}");
+
+        // A wrong-parent rejection happens before the validator runs and
+        // does not stale the node.
+        let mut fresh = engine_node(2);
+        let second = miner_node.mine_and_append(block_txs(100, 2)).unwrap();
+        assert!(fresh.validate_and_append(&second.block).is_err());
+        assert!(!fresh.is_stale());
+        fresh.validate_and_append(&mined.block).unwrap();
+        fresh.validate_and_append(&second.block).unwrap();
+    }
+
+    #[test]
+    fn builder_defaults_and_shared_engines() {
+        // No world, no config: an empty world and the default engine.
+        let node = Node::builder().build().unwrap();
+        assert_eq!(node.engine().threads(), EngineConfig::DEFAULT_THREADS);
+        assert_eq!(node.chain().len(), 1);
+
+        // A bad config is rejected at build time.
+        assert!(Node::builder()
+            .config(EngineConfig::new().threads(0))
+            .build()
+            .is_err());
+
+        // Two nodes can share one engine.
+        let engine = Engine::serial();
+        let mut a = Node::builder()
+            .world(fresh_world())
+            .engine(engine.clone())
+            .build()
+            .unwrap();
+        let mut b = Node::builder()
+            .world(fresh_world())
+            .engine(engine)
+            .build()
+            .unwrap();
+        assert_eq!(a.engine().strategy(), ExecutionStrategy::Serial);
+        let mined = a.mine_and_append(block_txs(0, 5)).unwrap();
+        b.validate_and_append(&mined.block).unwrap();
+        assert_eq!(a.world().state_root(), b.world().state_root());
+    }
+
+    #[test]
+    fn explicit_miner_and_validator_escape_hatches() {
+        let mut node = engine_node(2);
+        let serial = Engine::serial();
+        let mined = node
+            .mine_and_append_with(serial.miner(), block_txs(0, 6))
+            .unwrap();
+        assert_eq!(mined.stats.threads, 1);
+        // The serially-mined block has no lock profiles, so replaying it
+        // with the node's strict fork-join validator fails — the lenient
+        // one accepts it.
+        let lenient = Engine::builder().check_traces(false).build().unwrap();
+        // Note the fresh node per attempt: a rejected validation leaves
+        // the world in an unspecified state, so it must be discarded.
+        assert!(engine_node(2).validate_and_append(&mined.block).is_err());
+        engine_node(2)
+            .validate_and_append_with(lenient.validator(), &mined.block)
+            .unwrap();
     }
 }

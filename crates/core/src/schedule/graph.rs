@@ -167,7 +167,9 @@ impl HappensBeforeGraph {
     pub fn reachability(&self) -> Reachability {
         let words = self.n.div_ceil(64);
         let mut reach = vec![vec![0u64; words]; self.n];
-        let order = self.topological_sort().unwrap_or_else(|| (0..self.n).collect());
+        let order = self
+            .topological_sort()
+            .unwrap_or_else(|| (0..self.n).collect());
         // Process in reverse topological order so each vertex's set is
         // complete before its predecessors use it.
         for &v in order.iter().rev() {
@@ -300,7 +302,11 @@ mod tests {
         LockProfile::new(
             entries
                 .iter()
-                .map(|&(lock, mode, counter)| ProfileEntry { lock, mode, counter })
+                .map(|&(lock, mode, counter)| ProfileEntry {
+                    lock,
+                    mode,
+                    counter,
+                })
                 .collect(),
         )
     }
@@ -358,7 +364,9 @@ mod tests {
         g.add_edge(0, 1);
         g.add_edge(1, 0);
         assert!(g.topological_sort().is_none());
-        assert!(g.to_metadata(&[LockProfile::default(), LockProfile::default()]).is_err());
+        assert!(g
+            .to_metadata(&[LockProfile::default(), LockProfile::default()])
+            .is_err());
     }
 
     #[test]

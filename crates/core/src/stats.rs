@@ -29,7 +29,12 @@ impl fmt::Display for MinerStats {
         write!(
             f,
             "{} txns on {} thread(s) in {:?} ({} retries, critical path {}, {} edges)",
-            self.transactions, self.threads, self.elapsed, self.retries, self.critical_path, self.hb_edges
+            self.transactions,
+            self.threads,
+            self.elapsed,
+            self.retries,
+            self.critical_path,
+            self.hb_edges
         )
     }
 }

@@ -50,8 +50,14 @@ impl ParallelValidator {
     /// Disables the lock-trace and race checks, leaving only the state /
     /// receipt comparison. Used by the ablation benchmark to measure what
     /// the trace verification costs; a real validator never does this.
-    pub fn without_trace_checks(mut self) -> Self {
-        self.check_traces = false;
+    pub fn without_trace_checks(self) -> Self {
+        self.with_trace_checks(false)
+    }
+
+    /// Enables or disables the lock-trace and race checks (see
+    /// [`ParallelValidator::without_trace_checks`]).
+    pub fn with_trace_checks(mut self, check: bool) -> Self {
+        self.check_traces = check;
         self
     }
 
@@ -65,7 +71,9 @@ impl Validator for ParallelValidator {
     fn validate(&self, world: &World, block: &Block) -> Result<ValidationReport, CoreError> {
         let start = Instant::now();
         if !block.is_well_formed() {
-            return Err(CoreError::rejected("block commitments do not match its body"));
+            return Err(CoreError::rejected(
+                "block commitments do not match its body",
+            ));
         }
         let schedule = block.schedule.as_ref().ok_or(CoreError::MissingSchedule)?;
         let n = block.transactions.len();
@@ -75,8 +83,10 @@ impl Validator for ParallelValidator {
         // immediate predecessors. Tasks record receipts and lock traces.
         let stm = world.stm();
         stm.begin_block();
-        let results: Vec<Mutex<Option<(Receipt, BTreeMap<LockId, LockMode>)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        // One slot per transaction: the replayed receipt plus the lock
+        // trace the transaction would have taken.
+        type ReplaySlot = Mutex<Option<(Receipt, BTreeMap<LockId, LockMode>)>>;
+        let results: Vec<ReplaySlot> = (0..n).map(|_| Mutex::new(None)).collect();
 
         run_fork_join(&graph, self.threads, |index| {
             let tx = &block.transactions[index];
@@ -181,7 +191,9 @@ mod tests {
 
     fn counter_world() -> World {
         let world = World::new();
-        world.deploy(Arc::new(CounterContract::new(Address::from_name("counter-pv"))));
+        world.deploy(Arc::new(CounterContract::new(Address::from_name(
+            "counter-pv",
+        ))));
         world
     }
 
@@ -201,7 +213,11 @@ mod tests {
 
     fn ballot_world(voters: u64) -> World {
         let world = World::new();
-        let ballot = Ballot::with_numbered_proposals(Address::from_name("Ballot-pv"), Address::from_index(0), 2);
+        let ballot = Ballot::with_numbered_proposals(
+            Address::from_name("Ballot-pv"),
+            Address::from_index(0),
+            2,
+        );
         for v in 1..=voters {
             ballot.seed_registered_voter(Address::from_index(v));
         }
@@ -359,7 +375,9 @@ mod tests {
     #[test]
     fn serial_blocks_are_also_validatable_in_parallel() {
         use crate::miner::SerialMiner;
-        let mined = SerialMiner::new().mine(&counter_world(), counter_txs(6)).unwrap();
+        let mined = SerialMiner::new()
+            .mine(&counter_world(), counter_txs(6))
+            .unwrap();
         // A sequential schedule has no profiles; the trace check would
         // reject it, which is the correct behaviour for a parallel
         // validator — but the ablation mode can still replay it.

@@ -30,7 +30,9 @@ impl Validator for SerialValidator {
     fn validate(&self, world: &World, block: &Block) -> Result<ValidationReport, CoreError> {
         let start = Instant::now();
         if !block.is_well_formed() {
-            return Err(CoreError::rejected("block commitments do not match its body"));
+            return Err(CoreError::rejected(
+                "block commitments do not match its body",
+            ));
         }
         let stm = world.stm();
         stm.begin_block();
@@ -52,7 +54,9 @@ impl Validator for SerialValidator {
                 match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit) {
                     Ok(receipt) => {
                         txn.commit().map_err(|e| {
-                            CoreError::rejected(format!("replay of transaction {index} failed: {e}"))
+                            CoreError::rejected(format!(
+                                "replay of transaction {index} failed: {e}"
+                            ))
                         })?;
                         replayed[index] = Some(receipt);
                         break;
@@ -67,7 +71,13 @@ impl Validator for SerialValidator {
         let replayed: Vec<Receipt> = replayed
             .into_iter()
             .enumerate()
-            .map(|(i, r)| r.ok_or_else(|| CoreError::rejected(format!("transaction {i} missing from the published serial order"))))
+            .map(|(i, r)| {
+                r.ok_or_else(|| {
+                    CoreError::rejected(format!(
+                        "transaction {i} missing from the published serial order"
+                    ))
+                })
+            })
             .collect::<Result<_, _>>()?;
 
         let mut reasons = receipt_mismatches(&block.receipts, &replayed);
@@ -131,7 +141,9 @@ mod tests {
     fn honest_block_is_accepted() {
         let (miner_world, validator_world, addr) = setup();
         let mined = SerialMiner::new().mine(&miner_world, txs(addr, 8)).unwrap();
-        let report = SerialValidator::new().validate(&validator_world, &mined.block).unwrap();
+        let report = SerialValidator::new()
+            .validate(&validator_world, &mined.block)
+            .unwrap();
         assert_eq!(report.state_root, mined.block.header.state_root);
         assert_eq!(report.transactions, 8);
         assert_eq!(report.threads, 1);
@@ -157,7 +169,9 @@ mod tests {
         let mut block = mined.block.clone();
         block.receipts[2].gas_used += 1;
         // receipts_root no longer matches -> malformed.
-        let err = SerialValidator::new().validate(&validator_world, &block).unwrap_err();
+        let err = SerialValidator::new()
+            .validate(&validator_world, &block)
+            .unwrap_err();
         assert!(err.to_string().contains("commitments"));
     }
 }

@@ -218,15 +218,36 @@ mod tests {
 
     #[test]
     fn hash_is_stable_and_content_dependent() {
-        let a = Block::build(Hash256::ZERO, 1, vec![tx(0)], vec![receipt(0)], Hash256::ZERO, None);
-        let b = Block::build(Hash256::ZERO, 1, vec![tx(1)], vec![receipt(0)], Hash256::ZERO, None);
+        let a = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(0)],
+            vec![receipt(0)],
+            Hash256::ZERO,
+            None,
+        );
+        let b = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(1)],
+            vec![receipt(0)],
+            Hash256::ZERO,
+            None,
+        );
         assert_eq!(a.hash(), a.hash());
         assert_ne!(a.hash(), b.hash());
     }
 
     #[test]
     fn display() {
-        let block = Block::build(Hash256::ZERO, 3, vec![tx(0)], vec![receipt(0)], Hash256::ZERO, None);
+        let block = Block::build(
+            Hash256::ZERO,
+            3,
+            vec![tx(0)],
+            vec![receipt(0)],
+            Hash256::ZERO,
+            None,
+        );
         assert!(block.to_string().contains("block #3"));
     }
 }

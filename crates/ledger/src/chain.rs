@@ -29,7 +29,10 @@ impl fmt::Display for ChainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ChainError::WrongParent { claimed, head } => {
-                write!(f, "wrong parent hash: block claims {claimed}, head is {head}")
+                write!(
+                    f,
+                    "wrong parent hash: block claims {claimed}, head is {head}"
+                )
             }
             ChainError::WrongNumber { claimed, expected } => {
                 write!(f, "wrong block number: got {claimed}, expected {expected}")
@@ -239,7 +242,10 @@ mod tests {
         let mut block = next_block(&chain, 1);
         block.header.parent_hash = Hash256::ZERO;
         // Hash256::ZERO is not the genesis hash (genesis hashes its own header).
-        assert!(matches!(chain.append(block), Err(ChainError::WrongParent { .. })));
+        assert!(matches!(
+            chain.append(block),
+            Err(ChainError::WrongParent { .. })
+        ));
         assert_eq!(chain.len(), 1);
     }
 
@@ -249,7 +255,10 @@ mod tests {
         let good = next_block(&chain, 1);
         let mut bad = good.clone();
         bad.header.number = 7;
-        assert!(matches!(chain.append(bad), Err(ChainError::WrongNumber { .. })));
+        assert!(matches!(
+            chain.append(bad),
+            Err(ChainError::WrongNumber { .. })
+        ));
         chain.append(good).unwrap();
     }
 
@@ -270,7 +279,10 @@ mod tests {
 
     #[test]
     fn chain_error_display() {
-        let e = ChainError::WrongNumber { claimed: 2, expected: 1 };
+        let e = ChainError::WrongNumber {
+            claimed: 2,
+            expected: 1,
+        };
         assert!(e.to_string().contains("expected 1"));
         assert!(ChainError::Malformed.to_string().contains("commitments"));
     }

@@ -32,13 +32,7 @@ pub struct Transaction {
 
 impl Transaction {
     /// Creates a transaction carrying no currency.
-    pub fn new(
-        nonce: u64,
-        sender: Address,
-        to: Address,
-        call: CallData,
-        gas_limit: u64,
-    ) -> Self {
+    pub fn new(nonce: u64, sender: Address, to: Address, call: CallData, gas_limit: u64) -> Self {
         Transaction {
             nonce,
             sender,

@@ -31,7 +31,7 @@
 
 pub mod codec;
 pub mod fnv;
-pub mod hex;
 pub mod hash;
+pub mod hex;
 
 pub use hash::{sha256, Hash256};

@@ -47,7 +47,10 @@ impl fmt::Display for StmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StmError::Deadlock { victim, lock } => {
-                write!(f, "deadlock detected: transaction {victim} aborted while acquiring {lock}")
+                write!(
+                    f,
+                    "deadlock detected: transaction {victim} aborted while acquiring {lock}"
+                )
             }
             StmError::Aborted { reason } => write!(f, "transaction aborted: {reason}"),
             StmError::RetriesExhausted { attempts } => {
@@ -73,14 +76,19 @@ mod tests {
         };
         assert!(deadlock.is_retryable());
         assert!(!StmError::TransactionClosed.is_retryable());
-        assert!(!StmError::Aborted { reason: "user".into() }.is_retryable());
+        assert!(!StmError::Aborted {
+            reason: "user".into()
+        }
+        .is_retryable());
     }
 
     #[test]
     fn display_is_informative() {
         let e = StmError::RetriesExhausted { attempts: 12 };
         assert!(e.to_string().contains("12"));
-        let e = StmError::Aborted { reason: "double vote".into() };
+        let e = StmError::Aborted {
+            reason: "double vote".into(),
+        };
         assert!(e.to_string().contains("double vote"));
     }
 }

@@ -369,7 +369,7 @@ mod tests {
             r1.is_err() || r2.is_err(),
             "at least one transaction must be chosen as deadlock victim"
         );
-        let err = if r1.is_err() { r1.unwrap_err() } else { r2.unwrap_err() };
+        let err = r1.err().or_else(|| r2.err()).expect("one side failed");
         assert!(err.is_retryable());
         assert!(m.stats().deadlocks >= 1);
     }

@@ -170,9 +170,18 @@ mod tests {
     fn trace_collapse_takes_strongest_mode() {
         let lock = LockSpace::new("bid").whole();
         let trace = vec![
-            TraceEntry { lock, mode: LockMode::Additive },
-            TraceEntry { lock, mode: LockMode::Exclusive },
-            TraceEntry { lock, mode: LockMode::Additive },
+            TraceEntry {
+                lock,
+                mode: LockMode::Additive,
+            },
+            TraceEntry {
+                lock,
+                mode: LockMode::Exclusive,
+            },
+            TraceEntry {
+                lock,
+                mode: LockMode::Additive,
+            },
         ];
         let collapsed = collapse_trace(&trace);
         assert_eq!(collapsed.len(), 1);

@@ -223,10 +223,7 @@ impl Transaction {
     ///
     /// Propagates whatever error `body` returned after undoing the child's
     /// effects.
-    pub fn nested<R, E>(
-        &self,
-        body: impl FnOnce(&Transaction) -> Result<R, E>,
-    ) -> Result<R, E> {
+    pub fn nested<R, E>(&self, body: impl FnOnce(&Transaction) -> Result<R, E>) -> Result<R, E> {
         let undo_start = {
             let mut inner = self.inner.lock();
             inner.frames.push(Vec::new());
@@ -500,8 +497,10 @@ mod tests {
         let stm = stm();
         let space = LockSpace::new("t");
         let txn = stm.begin();
-        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive).unwrap();
-        txn.acquire(space.lock_for(&2u64), LockMode::Additive).unwrap();
+        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive)
+            .unwrap();
+        txn.acquire(space.lock_for(&2u64), LockMode::Additive)
+            .unwrap();
         let commit = txn.commit().unwrap();
         assert_eq!(commit.profile.len(), 2);
         assert!(commit.profile.locks.iter().all(|e| e.counter == 1));
@@ -555,7 +554,8 @@ mod tests {
         let stm = stm();
         let space = LockSpace::new("nested");
         let txn = stm.begin();
-        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive).unwrap();
+        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive)
+            .unwrap();
         let out: Result<u32, StmError> = txn.nested(|t| {
             t.acquire(space.lock_for(&"child"), LockMode::Exclusive)?;
             Ok(5)
@@ -572,7 +572,8 @@ mod tests {
         let space = LockSpace::new("nested2");
         let value = Arc::new(AtomicI64::new(1));
         let txn = stm.begin();
-        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive).unwrap();
+        txn.acquire(space.lock_for(&"parent"), LockMode::Exclusive)
+            .unwrap();
 
         let v = Arc::clone(&value);
         let res: Result<(), StmError> = txn.nested(|t| {
@@ -580,7 +581,9 @@ mod tests {
             value.store(2, Ordering::SeqCst);
             let v2 = Arc::clone(&v);
             t.log_undo(move || v2.store(1, Ordering::SeqCst));
-            Err(StmError::Aborted { reason: "child throws".into() })
+            Err(StmError::Aborted {
+                reason: "child throws".into(),
+            })
         });
         assert!(res.is_err());
         assert_eq!(value.load(Ordering::SeqCst), 1, "child effects undone");
@@ -588,7 +591,9 @@ mod tests {
 
         // The child's lock is actually free for other transactions now.
         let other = stm.begin();
-        other.acquire(space.lock_for(&"child"), LockMode::Exclusive).unwrap();
+        other
+            .acquire(space.lock_for(&"child"), LockMode::Exclusive)
+            .unwrap();
         other.commit().unwrap();
         txn.commit().unwrap();
     }
@@ -598,8 +603,10 @@ mod tests {
         let stm = stm();
         let space = LockSpace::new("replay");
         let txn = stm.begin_replay();
-        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive).unwrap();
-        txn.acquire(space.lock_for(&1u64), LockMode::Additive).unwrap();
+        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive)
+            .unwrap();
+        txn.acquire(space.lock_for(&1u64), LockMode::Additive)
+            .unwrap();
         assert_eq!(txn.trace().len(), 2);
         assert_eq!(stm.lock_manager().held_lock_count(), 0);
         let commit = txn.commit().unwrap();
@@ -646,8 +653,11 @@ mod tests {
     #[test]
     fn run_propagates_non_retryable_errors() {
         let stm = stm();
-        let result: Result<((), CommitProfile), StmError> =
-            stm.run(|_| Err(StmError::Aborted { reason: "no".into() }));
+        let result: Result<((), CommitProfile), StmError> = stm.run(|_| {
+            Err(StmError::Aborted {
+                reason: "no".into(),
+            })
+        });
         assert!(matches!(result, Err(StmError::Aborted { .. })));
     }
 

@@ -393,7 +393,7 @@ mod tests {
 
     #[test]
     fn return_value_encoding_is_disjoint() {
-        let variants = vec![
+        let variants = [
             ReturnValue::Unit,
             ReturnValue::Uint(1),
             ReturnValue::Bool(true),

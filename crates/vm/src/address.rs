@@ -102,7 +102,10 @@ mod tests {
     fn derived_addresses_are_deterministic_and_distinct() {
         assert_eq!(Address::from_index(3), Address::from_index(3));
         assert_ne!(Address::from_index(3), Address::from_index(4));
-        assert_ne!(Address::from_name("Ballot"), Address::from_name("SimpleAuction"));
+        assert_ne!(
+            Address::from_name("Ballot"),
+            Address::from_name("SimpleAuction")
+        );
         assert_ne!(Address::from_index(1), Address::from_name("1"));
     }
 

@@ -99,19 +99,27 @@ mod tests {
         });
         assert!(deadlock.is_stm_retry());
         assert!(!VmError::revert("double vote").is_stm_retry());
-        assert!(!VmError::OutOfGas { limit: 1, needed: 2 }.is_stm_retry());
+        assert!(!VmError::OutOfGas {
+            limit: 1,
+            needed: 2
+        }
+        .is_stm_retry());
     }
 
     #[test]
     fn display_strings() {
         assert!(VmError::revert("nope").to_string().contains("nope"));
-        assert!(VmError::UnknownFunction { function: "vote".into() }
-            .to_string()
-            .contains("vote"));
+        assert!(VmError::UnknownFunction {
+            function: "vote".into()
+        }
+        .to_string()
+        .contains("vote"));
         assert!(VmError::UnknownContract.to_string().contains("contract"));
-        assert!(VmError::BadArguments { expected: "uint".into() }
-            .to_string()
-            .contains("uint"));
+        assert!(VmError::BadArguments {
+            expected: "uint".into()
+        }
+        .to_string()
+        .contains("uint"));
     }
 
     #[test]

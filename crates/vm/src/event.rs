@@ -33,7 +33,13 @@ impl Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}::{}({} args)", self.contract, self.name, self.data.len())
+        write!(
+            f,
+            "{}::{}({} args)",
+            self.contract,
+            self.name,
+            self.data.len()
+        )
     }
 }
 

@@ -47,8 +47,8 @@
 
 pub mod abi;
 pub mod address;
-pub mod contract;
 pub mod context;
+pub mod contract;
 pub mod error;
 pub mod event;
 pub mod gas;
@@ -63,8 +63,8 @@ pub mod world;
 
 pub use abi::{ArgValue, CallData, ReturnValue};
 pub use address::Address;
-pub use contract::{Contract, ContractKind};
 pub use context::CallContext;
+pub use contract::{Contract, ContractKind};
 pub use error::VmError;
 pub use event::Event;
 pub use gas::{GasMeter, GasSchedule};

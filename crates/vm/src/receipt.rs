@@ -124,7 +124,11 @@ mod tests {
             status,
             gas_used: 21_000,
             output: ReturnValue::Uint(1),
-            events: vec![Event::new(Address::from_index(1), "E", vec![ArgValue::Bool(true)])],
+            events: vec![Event::new(
+                Address::from_index(1),
+                "E",
+                vec![ArgValue::Bool(true)],
+            )],
         }
     }
 
@@ -132,10 +136,15 @@ mod tests {
     fn status_classification() {
         assert_eq!(
             ExecutionStatus::from_error(&VmError::revert("double vote")),
-            ExecutionStatus::Reverted { reason: "double vote".into() }
+            ExecutionStatus::Reverted {
+                reason: "double vote".into()
+            }
         );
         assert_eq!(
-            ExecutionStatus::from_error(&VmError::OutOfGas { limit: 1, needed: 2 }),
+            ExecutionStatus::from_error(&VmError::OutOfGas {
+                limit: 1,
+                needed: 2
+            }),
             ExecutionStatus::OutOfGas
         );
         assert!(matches!(
@@ -174,14 +183,28 @@ mod tests {
     #[test]
     fn discriminants_are_stable() {
         assert_eq!(ExecutionStatus::Succeeded.discriminant(), 0);
-        assert_eq!(ExecutionStatus::Reverted { reason: String::new() }.discriminant(), 1);
+        assert_eq!(
+            ExecutionStatus::Reverted {
+                reason: String::new()
+            }
+            .discriminant(),
+            1
+        );
         assert_eq!(ExecutionStatus::OutOfGas.discriminant(), 2);
-        assert_eq!(ExecutionStatus::Invalid { reason: String::new() }.discriminant(), 3);
+        assert_eq!(
+            ExecutionStatus::Invalid {
+                reason: String::new()
+            }
+            .discriminant(),
+            3
+        );
     }
 
     #[test]
     fn display() {
         assert_eq!(ExecutionStatus::Succeeded.to_string(), "succeeded");
-        assert!(ExecutionStatus::Reverted { reason: "r".into() }.to_string().contains('r'));
+        assert!(ExecutionStatus::Reverted { reason: "r".into() }
+            .to_string()
+            .contains('r'));
     }
 }

@@ -55,7 +55,12 @@ where
     /// # Errors
     ///
     /// Out-of-gas or speculative-conflict errors.
-    pub fn insert(&self, ctx: &mut CallContext<'_>, key: K, value: V) -> Result<Option<V>, VmError> {
+    pub fn insert(
+        &self,
+        ctx: &mut CallContext<'_>,
+        key: K,
+        value: V,
+    ) -> Result<Option<V>, VmError> {
         ctx.charge_sstore()?;
         Ok(self.inner.insert(ctx.txn(), key, value)?)
     }

@@ -4,8 +4,8 @@
 
 use crate::abi::{ArgValue, CallData, ReturnValue};
 use crate::address::Address;
-use crate::contract::{Contract, ContractKind};
 use crate::context::CallContext;
+use crate::contract::{Contract, ContractKind};
 use crate::error::VmError;
 use crate::snapshot::ContractSnapshot;
 use crate::storage::{StorageCell, StorageCounterMap, StorageMap};
@@ -177,11 +177,7 @@ impl Contract for ProxyContract {
     }
 
     fn snapshot(&self) -> ContractSnapshot {
-        ContractSnapshot::new(
-            "Proxy",
-            self.address,
-            vec![self.forwarded.snapshot_field()],
-        )
+        ContractSnapshot::new("Proxy", self.address, vec![self.forwarded.snapshot_field()])
     }
 }
 

@@ -138,7 +138,9 @@ mod tests {
 
     #[test]
     fn sum_and_conversions() {
-        let total: Wei = vec![Wei::new(1), Wei::new(2), Wei::new(3)].into_iter().sum();
+        let total: Wei = vec![Wei::new(1), Wei::new(2), Wei::new(3)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Wei::new(6));
         assert_eq!(Wei::from(7u64), Wei::new(7));
         assert_eq!(Wei::from(7u128), Wei::new(7));

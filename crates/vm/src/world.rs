@@ -130,12 +130,10 @@ impl World {
         let mut ctx = CallContext::root(txn, self, msg, to, meter);
         let savepoint = txn.savepoint();
 
-        let outcome = ctx
-            .charge_tx_base()
-            .and_then(|_| match self.contract(to) {
-                Some(contract) => contract.call(&mut ctx, call),
-                None => Err(VmError::UnknownContract),
-            });
+        let outcome = ctx.charge_tx_base().and_then(|_| match self.contract(to) {
+            Some(contract) => contract.call(&mut ctx, call),
+            None => Err(VmError::UnknownContract),
+        });
 
         match outcome {
             Ok(output) => Ok(Receipt {
@@ -254,7 +252,11 @@ mod tests {
             .unwrap();
         txn.commit().unwrap();
         assert!(matches!(receipt.status, ExecutionStatus::Reverted { .. }));
-        assert_eq!(world.state_root(), root_before, "state unchanged after revert");
+        assert_eq!(
+            world.state_root(),
+            root_before,
+            "state unchanged after revert"
+        );
     }
 
     #[test]
@@ -303,9 +305,11 @@ mod tests {
         txn.commit().unwrap();
         assert_eq!(receipt.status, ExecutionStatus::OutOfGas);
         let counter = world.contract(addr).unwrap();
-        assert!(counter.snapshot().fields.iter().all(|f| f.entries.iter().all(|(_, v)| v
+        assert!(counter
+            .snapshot()
+            .fields
             .iter()
-            .all(|&b| b == 0))));
+            .all(|f| f.entries.iter().all(|(_, v)| v.iter().all(|&b| b == 0))));
     }
 
     #[test]

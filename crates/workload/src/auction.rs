@@ -45,7 +45,10 @@ pub fn deploy(world: &World, block_size: usize) {
     for i in 0..block_size.max(1) {
         auction.seed_pending_return(bidder(i), SEEDED_RETURN);
     }
-    auction.seed_highest_bid(Address::from_index(ACCOUNT_BASE + 999_999), SEEDED_HIGHEST_BID);
+    auction.seed_highest_bid(
+        Address::from_index(ACCOUNT_BASE + 999_999),
+        SEEDED_HIGHEST_BID,
+    );
     world.deploy(Arc::new(auction));
 }
 
@@ -84,7 +87,10 @@ mod tests {
     fn conflict_fraction_controls_bid_plus_one_count() {
         let txs = transactions(200, 0.15);
         assert_eq!(txs.len(), 200);
-        let bids = txs.iter().filter(|t| t.call.function == "bidPlusOne").count();
+        let bids = txs
+            .iter()
+            .filter(|t| t.call.function == "bidPlusOne")
+            .count();
         assert_eq!(bids, 30);
         let withdraws = txs.iter().filter(|t| t.call.function == "withdraw").count();
         assert_eq!(withdraws, 170);
@@ -92,8 +98,12 @@ mod tests {
 
     #[test]
     fn extremes() {
-        assert!(transactions(40, 0.0).iter().all(|t| t.call.function == "withdraw"));
-        assert!(transactions(40, 1.0).iter().all(|t| t.call.function == "bidPlusOne"));
+        assert!(transactions(40, 0.0)
+            .iter()
+            .all(|t| t.call.function == "withdraw"));
+        assert!(transactions(40, 1.0)
+            .iter()
+            .all(|t| t.call.function == "bidPlusOne"));
     }
 
     #[test]

@@ -52,8 +52,20 @@ pub fn transactions(n: usize, conflict: f64) -> Vec<Transaction> {
 
     // Double voters: two transactions each.
     for i in 0..double_voters {
-        txs.push(Transaction::new(0, voter(i), contract_address(), vote_call(), GAS_LIMIT));
-        txs.push(Transaction::new(0, voter(i), contract_address(), vote_call(), GAS_LIMIT));
+        txs.push(Transaction::new(
+            0,
+            voter(i),
+            contract_address(),
+            vote_call(),
+            GAS_LIMIT,
+        ));
+        txs.push(Transaction::new(
+            0,
+            voter(i),
+            contract_address(),
+            vote_call(),
+            GAS_LIMIT,
+        ));
     }
     // The rest vote exactly once, each from a distinct voter.
     let singles = n - 2 * double_voters;
@@ -83,7 +95,10 @@ mod tests {
             *per_sender.entry(tx.sender).or_default() += 1;
         }
         let doubles = per_sender.values().filter(|&&c| c == 2).count();
-        assert_eq!(doubles, 7, "15% of 100 -> 14 contending txns -> 7 double voters");
+        assert_eq!(
+            doubles, 7,
+            "15% of 100 -> 14 contending txns -> 7 double voters"
+        );
         assert!(per_sender.values().all(|&c| c <= 2));
     }
 

@@ -88,14 +88,21 @@ mod tests {
     fn conflict_fraction_controls_transfer_count() {
         let txs = transactions(200, 0.15);
         assert_eq!(txs.len(), 200);
-        let transfers = txs.iter().filter(|t| t.call.function == "transferDocument").count();
+        let transfers = txs
+            .iter()
+            .filter(|t| t.call.function == "transferDocument")
+            .count();
         assert_eq!(transfers, 30);
     }
 
     #[test]
     fn extremes() {
-        assert!(transactions(30, 0.0).iter().all(|t| t.call.function == "hasDocument"));
-        assert!(transactions(30, 1.0).iter().all(|t| t.call.function == "transferDocument"));
+        assert!(transactions(30, 0.0)
+            .iter()
+            .all(|t| t.call.function == "hasDocument"));
+        assert!(transactions(30, 1.0)
+            .iter()
+            .all(|t| t.call.function == "transferDocument"));
     }
 
     #[test]

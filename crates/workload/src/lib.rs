@@ -249,9 +249,15 @@ mod tests {
 
     #[test]
     fn transactions_are_reproducible_for_same_seed_and_differ_across_seeds() {
-        let a = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15).with_seed(1).generate();
-        let b = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15).with_seed(1).generate();
-        let c = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15).with_seed(2).generate();
+        let a = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15)
+            .with_seed(1)
+            .generate();
+        let b = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15)
+            .with_seed(1)
+            .generate();
+        let c = WorkloadSpec::new(Benchmark::Ballot, 60, 0.15)
+            .with_seed(2)
+            .generate();
         assert_eq!(a.transactions(), b.transactions());
         assert_ne!(a.transactions(), c.transactions());
     }
@@ -260,16 +266,23 @@ mod tests {
     fn serial_and_parallel_mining_agree_on_every_benchmark() {
         for benchmark in Benchmark::ALL {
             let w = WorkloadSpec::new(benchmark, 60, 0.25).generate();
-            let parallel = ParallelMiner::new(3).mine(&w.build_world(), w.transactions()).unwrap();
+            let parallel = ParallelMiner::new(3)
+                .mine(&w.build_world(), w.transactions())
+                .unwrap();
             // Serializability: running the published serial order one
             // transaction at a time reproduces the parallel state. (Plain
             // block order is not used here because SimpleAuction's final
             // state legitimately depends on the serialization chosen.)
             let schedule = parallel.block.schedule.as_ref().unwrap();
             let txs = w.transactions();
-            let reordered: Vec<cc_ledger::Transaction> =
-                schedule.serial_order.iter().map(|&i| txs[i].clone()).collect();
-            let serial = SerialMiner::new().mine(&w.build_world(), reordered).unwrap();
+            let reordered: Vec<cc_ledger::Transaction> = schedule
+                .serial_order
+                .iter()
+                .map(|&i| txs[i].clone())
+                .collect();
+            let serial = SerialMiner::new()
+                .mine(&w.build_world(), reordered)
+                .unwrap();
             assert_eq!(
                 serial.block.header.state_root, parallel.block.header.state_root,
                 "{benchmark}: parallel mining must be equivalent to its published serial order"
@@ -284,14 +297,18 @@ mod tests {
     #[test]
     fn zero_conflict_ballot_blocks_have_no_reverts() {
         let w = WorkloadSpec::new(Benchmark::Ballot, 80, 0.0).generate();
-        let mined = ParallelMiner::new(3).mine(&w.build_world(), w.transactions()).unwrap();
+        let mined = ParallelMiner::new(3)
+            .mine(&w.build_world(), w.transactions())
+            .unwrap();
         assert!(mined.block.receipts.iter().all(|r| r.succeeded()));
     }
 
     #[test]
     fn conflicting_ballot_transactions_produce_reverts() {
         let w = WorkloadSpec::new(Benchmark::Ballot, 80, 0.5).generate();
-        let mined = SerialMiner::new().mine(&w.build_world(), w.transactions()).unwrap();
+        let mined = SerialMiner::new()
+            .mine(&w.build_world(), w.transactions())
+            .unwrap();
         let reverted = mined
             .block
             .receipts
@@ -305,7 +322,9 @@ mod tests {
     #[test]
     fn full_conflict_auction_still_validates() {
         let w = WorkloadSpec::new(Benchmark::SimpleAuction, 40, 1.0).generate();
-        let mined = ParallelMiner::new(3).mine(&w.build_world(), w.transactions()).unwrap();
+        let mined = ParallelMiner::new(3)
+            .mine(&w.build_world(), w.transactions())
+            .unwrap();
         assert_eq!(
             mined.block.schedule.as_ref().unwrap().critical_path(),
             40,

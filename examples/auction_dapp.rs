@@ -7,8 +7,7 @@
 //! ```
 
 use cc_contracts::SimpleAuction;
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_core::engine::Engine;
 use cc_examples::{print_mined, speedup};
 use cc_ledger::Transaction;
 use cc_vm::{Address, CallData, Wei, World};
@@ -26,7 +25,10 @@ fn bidder(i: u64) -> Address {
 
 fn build_world() -> (World, Arc<SimpleAuction>) {
     let world = World::new();
-    let auction = Arc::new(SimpleAuction::new(Address::from_name(AUCTION), beneficiary()));
+    let auction = Arc::new(SimpleAuction::new(
+        Address::from_name(AUCTION),
+        beneficiary(),
+    ));
     world.deploy(auction.clone());
     (world, auction)
 }
@@ -43,19 +45,27 @@ fn bid(sender: Address, amount: u128) -> Transaction {
 }
 
 fn nullary(sender: Address, function: &str) -> Transaction {
-    Transaction::new(0, sender, Address::from_name(AUCTION), CallData::nullary(function), 1_000_000)
+    Transaction::new(
+        0,
+        sender,
+        Address::from_name(AUCTION),
+        CallData::nullary(function),
+        1_000_000,
+    )
 }
 
 fn main() {
     println!("== SimpleAuction DApp ==");
     let (world, auction) = build_world();
-    let miner = ParallelMiner::new(3);
+    let engine = Engine::default();
 
     // Block 1: 40 bidders place strictly increasing bids. These all touch
     // the shared highest-bid cell, so the block is inherently serial — the
     // schedule's critical path shows it.
-    let bids: Vec<Transaction> = (1..=40).map(|i| bid(bidder(i), 100 + i as u128 * 10)).collect();
-    let block1 = miner.mine(&world, bids).expect("bidding block");
+    let bids: Vec<Transaction> = (1..=40)
+        .map(|i| bid(bidder(i), 100 + i as u128 * 10))
+        .collect();
+    let block1 = engine.mine(&world, bids).expect("bidding block");
     print_mined("block 1 (bidding war)", &block1.block, &block1.stats);
     println!(
         "highest bid after block 1: {} by {}",
@@ -76,10 +86,10 @@ fn main() {
         a.seed_highest_bid(bidder(40), auction.current_highest_bid());
         w
     };
-    let serial2 = SerialMiner::new()
+    let serial2 = Engine::serial()
         .mine(&serial_world, withdrawals.clone())
         .expect("serial withdrawal block");
-    let block2 = miner
+    let block2 = engine
         .mine_on(&world, withdrawals, block1.block.hash(), 2)
         .expect("withdrawal block");
     print_mined("block 2 (withdrawals)", &block2.block, &block2.stats);
@@ -91,16 +101,22 @@ fn main() {
     );
 
     // Block 3: the beneficiary ends the auction.
-    let block3 = miner
-        .mine_on(&world, vec![nullary(beneficiary(), "auctionEnd")], block2.block.hash(), 3)
+    let block3 = engine
+        .mine_on(
+            &world,
+            vec![nullary(beneficiary(), "auctionEnd")],
+            block2.block.hash(),
+            3,
+        )
         .expect("closing block");
     print_mined("block 3 (auctionEnd)", &block3.block, &block3.stats);
 
-    // A validating node replays the whole history.
+    // A validating node replays the whole history with the same engine.
     let (validator_world, _) = build_world();
-    let validator = ParallelValidator::new(3);
     for block in [&block1.block, &block2.block, &block3.block] {
-        validator.validate(&validator_world, block).expect("honest block accepted");
+        engine
+            .validate(&validator_world, block)
+            .expect("honest block accepted");
     }
     assert_eq!(validator_world.state_root(), world.state_root());
     println!("auction history validated — final state roots match.");

@@ -7,8 +7,7 @@
 //! ```
 
 use cc_contracts::Ballot;
-use cc_core::miner::{Miner, ParallelMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_core::engine::Engine;
 use cc_examples::print_mined;
 use cc_ledger::Transaction;
 use cc_vm::{Address, ArgValue, CallData, ExecutionStatus, World};
@@ -37,34 +36,58 @@ fn build_world() -> (World, Arc<Ballot>) {
 }
 
 fn call(sender: Address, function: &str, args: Vec<ArgValue>) -> Transaction {
-    Transaction::new(0, sender, Address::from_name(BALLOT), CallData::new(function, args), 1_000_000)
+    Transaction::new(
+        0,
+        sender,
+        Address::from_name(BALLOT),
+        CallData::new(function, args),
+        1_000_000,
+    )
 }
 
 fn main() {
     println!("== Ballot DApp ==");
     let (world, ballot) = build_world();
-    let miner = ParallelMiner::new(3);
+    let engine = Engine::default();
 
     // Block 1: the chairperson registers 30 voters.
     let registrations: Vec<Transaction> = (1..=30)
-        .map(|v| call(chairperson(), "giveRightToVote", vec![ArgValue::Addr(voter(v))]))
+        .map(|v| {
+            call(
+                chairperson(),
+                "giveRightToVote",
+                vec![ArgValue::Addr(voter(v))],
+            )
+        })
         .collect();
-    let block1 = miner.mine(&world, registrations).expect("registration block");
+    let block1 = engine
+        .mine(&world, registrations)
+        .expect("registration block");
     print_mined("block 1 (registrations)", &block1.block, &block1.stats);
 
     // Block 2: voters 1–10 delegate to voters 11–20; the rest vote
     // directly, and three voters try to vote twice.
     let mut block2_txs = Vec::new();
     for v in 1..=10u64 {
-        block2_txs.push(call(voter(v), "delegate", vec![ArgValue::Addr(voter(v + 10))]));
+        block2_txs.push(call(
+            voter(v),
+            "delegate",
+            vec![ArgValue::Addr(voter(v + 10))],
+        ));
     }
     for v in 11..=30u64 {
-        block2_txs.push(call(voter(v), "vote", vec![ArgValue::Uint(u128::from(v % PROPOSALS as u64))]));
+        block2_txs.push(call(
+            voter(v),
+            "vote",
+            vec![ArgValue::Uint(u128::from(v % PROPOSALS as u64))],
+        ));
     }
     for v in 11..=13u64 {
         block2_txs.push(call(voter(v), "vote", vec![ArgValue::Uint(0)]));
     }
-    let block2 = miner.mine_on(&world, block2_txs, block1.block.hash(), 2).expect("voting block");
+    let block2 = engine
+        .mine_on(&world, block2_txs, block1.block.hash(), 2)
+        .expect("voting block");
     print_mined("block 2 (delegation + votes)", &block2.block, &block2.stats);
 
     let double_votes = block2
@@ -76,15 +99,21 @@ fn main() {
     println!("double votes rejected inside block 2: {double_votes}");
 
     // Block 3: read the winner.
-    let block3 = miner
+    let block3 = engine
         .mine_on(
             &world,
-            vec![call(chairperson(), "winningProposal", vec![]), call(chairperson(), "winnerName", vec![])],
+            vec![
+                call(chairperson(), "winningProposal", vec![]),
+                call(chairperson(), "winnerName", vec![]),
+            ],
             block2.block.hash(),
             3,
         )
         .expect("winner block");
-    let winner = block3.block.receipts[0].output.as_uint().unwrap_or_default();
+    let winner = block3.block.receipts[0]
+        .output
+        .as_uint()
+        .unwrap_or_default();
     println!("winning proposal: {winner}");
     for p in 0..PROPOSALS as u64 {
         println!("  proposal {p}: {} votes", ballot.tally(p));
@@ -92,10 +121,18 @@ fn main() {
 
     // A validating node replays all three blocks deterministically.
     let (validator_world, _) = build_world();
-    let validator = ParallelValidator::new(3);
-    for (label, block) in [("block 1", &block1.block), ("block 2", &block2.block), ("block 3", &block3.block)] {
-        let report = validator.validate(&validator_world, block).expect("honest block");
-        println!("validator accepted {label}: state root {}", report.state_root);
+    for (label, block) in [
+        ("block 1", &block1.block),
+        ("block 2", &block2.block),
+        ("block 3", &block3.block),
+    ] {
+        let report = engine
+            .validate(&validator_world, block)
+            .expect("honest block");
+        println!(
+            "validator accepted {label}: state root {}",
+            report.state_root
+        );
     }
     assert_eq!(validator_world.state_root(), world.state_root());
     println!("validator's final state matches the miner's — chain accepted.");

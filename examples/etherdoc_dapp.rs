@@ -6,8 +6,7 @@
 //! ```
 
 use cc_contracts::EtherDoc;
-use cc_core::miner::{Miner, ParallelMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_core::engine::Engine;
 use cc_examples::print_mined;
 use cc_ledger::Transaction;
 use cc_vm::{Address, ArgValue, CallData, World};
@@ -31,22 +30,38 @@ fn build_world() -> (World, Arc<EtherDoc>) {
 }
 
 fn call(sender: Address, function: &str, args: Vec<ArgValue>) -> Transaction {
-    Transaction::new(0, sender, Address::from_name(ETHERDOC), CallData::new(function, args), 1_000_000)
+    Transaction::new(
+        0,
+        sender,
+        Address::from_name(ETHERDOC),
+        CallData::new(function, args),
+        1_000_000,
+    )
 }
 
 fn main() {
     println!("== EtherDoc DApp ==");
     let (world, etherdoc) = build_world();
-    let miner = ParallelMiner::new(3);
+    let engine = Engine::default();
 
     // Block 1: 50 users notarize one document each. All creations bump the
     // global document counter, so this block serializes heavily — visible
     // in its critical path.
     let creations: Vec<Transaction> = (1..=50)
-        .map(|i| call(user(i), "newDocument", vec![ArgValue::Bytes32(EtherDoc::document_hash(i))]))
+        .map(|i| {
+            call(
+                user(i),
+                "newDocument",
+                vec![ArgValue::Bytes32(EtherDoc::document_hash(i))],
+            )
+        })
         .collect();
-    let block1 = miner.mine(&world, creations).expect("creation block");
-    print_mined("block 1 (notarize 50 documents)", &block1.block, &block1.stats);
+    let block1 = engine.mine(&world, creations).expect("creation block");
+    print_mined(
+        "block 1 (notarize 50 documents)",
+        &block1.block,
+        &block1.stats,
+    );
     println!("documents notarized: {}", etherdoc.total());
 
     // Block 2: everyone checks everyone else's documents — pure reads of
@@ -54,10 +69,16 @@ fn main() {
     let checks: Vec<Transaction> = (1..=50)
         .map(|i| {
             let other = (i % 50) + 1;
-            call(user(i), "hasDocument", vec![ArgValue::Bytes32(EtherDoc::document_hash(other))])
+            call(
+                user(i),
+                "hasDocument",
+                vec![ArgValue::Bytes32(EtherDoc::document_hash(other))],
+            )
         })
         .collect();
-    let block2 = miner.mine_on(&world, checks, block1.block.hash(), 2).expect("check block");
+    let block2 = engine
+        .mine_on(&world, checks, block1.block.hash(), 2)
+        .expect("check block");
     print_mined("block 2 (existence checks)", &block2.block, &block2.stats);
     println!(
         "existence-check block critical path: {} of {} transactions",
@@ -72,19 +93,35 @@ fn main() {
             call(
                 user(i),
                 "transferDocument",
-                vec![ArgValue::Bytes32(EtherDoc::document_hash(i)), ArgValue::Addr(creator())],
+                vec![
+                    ArgValue::Bytes32(EtherDoc::document_hash(i)),
+                    ArgValue::Addr(creator()),
+                ],
             )
         })
         .collect();
-    let block3 = miner.mine_on(&world, transfers, block2.block.hash(), 3).expect("transfer block");
-    print_mined("block 3 (transfers to creator)", &block3.block, &block3.stats);
-    println!("documents now owned by the creator: {}", etherdoc.owned_by(&creator()));
+    let block3 = engine
+        .mine_on(&world, transfers, block2.block.hash(), 3)
+        .expect("transfer block");
+    print_mined(
+        "block 3 (transfers to creator)",
+        &block3.block,
+        &block3.stats,
+    );
+    println!(
+        "documents now owned by the creator: {}",
+        etherdoc.owned_by(&creator())
+    );
 
     // Validate the full history on a fresh node.
     let (validator_world, _) = build_world();
-    let validator = ParallelValidator::new(3);
-    for (i, block) in [&block1.block, &block2.block, &block3.block].into_iter().enumerate() {
-        let report = validator.validate(&validator_world, block).expect("honest block accepted");
+    for (i, block) in [&block1.block, &block2.block, &block3.block]
+        .into_iter()
+        .enumerate()
+    {
+        let report = engine
+            .validate(&validator_world, block)
+            .expect("honest block accepted");
         println!("validated block {} in {:?}", i + 1, report.elapsed);
     }
     assert_eq!(validator_world.state_root(), world.state_root());

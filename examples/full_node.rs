@@ -1,15 +1,15 @@
 //! A miniature network: one mining node extends a chain with the paper's
 //! Mixed workload; one validating node checks and re-applies every block
 //! with the deterministic fork-join validator; a third, legacy node
-//! re-validates serially for comparison.
+//! re-validates serially for comparison. Each node owns an `Engine`
+//! built from the strategy it runs.
 //!
 //! ```text
 //! cargo run -p cc-examples --release --example full_node
 //! ```
 
-use cc_core::miner::ParallelMiner;
+use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_core::node::Node;
-use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
 use cc_examples::speedup;
 use cc_workload::{Benchmark, WorkloadSpec};
 use std::time::Duration;
@@ -24,13 +24,25 @@ fn main() {
     // three deployed contracts).
     let spec = WorkloadSpec::new(Benchmark::Mixed, block_size, conflict);
     let template = spec.generate();
-    let mut miner_node = Node::new(template.build_world());
-    let mut validator_node = Node::new(template.build_world());
-    let legacy_world = template.build_world();
 
-    let miner = ParallelMiner::new(3);
-    let parallel_validator = ParallelValidator::new(3);
-    let serial_validator = SerialValidator::new();
+    // The mining node and the validating node run the paper's speculative
+    // engine; the legacy node re-executes everything serially.
+    let engine = Engine::default();
+    let mut miner_node = Node::builder()
+        .world(template.build_world())
+        .engine(engine.clone())
+        .build()
+        .expect("valid config");
+    let mut validator_node = Node::builder()
+        .world(template.build_world())
+        .engine(engine)
+        .build()
+        .expect("valid config");
+    let legacy_engine = EngineConfig::new()
+        .strategy(ExecutionStrategy::Serial)
+        .build()
+        .expect("valid config");
+    let legacy_world = template.build_world();
 
     let mut total_mining = Duration::ZERO;
     let mut total_validation = Duration::ZERO;
@@ -40,7 +52,7 @@ fn main() {
         // Each block gets a different shuffle of the workload.
         let workload = spec.with_seed(number).generate();
         let mined = miner_node
-            .mine_and_append(&miner, workload.transactions())
+            .mine_and_append(workload.transactions())
             .expect("mining succeeds");
         total_mining += mined.stats.elapsed;
         println!(
@@ -53,24 +65,30 @@ fn main() {
 
         // The validating node checks the block before appending it.
         let report = validator_node
-            .validate_and_append(&parallel_validator, &mined.block)
+            .validate_and_append(&mined.block)
             .expect("honest block accepted");
         total_validation += report.elapsed;
 
         // A legacy node re-executes the block serially against its own
-        // copy of the state (ignoring the published schedule).
-        let serial_report = serial_validator
+        // copy of the state (ignoring the published schedule's graph).
+        let serial_report = legacy_engine
             .validate(&legacy_world, &mined.block)
             .expect("serial validation accepts the block");
         total_serial_validation += serial_report.elapsed;
     }
 
-    println!("\nchain length (including genesis): {}", miner_node.chain().len());
+    println!(
+        "\nchain length (including genesis): {}",
+        miner_node.chain().len()
+    );
     println!(
         "total transactions on chain: {}",
         miner_node.chain().total_transactions()
     );
-    println!("chain structure verified: {}", miner_node.chain().verify_structure());
+    println!(
+        "chain structure verified: {}",
+        miner_node.chain().verify_structure()
+    );
     assert_eq!(
         miner_node.world().state_root(),
         validator_node.world().state_root(),

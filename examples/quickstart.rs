@@ -1,13 +1,12 @@
-//! Quickstart: deploy a contract, mine a block in parallel, validate it
-//! deterministically.
+//! Quickstart: deploy a contract, then let one `Engine` per strategy
+//! mine a block and validate it deterministically.
 //!
 //! ```text
 //! cargo run -p cc-examples --release --example quickstart
 //! ```
 
 use cc_contracts::Ballot;
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_examples::{print_mined, print_validated, speedup};
 use cc_ledger::Transaction;
 use cc_vm::{Address, ArgValue, CallData, World};
@@ -44,19 +43,26 @@ fn main() {
     println!("== concurrent-contracts quickstart ==");
     println!("Block: {voters} voters each casting one vote\n");
 
-    // 1. Baseline: a serial miner (how Ethereum executes blocks today).
-    let serial_world = build_world(voters);
-    let serial = SerialMiner::new()
-        .mine(&serial_world, vote_transactions(voters))
+    // 1. Baseline: a serial engine (how Ethereum executes blocks today).
+    let serial_engine = Engine::serial();
+    let serial = serial_engine
+        .mine(&build_world(voters), vote_transactions(voters))
         .expect("serial mining succeeds");
-    print_mined("serial miner", &serial.block, &serial.stats);
+    print_mined("serial engine", &serial.block, &serial.stats);
 
-    // 2. The paper's speculative parallel miner with three threads.
-    let miner_world = build_world(voters);
-    let mined = ParallelMiner::new(3)
-        .mine(&miner_world, vote_transactions(voters))
+    // 2. The paper's configuration is the default: speculative mining on
+    //    a fixed pool of three threads, schedule capture on. The same
+    //    `EngineConfig` builder also selects thread counts, retry budgets
+    //    and strategies — one entry point for every consumer.
+    let engine = EngineConfig::new()
+        .strategy(ExecutionStrategy::SpeculativeStm)
+        .threads(EngineConfig::DEFAULT_THREADS)
+        .build()
+        .expect("valid config");
+    let mined = engine
+        .mine(&build_world(voters), vote_transactions(voters))
         .expect("parallel mining succeeds");
-    print_mined("parallel miner", &mined.block, &mined.stats);
+    print_mined("speculative engine", &mined.block, &mined.stats);
     println!(
         "parallel mining speedup over serial: {}",
         speedup(serial.stats.elapsed, mined.stats.elapsed)
@@ -66,14 +72,13 @@ fn main() {
         "speculative execution is serializable: same final state"
     );
 
-    // 3. A validator replays the published fork-join schedule
+    // 3. The engine's validator replays the published fork-join schedule
     //    deterministically (no locks, no rollback) and checks every
     //    commitment before accepting the block.
-    let validator_world = build_world(voters);
-    let report = ParallelValidator::new(3)
-        .validate(&validator_world, &mined.block)
+    let report = engine
+        .validate(&build_world(voters), &mined.block)
         .expect("honest block is accepted");
-    print_validated("parallel validator", &report);
+    print_validated("fork-join validator", &report);
     println!(
         "validation speedup over serial re-execution: {}",
         speedup(serial.stats.elapsed, report.elapsed)
@@ -82,7 +87,7 @@ fn main() {
     // 4. Tampering with the block is detected.
     let mut forged = mined.block.clone();
     forged.header.state_root = cc_primitives::sha256(b"forged state");
-    let rejection = ParallelValidator::new(3)
+    let rejection = engine
         .validate(&build_world(voters), &forged)
         .expect_err("forged block must be rejected");
     println!("\nforged block rejected as expected: {rejection}");

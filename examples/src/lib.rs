@@ -49,6 +49,9 @@ mod tests {
 
     #[test]
     fn speedup_formatting() {
-        assert_eq!(speedup(Duration::from_millis(30), Duration::from_millis(15)), "2.00x");
+        assert_eq!(
+            speedup(Duration::from_millis(30), Duration::from_millis(15)),
+            "2.00x"
+        );
     }
 }

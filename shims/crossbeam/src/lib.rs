@@ -1,0 +1,135 @@
+//! Offline shim for the `crossbeam` crate (see `shims/README.md`).
+//!
+//! Provides `crossbeam::scope` on top of `std::thread::scope` and a
+//! mutex-backed `deque::Injector`. One behavioural difference: a panic in
+//! a spawned thread propagates as a panic from [`scope`] itself rather
+//! than an `Err` — every call site in this workspace treats both the same
+//! way (abort the test / process).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// Spawned closures receive a `&Scope` argument (unused by all in-tree
+/// call sites, which write `|_| …`) so nested spawning remains possible.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread that may borrow from the enclosing scope.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Creates a scope in which threads borrowing the environment can be
+/// spawned; joins them all before returning.
+///
+/// # Errors
+///
+/// Never returns `Err` in this shim: child panics are re-raised by
+/// `std::thread::scope` when the scope joins.
+#[allow(clippy::unnecessary_wraps)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod deque {
+    //! A minimal stand-in for `crossbeam::deque`: a FIFO injector queue.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a [`Injector::steal`] attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// Transient contention; retry. (Never produced by this shim, but
+        /// kept so call sites can match on it.)
+        Retry,
+    }
+
+    /// A FIFO queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an item at the back.
+        pub fn push(&self, item: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push_back(item);
+        }
+
+        /// Pops an item from the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop_front()
+            {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let q = Injector::new();
+        q.push(1);
+        q.push(2);
+        assert!(matches!(q.steal(), Steal::Success(1)));
+        assert!(matches!(q.steal(), Steal::Success(2)));
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+}

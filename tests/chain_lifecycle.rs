@@ -2,10 +2,8 @@
 //! in lock-step over many blocks of every benchmark, and structural chain
 //! rules are enforced.
 
-use cc_core::miner::{ParallelMiner, SerialMiner};
 use cc_core::node::Node;
-use cc_core::validator::{ParallelValidator, SerialValidator};
-use cc_integration_tests::workload;
+use cc_integration_tests::{engine, lenient_engine, serial_engine, workload};
 use cc_workload::{Benchmark, WorkloadSpec};
 
 #[test]
@@ -13,19 +11,28 @@ fn five_block_chain_of_each_benchmark_stays_consistent() {
     for benchmark in Benchmark::ALL {
         let spec = WorkloadSpec::new(benchmark, 50, 0.2);
         let template = spec.generate();
-        let mut miner_node = Node::new(template.build_world());
-        let mut validator_node = Node::new(template.build_world());
-        let miner = ParallelMiner::new(3);
-        let validator = ParallelValidator::new(3);
+        let shared_engine = engine(3);
+        let mut miner_node = Node::builder()
+            .world(template.build_world())
+            .engine(shared_engine.clone())
+            .build()
+            .unwrap();
+        let mut validator_node = Node::builder()
+            .world(template.build_world())
+            .engine(shared_engine)
+            .build()
+            .unwrap();
 
         for block_number in 1..=5u64 {
             let block_workload = spec.with_seed(block_number).generate();
             let mined = miner_node
-                .mine_and_append(&miner, block_workload.transactions())
+                .mine_and_append(block_workload.transactions())
                 .unwrap_or_else(|e| panic!("{benchmark}: mining block {block_number} failed: {e}"));
             validator_node
-                .validate_and_append(&validator, &mined.block)
-                .unwrap_or_else(|e| panic!("{benchmark}: validating block {block_number} failed: {e}"));
+                .validate_and_append(&mined.block)
+                .unwrap_or_else(|e| {
+                    panic!("{benchmark}: validating block {block_number} failed: {e}")
+                });
         }
 
         assert_eq!(miner_node.chain().len(), 6, "{benchmark}");
@@ -46,38 +53,44 @@ fn serial_and_parallel_nodes_interoperate() {
     // "miner-only" compatibility story.
     let spec = WorkloadSpec::new(Benchmark::Ballot, 40, 0.1);
     let template = spec.generate();
-    let mut miner_node = Node::new(template.build_world());
-    let mut parallel_validator_node = Node::new(template.build_world());
+    let speculative = engine(3);
+    let serial = serial_engine();
+    let mut miner_node = Node::builder()
+        .world(template.build_world())
+        .engine(speculative.clone())
+        .build()
+        .unwrap();
+    let mut parallel_validator_node = Node::builder()
+        .world(template.build_world())
+        .engine(speculative)
+        .build()
+        .unwrap();
     let serial_validator_world = template.build_world();
-
-    let parallel_miner = ParallelMiner::new(3);
-    let serial_miner = SerialMiner::new();
-    let parallel_validator = ParallelValidator::new(3);
-    let serial_validator = SerialValidator::new();
 
     for block_number in 1..=4u64 {
         let block_workload = spec.with_seed(100 + block_number).generate();
         let mined = if block_number % 2 == 0 {
-            miner_node.mine_and_append(&serial_miner, block_workload.transactions())
+            miner_node.mine_and_append_with(serial.miner(), block_workload.transactions())
         } else {
-            miner_node.mine_and_append(&parallel_miner, block_workload.transactions())
+            miner_node.mine_and_append(block_workload.transactions())
         }
         .expect("mining succeeds");
 
-        // The serial validator accepts both kinds of blocks.
-        cc_core::validator::Validator::validate(&serial_validator, &serial_validator_world, &mined.block)
+        // The serial engine's validator accepts both kinds of blocks.
+        serial
+            .validate(&serial_validator_world, &mined.block)
             .expect("serial validator accepts");
-        // The parallel validator accepts parallel-mined blocks outright; a
-        // serially-mined block carries no lock profiles, so a parallel
-        // validator replays it with trace checks disabled (legacy mode).
+        // The speculative validator accepts parallel-mined blocks outright;
+        // a serially-mined block carries no lock profiles, so it is
+        // replayed with trace checks disabled (legacy mode).
         if block_number % 2 == 0 {
-            let legacy = ParallelValidator::new(3).without_trace_checks();
+            let legacy = lenient_engine(3);
             parallel_validator_node
-                .validate_and_append(&legacy, &mined.block)
+                .validate_and_append_with(legacy.validator(), &mined.block)
                 .expect("legacy replay accepts the serial block");
         } else {
             parallel_validator_node
-                .validate_and_append(&parallel_validator, &mined.block)
+                .validate_and_append(&mined.block)
                 .expect("append parallel block");
         }
     }
@@ -86,29 +99,37 @@ fn serial_and_parallel_nodes_interoperate() {
         miner_node.world().state_root(),
         parallel_validator_node.world().state_root()
     );
-    assert_eq!(miner_node.world().state_root(), serial_validator_world.state_root());
+    assert_eq!(
+        miner_node.world().state_root(),
+        serial_validator_world.state_root()
+    );
     assert!(miner_node.chain().verify_structure());
 }
 
 #[test]
 fn blocks_cannot_be_appended_out_of_order() {
     let w = workload(Benchmark::EtherDoc, 30, 0.1, 9);
-    let mut miner_node = Node::new(w.build_world());
-    let mut lagging_node = Node::new(w.build_world());
-    let miner = ParallelMiner::new(2);
-    let validator = ParallelValidator::new(2);
-
-    let first = miner_node.mine_and_append(&miner, w.transactions()).unwrap();
-    let second_workload = workload(Benchmark::EtherDoc, 30, 0.1, 10);
-    let second = miner_node
-        .mine_and_append(&miner, second_workload.transactions())
+    let shared_engine = engine(2);
+    let mut miner_node = Node::builder()
+        .world(w.build_world())
+        .engine(shared_engine.clone())
+        .build()
+        .unwrap();
+    let mut lagging_node = Node::builder()
+        .world(w.build_world())
+        .engine(shared_engine)
+        .build()
         .unwrap();
 
-    let err = lagging_node
-        .validate_and_append(&validator, &second.block)
-        .unwrap_err();
+    let first = miner_node.mine_and_append(w.transactions()).unwrap();
+    let second_workload = workload(Benchmark::EtherDoc, 30, 0.1, 10);
+    let second = miner_node
+        .mine_and_append(second_workload.transactions())
+        .unwrap();
+
+    let err = lagging_node.validate_and_append(&second.block).unwrap_err();
     assert!(err.to_string().contains("does not extend"));
-    lagging_node.validate_and_append(&validator, &first.block).unwrap();
-    lagging_node.validate_and_append(&validator, &second.block).unwrap();
+    lagging_node.validate_and_append(&first.block).unwrap();
+    lagging_node.validate_and_append(&second.block).unwrap();
     assert_eq!(lagging_node.chain().len(), 3);
 }

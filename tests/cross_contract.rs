@@ -2,8 +2,7 @@
 //! commit or abort independently of its parent (paper §3), and blocks
 //! containing such calls still mine and validate concurrently.
 
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
+use cc_integration_tests::{engine, serial_engine};
 use cc_ledger::Transaction;
 use cc_vm::testing::{CounterContract, ProxyContract};
 use cc_vm::{Address, ArgValue, CallData, ExecutionStatus, World};
@@ -38,13 +37,15 @@ fn proxy_tx(nonce: u64, sender: u64, function: &str, delta: u64) -> Transaction 
 #[test]
 fn proxied_increments_update_the_target_contract() {
     let (world, counter_contract) = build_world();
-    let txs: Vec<Transaction> = (0..20).map(|i| proxy_tx(i, i, "proxy_increment", 2)).collect();
-    let mined = ParallelMiner::new(3).mine(&world, txs).expect("mining succeeds");
+    let txs: Vec<Transaction> = (0..20)
+        .map(|i| proxy_tx(i, i, "proxy_increment", 2))
+        .collect();
+    let mined = engine(3).mine(&world, txs).expect("mining succeeds");
     assert!(mined.block.receipts.iter().all(|r| r.succeeded()));
     assert_eq!(counter_contract.total(), 40);
 
     let (validator_world, _) = build_world();
-    let report = ParallelValidator::new(3)
+    let report = engine(3)
         .validate(&validator_world, &mined.block)
         .expect("block accepted");
     assert_eq!(report.state_root, mined.block.header.state_root);
@@ -56,8 +57,10 @@ fn failed_nested_calls_do_not_poison_the_parent_or_the_block() {
     // inside the callee after mutating it. The child's effects must be
     // rolled back while the parent's (and the first call's) survive.
     let (world, counter_contract) = build_world();
-    let txs: Vec<Transaction> = (0..16).map(|i| proxy_tx(i, i, "proxy_try_both", 3)).collect();
-    let mined = ParallelMiner::new(4).mine(&world, txs).expect("mining succeeds");
+    let txs: Vec<Transaction> = (0..16)
+        .map(|i| proxy_tx(i, i, "proxy_try_both", 3))
+        .collect();
+    let mined = engine(4).mine(&world, txs).expect("mining succeeds");
 
     assert!(mined.block.receipts.iter().all(|r| r.succeeded()));
     for receipt in &mined.block.receipts {
@@ -71,7 +74,7 @@ fn failed_nested_calls_do_not_poison_the_parent_or_the_block() {
     assert_eq!(counter_contract.total(), 16 * 3);
 
     let (validator_world, validator_counter) = build_world();
-    ParallelValidator::new(3)
+    engine(3)
         .validate(&validator_world, &mined.block)
         .expect("block accepted");
     assert_eq!(validator_counter.total(), 16 * 3);
@@ -89,16 +92,21 @@ fn serial_and_parallel_agree_on_nested_call_blocks() {
         })
         .collect();
     let (serial_world, _) = build_world();
-    let serial = SerialMiner::new().mine(&serial_world, txs.clone()).unwrap();
+    let serial = serial_engine().mine(&serial_world, txs.clone()).unwrap();
     let (parallel_world, _) = build_world();
-    let parallel = ParallelMiner::new(4).mine(&parallel_world, txs).unwrap();
-    assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+    let parallel = engine(4).mine(&parallel_world, txs).unwrap();
+    assert_eq!(
+        serial.block.header.state_root,
+        parallel.block.header.state_root
+    );
 }
 
 #[test]
 fn calling_a_missing_contract_is_an_invalid_receipt_not_a_crash() {
     let (world, _) = build_world();
-    let mut txs: Vec<Transaction> = (0..4).map(|i| proxy_tx(i, i, "proxy_increment", 1)).collect();
+    let mut txs: Vec<Transaction> = (0..4)
+        .map(|i| proxy_tx(i, i, "proxy_increment", 1))
+        .collect();
     txs.push(Transaction::new(
         99,
         Address::from_index(99),
@@ -106,7 +114,7 @@ fn calling_a_missing_contract_is_an_invalid_receipt_not_a_crash() {
         CallData::nullary("anything"),
         1_000_000,
     ));
-    let mined = ParallelMiner::new(2).mine(&world, txs).expect("mining succeeds");
+    let mined = engine(2).mine(&world, txs).expect("mining succeeds");
     let invalid = mined
         .block
         .receipts
@@ -116,7 +124,7 @@ fn calling_a_missing_contract_is_an_invalid_receipt_not_a_crash() {
     assert_eq!(invalid, 1);
 
     let (validator_world, _) = build_world();
-    ParallelValidator::new(2)
+    engine(2)
         .validate(&validator_world, &mined.block)
         .expect("block with an invalid call still validates deterministically");
 }

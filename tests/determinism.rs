@@ -2,20 +2,18 @@
 //! must produce the same result regardless of thread count, repetition, or
 //! which node performs it.
 
-use cc_core::miner::{Miner, ParallelMiner};
-use cc_core::validator::{ParallelValidator, SerialValidator, Validator};
-use cc_integration_tests::workload;
+use cc_integration_tests::{engine, serial_engine, workload};
 use cc_workload::Benchmark;
 
 #[test]
 fn validation_is_deterministic_across_thread_counts() {
     for benchmark in Benchmark::ALL {
         let w = workload(benchmark, 90, 0.3, 11);
-        let mined = ParallelMiner::new(3)
+        let mined = engine(3)
             .mine(&w.build_world(), w.transactions())
             .expect("mining succeeds");
         for threads in [1, 2, 3, 4, 8, 16] {
-            let report = ParallelValidator::new(threads)
+            let report = engine(threads)
                 .validate(&w.build_world(), &mined.block)
                 .unwrap_or_else(|e| panic!("{benchmark} with {threads} threads rejected: {e}"));
             assert_eq!(report.state_root, mined.block.header.state_root);
@@ -26,10 +24,10 @@ fn validation_is_deterministic_across_thread_counts() {
 #[test]
 fn validation_is_repeatable() {
     let w = workload(Benchmark::Mixed, 120, 0.4, 5);
-    let mined = ParallelMiner::new(4)
+    let mined = engine(4)
         .mine(&w.build_world(), w.transactions())
         .expect("mining succeeds");
-    let validator = ParallelValidator::new(4);
+    let validator = engine(4);
     for _ in 0..5 {
         let report = validator
             .validate(&w.build_world(), &mined.block)
@@ -42,16 +40,19 @@ fn validation_is_repeatable() {
 fn serial_and_parallel_validators_agree() {
     for benchmark in Benchmark::ALL {
         let w = workload(benchmark, 70, 0.2, 13);
-        let mined = ParallelMiner::new(3)
+        let mined = engine(3)
             .mine(&w.build_world(), w.transactions())
             .expect("mining succeeds");
-        let parallel_report = ParallelValidator::new(3)
+        let parallel_report = engine(3)
             .validate(&w.build_world(), &mined.block)
             .expect("parallel validator accepts");
-        let serial_report = SerialValidator::new()
+        let serial_report = serial_engine()
             .validate(&w.build_world(), &mined.block)
             .expect("serial validator accepts");
-        assert_eq!(parallel_report.state_root, serial_report.state_root, "{benchmark}");
+        assert_eq!(
+            parallel_report.state_root, serial_report.state_root,
+            "{benchmark}"
+        );
     }
 }
 
@@ -62,15 +63,18 @@ fn repeated_mining_of_the_same_block_is_accepted_even_if_schedules_differ() {
     // serial order each publishes must lead to the same state commitment
     // when the workload's effects are order-insensitive (Ballot).
     let w = workload(Benchmark::Ballot, 100, 0.3, 17);
-    let first = ParallelMiner::new(4)
+    let first = engine(4)
         .mine(&w.build_world(), w.transactions())
         .expect("first mining run");
-    let second = ParallelMiner::new(4)
+    let second = engine(4)
         .mine(&w.build_world(), w.transactions())
         .expect("second mining run");
-    assert_eq!(first.block.header.state_root, second.block.header.state_root);
+    assert_eq!(
+        first.block.header.state_root,
+        second.block.header.state_root
+    );
     for block in [&first.block, &second.block] {
-        ParallelValidator::new(3)
+        engine(3)
             .validate(&w.build_world(), block)
             .expect("each discovered schedule validates");
     }

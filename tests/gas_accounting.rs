@@ -2,9 +2,9 @@
 //! charge exactly the same gas for every transaction, and the gas limit
 //! must bound execution the way the paper's correctness argument assumes.
 
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
-use cc_integration_tests::{counter_address, counter_world, increment_tx, workload};
+use cc_integration_tests::{
+    counter_address, counter_world, engine, increment_tx, serial_engine, workload,
+};
 use cc_ledger::Transaction;
 use cc_vm::{Address, ArgValue, CallData, ExecutionStatus};
 use cc_workload::Benchmark;
@@ -15,14 +15,17 @@ fn gas_is_identical_between_serial_and_parallel_mining() {
         let w = workload(benchmark, 60, 0.2, 31);
         // Use the published serial order so that order-dependent contracts
         // (SimpleAuction) execute the same calls in both runs.
-        let parallel = ParallelMiner::new(3)
+        let parallel = engine(3)
             .mine(&w.build_world(), w.transactions())
             .expect("parallel mining succeeds");
         let schedule = parallel.block.schedule.as_ref().unwrap();
         let txs = w.transactions();
-        let reordered: Vec<Transaction> =
-            schedule.serial_order.iter().map(|&i| txs[i].clone()).collect();
-        let serial = SerialMiner::new()
+        let reordered: Vec<Transaction> = schedule
+            .serial_order
+            .iter()
+            .map(|&i| txs[i].clone())
+            .collect();
+        let serial = serial_engine()
             .mine(&w.build_world(), reordered)
             .expect("serial mining succeeds");
 
@@ -54,12 +57,12 @@ fn gas_is_identical_between_serial_and_parallel_mining() {
 #[test]
 fn validators_recompute_the_same_gas() {
     let w = workload(Benchmark::Mixed, 90, 0.3, 37);
-    let mined = ParallelMiner::new(3)
+    let mined = engine(3)
         .mine(&w.build_world(), w.transactions())
         .expect("mining succeeds");
     // Validation re-derives receipts (including gas) and compares them; a
     // success therefore certifies gas equality.
-    ParallelValidator::new(4)
+    engine(4)
         .validate(&w.build_world(), &mined.block)
         .expect("gas-consistent block accepted");
 }
@@ -78,8 +81,8 @@ fn out_of_gas_transactions_revert_consistently_everywhere() {
         21_500,
     );
 
-    let serial = SerialMiner::new().mine(&counter_world(), txs.clone()).unwrap();
-    let parallel = ParallelMiner::new(3).mine(&world, txs).unwrap();
+    let serial = serial_engine().mine(&counter_world(), txs.clone()).unwrap();
+    let parallel = engine(3).mine(&world, txs).unwrap();
 
     for block in [&serial.block, &parallel.block] {
         let oog: Vec<usize> = block
@@ -92,9 +95,12 @@ fn out_of_gas_transactions_revert_consistently_everywhere() {
         let failing_nonce = block.transactions[oog[0]].nonce;
         assert_eq!(failing_nonce, 5);
     }
-    assert_eq!(serial.block.header.state_root, parallel.block.header.state_root);
+    assert_eq!(
+        serial.block.header.state_root,
+        parallel.block.header.state_root
+    );
 
-    let report = ParallelValidator::new(3)
+    let report = engine(3)
         .validate(&counter_world(), &parallel.block)
         .expect("block with an out-of-gas transaction validates");
     assert_eq!(report.state_root, parallel.block.header.state_root);
@@ -105,7 +111,7 @@ fn reverted_transactions_still_pay_gas() {
     // A double vote reverts but consumes gas; the block's gas total must
     // include it (and the validator agrees, since receipts match).
     let w = workload(Benchmark::Ballot, 40, 1.0, 41);
-    let mined = ParallelMiner::new(3)
+    let mined = engine(3)
         .mine(&w.build_world(), w.transactions())
         .expect("mining succeeds");
     let reverted_gas: u64 = mined
@@ -116,7 +122,7 @@ fn reverted_transactions_still_pay_gas() {
         .map(|r| r.gas_used)
         .sum();
     assert!(reverted_gas > 0, "reverted transactions are charged");
-    ParallelValidator::new(3)
+    engine(3)
         .validate(&w.build_world(), &mined.block)
         .expect("block accepted");
 }

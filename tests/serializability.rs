@@ -2,9 +2,7 @@
 //! permitted by speculative mining is equivalent to some sequential
 //! execution — and in particular to the serial order the miner publishes.
 
-use cc_core::miner::{Miner, ParallelMiner, SerialMiner};
-use cc_core::validator::{ParallelValidator, Validator};
-use cc_integration_tests::workload;
+use cc_integration_tests::{engine, serial_engine, workload};
 use cc_ledger::Transaction;
 use cc_vm::World;
 use cc_workload::Benchmark;
@@ -13,7 +11,7 @@ use proptest::prelude::*;
 /// Executes `transactions` serially in the given order on a fresh copy of
 /// `build_world()` and returns the resulting state root.
 fn serial_state_root(world: &World, transactions: Vec<Transaction>) -> cc_primitives::Hash256 {
-    SerialMiner::new()
+    serial_engine()
         .mine(world, transactions)
         .expect("serial execution succeeds")
         .block
@@ -32,7 +30,7 @@ fn parallel_mining_matches_block_order_for_commutative_benchmarks() {
     for benchmark in [Benchmark::Ballot, Benchmark::EtherDoc] {
         for conflict in [0.0, 0.15, 0.5, 1.0] {
             let w = workload(benchmark, 80, conflict, 7);
-            let parallel = ParallelMiner::new(4)
+            let parallel = engine(4)
                 .mine(&w.build_world(), w.transactions())
                 .expect("parallel mining succeeds");
             let serial_root = serial_state_root(&w.build_world(), w.transactions());
@@ -51,13 +49,17 @@ fn published_serial_order_reproduces_the_parallel_state() {
     // schedule really is a serialization of what the miner did.
     for benchmark in Benchmark::ALL {
         let w = workload(benchmark, 60, 0.3, 21);
-        let mined = ParallelMiner::new(3)
+        let mined = engine(3)
             .mine(&w.build_world(), w.transactions())
             .expect("parallel mining succeeds");
         let schedule = mined.block.schedule.as_ref().unwrap();
 
         let txs = w.transactions();
-        let reordered: Vec<Transaction> = schedule.serial_order.iter().map(|&i| txs[i].clone()).collect();
+        let reordered: Vec<Transaction> = schedule
+            .serial_order
+            .iter()
+            .map(|&i| txs[i].clone())
+            .collect();
         let reordered_root = serial_state_root(&w.build_world(), reordered);
         assert_eq!(
             mined.block.header.state_root, reordered_root,
@@ -71,7 +73,7 @@ fn happens_before_orders_every_conflicting_pair() {
     // Structural soundness of the published schedule: transactions whose
     // published profiles conflict are connected in the graph.
     let w = workload(Benchmark::Mixed, 90, 0.4, 3);
-    let mined = ParallelMiner::new(4)
+    let mined = engine(4)
         .mine(&w.build_world(), w.transactions())
         .expect("mining succeeds");
     let schedule = mined.block.schedule.as_ref().unwrap();
@@ -111,7 +113,7 @@ proptest! {
     ) {
         let benchmark = Benchmark::ALL[benchmark_index];
         let w = workload(benchmark, block_size, conflict, seed);
-        let parallel = ParallelMiner::new(threads)
+        let parallel = engine(threads)
             .mine(&w.build_world(), w.transactions())
             .expect("parallel mining succeeds");
 
@@ -124,7 +126,7 @@ proptest! {
         let serial_root = serial_state_root(&w.build_world(), reordered);
         prop_assert_eq!(parallel.block.header.state_root, serial_root);
 
-        let report = ParallelValidator::new(threads)
+        let report = engine(threads)
             .validate(&w.build_world(), &parallel.block)
             .expect("honest block accepted");
         prop_assert_eq!(report.state_root, serial_root);

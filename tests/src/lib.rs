@@ -3,9 +3,34 @@
 //! The actual tests live in the sibling `*.rs` files (declared as `[[test]]`
 //! targets); this small library only provides helpers they share.
 
+use cc_core::engine::{Engine, EngineConfig};
 use cc_ledger::Transaction;
 use cc_vm::{Address, ArgValue, CallData, World};
 use cc_workload::{Benchmark, Workload, WorkloadSpec};
+
+/// A speculative engine with `threads` workers (the strategy under test
+/// in most integration tests).
+pub fn engine(threads: usize) -> Engine {
+    EngineConfig::new()
+        .threads(threads)
+        .build()
+        .expect("test engine config is valid")
+}
+
+/// The serial-baseline engine.
+pub fn serial_engine() -> Engine {
+    Engine::serial()
+}
+
+/// A speculative engine whose validator skips lock-trace checks — the
+/// legacy replay mode used for schedule-less (serially mined) blocks.
+pub fn lenient_engine(threads: usize) -> Engine {
+    EngineConfig::new()
+        .threads(threads)
+        .check_traces(false)
+        .build()
+        .expect("test engine config is valid")
+}
 
 /// Generates a workload for the given benchmark with a fixed seed.
 pub fn workload(benchmark: Benchmark, block_size: usize, conflict: f64, seed: u64) -> Workload {

@@ -4,23 +4,22 @@
 //! incorrect schedule will be detected and its block rejected").
 
 use cc_core::error::CoreError;
-use cc_core::miner::{MinedBlock, Miner, ParallelMiner};
-use cc_core::validator::{ParallelValidator, Validator};
-use cc_integration_tests::workload;
+use cc_core::miner::MinedBlock;
+use cc_integration_tests::{engine, workload};
 use cc_ledger::Block;
 use cc_stm::{LockMode, LockProfile, ProfileEntry};
 use cc_workload::{Benchmark, Workload};
 
 fn mined_reference(benchmark: Benchmark, conflict: f64) -> (Workload, MinedBlock) {
     let w = workload(benchmark, 80, conflict, 23);
-    let mined = ParallelMiner::new(3)
+    let mined = engine(3)
         .mine(&w.build_world(), w.transactions())
         .expect("mining succeeds");
     (w, mined)
 }
 
 fn expect_rejection(w: &Workload, block: &Block) -> CoreError {
-    ParallelValidator::new(3)
+    engine(3)
         .validate(&w.build_world(), block)
         .expect_err("tampered block must be rejected")
 }
@@ -63,7 +62,10 @@ fn dropped_happens_before_edges_are_rejected_as_a_race() {
     let (w, mined) = mined_reference(Benchmark::EtherDoc, 0.5);
     let mut block = mined.block.clone();
     let schedule = block.schedule.as_mut().unwrap();
-    assert!(!schedule.edges.is_empty(), "conflicting workload must have edges");
+    assert!(
+        !schedule.edges.is_empty(),
+        "conflicting workload must have edges"
+    );
     schedule.edges.clear();
     recommit(&mut block);
     let err = expect_rejection(&w, &block);
@@ -82,7 +84,10 @@ fn reordering_the_serial_order_across_a_dependency_is_rejected() {
     schedule.serial_order.swap(pos_a, pos_b);
     recommit(&mut block);
     let err = expect_rejection(&w, &block);
-    assert!(matches!(err, CoreError::MalformedSchedule { .. }), "got: {err}");
+    assert!(
+        matches!(err, CoreError::MalformedSchedule { .. }),
+        "got: {err}"
+    );
 }
 
 #[test]
