@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--threads N] [--reps R] [--quick] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|all]
+//! repro [--threads N] [--reps R] [--quick] [--json PATH] \
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|all]
 //! ```
 //!
 //! * `figure1-blocksize` — Figure 1, left column: speedup vs. block size at
@@ -13,12 +14,22 @@
 //!   (ms) for serial, miner and validator.
 //! * `ablation` — design-choice ablations not in the paper: validator
 //!   thread scaling, trace-check overhead, serial re-validation.
+//! * `contention` — lock-manager throughput: threads × disjoint/hot mixes,
+//!   sharded manager vs. the pre-sharding global-mutex baseline.
 //! * `all` (default) — everything above.
 //!
 //! `--quick` shrinks the sweeps (fewer points, 2 repetitions) so the whole
 //! run finishes in a couple of minutes; the full run mirrors the paper's
 //! 5 repetitions + 3 warm-ups.
+//!
+//! `--json PATH` additionally writes the run's sweep data — the Figure-1
+//! block-size/conflict sweeps and the contention suite, whichever the
+//! command produced (ablation output is print-only) — to `PATH` as a JSON
+//! document. Committing one such file per PR (`BENCH_PR2.json`, …)
+//! records the repo's perf trajectory alongside the code.
 
+use cc_bench::contention::{contention_threads, measure_contention, Backend, ContentionPoint, Mix};
+use cc_bench::json::Json;
 use cc_bench::{
     average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure,
     measure_serial_validation, SweepPoint, DEFAULT_THREADS, REPETITIONS,
@@ -32,6 +43,7 @@ struct Options {
     repetitions: usize,
     quick: bool,
     command: String,
+    json_path: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +52,7 @@ fn parse_args() -> Options {
         repetitions: REPETITIONS,
         quick: false,
         command: "all".to_string(),
+        json_path: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +74,13 @@ fn parse_args() -> Options {
                     .unwrap_or(REPETITIONS);
             }
             "--quick" => options.quick = true,
+            "--json" => match args.next() {
+                Some(path) => options.json_path = Some(path),
+                None => {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }
+            },
             other if !other.starts_with("--") => options.command = other.to_string(),
             other => eprintln!("ignoring unknown flag {other}"),
         }
@@ -301,6 +321,115 @@ fn print_ablation(opts: &Options) {
     );
 }
 
+fn contention_ops(quick: bool) -> usize {
+    if quick {
+        2_000
+    } else {
+        10_000
+    }
+}
+
+fn print_contention(opts: &Options) -> Vec<ContentionPoint> {
+    println!("\n== Lock-manager contention: committed lock txns/s ==");
+    let ops = contention_ops(opts.quick);
+    let mut points = Vec::new();
+    for mix in [Mix::Disjoint, Mix::Hot] {
+        println!("\n-- {mix} mix --");
+        println!(
+            "{:>8} {:>16} {:>16} {:>16}",
+            "threads",
+            Backend::Global.to_string(),
+            Backend::Sharded1.to_string(),
+            Backend::Sharded.to_string()
+        );
+        for &threads in &contention_threads() {
+            let row: Vec<ContentionPoint> = [Backend::Global, Backend::Sharded1, Backend::Sharded]
+                .into_iter()
+                .map(|b| measure_contention(b, threads, ops, mix))
+                .collect();
+            println!(
+                "{:>8} {:>16.0} {:>16.0} {:>16.0}",
+                threads, row[0].ops_per_sec, row[1].ops_per_sec, row[2].ops_per_sec
+            );
+            points.extend(row);
+        }
+    }
+    let find = |mix: Mix, backend: Backend, threads: usize| {
+        points
+            .iter()
+            .find(|p| p.mix == mix && p.backend == backend && p.threads == threads)
+            .map(|p| p.ops_per_sec)
+    };
+    if let (Some(global), Some(sharded)) = (
+        find(Mix::Disjoint, Backend::Global, 8),
+        find(Mix::Disjoint, Backend::Sharded, 8),
+    ) {
+        println!(
+            "\n8-thread disjoint workload: sharded manager {:.2}x the global-mutex baseline",
+            sharded / global
+        );
+    }
+    points
+}
+
+fn timing_json(t: &cc_bench::Timing) -> Json {
+    Json::object([
+        ("mean_ms", Json::num(t.mean_ms())),
+        ("stddev_ms", Json::num(t.stddev_ms())),
+    ])
+}
+
+fn sweeps_json(sweeps: &[(Benchmark, Vec<SweepPoint>)]) -> Json {
+    Json::Array(
+        sweeps
+            .iter()
+            .map(|(benchmark, points)| {
+                Json::object([
+                    ("benchmark", Json::str(benchmark.to_string())),
+                    (
+                        "points",
+                        Json::Array(
+                            points
+                                .iter()
+                                .map(|p| {
+                                    Json::object([
+                                        ("block_size", Json::num(p.block_size as u32)),
+                                        ("conflict", Json::num(p.conflict)),
+                                        ("serial", timing_json(&p.measurement.serial)),
+                                        ("miner", timing_json(&p.measurement.miner)),
+                                        ("validator", timing_json(&p.measurement.validator)),
+                                        ("miner_speedup", Json::num(p.measurement.miner_speedup())),
+                                        (
+                                            "validator_speedup",
+                                            Json::num(p.measurement.validator_speedup()),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn contention_json(points: &[ContentionPoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("mix", Json::str(p.mix.to_string())),
+                    ("backend", Json::str(p.backend.to_string())),
+                    ("threads", Json::num(p.threads as u32)),
+                    ("txns_per_sec", Json::num(p.ops_per_sec)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn main() {
     let opts = parse_args();
     println!(
@@ -310,37 +439,77 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     );
 
+    let mut blocksize: Option<Vec<(Benchmark, Vec<SweepPoint>)>> = None;
+    let mut conflict: Option<Vec<(Benchmark, Vec<SweepPoint>)>> = None;
+    let mut contention: Option<Vec<ContentionPoint>> = None;
+
     match opts.command.as_str() {
         "figure1-blocksize" => {
-            print_figure1_blocksize(&opts);
+            blocksize = Some(print_figure1_blocksize(&opts));
         }
         "figure1-conflict" => {
-            print_figure1_conflict(&opts);
+            conflict = Some(print_figure1_conflict(&opts));
         }
         "table1" => {
-            let blocksize = print_figure1_blocksize(&opts);
-            let conflict = print_figure1_conflict(&opts);
-            print_table1(&blocksize, &conflict);
+            let bs = print_figure1_blocksize(&opts);
+            let cf = print_figure1_conflict(&opts);
+            print_table1(&bs, &cf);
+            blocksize = Some(bs);
+            conflict = Some(cf);
         }
         "appendix-b" => {
-            let blocksize = print_figure1_blocksize(&opts);
-            let conflict = print_figure1_conflict(&opts);
-            print_appendix_b(&blocksize, &conflict);
+            let bs = print_figure1_blocksize(&opts);
+            let cf = print_figure1_conflict(&opts);
+            print_appendix_b(&bs, &cf);
+            blocksize = Some(bs);
+            conflict = Some(cf);
         }
         "ablation" => {
             print_ablation(&opts);
         }
+        "contention" => {
+            contention = Some(print_contention(&opts));
+        }
         "all" => {
-            let blocksize = print_figure1_blocksize(&opts);
-            let conflict = print_figure1_conflict(&opts);
-            print_table1(&blocksize, &conflict);
-            print_appendix_b(&blocksize, &conflict);
+            let bs = print_figure1_blocksize(&opts);
+            let cf = print_figure1_conflict(&opts);
+            print_table1(&bs, &cf);
+            print_appendix_b(&bs, &cf);
             print_ablation(&opts);
+            blocksize = Some(bs);
+            conflict = Some(cf);
+            contention = Some(print_contention(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|all]");
             std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &opts.json_path {
+        let mut sections: Vec<(&'static str, Json)> = vec![
+            ("command", Json::str(opts.command.clone())),
+            ("threads", Json::num(opts.threads as u32)),
+            ("repetitions", Json::num(opts.repetitions as u32)),
+            ("quick", Json::Bool(opts.quick)),
+        ];
+        if let Some(bs) = &blocksize {
+            sections.push(("figure1_blocksize", sweeps_json(bs)));
+        }
+        if let Some(cf) = &conflict {
+            sections.push(("figure1_conflict", sweeps_json(cf)));
+        }
+        if let Some(points) = &contention {
+            sections.push(("contention", contention_json(points)));
+        }
+        let doc = Json::object(sections);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => println!("\nwrote {path}"),
+            Err(err) => {
+                eprintln!("failed to write {path}: {err}");
+                std::process::exit(1);
+            }
         }
     }
 }

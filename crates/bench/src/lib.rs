@@ -11,6 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod contention;
+pub mod json;
+
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, Workload, WorkloadSpec};
 use std::time::{Duration, Instant};

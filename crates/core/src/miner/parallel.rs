@@ -77,6 +77,7 @@ impl Miner for ParallelMiner {
         let start = Instant::now();
         let stm = world.stm();
         stm.begin_block();
+        let locks_before = stm.lock_stats();
 
         let n = transactions.len();
         let slots: Vec<Mutex<Option<(Receipt, LockProfile)>>> =
@@ -190,6 +191,7 @@ impl Miner for ParallelMiner {
                 gas_used,
                 critical_path,
                 hb_edges,
+                locks: stm.lock_stats().since(&locks_before),
             },
         })
     }

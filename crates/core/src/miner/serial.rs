@@ -58,6 +58,7 @@ impl Miner for SerialMiner {
         let start = Instant::now();
         let stm = world.stm();
         stm.begin_block();
+        let locks_before = stm.lock_stats();
 
         let mut receipts: Vec<Receipt> = Vec::with_capacity(transactions.len());
         let mut retries = 0u64;
@@ -114,6 +115,7 @@ impl Miner for SerialMiner {
                 gas_used,
                 critical_path,
                 hb_edges,
+                locks: stm.lock_stats().since(&locks_before),
             },
         })
     }

@@ -1,6 +1,7 @@
 //! Execution statistics and validation reports.
 
 use cc_primitives::hash::Hash256;
+use cc_stm::manager::LockStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -22,19 +23,29 @@ pub struct MinerStats {
     pub critical_path: usize,
     /// Number of happens-before edges discovered.
     pub hb_edges: usize,
+    /// Lock-manager activity while this block was mined: acquisitions,
+    /// blocking waits, deadlocks, targeted wakeups, and the stripe count
+    /// of the sharded lock table. The serial miner still acquires locks
+    /// (its transactions run through the same STM), but its waits and
+    /// deadlocks are always zero.
+    pub locks: LockStats,
 }
 
 impl fmt::Display for MinerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} txns on {} thread(s) in {:?} ({} retries, critical path {}, {} edges)",
+            "{} txns on {} thread(s) in {:?} ({} retries, critical path {}, {} edges; locks: {} acquired, {} waits, {} deadlocks over {} shards)",
             self.transactions,
             self.threads,
             self.elapsed,
             self.retries,
             self.critical_path,
-            self.hb_edges
+            self.hb_edges,
+            self.locks.acquisitions,
+            self.locks.waits,
+            self.locks.deadlocks,
+            self.locks.shards
         )
     }
 }
@@ -79,10 +90,19 @@ mod tests {
             gas_used: 1_000,
             critical_path: 7,
             hb_edges: 30,
+            locks: LockStats {
+                acquisitions: 420,
+                waits: 12,
+                deadlocks: 5,
+                wakeups: 12,
+                shards: 16,
+            },
         };
         let s = stats.to_string();
         assert!(s.contains("200 txns"));
         assert!(s.contains("3 thread"));
+        assert!(s.contains("420 acquired"));
+        assert!(s.contains("16 shards"));
 
         let report = ValidationReport {
             threads: 3,

@@ -94,8 +94,9 @@ impl Validator for ParallelValidator {
             let receipt = world
                 .execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit)
                 .expect("replay transactions cannot hit speculative conflicts");
-            let trace = collapse_trace(&txn.trace());
-            let _ = txn.commit();
+            // Consuming the transaction avoids cloning the whole trace on
+            // every replayed transaction and closes it like a commit.
+            let trace = collapse_trace(&txn.into_trace());
             *results[index].lock() = Some((receipt, trace));
         });
 

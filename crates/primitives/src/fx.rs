@@ -1,0 +1,165 @@
+//! FxHash — the fast, non-cryptographic hasher used for lock-keyed tables.
+//!
+//! Abstract-lock identifiers are already the output of FNV-1a (see
+//! [`crate::fnv`]): both halves of a `LockId` are well-mixed 64-bit values.
+//! Re-hashing them through SipHash (the `std` default) costs more than the
+//! table lookup it guards. `FxHasher` — the multiply-xor hash used by the
+//! Rust compiler itself — folds each written word into the state with one
+//! xor, one rotate and one multiply, which is all a pre-hashed key needs.
+//!
+//! Like FNV, Fx is **not** DoS-resistant. That is fine for every table it
+//! is used for in this workspace: the keys are themselves hashes of
+//! attacker-visible data, so an attacker who could engineer collisions in
+//! the table could only create extra (conservative) lock conflicts, never
+//! an incorrect result.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_primitives::fx::FxHashMap;
+//! let mut shards: FxHashMap<u64, &str> = FxHashMap::default();
+//! shards.insert(42, "stripe");
+//! assert_eq!(shards[&42], "stripe");
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx seed: `2^64 / phi`, the same odd constant rustc uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A [`Hasher`] implementing the FxHash algorithm (word-at-a-time
+/// multiply-xor, as used by the Rust compiler's interner tables).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    /// Creates a hasher with the zero initial state.
+    pub fn new() -> Self {
+        FxHasher(0)
+    }
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("exact 8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed through [`FxHasher`]. Use for tables whose keys are
+/// already hashes (lock ids, transaction ids, shard indices).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes any `Hash` value with FxHash in one call, deterministically
+/// across runs and processes (no random state).
+pub fn fx_hash_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(fx_hash_of(&42u64), fx_hash_of(&42u64));
+        assert_ne!(fx_hash_of(&42u64), fx_hash_of(&43u64));
+        assert_ne!(fx_hash_of("alice"), fx_hash_of("bob"));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<(u64, u64), u32> = FxHashMap::default();
+        for i in 0..100 {
+            map.insert((i, i * 2), i as u32);
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map[&(7, 14)], 7);
+
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        set.insert(1);
+        assert!(set.contains(&1));
+        assert!(!set.contains(&2));
+    }
+
+    #[test]
+    fn spreads_sequential_words() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(fx_hash_of(&i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_only_for_same_input() {
+        // write() over a 16-byte slice folds two words; different slices
+        // must (overwhelmingly) produce different states.
+        let mut a = FxHasher::new();
+        a.write(&[1u8; 16]);
+        let mut b = FxHasher::new();
+        b.write(&[2u8; 16]);
+        assert_ne!(a.finish(), b.finish());
+
+        // Trailing partial chunks are folded too.
+        let mut c = FxHasher::new();
+        c.write(&[1u8; 9]);
+        let mut d = FxHasher::new();
+        d.write(&[1u8; 10]);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

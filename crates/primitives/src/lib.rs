@@ -9,6 +9,9 @@
 //! * [`fnv`] — the FNV-1a 64-bit hash used to derive abstract-lock keys.
 //!   It is deliberately *not* cryptographic: a collision merely produces a
 //!   false conflict (extra serialization), never an incorrect result.
+//! * [`fx`] — the FxHash multiply-xor hasher (and `FxHashMap`/`FxHashSet`
+//!   aliases) for tables whose keys are already hashes, such as the lock
+//!   manager's shard tables and per-transaction held-lock maps.
 //! * [`codec`] — a deterministic, byte-oriented encoder/decoder used for
 //!   state snapshots, schedule metadata and block serialization.
 //! * [`hex`] — tiny hex formatting helpers.
@@ -31,6 +34,7 @@
 
 pub mod codec;
 pub mod fnv;
+pub mod fx;
 pub mod hash;
 pub mod hex;
 

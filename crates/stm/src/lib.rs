@@ -18,6 +18,10 @@
 //!   parent,
 //! * deadlocks are detected on the wait-for graph and resolved by aborting
 //!   the requester,
+//! * the lock table is sharded into independently-locked stripes with
+//!   targeted per-lock wakeups, so transactions over disjoint locks never
+//!   serialize in the runtime itself (see `README.md` and the [`manager`]
+//!   module docs for the architecture),
 //! * every abstract lock carries a **use counter**; a committing transaction
 //!   increments the counter of each lock it holds and registers a
 //!   [`LockProfile`], from which the miner derives the happens-before graph

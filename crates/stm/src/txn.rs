@@ -6,8 +6,8 @@ use crate::lock::{LockId, LockMode};
 use crate::manager::{LockManager, LockStats};
 use crate::profile::{CommitProfile, LockProfile, ProfileEntry, TraceEntry};
 use crate::retry::RetryPolicy;
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use cc_primitives::fx::FxHashMap;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,8 +54,9 @@ struct TxnInner {
     /// Undo log, oldest first. Replayed in reverse on abort/rollback.
     undo: Vec<UndoOp>,
     /// All locks held by this transaction (top-level and nested frames),
-    /// with the strongest mode acquired so far.
-    held: HashMap<LockId, LockMode>,
+    /// with the strongest mode acquired so far. Keyed through FxHash —
+    /// lock ids are already FNV-64 pairs.
+    held: FxHashMap<LockId, LockMode>,
     /// Acquisition order, used to release in a deterministic order.
     held_order: Vec<LockId>,
     /// Validator-side trace of would-be acquisitions.
@@ -83,11 +84,23 @@ impl fmt::Debug for TxnInner {
 /// [`Stm::run`]. Boosted collections take `&Transaction` and call
 /// [`Transaction::acquire`] / [`Transaction::log_undo`]; user code normally
 /// never calls those directly.
+///
+/// A transaction is **single-threaded by construction**: one worker owns
+/// it for its whole lifetime (blocking, if any, happens inside the shared
+/// [`LockManager`], never on the transaction itself). Its interior is
+/// therefore an unsynchronized [`RefCell`] — `Transaction` is `Send` (a
+/// worker may create it on one thread and finish it on another) but
+/// deliberately **not** `Sync`:
+///
+/// ```compile_fail
+/// fn requires_sync<T: Sync>() {}
+/// requires_sync::<cc_stm::Transaction>();
+/// ```
 pub struct Transaction {
     id: TxnId,
     kind: TxnKind,
     manager: Arc<LockManager>,
-    inner: Mutex<TxnInner>,
+    inner: RefCell<TxnInner>,
 }
 
 impl fmt::Debug for Transaction {
@@ -95,7 +108,7 @@ impl fmt::Debug for Transaction {
         f.debug_struct("Transaction")
             .field("id", &self.id)
             .field("kind", &self.kind)
-            .field("inner", &*self.inner.lock())
+            .field("inner", &*self.inner.borrow())
             .finish()
     }
 }
@@ -106,9 +119,9 @@ impl Transaction {
             id,
             kind,
             manager,
-            inner: Mutex::new(TxnInner {
+            inner: RefCell::new(TxnInner {
                 undo: Vec::new(),
-                held: HashMap::new(),
+                held: FxHashMap::default(),
                 held_order: Vec::new(),
                 trace: Vec::new(),
                 frames: Vec::new(),
@@ -141,7 +154,7 @@ impl Transaction {
     /// * [`StmError::TransactionClosed`] if the transaction already
     ///   committed or aborted.
     pub fn acquire(&self, lock: LockId, mode: LockMode) -> Result<(), StmError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.borrow_mut();
         if inner.closed {
             return Err(StmError::TransactionClosed);
         }
@@ -156,13 +169,12 @@ impl Transaction {
                 if sufficient {
                     return Ok(());
                 }
-                // Drop the inner lock while potentially blocking in the
-                // manager so that other threads can inspect this
-                // transaction (e.g. nothing else needs it, but holding a
-                // mutex across a blocking wait is poor hygiene).
+                // Release the borrow while potentially blocking in the
+                // manager: an undo closure of a boosted collection must be
+                // able to re-enter the transaction if it ever needs to.
                 drop(inner);
                 let newly = self.manager.acquire(self.id, lock, mode)?;
-                let mut inner = self.inner.lock();
+                let mut inner = self.inner.borrow_mut();
                 let entry = inner.held.entry(lock).or_insert(mode);
                 *entry = entry.strongest(mode);
                 if newly {
@@ -179,7 +191,7 @@ impl Transaction {
     /// Records an inverse operation that will be run if the transaction
     /// (or the enclosing nested action / savepoint scope) rolls back.
     pub fn log_undo(&self, undo: impl FnOnce() + Send + 'static) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.borrow_mut();
         if inner.closed {
             return;
         }
@@ -189,7 +201,7 @@ impl Transaction {
     /// Returns a savepoint capturing the current undo-log position.
     pub fn savepoint(&self) -> Savepoint {
         Savepoint {
-            undo_len: self.inner.lock().undo.len(),
+            undo_len: self.inner.borrow().undo.len(),
         }
     }
 
@@ -200,7 +212,7 @@ impl Transaction {
     /// and writes still determine the block's happens-before order.
     pub fn rollback_to(&self, savepoint: Savepoint) {
         let to_undo: Vec<UndoOp> = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if savepoint.undo_len >= inner.undo.len() {
                 return;
             }
@@ -225,14 +237,14 @@ impl Transaction {
     /// effects.
     pub fn nested<R, E>(&self, body: impl FnOnce(&Transaction) -> Result<R, E>) -> Result<R, E> {
         let undo_start = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             inner.frames.push(Vec::new());
             inner.undo.len()
         };
         let result = body(self);
         match result {
             Ok(value) => {
-                let mut inner = self.inner.lock();
+                let mut inner = self.inner.borrow_mut();
                 let child_locks = inner.frames.pop().unwrap_or_default();
                 // Merge the child's acquisitions into the parent frame (if
                 // any) so a later aborting ancestor releases them too.
@@ -244,7 +256,7 @@ impl Transaction {
             Err(err) => {
                 // Undo the child's operations.
                 let to_undo: Vec<UndoOp> = {
-                    let mut inner = self.inner.lock();
+                    let mut inner = self.inner.borrow_mut();
                     inner.undo.split_off(undo_start)
                 };
                 for op in to_undo.into_iter().rev() {
@@ -253,7 +265,7 @@ impl Transaction {
                 // Release the locks the child acquired (they are not needed
                 // for the parent's consistency: the child's effects are gone).
                 let child_locks = {
-                    let mut inner = self.inner.lock();
+                    let mut inner = self.inner.borrow_mut();
                     let child_locks = inner.frames.pop().unwrap_or_default();
                     for lock in &child_locks {
                         inner.held.remove(lock);
@@ -280,7 +292,7 @@ impl Transaction {
     /// Returns [`StmError::TransactionClosed`] if already closed.
     pub fn commit(&self) -> Result<CommitProfile, StmError> {
         let (locks, modes) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(StmError::TransactionClosed);
             }
@@ -324,7 +336,7 @@ impl Transaction {
     /// Returns [`StmError::TransactionClosed`] if already closed.
     pub fn abort(&self) -> Result<(), StmError> {
         let (to_undo, locks) = {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(StmError::TransactionClosed);
             }
@@ -345,23 +357,52 @@ impl Transaction {
 
     /// The validator-side trace accumulated so far (empty for speculative
     /// transactions).
+    ///
+    /// Clones the trace; a replay loop that is done with the transaction
+    /// should prefer [`Transaction::into_trace`].
     pub fn trace(&self) -> Vec<TraceEntry> {
-        self.inner.lock().trace.clone()
+        self.inner.borrow().trace.clone()
+    }
+
+    /// Consumes the transaction and returns its trace without cloning.
+    ///
+    /// The transaction is closed as if committed: the undo log is
+    /// discarded (replayed state stays put) and, for the speculative kind,
+    /// all locks are released without touching use counters — though in
+    /// practice only replay transactions carry a trace.
+    pub fn into_trace(self) -> Vec<TraceEntry> {
+        let (trace, locks) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.closed {
+                return Vec::new();
+            }
+            inner.closed = true;
+            inner.undo.clear();
+            inner.held.clear();
+            (
+                std::mem::take(&mut inner.trace),
+                std::mem::take(&mut inner.held_order),
+            )
+        };
+        if self.kind == TxnKind::Speculative {
+            self.manager.release_abort(self.id, &locks);
+        }
+        trace
     }
 
     /// Number of locks currently held (diagnostics and tests).
     pub fn held_locks(&self) -> usize {
-        self.inner.lock().held.len()
+        self.inner.borrow().held.len()
     }
 
     /// Length of the undo log (diagnostics and tests).
     pub fn undo_len(&self) -> usize {
-        self.inner.lock().undo.len()
+        self.inner.borrow().undo.len()
     }
 
     /// Whether the transaction has already committed or aborted.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        self.inner.borrow().closed
     }
 }
 
@@ -486,6 +527,7 @@ impl Stm {
 mod tests {
     use super::*;
     use crate::lock::LockSpace;
+    use parking_lot::Mutex;
     use std::sync::atomic::AtomicI64;
 
     fn stm() -> Stm {
@@ -694,5 +736,60 @@ mod tests {
         assert_ne!(a.id(), b.id());
         a.commit().unwrap();
         b.commit().unwrap();
+    }
+
+    #[test]
+    fn transaction_is_send() {
+        // Workers create a transaction on one thread and may finish it on
+        // another; `Send` is required. `Sync` is deliberately absent — see
+        // the compile_fail doctest on [`Transaction`].
+        fn assert_send<T: Send>() {}
+        assert_send::<Transaction>();
+        assert_send::<Stm>();
+    }
+
+    #[test]
+    fn into_trace_consumes_without_cloning() {
+        let stm = stm();
+        let space = LockSpace::new("into");
+        let txn = stm.begin_replay();
+        txn.acquire(space.lock_for(&1u64), LockMode::Exclusive)
+            .unwrap();
+        txn.acquire(space.lock_for(&2u64), LockMode::Additive)
+            .unwrap();
+        let trace = txn.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(stm.lock_manager().held_lock_count(), 0);
+    }
+
+    #[test]
+    fn into_trace_closes_like_commit() {
+        // The undo log is discarded, not replayed: replayed state stays.
+        let stm = stm();
+        let value = Arc::new(AtomicI64::new(0));
+        let txn = stm.begin_replay();
+        value.store(5, Ordering::SeqCst);
+        let v = Arc::clone(&value);
+        txn.log_undo(move || v.store(0, Ordering::SeqCst));
+        let trace = txn.into_trace();
+        assert!(trace.is_empty());
+        assert_eq!(
+            value.load(Ordering::SeqCst),
+            5,
+            "undo log discarded, replayed state kept"
+        );
+    }
+
+    #[test]
+    fn into_trace_on_speculative_releases_locks() {
+        let stm = stm();
+        let space = LockSpace::new("into.spec");
+        let txn = stm.begin();
+        txn.acquire(space.whole(), LockMode::Exclusive).unwrap();
+        assert!(
+            txn.into_trace().is_empty(),
+            "speculative txns trace nothing"
+        );
+        assert_eq!(stm.lock_manager().held_lock_count(), 0);
     }
 }
