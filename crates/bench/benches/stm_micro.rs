@@ -45,6 +45,55 @@ fn bench_boosted_map_ops(c: &mut Criterion) {
             txn.abort().unwrap();
         })
     });
+
+    group.bench_function("update-or-commit", |b| {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("bench.map.update");
+        let mut key = 0u64;
+        b.iter(|| {
+            key = (key + 1) % 256;
+            stm.run(|txn| map.update_or(txn, key, 0, |v| *v += 1))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Read/write-ratio cases: one transaction performing `reads` shared-mode
+/// gets plus `writes` exclusive inserts. These isolate what Shared-mode
+/// reads and the typed undo log buy at each ratio.
+fn bench_read_write_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm/read-write-mix");
+    group.sample_size(20);
+
+    for (label, reads, writes) in [
+        ("r16-w0", 16u64, 0u64),
+        ("r15-w1", 15, 1),
+        ("r8-w8", 8, 8),
+        ("r0-w16", 0, 16),
+    ] {
+        group.bench_function(label, |b| {
+            let stm = Stm::new();
+            let map: BoostedMap<u64, u64> = BoostedMap::new("bench.map.mix");
+            for i in 0..1024u64 {
+                map.seed(i, i);
+            }
+            let mut base = 0u64;
+            b.iter(|| {
+                base = (base + 1) % 512;
+                stm.run(|txn| {
+                    for j in 0..reads {
+                        map.get(txn, &((base + j * 61) % 1024))?;
+                    }
+                    for j in 0..writes {
+                        map.insert(txn, base + j * 1024, j)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 
@@ -95,6 +144,26 @@ fn bench_additive_contention(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("shared-read-8-threads-same-key", |b| {
+        b.iter(|| {
+            let stm = Stm::new();
+            let map: Arc<BoostedMap<u8, u64>> = Arc::new(BoostedMap::new("bench.map.shared"));
+            map.seed(0, 42);
+            crossbeam::scope(|s| {
+                for _ in 0..8 {
+                    let stm = stm.clone();
+                    let map = Arc::clone(&map);
+                    s.spawn(move |_| {
+                        for _ in 0..64 {
+                            stm.run(|txn| map.get(txn, &0)).unwrap();
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        })
+    });
+
     group.bench_function("disjoint-8-threads", |b| {
         b.iter(|| {
             let stm = Stm::new();
@@ -116,5 +185,10 @@ fn bench_additive_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_boosted_map_ops, bench_additive_contention);
+criterion_group!(
+    benches,
+    bench_boosted_map_ops,
+    bench_read_write_mix,
+    bench_additive_contention
+);
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--threads N] [--reps R] [--quick] [--json PATH] \
-//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|all]
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|read-heavy|perf|all]
+//! repro diff OLD.json NEW.json [--tolerance PCT] [--strict]
 //! ```
 //!
 //! * `figure1-blocksize` — Figure 1, left column: speedup vs. block size at
@@ -14,25 +15,40 @@
 //!   (ms) for serial, miner and validator.
 //! * `ablation` — design-choice ablations not in the paper: validator
 //!   thread scaling, trace-check overhead, serial re-validation.
-//! * `contention` — lock-manager throughput: threads × disjoint/hot mixes,
-//!   sharded manager vs. the pre-sharding global-mutex baseline.
+//! * `contention` — lock-manager throughput: threads × disjoint / hot /
+//!   read-heavy (shared-mode) mixes, sharded manager vs. the pre-sharding
+//!   global-mutex baseline.
+//! * `micro` — per-operation cost of the boosted-storage hot path
+//!   (insert/get/update/add and a read-heavy transaction, plus the
+//!   pre-typed-undo boxed-closure baseline).
+//! * `read-heavy` — engine-level read-heavy hot-key blocks: miner time,
+//!   blocking waits and schedule shape (shared reads keep the critical
+//!   path flat where exclusive reads serialized the block).
+//! * `perf` — `micro` + `read-heavy` + `contention`: the sections the
+//!   per-PR perf trajectory (`BENCH_PR*.json`) and the CI smoke diff
+//!   track.
 //! * `all` (default) — everything above.
+//! * `diff OLD.json NEW.json` — compares two `--json` outputs
+//!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
+//!   with `--strict`, regressions make the exit status non-zero.
 //!
 //! `--quick` shrinks the sweeps (fewer points, 2 repetitions) so the whole
 //! run finishes in a couple of minutes; the full run mirrors the paper's
 //! 5 repetitions + 3 warm-ups.
 //!
 //! `--json PATH` additionally writes the run's sweep data — the Figure-1
-//! block-size/conflict sweeps and the contention suite, whichever the
-//! command produced (ablation output is print-only) — to `PATH` as a JSON
-//! document. Committing one such file per PR (`BENCH_PR2.json`, …)
-//! records the repo's perf trajectory alongside the code.
+//! block-size/conflict sweeps, the contention suite and the micro suite,
+//! whichever the command produced (ablation output is print-only) — to
+//! `PATH` as a JSON document. Committing one such file per PR
+//! (`BENCH_PR2.json`, …) records the repo's perf trajectory alongside the
+//! code.
 
 use cc_bench::contention::{contention_threads, measure_contention, Backend, ContentionPoint, Mix};
 use cc_bench::json::Json;
+use cc_bench::micro::{run_micro, MicroPoint};
 use cc_bench::{
-    average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure,
-    measure_serial_validation, SweepPoint, DEFAULT_THREADS, REPETITIONS,
+    average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_read_heavy,
+    measure_serial_validation, ReadHeavyPoint, SweepPoint, DEFAULT_THREADS, REPETITIONS,
 };
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, WorkloadSpec};
@@ -43,7 +59,14 @@ struct Options {
     repetitions: usize,
     quick: bool,
     command: String,
+    /// Positional arguments after the command (used by `diff`).
+    operands: Vec<String>,
     json_path: Option<String>,
+    /// `diff`: relative delta (percent) beyond which a worse result is
+    /// flagged as a regression.
+    tolerance: f64,
+    /// `diff`: exit non-zero when regressions are flagged.
+    strict: bool,
 }
 
 fn parse_args() -> Options {
@@ -52,8 +75,12 @@ fn parse_args() -> Options {
         repetitions: REPETITIONS,
         quick: false,
         command: "all".to_string(),
+        operands: Vec::new(),
         json_path: None,
+        tolerance: 25.0,
+        strict: false,
     };
+    let mut saw_command = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -74,6 +101,14 @@ fn parse_args() -> Options {
                     .unwrap_or(REPETITIONS);
             }
             "--quick" => options.quick = true,
+            "--strict" => options.strict = true,
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => options.tolerance = pct,
+                None => {
+                    eprintln!("--tolerance requires a percentage");
+                    std::process::exit(2);
+                }
+            },
             "--json" => match args.next() {
                 Some(path) => options.json_path = Some(path),
                 None => {
@@ -81,7 +116,14 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 }
             },
-            other if !other.starts_with("--") => options.command = other.to_string(),
+            other if !other.starts_with("--") => {
+                if saw_command {
+                    options.operands.push(other.to_string());
+                } else {
+                    options.command = other.to_string();
+                    saw_command = true;
+                }
+            }
             other => eprintln!("ignoring unknown flag {other}"),
         }
     }
@@ -333,7 +375,7 @@ fn print_contention(opts: &Options) -> Vec<ContentionPoint> {
     println!("\n== Lock-manager contention: committed lock txns/s ==");
     let ops = contention_ops(opts.quick);
     let mut points = Vec::new();
-    for mix in [Mix::Disjoint, Mix::Hot] {
+    for mix in [Mix::Disjoint, Mix::Hot, Mix::ReadHeavy] {
         println!("\n-- {mix} mix --");
         println!(
             "{:>8} {:>16} {:>16} {:>16}",
@@ -367,6 +409,60 @@ fn print_contention(opts: &Options) -> Vec<ContentionPoint> {
         println!(
             "\n8-thread disjoint workload: sharded manager {:.2}x the global-mutex baseline",
             sharded / global
+        );
+    }
+    let find_waits = |mix: Mix, backend: Backend, threads: usize| {
+        points
+            .iter()
+            .find(|p| p.mix == mix && p.backend == backend && p.threads == threads)
+            .map(|p| p.waits_per_1k)
+    };
+    if let (Some(hot), Some(read_heavy)) = (
+        find(Mix::Hot, Backend::Sharded, 8),
+        find(Mix::ReadHeavy, Backend::Sharded, 8),
+    ) {
+        println!(
+            "8-thread hot key: shared-mode read-heavy mix {:.2}x the all-exclusive mix's throughput",
+            read_heavy / hot
+        );
+    }
+    if let (Some(hot), Some(read_heavy)) = (
+        find_waits(Mix::Hot, Backend::Sharded, 8),
+        find_waits(Mix::ReadHeavy, Backend::Sharded, 8),
+    ) {
+        println!(
+            "8-thread hot key conflict rate: {hot:.1} waits/1k txns all-exclusive vs \
+             {read_heavy:.1} waits/1k txns read-heavy (shared readers do not block)"
+        );
+    }
+    points
+}
+
+fn micro_ops(quick: bool) -> usize {
+    if quick {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn print_micro(opts: &Options) -> Vec<MicroPoint> {
+    println!("\n== Boosted-storage per-operation cost ==");
+    let points = run_micro(micro_ops(opts.quick));
+    println!("{:>28} {:>12}", "case", "ns/op");
+    for p in &points {
+        println!("{:>28} {:>12.0}", p.name, p.ns_per_op);
+    }
+    let find = |name: &str| points.iter().find(|p| p.name == name).map(|p| p.ns_per_op);
+    if let (Some(typed), Some(boxed)) =
+        (find("map-insert-commit"), find("map-insert-boxed-baseline"))
+    {
+        println!(
+            "\ntyped undo log: map insert {:.0} ns/op vs {:.0} ns/op for the \
+             pre-PR boxed-closure path ({:.1}% cheaper)",
+            typed,
+            boxed,
+            (1.0 - typed / boxed) * 100.0
         );
     }
     points
@@ -424,14 +520,291 @@ fn contention_json(points: &[ContentionPoint]) -> Json {
                     ("backend", Json::str(p.backend.to_string())),
                     ("threads", Json::num(p.threads as u32)),
                     ("txns_per_sec", Json::num(p.ops_per_sec)),
+                    ("waits_per_1k", Json::num(p.waits_per_1k)),
                 ])
             })
             .collect(),
     )
 }
 
+/// The `(readers, writers)` block shapes the read-heavy sweep measures.
+fn read_heavy_shapes(quick: bool) -> Vec<(usize, usize)> {
+    if quick {
+        vec![(60, 4), (48, 16)]
+    } else {
+        vec![(126, 2), (120, 8), (96, 32)]
+    }
+}
+
+fn print_read_heavy(opts: &Options) -> Vec<ReadHeavyPoint> {
+    println!(
+        "\n== Read-heavy blocks (shared-mode reads of one hot key, {} threads) ==",
+        opts.threads
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>16}",
+        "readers", "writers", "miner (ms)", "waits/blk", "retries/blk", "hb edges", "critical path"
+    );
+    let mut points = Vec::new();
+    for (readers, writers) in read_heavy_shapes(opts.quick) {
+        let p = measure_read_heavy(readers, writers, opts.threads, opts.repetitions);
+        println!(
+            "{:>8} {:>8} {:>12.2} {:>12.1} {:>12.1} {:>10} {:>9} (vs {})",
+            p.readers,
+            p.writers,
+            p.miner_ms,
+            p.waits_per_block,
+            p.retries_per_block,
+            p.hb_edges,
+            p.critical_path,
+            p.exclusive_read_critical_path()
+        );
+        points.push(p);
+    }
+    println!(
+        "\n(\"vs N\": the critical path the same block had when reads took their \
+         abstract locks exclusively — the whole block serialized)"
+    );
+    points
+}
+
+fn read_heavy_json(points: &[ReadHeavyPoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("readers", Json::num(p.readers as u32)),
+                    ("writers", Json::num(p.writers as u32)),
+                    ("threads", Json::num(p.threads as u32)),
+                    ("miner_ms", Json::num(p.miner_ms)),
+                    ("waits_per_block", Json::num(p.waits_per_block)),
+                    ("retries_per_block", Json::num(p.retries_per_block)),
+                    ("hb_edges", Json::num(p.hb_edges as u32)),
+                    ("critical_path", Json::num(p.critical_path as u32)),
+                    (
+                        "exclusive_read_critical_path",
+                        Json::num(p.exclusive_read_critical_path() as u32),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn micro_json(points: &[MicroPoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("name", Json::str(p.name)),
+                    ("ns_per_op", Json::num(p.ns_per_op)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+// ---- `repro diff`: compare two --json outputs ---------------------------
+
+/// Whether larger values of a metric are better (throughput) or worse
+/// (latency / per-op cost).
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// One comparable metric extracted from a bench JSON: a stable label and
+/// its value.
+struct Metric {
+    label: String,
+    value: f64,
+    direction: Direction,
+}
+
+/// Flattens every known section of a bench JSON into labelled metrics.
+fn extract_metrics(doc: &Json) -> Vec<Metric> {
+    let mut out = Vec::new();
+    if let Some(points) = doc.get("stm_micro").and_then(Json::as_array) {
+        for p in points {
+            if let (Some(name), Some(value)) = (
+                p.get("name").and_then(Json::as_str),
+                p.get("ns_per_op").and_then(Json::as_f64),
+            ) {
+                out.push(Metric {
+                    label: format!("stm_micro/{name} (ns/op)"),
+                    value,
+                    direction: Direction::LowerIsBetter,
+                });
+            }
+        }
+    }
+    if let Some(points) = doc.get("read_heavy").and_then(Json::as_array) {
+        for p in points {
+            let (Some(readers), Some(writers)) = (
+                p.get("readers").and_then(Json::as_f64),
+                p.get("writers").and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            for (metric, direction) in [
+                ("miner_ms", Direction::LowerIsBetter),
+                ("waits_per_block", Direction::LowerIsBetter),
+                ("critical_path", Direction::LowerIsBetter),
+            ] {
+                if let Some(value) = p.get(metric).and_then(Json::as_f64) {
+                    out.push(Metric {
+                        label: format!("read_heavy/r{readers}-w{writers}/{metric}"),
+                        value,
+                        direction,
+                    });
+                }
+            }
+        }
+    }
+    if let Some(points) = doc.get("contention").and_then(Json::as_array) {
+        for p in points {
+            if let (Some(mix), Some(backend), Some(threads), Some(value)) = (
+                p.get("mix").and_then(Json::as_str),
+                p.get("backend").and_then(Json::as_str),
+                p.get("threads").and_then(Json::as_f64),
+                p.get("txns_per_sec").and_then(Json::as_f64),
+            ) {
+                out.push(Metric {
+                    label: format!("contention/{mix}/{backend}/{threads}t (txns/s)"),
+                    value,
+                    direction: Direction::HigherIsBetter,
+                });
+            }
+        }
+    }
+    for section in ["figure1_blocksize", "figure1_conflict"] {
+        if let Some(sweeps) = doc.get(section).and_then(Json::as_array) {
+            for sweep in sweeps {
+                let Some(benchmark) = sweep.get("benchmark").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Some(points) = sweep.get("points").and_then(Json::as_array) else {
+                    continue;
+                };
+                for p in points {
+                    let (Some(block_size), Some(conflict)) = (
+                        p.get("block_size").and_then(Json::as_f64),
+                        p.get("conflict").and_then(Json::as_f64),
+                    ) else {
+                        continue;
+                    };
+                    for role in ["serial", "miner", "validator"] {
+                        if let Some(mean) = p
+                            .get(role)
+                            .and_then(|t| t.get("mean_ms"))
+                            .and_then(Json::as_f64)
+                        {
+                            out.push(Metric {
+                                label: format!(
+                                    "{section}/{benchmark}/b{block_size}/c{conflict:.2}/{role} (ms)"
+                                ),
+                                value: mean,
+                                direction: Direction::LowerIsBetter,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn load_bench_json(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("cannot read {path}: {err}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|err| {
+        eprintln!("cannot parse {path}: {err}");
+        std::process::exit(2);
+    })
+}
+
+/// Compares two bench JSONs and prints per-benchmark deltas. Returns the
+/// number of regressions beyond the tolerance.
+fn run_diff(old_path: &str, new_path: &str, tolerance: f64) -> usize {
+    let old_doc = load_bench_json(old_path);
+    let new_doc = load_bench_json(new_path);
+    let old_metrics = extract_metrics(&old_doc);
+    let new_metrics = extract_metrics(&new_doc);
+
+    println!("== bench diff: {old_path} → {new_path} (tolerance ±{tolerance:.0}%) ==\n");
+    println!(
+        "{:<64} {:>12} {:>12} {:>9}",
+        "metric", "old", "new", "delta"
+    );
+
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    let mut compared = 0usize;
+    for new_metric in &new_metrics {
+        let Some(old_metric) = old_metrics.iter().find(|m| m.label == new_metric.label) else {
+            continue;
+        };
+        compared += 1;
+        if old_metric.value == 0.0 {
+            continue;
+        }
+        let delta_pct = (new_metric.value - old_metric.value) / old_metric.value * 100.0;
+        // A positive delta is worse for latency metrics and better for
+        // throughput metrics.
+        let worse_pct = match new_metric.direction {
+            Direction::LowerIsBetter => delta_pct,
+            Direction::HigherIsBetter => -delta_pct,
+        };
+        let verdict = if worse_pct > tolerance {
+            regressions += 1;
+            "REGRESSION"
+        } else if worse_pct < -tolerance {
+            improvements += 1;
+            "improved"
+        } else {
+            ""
+        };
+        println!(
+            "{:<64} {:>12.1} {:>12.1} {:>+8.1}% {}",
+            new_metric.label, old_metric.value, new_metric.value, delta_pct, verdict
+        );
+    }
+
+    let only_new = new_metrics
+        .iter()
+        .filter(|m| !old_metrics.iter().any(|o| o.label == m.label))
+        .count();
+    let only_old = old_metrics
+        .iter()
+        .filter(|m| !new_metrics.iter().any(|n| n.label == m.label))
+        .count();
+    println!(
+        "\n{compared} metrics compared: {regressions} regression(s), {improvements} improvement(s) \
+         beyond ±{tolerance:.0}%; {only_new} only in new, {only_old} only in old"
+    );
+    regressions
+}
+
 fn main() {
     let opts = parse_args();
+
+    if opts.command == "diff" {
+        let [old_path, new_path] = opts.operands.as_slice() else {
+            eprintln!("usage: repro diff OLD.json NEW.json [--tolerance PCT] [--strict]");
+            std::process::exit(2);
+        };
+        let regressions = run_diff(old_path, new_path, opts.tolerance);
+        if opts.strict && regressions > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
     println!(
         "concurrent-contracts reproduction harness — {} threads, {} repetitions{}",
         opts.threads,
@@ -442,6 +815,8 @@ fn main() {
     let mut blocksize: Option<Vec<(Benchmark, Vec<SweepPoint>)>> = None;
     let mut conflict: Option<Vec<(Benchmark, Vec<SweepPoint>)>> = None;
     let mut contention: Option<Vec<ContentionPoint>> = None;
+    let mut micro: Option<Vec<MicroPoint>> = None;
+    let mut read_heavy: Option<Vec<ReadHeavyPoint>> = None;
 
     match opts.command.as_str() {
         "figure1-blocksize" => {
@@ -470,6 +845,17 @@ fn main() {
         "contention" => {
             contention = Some(print_contention(&opts));
         }
+        "micro" => {
+            micro = Some(print_micro(&opts));
+        }
+        "read-heavy" => {
+            read_heavy = Some(print_read_heavy(&opts));
+        }
+        "perf" => {
+            micro = Some(print_micro(&opts));
+            read_heavy = Some(print_read_heavy(&opts));
+            contention = Some(print_contention(&opts));
+        }
         "all" => {
             let bs = print_figure1_blocksize(&opts);
             let cf = print_figure1_conflict(&opts);
@@ -478,11 +864,14 @@ fn main() {
             print_ablation(&opts);
             blocksize = Some(bs);
             conflict = Some(cf);
+            micro = Some(print_micro(&opts));
+            read_heavy = Some(print_read_heavy(&opts));
             contention = Some(print_contention(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|read-heavy|perf|all]");
+            eprintln!("       repro diff OLD.json NEW.json [--tolerance PCT] [--strict]");
             std::process::exit(2);
         }
     }
@@ -499,6 +888,12 @@ fn main() {
         }
         if let Some(cf) = &conflict {
             sections.push(("figure1_conflict", sweeps_json(cf)));
+        }
+        if let Some(points) = &micro {
+            sections.push(("stm_micro", micro_json(points)));
+        }
+        if let Some(points) = &read_heavy {
+            sections.push(("read_heavy", read_heavy_json(points)));
         }
         if let Some(points) = &contention {
             sections.push(("contention", contention_json(points)));

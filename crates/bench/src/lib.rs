@@ -13,9 +13,11 @@
 
 pub mod contention;
 pub mod json;
+pub mod micro;
 
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, Workload, WorkloadSpec};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Number of measured repetitions (paper: "the running time is collected
@@ -187,6 +189,138 @@ pub fn engine(strategy: ExecutionStrategy, threads: usize) -> Engine {
         .expect("benchmark engine config must be valid (threads >= 1)")
 }
 
+/// One engine-level read-heavy measurement: a block of `readers` pure
+/// reads of one hot tally key plus `writers` additive updates of the same
+/// key, mined speculatively.
+///
+/// This is where shared-mode reads show up even on a single-core host:
+/// the miner holds abstract locks for the whole contract execution, so
+/// exclusive reads of a hot key would serialize the entire block
+/// (`critical_path == readers + writers`, one blocking wait per
+/// preempted hold), while shared reads leave the readers mutually
+/// unordered.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadHeavyPoint {
+    /// Number of read-only transactions in the block.
+    pub readers: usize,
+    /// Number of (additive) writer transactions in the block.
+    pub writers: usize,
+    /// Miner worker threads.
+    pub threads: usize,
+    /// Mean speculative mining time.
+    pub miner_ms: f64,
+    /// Mean lock-manager blocking waits per mined block.
+    pub waits_per_block: f64,
+    /// Mean deadlock retries per mined block.
+    pub retries_per_block: f64,
+    /// Happens-before edges of the last mined schedule (readers never
+    /// produce read-read edges, so this is bounded by `readers × writers`
+    /// instead of the all-exclusive `n·(n−1)/2`).
+    pub hb_edges: usize,
+    /// Critical path of the last mined schedule.
+    pub critical_path: usize,
+}
+
+impl ReadHeavyPoint {
+    /// The critical path the same block would have if reads took their
+    /// locks exclusively: every transaction touches the hot key in a
+    /// non-commuting mode, so the schedule degenerates to a chain.
+    pub fn exclusive_read_critical_path(&self) -> usize {
+        self.readers + self.writers
+    }
+}
+
+/// The read-heavy block [`measure_read_heavy`] mines: exactly `readers`
+/// read-only `total` calls and `writers` `increment` calls against the
+/// counter contract at `contract_address`, with the writers spread evenly
+/// through the block (Bresenham spacing: position `i` is a writer
+/// whenever the running writer quota crosses an integer there, which
+/// yields the exact counts for any readers/writers ratio).
+pub fn read_heavy_transactions(
+    readers: usize,
+    writers: usize,
+    contract_address: cc_vm::Address,
+) -> Vec<cc_ledger::Transaction> {
+    use cc_vm::{Address, ArgValue, CallData};
+    let n = readers + writers;
+    let is_writer = |i: usize| n > 0 && (i + 1) * writers / n > i * writers / n;
+    (0..n)
+        .map(|i| {
+            if is_writer(i) {
+                cc_ledger::Transaction::new(
+                    i as u64,
+                    Address::from_index(i as u64),
+                    contract_address,
+                    CallData::new("increment", vec![ArgValue::Uint(1)]),
+                    1_000_000,
+                )
+            } else {
+                cc_ledger::Transaction::new(
+                    i as u64,
+                    Address::from_index(i as u64),
+                    contract_address,
+                    CallData::nullary("total"),
+                    1_000_000,
+                )
+            }
+        })
+        .collect()
+}
+
+/// Measures the read-heavy hot-key block described on
+/// [`ReadHeavyPoint`].
+pub fn measure_read_heavy(
+    readers: usize,
+    writers: usize,
+    threads: usize,
+    repetitions: usize,
+) -> ReadHeavyPoint {
+    use cc_vm::testing::CounterContract;
+    use cc_vm::Address;
+
+    let contract_address = Address::from_name("bench.read-heavy.counter");
+    let build_world = || {
+        let world = cc_vm::World::new();
+        world.deploy(Arc::new(CounterContract::new(contract_address)));
+        world
+    };
+    let txs = read_heavy_transactions(readers, writers, contract_address);
+
+    let speculative = engine(ExecutionStrategy::SpeculativeStm, threads);
+    let mut elapsed = Vec::new();
+    let mut waits = Vec::new();
+    let mut retries = Vec::new();
+    let mut hb_edges = 0;
+    let mut critical_path = 0;
+    // One warm-up run plus the measured repetitions.
+    for _ in 0..repetitions.max(1) + 1 {
+        let world = build_world();
+        let mined = speculative
+            .mine(&world, txs.clone())
+            .expect("read-heavy block mines");
+        elapsed.push(mined.stats.elapsed);
+        waits.push(mined.stats.locks.waits as f64);
+        retries.push(mined.stats.retries as f64);
+        hb_edges = mined.stats.hb_edges;
+        critical_path = mined.stats.critical_path;
+    }
+    // Drop the warm-up run.
+    elapsed.remove(0);
+    waits.remove(0);
+    retries.remove(0);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    ReadHeavyPoint {
+        readers,
+        writers,
+        threads,
+        miner_ms: Timing::from_samples(&elapsed).mean_ms(),
+        waits_per_block: mean(&waits),
+        retries_per_block: mean(&retries),
+        hb_edges,
+        critical_path,
+    }
+}
+
 fn time_runs(repetitions: usize, mut run: impl FnMut() -> Duration) -> Timing {
     for _ in 0..WARMUPS {
         run();
@@ -311,6 +445,43 @@ mod tests {
         }]);
         assert!(ms > 1.0 && vs > 1.0);
         assert_eq!(average_speedups(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn read_heavy_transactions_hit_exact_counts_for_any_ratio() {
+        let addr = cc_vm::Address::from_name("bench.mix.test");
+        for (readers, writers) in [(0, 0), (6, 4), (2, 8), (7, 3), (1, 1), (10, 0), (0, 5)] {
+            let txs = read_heavy_transactions(readers, writers, addr);
+            assert_eq!(txs.len(), readers + writers);
+            let actual_writers = txs
+                .iter()
+                .filter(|t| t.call.function == "increment")
+                .count();
+            assert_eq!(
+                actual_writers, writers,
+                "r{readers}/w{writers} produced {actual_writers} writers"
+            );
+        }
+    }
+
+    #[test]
+    fn read_heavy_measurement_shows_flat_schedule() {
+        let point = measure_read_heavy(24, 2, 2, 1);
+        assert_eq!(point.readers, 24);
+        assert_eq!(point.writers, 2);
+        assert!(point.miner_ms > 0.0);
+        // The structural claim: shared reads keep the schedule flat. An
+        // alternating reader/writer chain can stretch the critical path,
+        // but it must stay far below the all-exclusive full serialization.
+        assert!(
+            point.critical_path < point.exclusive_read_critical_path() / 2,
+            "critical path {} should be well below the serialized {}",
+            point.critical_path,
+            point.exclusive_read_critical_path()
+        );
+        // No read-read edges: the edge count is bounded by readers×writers
+        // plus nothing else (writer-writer pairs commute additively).
+        assert!(point.hb_edges <= point.readers * point.writers);
     }
 
     #[test]

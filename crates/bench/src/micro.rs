@@ -1,0 +1,239 @@
+//! Per-operation microbenchmarks of the boosted-storage hot path.
+//!
+//! Where the contention harness measures the lock manager's raw
+//! synchronization throughput, this module measures what one **storage
+//! operation** costs end to end — acquire, mutate, log the inverse,
+//! commit — which is the constant factor the typed undo log and the
+//! single-pass mutators attack. The `repro micro` command prints these
+//! numbers and `repro --json` records them in the `stm_micro` section of
+//! the perf-trajectory files, so per-op regressions are diffable across
+//! PRs (`repro diff OLD.json NEW.json`).
+//!
+//! One case, `map-insert-boxed-baseline`, re-creates the pre-typed-undo
+//! insert path (separate read of the prior value, a cloned `Option<V>`,
+//! and a boxed `FnOnce` inverse closure) against the same runtime, so the
+//! committed numbers carry their own before/after comparison.
+
+use cc_stm::{BoostedCell, BoostedCounterMap, BoostedMap, LockMode, LockSpace, Stm, Transaction};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured microbenchmark case.
+#[derive(Debug, Clone)]
+pub struct MicroPoint {
+    /// Stable case name (the key used by `repro diff`).
+    pub name: &'static str,
+    /// Mean cost of one transaction of this case, in nanoseconds.
+    pub ns_per_op: f64,
+}
+
+/// Number of timed passes per case; the **minimum** is reported, which
+/// filters scheduler and frequency noise (anything above the minimum is
+/// interference, not the code under test) — important on the single-core
+/// CI container.
+const PASSES: usize = 5;
+
+/// Times `op` over `ops` iterations per pass (after one warm-up pass of
+/// `ops / 8`) and returns the best-of-[`PASSES`] nanoseconds per
+/// iteration.
+fn time_case(ops: usize, mut op: impl FnMut(usize)) -> f64 {
+    for i in 0..(ops / 8).max(1) {
+        op(i);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let start = Instant::now();
+        for i in 0..ops {
+            op(i);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / ops as f64);
+    }
+    best
+}
+
+/// Storage operations per transaction in the mutation-path cases: real
+/// contract transactions perform several operations, and batching makes
+/// the per-operation (undo-log) cost visible over the fixed
+/// begin/acquire/commit overhead of the transaction itself.
+const OPS_PER_TXN: u64 = 16;
+
+/// A faithful copy of the **pre-typed-undo-log** `BoostedMap::insert`
+/// body: read-modify clone of the previous value plus a boxed inverse
+/// closure. Kept as the baseline the committed numbers are compared
+/// against.
+fn boxed_baseline_insert(
+    txn: &Transaction,
+    space: LockSpace,
+    inner: &Arc<RwLock<HashMap<u64, u64>>>,
+    key: u64,
+    value: u64,
+) {
+    txn.acquire(space.lock_for(&key), LockMode::Exclusive)
+        .expect("uncontended acquire");
+    let previous = inner.write().insert(key, value);
+    let inner = Arc::clone(inner);
+    let undo_prev = previous;
+    txn.log_undo(move || {
+        let mut map = inner.write();
+        match undo_prev {
+            Some(v) => {
+                map.insert(key, v);
+            }
+            None => {
+                map.remove(&key);
+            }
+        }
+    });
+}
+
+/// Runs every microbenchmark case with `ops` measured iterations each.
+pub fn run_micro(ops: usize) -> Vec<MicroPoint> {
+    let ops = ops.max(64);
+    let mut points = Vec::new();
+
+    // -- mutation path: typed undo log, single write pass ----------------
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.insert");
+        let ns = time_case(ops / OPS_PER_TXN as usize, |i| {
+            let base = (i as u64 * OPS_PER_TXN) % 1024;
+            stm.run(|txn| {
+                for j in 0..OPS_PER_TXN {
+                    map.insert(txn, (base + j) % 1024, j)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }) / OPS_PER_TXN as f64;
+        points.push(MicroPoint {
+            name: "map-insert-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- mutation path: the pre-PR boxed-closure baseline ----------------
+    {
+        let stm = Stm::new();
+        let space = LockSpace::new("micro.map.boxed");
+        let inner: Arc<RwLock<HashMap<u64, u64>>> = Arc::new(RwLock::new(HashMap::new()));
+        let ns = time_case(ops / OPS_PER_TXN as usize, |i| {
+            let base = (i as u64 * OPS_PER_TXN) % 1024;
+            stm.run(|txn| {
+                for j in 0..OPS_PER_TXN {
+                    boxed_baseline_insert(txn, space, &inner, (base + j) % 1024, j);
+                }
+                Ok(())
+            })
+            .unwrap();
+        }) / OPS_PER_TXN as f64;
+        points.push(MicroPoint {
+            name: "map-insert-boxed-baseline",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- read path: shared-mode get --------------------------------------
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.get");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let ns = time_case(ops, |i| {
+            let key = (i as u64) % 1024;
+            stm.run(|txn| map.get(txn, &key)).unwrap();
+        });
+        points.push(MicroPoint {
+            name: "map-get-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- read-modify-write: single-pass update_or ------------------------
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.update");
+        let ns = time_case(ops, |i| {
+            let key = (i as u64) % 256;
+            stm.run(|txn| map.update_or(txn, key, 0, |v| *v += 1))
+                .unwrap();
+        });
+        points.push(MicroPoint {
+            name: "map-update-or-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- additive tally add ----------------------------------------------
+    {
+        let stm = Stm::new();
+        let counter: BoostedCounterMap<u64> = BoostedCounterMap::new("micro.counter.add");
+        let ns = time_case(ops, |i| {
+            let key = (i as u64) % 64;
+            stm.run(|txn| counter.add(txn, key, 1)).unwrap();
+        });
+        points.push(MicroPoint {
+            name: "counter-add-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- scalar cell write (prior value moves into the undo log) ---------
+    {
+        let stm = Stm::new();
+        let cell: BoostedCell<u64> = BoostedCell::new("micro.cell.set", 0);
+        let ns = time_case(ops, |i| {
+            stm.run(|txn| cell.set(txn, i as u64)).unwrap();
+        });
+        points.push(MicroPoint {
+            name: "cell-set-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- the read/write-ratio transaction the Shared mode targets --------
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.mix");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let ns = time_case(ops, |i| {
+            let base = (i as u64) % 512;
+            stm.run(|txn| {
+                for j in 0..8 {
+                    map.get(txn, &((base + j * 61) % 1024))?;
+                }
+                map.insert(txn, base, base)
+            })
+            .unwrap();
+        });
+        points.push(MicroPoint {
+            name: "txn-8-reads-1-write",
+            ns_per_op: ns,
+        });
+    }
+
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_suite_produces_positive_timings() {
+        let points = run_micro(64);
+        assert_eq!(points.len(), 7);
+        for p in &points {
+            assert!(p.ns_per_op > 0.0, "{} measured nothing", p.name);
+        }
+        // Case names are unique (repro diff matches on them).
+        let mut names: Vec<_> = points.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), points.len());
+    }
+}

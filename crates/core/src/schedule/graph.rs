@@ -331,6 +331,30 @@ mod tests {
     }
 
     #[test]
+    fn shared_readers_stay_unordered() {
+        // Read-read pairs must create no happens-before edge: three
+        // transactions read the same key (counters 1..3), a fourth writes
+        // it. Only the write is ordered — after every reader.
+        let accounts = LockSpace::new("accounts");
+        let key = accounts.lock_for(&"alice");
+        let profiles = vec![
+            profile(&[(key, LockMode::Shared, 1)]),
+            profile(&[(key, LockMode::Shared, 2)]),
+            profile(&[(key, LockMode::Shared, 3)]),
+            profile(&[(key, LockMode::Exclusive, 4)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!(!g.has_edge(a, b), "read-read edge {a}->{b} must not exist");
+            }
+            assert!(g.has_edge(a, 3), "the write is ordered after reader {a}");
+        }
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.critical_path(), 2, "all reads run in one parallel step");
+    }
+
+    #[test]
     fn additive_holders_stay_unordered() {
         let counts = LockSpace::new("voteCounts");
         let p0 = counts.lock_for(&0u64);

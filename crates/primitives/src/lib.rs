@@ -15,6 +15,8 @@
 //! * [`codec`] — a deterministic, byte-oriented encoder/decoder used for
 //!   state snapshots, schedule metadata and block serialization.
 //! * [`hex`] — tiny hex formatting helpers.
+//! * [`small`] — an inline small-vector ([`small::InlineVec`]) backing the
+//!   short per-transaction lists of the STM hot path.
 //!
 //! # Example
 //!
@@ -37,5 +39,6 @@ pub mod fnv;
 pub mod fx;
 pub mod hash;
 pub mod hex;
+pub mod small;
 
 pub use hash::{sha256, Hash256};

@@ -1,0 +1,190 @@
+//! A small-vector with inline storage for the first `N` elements.
+//!
+//! The STM hot path keeps a handful of per-transaction lists (held-lock
+//! order, nested-frame marks, undo-entry order) whose typical length is a
+//! few elements. Backing them with `Vec` costs one heap allocation per
+//! transaction per list; [`InlineVec`] keeps the first `N` elements in the
+//! structure itself and only spills to the heap beyond that.
+//!
+//! The implementation is deliberately `unsafe`-free (the workspace forbids
+//! `unsafe`): inline slots are `Option<T>`s, which costs a discriminant
+//! per slot but keeps the type trivially correct. Only the operations the
+//! transaction runtime needs are provided.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_primitives::small::InlineVec;
+//! let mut v: InlineVec<u64, 4> = InlineVec::new();
+//! for i in 0..6 {
+//!     v.push(i); // the last two spill to the heap
+//! }
+//! assert_eq!(v.len(), 6);
+//! assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+//! assert_eq!(v.split_off(4), vec![4, 5]);
+//! assert_eq!(v.pop(), Some(3));
+//! ```
+
+/// A vector storing its first `N` elements inline and the rest on the
+/// heap.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T, const N: usize> {
+    /// Inline slots for elements `0..N`. A slot at index `< len` is
+    /// always `Some`.
+    buf: [Option<T>; N],
+    /// Elements `N..len`, in order.
+    spill: Vec<T>,
+    /// Total number of elements.
+    len: usize,
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec::new()
+    }
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [(); N].map(|_| None),
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.buf[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.len >= N {
+            self.spill.pop()
+        } else {
+            self.buf[self.len].take()
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for slot in self.buf.iter_mut() {
+            *slot = None;
+        }
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over the elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[..self.len.min(N)]
+            .iter()
+            .map(|slot| slot.as_ref().expect("inline slot below len is populated"))
+            .chain(self.spill.iter())
+    }
+
+    /// Splits off and returns the elements from index `at` onward,
+    /// preserving their order. Returns an empty vector when `at >= len`.
+    pub fn split_off(&mut self, at: usize) -> Vec<T> {
+        let mut tail = Vec::with_capacity(self.len.saturating_sub(at));
+        while self.len > at {
+            tail.push(self.pop().expect("len > at implies a poppable element"));
+        }
+        tail.reverse();
+        tail
+    }
+
+    /// Takes every element out, leaving the vector empty.
+    pub fn take_all(&mut self) -> Vec<T> {
+        self.split_off(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_within_inline_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_preserves_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..5 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        // Pops come back across the spill boundary in LIFO order.
+        assert_eq!(v.pop(), Some(4));
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn split_off_across_the_boundary() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        for s in ["a", "b", "c", "d"] {
+            v.push(s.to_string());
+        }
+        let tail = v.split_off(1);
+        assert_eq!(tail, vec!["b", "c", "d"]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.iter().cloned().collect::<Vec<_>>(), vec!["a"]);
+        assert!(v.split_off(5).is_empty());
+    }
+
+    #[test]
+    fn take_all_then_reuse() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.take_all(), vec![1, 2, 3]);
+        assert!(v.is_empty());
+        v.push(9);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn clear_resets_both_regions() {
+        let mut v: InlineVec<u8, 1> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.pop(), None);
+    }
+}

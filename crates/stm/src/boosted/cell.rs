@@ -3,8 +3,9 @@
 
 use crate::error::StmError;
 use crate::lock::{LockId, LockMode, LockSpace};
-use crate::txn::Transaction;
+use crate::txn::{Transaction, UndoSink};
 use parking_lot::RwLock;
+use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
@@ -33,6 +34,24 @@ pub struct BoostedCell<T> {
     name: String,
     lock: LockId,
     value: Arc<RwLock<T>>,
+}
+
+/// The typed undo sink of one [`BoostedCell`]: prior values, most recent
+/// last.
+struct CellUndo<T> {
+    target: Arc<RwLock<T>>,
+    entries: Vec<T>,
+}
+
+impl<T: Send + Sync + 'static> UndoSink for CellUndo<T> {
+    fn undo_last(&mut self) {
+        if let Some(prior) = self.entries.pop() {
+            *self.target.write() = prior;
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 impl<T> Clone for BoostedCell<T> {
@@ -78,18 +97,31 @@ where
         self.lock
     }
 
-    /// Transactionally reads the value.
+    /// Records the prior value with this cell's undo sink.
+    fn log_undo(&self, txn: &Transaction, prior: T) {
+        txn.log_undo_typed(
+            Arc::as_ptr(&self.value) as usize,
+            || CellUndo {
+                target: Arc::clone(&self.value),
+                entries: Vec::new(),
+            },
+            |sink| sink.entries.push(prior),
+        );
+    }
+
+    /// Transactionally reads the value. Takes the cell lock in shared
+    /// mode: concurrent reads commute.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction) -> Result<T, StmError> {
-        txn.acquire(self.lock, LockMode::Exclusive)?;
+        txn.acquire(self.lock, LockMode::Shared)?;
         Ok(self.value.read().clone())
     }
 
-    /// Transactionally overwrites the value, logging the previous value as
-    /// the inverse.
+    /// Transactionally overwrites the value; the previous value moves
+    /// into the undo log (no clones).
     ///
     /// # Errors
     ///
@@ -100,31 +132,25 @@ where
             let mut slot = self.value.write();
             std::mem::replace(&mut *slot, new)
         };
-        let value = Arc::clone(&self.value);
-        txn.log_undo(move || {
-            *value.write() = previous;
-        });
+        self.log_undo(txn, previous);
         Ok(())
     }
 
-    /// Transactionally applies `f` to the value in place and returns the
-    /// updated value.
+    /// Transactionally applies `f` to the value in place (a single
+    /// write-lock pass) and returns the updated value.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn modify(&self, txn: &Transaction, f: impl FnOnce(&mut T)) -> Result<T, StmError> {
         txn.acquire(self.lock, LockMode::Exclusive)?;
-        let previous = self.value.read().clone();
-        let updated = {
+        let (previous, updated) = {
             let mut slot = self.value.write();
+            let previous = slot.clone();
             f(&mut slot);
-            slot.clone()
+            (previous, slot.clone())
         };
-        let value = Arc::clone(&self.value);
-        txn.log_undo(move || {
-            *value.write() = previous;
-        });
+        self.log_undo(txn, previous);
         Ok(updated)
     }
 

@@ -3,9 +3,10 @@
 
 use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
-use crate::txn::Transaction;
+use crate::txn::{Transaction, UndoSink};
+use cc_primitives::fx::FxHashMap;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::any::Any;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -15,8 +16,9 @@ use std::sync::Arc;
 /// `add(k, δ)` acquires the key's abstract lock in **additive** mode:
 /// additive holders commute, so many transactions can increment the same
 /// tally concurrently (the Ballot contract's
-/// `proposals[p].voteCount += weight`). Reads (`get`) and `set` take the
-/// lock exclusively and therefore order against all concurrent adds.
+/// `proposals[p].voteCount += weight`). Reads (`get`) take the lock in
+/// **shared** mode — they commute with each other but order against all
+/// concurrent adds and sets; `set` takes the lock exclusively.
 ///
 /// # Example
 ///
@@ -34,7 +36,50 @@ use std::sync::Arc;
 pub struct BoostedCounterMap<K> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<HashMap<K, u64>>>,
+    inner: Arc<RwLock<FxHashMap<K, u64>>>,
+}
+
+/// One typed inverse entry of a [`BoostedCounterMap`] mutation.
+enum CounterUndoEntry<K> {
+    /// Subtract the delta an `add` contributed.
+    Sub(K, u64),
+    /// Restore the prior binding a `set` overwrote.
+    Restore(K, Option<u64>),
+}
+
+/// The typed undo sink of one [`BoostedCounterMap`].
+struct CounterUndo<K> {
+    target: Arc<RwLock<FxHashMap<K, u64>>>,
+    entries: Vec<CounterUndoEntry<K>>,
+}
+
+impl<K> UndoSink for CounterUndo<K>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+{
+    fn undo_last(&mut self) {
+        if let Some(entry) = self.entries.pop() {
+            let mut map = self.target.write();
+            match entry {
+                CounterUndoEntry::Sub(key, delta) => {
+                    if let Some(v) = map.get_mut(&key) {
+                        *v = v.saturating_sub(delta);
+                    }
+                }
+                CounterUndoEntry::Restore(key, prior) => match prior {
+                    Some(v) => {
+                        map.insert(key, v);
+                    }
+                    None => {
+                        map.remove(&key);
+                    }
+                },
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 impl<K> Clone for BoostedCounterMap<K> {
@@ -65,8 +110,20 @@ where
         BoostedCounterMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(HashMap::new())),
+            inner: Arc::new(RwLock::new(FxHashMap::default())),
         }
+    }
+
+    /// Records one typed inverse entry with this map's undo sink.
+    fn log_undo(&self, txn: &Transaction, entry: CounterUndoEntry<K>) {
+        txn.log_undo_typed(
+            Arc::as_ptr(&self.inner) as usize,
+            || CounterUndo {
+                target: Arc::clone(&self.inner),
+                entries: Vec::new(),
+            },
+            |sink| sink.entries.push(entry),
+        );
     }
 
     /// The stable name of this map.
@@ -89,28 +146,24 @@ where
             let mut map = self.inner.write();
             *map.entry(key.clone()).or_insert(0) += delta;
         }
-        let inner = Arc::clone(&self.inner);
-        txn.log_undo(move || {
-            let mut map = inner.write();
-            if let Some(v) = map.get_mut(&key) {
-                *v = v.saturating_sub(delta);
-            }
-        });
+        self.log_undo(txn, CounterUndoEntry::Sub(key, delta));
         Ok(())
     }
 
-    /// Transactionally reads the tally for `key` (0 if absent). Exclusive:
-    /// orders against concurrent adds.
+    /// Transactionally reads the tally for `key` (0 if absent). Shared:
+    /// concurrent reads commute, while adds and sets (additive/exclusive
+    /// on the same lock) still order against them.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<u64, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
         Ok(self.inner.read().get(key).copied().unwrap_or(0))
     }
 
-    /// Transactionally overwrites the tally for `key` (exclusive).
+    /// Transactionally overwrites the tally for `key` (exclusive). The
+    /// prior binding moves into the undo log.
     ///
     /// # Errors
     ///
@@ -118,18 +171,7 @@ where
     pub fn set(&self, txn: &Transaction, key: K, value: u64) -> Result<(), StmError> {
         txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
         let previous = self.inner.write().insert(key.clone(), value);
-        let inner = Arc::clone(&self.inner);
-        txn.log_undo(move || {
-            let mut map = inner.write();
-            match previous {
-                Some(v) => {
-                    map.insert(key, v);
-                }
-                None => {
-                    map.remove(&key);
-                }
-            }
-        });
+        self.log_undo(txn, CounterUndoEntry::Restore(key, previous));
         Ok(())
     }
 

@@ -3,9 +3,10 @@
 
 use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
-use crate::txn::Transaction;
+use crate::txn::{Transaction, UndoSink};
+use cc_primitives::fx::FxHashMap;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::any::Any;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -17,7 +18,16 @@ use std::sync::Arc;
 /// distinct keys commute and run in parallel, while operations on the same
 /// key serialize — exactly the behaviour of the paper's boosted hashtable
 /// (binding Alice's vote commutes with binding Bob's, but not with deleting
-/// Alice's).
+/// Alice's). Reads (`get`/`contains_key`) take the key lock in
+/// [`LockMode::Shared`], so concurrent reads of the same key also commute;
+/// mutations take it exclusively, and a read followed by a mutation of the
+/// same key upgrades.
+///
+/// Mutations log their inverse as a typed `(key, prior value)` undo entry
+/// moved into a per-map [`UndoSink`] — no boxed closure, no value clones
+/// on the common path. Mutators therefore do not return the previous
+/// value; use [`BoostedMap::replace`] / [`BoostedMap::take`] when the
+/// prior binding is needed (they clone it once into the undo log).
 ///
 /// # Example
 ///
@@ -34,7 +44,37 @@ use std::sync::Arc;
 pub struct BoostedMap<K, V> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<HashMap<K, V>>>,
+    inner: Arc<RwLock<FxHashMap<K, V>>>,
+}
+
+/// The typed undo sink of one [`BoostedMap`]: `(key, prior binding)`
+/// entries, most recent last.
+struct MapUndo<K, V> {
+    target: Arc<RwLock<FxHashMap<K, V>>>,
+    entries: Vec<(K, Option<V>)>,
+}
+
+impl<K, V> UndoSink for MapUndo<K, V>
+where
+    K: Hash + Eq + Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn undo_last(&mut self) {
+        if let Some((key, prior)) = self.entries.pop() {
+            let mut map = self.target.write();
+            match prior {
+                Some(value) => {
+                    map.insert(key, value);
+                }
+                None => {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 impl<K, V> Clone for BoostedMap<K, V> {
@@ -68,8 +108,20 @@ where
         BoostedMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(HashMap::new())),
+            inner: Arc::new(RwLock::new(FxHashMap::default())),
         }
+    }
+
+    /// Records one `(key, prior)` inverse entry with this map's undo sink.
+    fn log_undo(&self, txn: &Transaction, key: K, prior: Option<V>) {
+        txn.log_undo_typed(
+            Arc::as_ptr(&self.inner) as usize,
+            || MapUndo {
+                target: Arc::clone(&self.inner),
+                entries: Vec::new(),
+            },
+            |sink| sink.entries.push((key, prior)),
+        );
     }
 
     /// The stable name this map was created with.
@@ -82,74 +134,90 @@ where
         self.space
     }
 
-    /// Transactionally reads the value bound to `key`.
+    /// Transactionally reads the value bound to `key`. Takes the key lock
+    /// in shared mode: concurrent reads of the same key commute.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures (deadlock victim, closed
     /// transaction).
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
         Ok(self.inner.read().get(key).cloned())
     }
 
-    /// Transactionally checks whether `key` is bound.
+    /// Transactionally checks whether `key` is bound (shared mode).
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn contains_key(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
         Ok(self.inner.read().contains_key(key))
     }
 
-    /// Transactionally binds `key` to `value`, returning the previous
-    /// binding. The inverse (restore or remove) is recorded in the undo
-    /// log.
+    /// Transactionally binds `key` to `value`. The previous binding (if
+    /// any) moves into the undo log — one write-lock pass, no clones.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
-    pub fn insert(&self, txn: &Transaction, key: K, value: V) -> Result<Option<V>, StmError> {
+    pub fn insert(&self, txn: &Transaction, key: K, value: V) -> Result<(), StmError> {
         txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
         let previous = self.inner.write().insert(key.clone(), value);
-        let inner = Arc::clone(&self.inner);
-        let undo_prev = previous.clone();
-        txn.log_undo(move || {
-            let mut map = inner.write();
-            match undo_prev {
-                Some(v) => {
-                    map.insert(key, v);
-                }
-                None => {
-                    map.remove(&key);
-                }
-            }
-        });
+        self.log_undo(txn, key, previous);
+        Ok(())
+    }
+
+    /// Like [`BoostedMap::insert`], but returns the previous binding
+    /// (cloning it once into the undo log).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn replace(&self, txn: &Transaction, key: K, value: V) -> Result<Option<V>, StmError> {
+        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
+        let previous = self.inner.write().insert(key.clone(), value);
+        self.log_undo(txn, key, previous.clone());
         Ok(previous)
     }
 
-    /// Transactionally removes the binding for `key`, returning it.
+    /// Transactionally removes the binding for `key`, reporting whether
+    /// one existed. The removed value moves into the undo log; use
+    /// [`BoostedMap::take`] to get it back.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
-    pub fn remove(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
+    pub fn remove(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
         txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
         let previous = self.inner.write().remove(key);
-        if let Some(prev) = previous.clone() {
-            let inner = Arc::clone(&self.inner);
-            let key = key.clone();
-            txn.log_undo(move || {
-                inner.write().insert(key, prev);
-            });
+        let existed = previous.is_some();
+        if existed {
+            self.log_undo(txn, key.clone(), previous);
+        }
+        Ok(existed)
+    }
+
+    /// Transactionally removes and returns the binding for `key` (cloning
+    /// it once into the undo log).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn take(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
+        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
+        let previous = self.inner.write().remove(key);
+        if previous.is_some() {
+            self.log_undo(txn, key.clone(), previous.clone());
         }
         Ok(previous)
     }
 
     /// Transactionally applies `f` to the value bound to `key` (inserting
-    /// `default` first if absent) and stores the result. Returns the new
-    /// value.
+    /// `default` first if absent), in place: a single write-lock pass,
+    /// cloning the prior value once for the undo log (and not at all when
+    /// the key was absent).
     ///
     /// # Errors
     ///
@@ -160,25 +228,26 @@ where
         key: K,
         default: V,
         f: impl FnOnce(&mut V),
-    ) -> Result<V, StmError> {
+    ) -> Result<(), StmError> {
         txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
-        let previous = self.inner.read().get(&key).cloned();
-        let mut next = previous.clone().unwrap_or(default);
-        f(&mut next);
-        self.inner.write().insert(key.clone(), next.clone());
-        let inner = Arc::clone(&self.inner);
-        txn.log_undo(move || {
-            let mut map = inner.write();
-            match previous {
-                Some(v) => {
-                    map.insert(key, v);
+        let prior = {
+            let mut map = self.inner.write();
+            match map.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    let prior = entry.get().clone();
+                    f(entry.get_mut());
+                    Some(prior)
                 }
-                None => {
-                    map.remove(&key);
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    let mut value = default;
+                    f(&mut value);
+                    entry.insert(value);
+                    None
                 }
             }
-        });
-        Ok(next)
+        };
+        self.log_undo(txn, key, prior);
+        Ok(())
     }
 
     /// Non-transactional read used only during setup (e.g. building a
@@ -234,11 +303,14 @@ mod tests {
         let stm = Stm::new();
         let m: BoostedMap<String, u64> = BoostedMap::new("t.map");
         stm.run(|txn| {
-            assert_eq!(m.insert(txn, "a".into(), 1)?, None);
-            assert_eq!(m.insert(txn, "a".into(), 2)?, Some(1));
+            m.insert(txn, "a".into(), 1)?;
+            assert_eq!(m.replace(txn, "a".into(), 2)?, Some(1));
             assert_eq!(m.get(txn, &"a".to_string())?, Some(2));
-            assert_eq!(m.remove(txn, &"a".to_string())?, Some(2));
+            assert_eq!(m.take(txn, &"a".to_string())?, Some(2));
             assert_eq!(m.get(txn, &"a".to_string())?, None);
+            assert!(!m.remove(txn, &"a".to_string())?);
+            m.insert(txn, "b".into(), 9)?;
+            assert!(m.remove(txn, &"b".to_string())?);
             Ok(())
         })
         .unwrap();
@@ -301,12 +373,47 @@ mod tests {
         let stm = Stm::new();
         let m: BoostedMap<&'static str, u64> = BoostedMap::new("t.update");
         stm.run(|txn| {
-            assert_eq!(m.update_or(txn, "x", 0, |v| *v += 3)?, 3);
-            assert_eq!(m.update_or(txn, "x", 0, |v| *v += 3)?, 6);
+            m.update_or(txn, "x", 0, |v| *v += 3)?;
+            m.update_or(txn, "x", 0, |v| *v += 3)?;
+            assert_eq!(m.get(txn, &"x")?, Some(6));
             Ok(())
         })
         .unwrap();
         assert_eq!(m.peek(&"x"), Some(6));
+    }
+
+    #[test]
+    fn same_key_reads_do_not_conflict() {
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.shared");
+        m.seed(1, 10);
+        // Two transactions hold the shared lock on the same key at the
+        // same time — neither blocks, and their profiles commute.
+        let t1 = stm.begin();
+        let t2 = stm.begin();
+        assert_eq!(m.get(&t1, &1).unwrap(), Some(10));
+        assert_eq!(m.get(&t2, &1).unwrap(), Some(10));
+        let p1 = t1.commit().unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(!p1.profile.conflicts_with(&p2.profile));
+        // A writer's profile conflicts with a reader's.
+        let t3 = stm.begin();
+        m.insert(&t3, 1, 11).unwrap();
+        let p3 = t3.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p3.profile));
+    }
+
+    #[test]
+    fn read_then_write_upgrades_to_exclusive_profile() {
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.upgrade");
+        m.seed(1, 10);
+        let txn = stm.begin();
+        m.get(&txn, &1).unwrap();
+        m.insert(&txn, 1, 11).unwrap();
+        let p = txn.commit().unwrap();
+        let lock = m.lock_space().lock_for(&1u64);
+        assert_eq!(p.profile.entry(lock).unwrap().mode, LockMode::Exclusive);
     }
 
     #[test]

@@ -23,3 +23,144 @@ pub use cell::BoostedCell;
 pub use counter::BoostedCounterMap;
 pub use map::BoostedMap;
 pub use vec::BoostedVec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::Stm;
+    use proptest::prelude::*;
+
+    /// One randomly chosen operation against one of the four collections,
+    /// decoded from a `(selector, key, value)` tuple (the proptest shim
+    /// supports ranges and tuples, not `prop_oneof`).
+    type RawOp = (u8, u8, u64);
+
+    /// A point-in-time fingerprint of all four collections.
+    #[allow(clippy::type_complexity)]
+    fn fingerprint(
+        map: &BoostedMap<u8, u64>,
+        vec: &BoostedVec<u64>,
+        cell: &BoostedCell<u64>,
+        counter: &BoostedCounterMap<u8>,
+    ) -> (Vec<(u8, u64)>, Vec<u64>, u64, Vec<(u8, u64)>) {
+        let mut m = map.snapshot();
+        m.sort_unstable();
+        let mut c = counter.snapshot();
+        c.sort_unstable();
+        (m, vec.snapshot(), cell.peek(), c)
+    }
+
+    /// Applies one decoded operation inside `txn`.
+    fn apply(
+        txn: &crate::txn::Transaction,
+        op: RawOp,
+        map: &BoostedMap<u8, u64>,
+        vec: &BoostedVec<u64>,
+        cell: &BoostedCell<u64>,
+        counter: &BoostedCounterMap<u8>,
+    ) {
+        let (selector, key, value) = op;
+        match selector % 10 {
+            0 => {
+                map.insert(txn, key, value).unwrap();
+            }
+            1 => {
+                map.remove(txn, &key).unwrap();
+            }
+            2 => {
+                map.update_or(txn, key, 0, |x| *x = x.wrapping_add(value))
+                    .unwrap();
+            }
+            3 => {
+                vec.push(txn, value).unwrap();
+            }
+            4 => {
+                vec.pop(txn).unwrap();
+            }
+            5 => {
+                vec.set(txn, key as usize, value).unwrap();
+            }
+            6 => {
+                cell.set(txn, value).unwrap();
+            }
+            7 => {
+                cell.modify(txn, |x| *x = x.wrapping_add(value)).unwrap();
+            }
+            8 => {
+                counter.add(txn, key, value).unwrap();
+            }
+            _ => {
+                counter.set(txn, key, value).unwrap();
+            }
+        }
+    }
+
+    proptest! {
+        /// The cross-collection undo-log contract: a transaction that
+        /// interleaves mutations across all four boosted collections and
+        /// then aborts must leave every collection **exactly** as it
+        /// started — the typed sinks must replay in one global
+        /// most-recent-first order, not per collection.
+        #[test]
+        fn prop_abort_restores_across_all_four_collections(
+            seed_map in proptest::collection::vec((0u8..8, 0u64..100), 0..8),
+            seed_vec in proptest::collection::vec(0u64..100, 0..8),
+            seed_cell in 0u64..100,
+            seed_counter in proptest::collection::vec((0u8..8, 1u64..100), 0..8),
+            ops in proptest::collection::vec((0u8..10, 0u8..8, 0u64..100), 0..40),
+        ) {
+            let stm = Stm::new();
+            let map: BoostedMap<u8, u64> = BoostedMap::new("prop.map");
+            let vec: BoostedVec<u64> = BoostedVec::new("prop.vec");
+            let cell: BoostedCell<u64> = BoostedCell::new("prop.cell", seed_cell);
+            let counter: BoostedCounterMap<u8> = BoostedCounterMap::new("prop.counter");
+            for (k, v) in &seed_map {
+                map.seed(*k, *v);
+            }
+            for v in &seed_vec {
+                vec.seed_push(*v);
+            }
+            for (k, v) in &seed_counter {
+                counter.seed(*k, *v);
+            }
+
+            let before = fingerprint(&map, &vec, &cell, &counter);
+
+            let txn = stm.begin();
+            for &op in &ops {
+                apply(&txn, op, &map, &vec, &cell, &counter);
+            }
+            txn.abort().unwrap();
+
+            prop_assert_eq!(fingerprint(&map, &vec, &cell, &counter), before);
+        }
+
+        /// The same interleavings under a savepoint: rolling back to the
+        /// savepoint undoes everything logged after it (and only that),
+        /// while the transaction stays open and committable.
+        #[test]
+        fn prop_savepoint_rollback_is_exact(
+            prefix in proptest::collection::vec((0u8..10, 0u8..8, 0u64..100), 0..12),
+            suffix in proptest::collection::vec((0u8..10, 0u8..8, 0u64..100), 0..12),
+        ) {
+            let stm = Stm::new();
+            let map: BoostedMap<u8, u64> = BoostedMap::new("sp.map");
+            let vec: BoostedVec<u64> = BoostedVec::new("sp.vec");
+            let cell: BoostedCell<u64> = BoostedCell::new("sp.cell", 7);
+            let counter: BoostedCounterMap<u8> = BoostedCounterMap::new("sp.counter");
+
+            let txn = stm.begin();
+            for &op in &prefix {
+                apply(&txn, op, &map, &vec, &cell, &counter);
+            }
+            let at_savepoint = fingerprint(&map, &vec, &cell, &counter);
+            let sp = txn.savepoint();
+            for &op in &suffix {
+                apply(&txn, op, &map, &vec, &cell, &counter);
+            }
+            txn.rollback_to(sp);
+            prop_assert_eq!(fingerprint(&map, &vec, &cell, &counter), at_savepoint);
+            txn.commit().unwrap();
+        }
+    }
+}

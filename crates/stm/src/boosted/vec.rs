@@ -2,17 +2,20 @@
 
 use crate::error::StmError;
 use crate::lock::{LockId, LockMode, LockSpace};
-use crate::txn::Transaction;
+use crate::txn::{Transaction, UndoSink};
 use parking_lot::RwLock;
+use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
 /// A transactional vector.
 ///
-/// * element reads/writes lock the individual index, so updates to
-///   different proposals commute,
-/// * `push`/`pop`/`len` lock a dedicated *length* lock, because they do not
-///   commute with each other.
+/// * element reads lock the individual index in shared mode (concurrent
+///   reads of the same element commute) and element writes lock it
+///   exclusively, so updates to different proposals commute,
+/// * `push`/`pop` lock a dedicated *length* lock exclusively (they do not
+///   commute with each other), while `len` takes it in shared mode so
+///   concurrent length reads commute.
 ///
 /// # Example
 ///
@@ -33,6 +36,46 @@ pub struct BoostedVec<T> {
     space: LockSpace,
     length_lock: LockId,
     inner: Arc<RwLock<Vec<T>>>,
+}
+
+/// One typed inverse entry of a [`BoostedVec`] mutation.
+enum VecUndoEntry<T> {
+    /// Restore the prior value of an overwritten index.
+    Set(usize, T),
+    /// Remove the element a `push` appended at this index.
+    Unpush(usize),
+    /// Re-append the element a `pop` removed.
+    Repush(T),
+}
+
+/// The typed undo sink of one [`BoostedVec`].
+struct VecUndo<T> {
+    target: Arc<RwLock<Vec<T>>>,
+    entries: Vec<VecUndoEntry<T>>,
+}
+
+impl<T: Send + Sync + 'static> UndoSink for VecUndo<T> {
+    fn undo_last(&mut self) {
+        if let Some(entry) = self.entries.pop() {
+            let mut v = self.target.write();
+            match entry {
+                VecUndoEntry::Set(i, prior) => {
+                    if let Some(slot) = v.get_mut(i) {
+                        *slot = prior;
+                    }
+                }
+                VecUndoEntry::Unpush(index) => {
+                    if v.len() == index + 1 {
+                        v.pop();
+                    }
+                }
+                VecUndoEntry::Repush(value) => v.push(value),
+            }
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 impl<T> Clone for BoostedVec<T> {
@@ -76,14 +119,27 @@ where
         &self.name
     }
 
-    /// Transactionally returns the number of elements. Locks the length
-    /// lock (conflicts with push/pop but not with element updates).
+    /// Records one typed inverse entry with this vector's undo sink.
+    fn log_undo(&self, txn: &Transaction, entry: VecUndoEntry<T>) {
+        txn.log_undo_typed(
+            Arc::as_ptr(&self.inner) as usize,
+            || VecUndo {
+                target: Arc::clone(&self.inner),
+                entries: Vec::new(),
+            },
+            |sink| sink.entries.push(entry),
+        );
+    }
+
+    /// Transactionally returns the number of elements. Takes the length
+    /// lock in shared mode: concurrent `len` calls commute, while
+    /// push/pop (exclusive on the same lock) still order against them.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn len(&self, txn: &Transaction) -> Result<usize, StmError> {
-        txn.acquire(self.length_lock, LockMode::Exclusive)?;
+        txn.acquire(self.length_lock, LockMode::Shared)?;
         Ok(self.inner.read().len())
     }
 
@@ -96,18 +152,20 @@ where
         Ok(self.len(txn)? == 0)
     }
 
-    /// Transactionally reads index `i` (None if out of bounds).
+    /// Transactionally reads index `i` (None if out of bounds). Takes the
+    /// element lock in shared mode.
     ///
     /// # Errors
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, i: usize) -> Result<Option<T>, StmError> {
-        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
+        txn.acquire(self.space.lock_for(&i), LockMode::Shared)?;
         Ok(self.inner.read().get(i).cloned())
     }
 
     /// Transactionally overwrites index `i`. Returns `false` (and does
-    /// nothing) if `i` is out of bounds.
+    /// nothing) if `i` is out of bounds. The prior value moves into the
+    /// undo log — one write-lock pass, no clones.
     ///
     /// # Errors
     ///
@@ -123,20 +181,16 @@ where
         };
         match previous {
             Some(prev) => {
-                let inner = Arc::clone(&self.inner);
-                txn.log_undo(move || {
-                    if let Some(slot) = inner.write().get_mut(i) {
-                        *slot = prev;
-                    }
-                });
+                self.log_undo(txn, VecUndoEntry::Set(i, prev));
                 Ok(true)
             }
             None => Ok(false),
         }
     }
 
-    /// Transactionally applies `f` to element `i` in place. Returns the
-    /// updated value, or `None` if out of bounds.
+    /// Transactionally applies `f` to element `i` in place (a single
+    /// write-lock pass). Returns the updated value, or `None` if out of
+    /// bounds.
     ///
     /// # Errors
     ///
@@ -148,23 +202,24 @@ where
         f: impl FnOnce(&mut T),
     ) -> Result<Option<T>, StmError> {
         txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
-        let previous = self.inner.read().get(i).cloned();
-        let Some(prev) = previous else {
-            return Ok(None);
-        };
-        let updated = {
+        let outcome = {
             let mut v = self.inner.write();
-            let slot = &mut v[i];
-            f(slot);
-            slot.clone()
-        };
-        let inner = Arc::clone(&self.inner);
-        txn.log_undo(move || {
-            if let Some(slot) = inner.write().get_mut(i) {
-                *slot = prev;
+            match v.get_mut(i) {
+                Some(slot) => {
+                    let prior = slot.clone();
+                    f(slot);
+                    Some((prior, slot.clone()))
+                }
+                None => None,
             }
-        });
-        Ok(Some(updated))
+        };
+        match outcome {
+            Some((prior, updated)) => {
+                self.log_undo(txn, VecUndoEntry::Set(i, prior));
+                Ok(Some(updated))
+            }
+            None => Ok(None),
+        }
     }
 
     /// Transactionally appends a value, returning its index. Locks the
@@ -178,17 +233,12 @@ where
         let index = self.inner.read().len();
         txn.acquire(self.space.lock_for(&index), LockMode::Exclusive)?;
         self.inner.write().push(value);
-        let inner = Arc::clone(&self.inner);
-        txn.log_undo(move || {
-            let mut v = inner.write();
-            if v.len() == index + 1 {
-                v.pop();
-            }
-        });
+        self.log_undo(txn, VecUndoEntry::Unpush(index));
         Ok(index)
     }
 
-    /// Transactionally removes and returns the last element.
+    /// Transactionally removes and returns the last element (cloning it
+    /// once into the undo log).
     ///
     /// # Errors
     ///
@@ -205,10 +255,7 @@ where
         txn.acquire(self.space.lock_for(&last_index), LockMode::Exclusive)?;
         let popped = self.inner.write().pop();
         if let Some(value) = popped.clone() {
-            let inner = Arc::clone(&self.inner);
-            txn.log_undo(move || {
-                inner.write().push(value);
-            });
+            self.log_undo(txn, VecUndoEntry::Repush(value));
         }
         Ok(popped)
     }

@@ -7,10 +7,15 @@
 //! rather than read/write-set STM:
 //!
 //! * every storage operation maps to an **abstract lock** ([`LockId`]); two
-//!   operations that map to *distinct* locks are guaranteed to commute,
+//!   operations that map to *distinct* locks are guaranteed to commute, and
+//!   locks are held in a **mode** ([`LockMode`]) — shared for reads,
+//!   additive for commutative accumulates, exclusive for everything else —
+//!   so same-key operations that commute (read/read, add/add) also run in
+//!   parallel,
 //! * before performing an operation a transaction acquires the lock
 //!   ([`Transaction::acquire`]) and records an **inverse operation** in its
-//!   undo log,
+//!   undo log — a typed `(key, prior value)` entry moved into the owning
+//!   collection's [`UndoSink`], not a boxed closure,
 //! * on commit the locks are released and the undo log discarded; on abort
 //!   the inverse log is replayed (most recent first) and the locks released,
 //! * a contract calling another contract runs as a **nested speculative
@@ -66,4 +71,4 @@ pub use lock::{LockId, LockMode, LockSpace};
 pub use manager::LockManager;
 pub use profile::{CommitProfile, LockProfile, ProfileEntry, TraceEntry};
 pub use retry::RetryPolicy;
-pub use txn::{Savepoint, Stm, Transaction, TxnId, TxnKind};
+pub use txn::{Savepoint, Stm, Transaction, TxnId, TxnKind, UndoSink};

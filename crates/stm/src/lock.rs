@@ -101,19 +101,43 @@ impl fmt::Display for LockId {
 ///
 /// The paper notes (§3, footnote 3) that abstract locks are described as
 /// mutually exclusive for ease of exposition but that shared and other
-/// modes are easy to accommodate. We provide two modes:
+/// modes are easy to accommodate. We provide three modes:
 ///
-/// * [`LockMode::Exclusive`] — arbitrary read/write access; conflicts with
-///   every other holder.
+/// * [`LockMode::Shared`] — a pure read. Two reads of the same key return
+///   the same result in either order, so shared holders commute with each
+///   other; they conflict with every kind of writer (including additive
+///   updates, whose running total a read would observe).
 /// * [`LockMode::Additive`] — a commutative update (e.g. `voteCount += w`).
 ///   Additive holders commute with each other and therefore may hold the
-///   lock simultaneously, but conflict with exclusive holders.
+///   lock simultaneously, but conflict with shared and exclusive holders.
+/// * [`LockMode::Exclusive`] — arbitrary read/write access; conflicts with
+///   every other holder.
 ///
-/// Additive mode is what lets all Ballot `vote` transactions update the
-/// same proposal's tally concurrently, matching the paper's observation
-/// that Ballot speedup "suffers little from extra data conflict".
+/// The compatibility matrix (✓ = may hold simultaneously / operations
+/// commute):
+///
+/// | ↓ held \ requested → | Shared | Additive | Exclusive |
+/// |----------------------|--------|----------|-----------|
+/// | **Shared**           | ✓      | ✗        | ✗         |
+/// | **Additive**         | ✗      | ✓        | ✗         |
+/// | **Exclusive**        | ✗      | ✗        | ✗         |
+///
+/// A mode is only compatible with itself (and `Exclusive` not even with
+/// that): commutativity here is *pairwise within one kind of operation*.
+/// Consequently the join of two **different** modes held by one
+/// transaction is `Exclusive` — a transaction that both read and
+/// additively updated a key conflicts with other readers (because of its
+/// update) *and* with other adders (because of its read), which is
+/// exactly `Exclusive`'s footprint. See [`LockMode::strongest`].
+///
+/// Shared mode is what lets read-heavy contract methods (balance queries,
+/// `auction.ended` checks, existence probes) run fully in parallel, and
+/// additive mode is what lets all Ballot `vote` transactions update the
+/// same proposal's tally concurrently.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LockMode {
+    /// Pure read; compatible with other shared holders.
+    Shared,
     /// Commutative accumulate; compatible with other additive holders.
     Additive,
     /// Full exclusive access; incompatible with every other holder.
@@ -124,7 +148,7 @@ impl LockMode {
     /// Whether two holders in modes `self` and `other` may hold the same
     /// lock simultaneously.
     pub fn compatible(self, other: LockMode) -> bool {
-        matches!((self, other), (LockMode::Additive, LockMode::Additive))
+        self == other && self != LockMode::Exclusive
     }
 
     /// Whether operations performed in the two modes conflict (i.e. do not
@@ -134,20 +158,26 @@ impl LockMode {
         !self.compatible(other)
     }
 
-    /// The stronger of two modes (`Exclusive` absorbs `Additive`).
+    /// The join of two modes: the weakest single mode whose conflict
+    /// footprint covers both. Equal modes join to themselves; any two
+    /// *different* modes join to `Exclusive` (see the type-level docs for
+    /// why a read+add mix must exclude both readers and adders).
     pub fn strongest(self, other: LockMode) -> LockMode {
-        if self == LockMode::Exclusive || other == LockMode::Exclusive {
-            LockMode::Exclusive
+        if self == other {
+            self
         } else {
-            LockMode::Additive
+            LockMode::Exclusive
         }
     }
 
-    /// Stable single-byte encoding used in schedule metadata.
+    /// Stable single-byte encoding used in schedule metadata. (`Shared`
+    /// was added after `Additive`/`Exclusive`, hence the non-ordinal
+    /// value — the published byte values are a wire format.)
     pub fn to_byte(self) -> u8 {
         match self {
             LockMode::Additive => 0,
             LockMode::Exclusive => 1,
+            LockMode::Shared => 2,
         }
     }
 
@@ -156,6 +186,7 @@ impl LockMode {
     pub fn from_byte(b: u8) -> LockMode {
         match b {
             0 => LockMode::Additive,
+            2 => LockMode::Shared,
             _ => LockMode::Exclusive,
         }
     }
@@ -164,6 +195,7 @@ impl LockMode {
 impl fmt::Display for LockMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            LockMode::Shared => f.write_str("shared"),
             LockMode::Additive => f.write_str("additive"),
             LockMode::Exclusive => f.write_str("exclusive"),
         }
@@ -198,22 +230,62 @@ mod tests {
     #[test]
     fn mode_compatibility_matrix() {
         use LockMode::*;
+        // Same-mode pairs commute, except Exclusive.
+        assert!(Shared.compatible(Shared));
         assert!(Additive.compatible(Additive));
-        assert!(!Additive.compatible(Exclusive));
-        assert!(!Exclusive.compatible(Additive));
         assert!(!Exclusive.compatible(Exclusive));
+        // Every cross-mode pair conflicts, in both directions.
+        for (a, b) in [
+            (Shared, Additive),
+            (Shared, Exclusive),
+            (Additive, Exclusive),
+        ] {
+            assert!(!a.compatible(b), "{a} must conflict with {b}");
+            assert!(!b.compatible(a), "{b} must conflict with {a}");
+        }
         assert!(Exclusive.conflicts(Exclusive));
         assert!(!Additive.conflicts(Additive));
+        assert!(!Shared.conflicts(Shared));
     }
 
     #[test]
-    fn mode_max_and_bytes() {
+    fn mode_join_and_bytes() {
         use LockMode::*;
-        assert_eq!(Additive.strongest(Exclusive), Exclusive);
+        // Equal modes join to themselves…
+        assert_eq!(Shared.strongest(Shared), Shared);
         assert_eq!(Additive.strongest(Additive), Additive);
-        assert_eq!(LockMode::from_byte(Additive.to_byte()), Additive);
-        assert_eq!(LockMode::from_byte(Exclusive.to_byte()), Exclusive);
+        assert_eq!(Exclusive.strongest(Exclusive), Exclusive);
+        // …and any mixed pair joins to Exclusive (a read+add transaction
+        // conflicts with both other readers and other adders).
+        assert_eq!(Additive.strongest(Exclusive), Exclusive);
+        assert_eq!(Shared.strongest(Additive), Exclusive);
+        assert_eq!(Shared.strongest(Exclusive), Exclusive);
+        for mode in [Shared, Additive, Exclusive] {
+            assert_eq!(LockMode::from_byte(mode.to_byte()), mode);
+        }
         assert_eq!(LockMode::from_byte(200), Exclusive);
+    }
+
+    #[test]
+    fn join_footprint_covers_both_operands() {
+        // The defining property of `strongest`: anything that conflicts
+        // with either operand also conflicts with the join, so collapsing
+        // a transaction's per-operation modes to one mode never hides a
+        // conflict.
+        use LockMode::*;
+        for a in [Shared, Additive, Exclusive] {
+            for b in [Shared, Additive, Exclusive] {
+                let joined = a.strongest(b);
+                for other in [Shared, Additive, Exclusive] {
+                    if other.conflicts(a) || other.conflicts(b) {
+                        assert!(
+                            other.conflicts(joined),
+                            "{other} conflicts with {a} or {b} but not with join {joined}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -543,6 +543,127 @@ mod tests {
     }
 
     #[test]
+    fn shared_holders_share_while_writer_is_excluded() {
+        // Two shared readers of the same lock never block each other; a
+        // writer requesting the same lock exclusively blocks until *both*
+        // readers release. This is the concurrency claim of Shared mode,
+        // proven with real threads: the readers park on a barrier while
+        // both hold the lock, so if shared acquisition blocked, the test
+        // would deadlock (and the harness time out) rather than pass.
+        let m = Arc::new(LockManager::new());
+        let l = lock("shared", 7);
+        let both_reading = Arc::new(std::sync::Barrier::new(2));
+        let readers: Vec<_> = (1..=2)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                let both_reading = Arc::clone(&both_reading);
+                thread::spawn(move || {
+                    m.acquire(TxnId(t), l, LockMode::Shared).unwrap();
+                    // Rendezvous while both hold the lock: proves neither
+                    // reader waited for the other.
+                    both_reading.wait();
+                    m.release_commit(TxnId(t), &[l]);
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(m.stats().waits, 0, "shared readers never block");
+
+        // Now a reader holds the lock; a writer must wait for it.
+        m.acquire(TxnId(3), l, LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let writer = thread::spawn(move || {
+            m2.acquire(TxnId(4), l, LockMode::Exclusive).unwrap();
+            m2.release_commit(TxnId(4), &[l]);
+        });
+        while m.stats().waits == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        m.release_commit(TxnId(3), &[l]);
+        writer.join().unwrap();
+        assert_eq!(m.held_lock_count(), 0);
+    }
+
+    #[test]
+    fn shared_conflicts_with_additive() {
+        // A shared reader and an additive adder must not hold the lock
+        // simultaneously (a read does not commute with an increment).
+        let m = Arc::new(LockManager::new());
+        let l = lock("shared-vs-add", 0);
+        m.acquire(TxnId(1), l, LockMode::Shared).unwrap();
+        let m2 = Arc::clone(&m);
+        let adder = thread::spawn(move || {
+            m2.acquire(TxnId(2), l, LockMode::Additive).unwrap();
+            m2.release_commit(TxnId(2), &[l])
+        });
+        while m.stats().waits == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let counters = m.release_commit(TxnId(1), &[l]);
+        assert_eq!(counters, vec![1]);
+        assert_eq!(adder.join().unwrap(), vec![2], "adder ordered after reader");
+    }
+
+    #[test]
+    fn sole_shared_holder_upgrades_to_exclusive() {
+        let m = LockManager::new();
+        let l = lock("upgrade-shared", 0);
+        assert!(m.acquire(TxnId(1), l, LockMode::Shared).unwrap());
+        // Sole holder: the upgrade is granted in place (not a new hold).
+        assert!(!m.acquire(TxnId(1), l, LockMode::Exclusive).unwrap());
+        // The lock is now exclusive: a second shared request must wait.
+        let m = Arc::new(m);
+        let m2 = Arc::clone(&m);
+        let reader = thread::spawn(move || {
+            m2.acquire(TxnId(2), l, LockMode::Shared).unwrap();
+            m2.release_commit(TxnId(2), &[l])
+        });
+        while m.stats().waits == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        m.release_commit(TxnId(1), &[l]);
+        assert_eq!(reader.join().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn competing_shared_upgrades_abort_one() {
+        // Two shared holders of the same lock both request an upgrade:
+        // each must wait for the other to release, a cycle the deadlock
+        // detector must break by aborting one of them.
+        let m = Arc::new(LockManager::new());
+        let l = lock("upgrade-race", 0);
+        m.acquire(TxnId(1), l, LockMode::Shared).unwrap();
+        m.acquire(TxnId(2), l, LockMode::Shared).unwrap();
+
+        let m1 = Arc::clone(&m);
+        let t1 = thread::spawn(move || {
+            let r = m1.acquire(TxnId(1), l, LockMode::Exclusive);
+            if r.is_ok() {
+                m1.release_commit(TxnId(1), &[l]);
+            } else {
+                m1.release_abort(TxnId(1), &[l]);
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(10));
+        let r2 = m.acquire(TxnId(2), l, LockMode::Exclusive);
+        if r2.is_ok() {
+            m.release_commit(TxnId(2), &[l]);
+        } else {
+            m.release_abort(TxnId(2), &[l]);
+        }
+        let r1 = t1.join().unwrap();
+        assert!(
+            r1.is_err() || r2.is_err(),
+            "one upgrade must be chosen as deadlock victim"
+        );
+        assert_eq!(m.held_lock_count(), 0);
+        assert_eq!(m.blocked_count(), 0);
+    }
+
+    #[test]
     fn upgrade_sole_holder() {
         let m = LockManager::new();
         let l = lock("bid", 0);

@@ -7,6 +7,8 @@ use crate::manager::{LockManager, LockStats};
 use crate::profile::{CommitProfile, LockProfile, ProfileEntry, TraceEntry};
 use crate::retry::RetryPolicy;
 use cc_primitives::fx::FxHashMap;
+use cc_primitives::small::InlineVec;
+use std::any::Any;
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,8 +41,74 @@ pub enum TxnKind {
     Replay,
 }
 
-/// An undo-log entry: a closure that reverses one storage operation.
-type UndoOp = Box<dyn FnOnce() + Send>;
+/// A typed undo sink: the per-collection half of the undo log.
+///
+/// Each boosted collection registers **one** erased sink per transaction
+/// (keyed by the collection's storage pointer) and pushes `(key, prior
+/// value)` entries into it **by move** via
+/// [`Transaction::log_undo_typed`]. The transaction only remembers, per
+/// logged operation, *which* sink owns the next entry to reverse — so the
+/// common mutation path performs no boxed-closure allocation at all (the
+/// one `Box` per collection per transaction is amortized across all of
+/// that collection's operations).
+///
+/// Inverse operations run while the transaction replays its log (abort,
+/// savepoint rollback, nested-action failure); they must restore the
+/// collection's backing storage directly and must **not** log further
+/// undo entries or otherwise re-enter the transaction.
+pub trait UndoSink: Send + 'static {
+    /// Reverses this sink's most recently recorded entry.
+    fn undo_last(&mut self);
+    /// Downcast support so a collection can push typed entries into its
+    /// own sink.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The fallback sink behind [`Transaction::log_undo`]: a stack of boxed
+/// inverse closures, for callers that are not a boosted collection.
+#[derive(Default)]
+struct ClosureSink {
+    ops: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+impl UndoSink for ClosureSink {
+    fn undo_last(&mut self) {
+        if let Some(op) = self.ops.pop() {
+            op();
+        }
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Sink token reserved for [`Transaction::log_undo`] closures. Collection
+/// tokens are `Arc` storage addresses and therefore never zero.
+const CLOSURE_TOKEN: usize = 0;
+
+/// The transaction's undo log: typed sinks plus the global entry order.
+#[derive(Default)]
+struct UndoLog {
+    /// For each logged operation (oldest first), the index into `sinks`
+    /// of the sink holding its entry. Replayed in reverse.
+    order: InlineVec<u32, 16>,
+    /// One sink per collection touched by this transaction.
+    sinks: Vec<Box<dyn UndoSink>>,
+    /// sink token (collection storage address) → index into `sinks`.
+    index: FxHashMap<usize, u32>,
+}
+
+impl UndoLog {
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        self.sinks.clear();
+        self.index.clear();
+    }
+}
 
 /// A position in the undo log that execution can be rolled back to while
 /// keeping all acquired locks (used to emulate Solidity `throw`, which
@@ -51,27 +119,35 @@ pub struct Savepoint {
 }
 
 struct TxnInner {
-    /// Undo log, oldest first. Replayed in reverse on abort/rollback.
-    undo: Vec<UndoOp>,
+    /// Typed undo log. Replayed in reverse on abort/rollback.
+    undo: UndoLog,
     /// All locks held by this transaction (top-level and nested frames),
     /// with the strongest mode acquired so far. Keyed through FxHash —
     /// lock ids are already FNV-64 pairs.
     held: FxHashMap<LockId, LockMode>,
     /// Acquisition order, used to release in a deterministic order.
-    held_order: Vec<LockId>,
+    /// Inline for the typical transaction (a handful of locks).
+    held_order: InlineVec<LockId, 8>,
     /// Validator-side trace of would-be acquisitions.
     trace: Vec<TraceEntry>,
-    /// Nested-action bookkeeping: locks newly acquired by each open nested
-    /// frame (so an aborting child can release exactly what it acquired).
-    frames: Vec<Vec<LockId>>,
+    /// Nested-action bookkeeping: each open frame is a mark into
+    /// `held_order` — everything pushed after the mark was acquired by
+    /// the frame (locks are only appended while the single-threaded frame
+    /// runs, so a frame's locks are exactly a suffix).
+    frames: InlineVec<u32, 4>,
     closed: bool,
+    /// True while the undo log is being replayed (its sinks are moved out
+    /// of this struct for the duration). Logging new undo entries in this
+    /// window is a contract violation — see [`UndoSink`] — and is
+    /// rejected rather than silently corrupting the moved-out log.
+    replaying: bool,
 }
 
 impl fmt::Debug for TxnInner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TxnInner")
             .field("undo_len", &self.undo.len())
-            .field("held", &self.held_order)
+            .field("held", &self.held_order.iter().collect::<Vec<_>>())
             .field("frames", &self.frames.len())
             .field("closed", &self.closed)
             .finish()
@@ -120,12 +196,13 @@ impl Transaction {
             kind,
             manager,
             inner: RefCell::new(TxnInner {
-                undo: Vec::new(),
+                undo: UndoLog::default(),
                 held: FxHashMap::default(),
-                held_order: Vec::new(),
+                held_order: InlineVec::new(),
                 trace: Vec::new(),
-                frames: Vec::new(),
+                frames: InlineVec::new(),
                 closed: false,
+                replaying: false,
             }),
         }
     }
@@ -178,10 +255,10 @@ impl Transaction {
                 let entry = inner.held.entry(lock).or_insert(mode);
                 *entry = entry.strongest(mode);
                 if newly {
+                    // Open nested frames need no bookkeeping here: a
+                    // frame's acquisitions are exactly the `held_order`
+                    // suffix past its mark.
                     inner.held_order.push(lock);
-                    if let Some(frame) = inner.frames.last_mut() {
-                        frame.push(lock);
-                    }
                 }
                 Ok(())
             }
@@ -190,12 +267,66 @@ impl Transaction {
 
     /// Records an inverse operation that will be run if the transaction
     /// (or the enclosing nested action / savepoint scope) rolls back.
+    ///
+    /// This is the **generic** (boxing) entry point; boosted collections
+    /// use [`Transaction::log_undo_typed`] instead, which allocates no
+    /// closure on the mutation path.
     pub fn log_undo(&self, undo: impl FnOnce() + Send + 'static) {
+        self.log_undo_typed(CLOSURE_TOKEN, ClosureSink::default, |sink| {
+            sink.ops.push(Box::new(undo));
+        });
+    }
+
+    /// Records a typed inverse entry with the sink identified by `token`.
+    ///
+    /// `token` must uniquely identify the logging collection for the
+    /// lifetime of the transaction — boosted collections use the address
+    /// of their backing storage (`Arc::as_ptr`), which is stable and
+    /// unique while the collection is alive. On the first entry for a
+    /// token the sink is created via `init`; every entry then runs
+    /// `record` against the (downcast) sink, which is expected to push
+    /// one `(key, prior value)` item by move.
+    ///
+    /// A no-op on a closed transaction, like [`Transaction::log_undo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` was previously registered with a sink of a
+    /// different concrete type (a collection bug, not a runtime
+    /// condition).
+    pub fn log_undo_typed<S: UndoSink>(
+        &self,
+        token: usize,
+        init: impl FnOnce() -> S,
+        record: impl FnOnce(&mut S),
+    ) {
         let mut inner = self.inner.borrow_mut();
-        if inner.closed {
+        if inner.closed || inner.replaying {
+            // Logging during replay would register sinks into the
+            // moved-out log and corrupt it on restore; enforce the
+            // UndoSink contract loudly in debug builds, safely in release.
+            debug_assert!(
+                !inner.replaying,
+                "inverse operations must not log new undo entries"
+            );
             return;
         }
-        inner.undo.push(Box::new(undo));
+        let undo = &mut inner.undo;
+        let idx = match undo.index.get(&token) {
+            Some(&idx) => idx,
+            None => {
+                let idx = u32::try_from(undo.sinks.len()).expect("fewer than 2^32 sinks");
+                undo.sinks.push(Box::new(init()));
+                undo.index.insert(token, idx);
+                idx
+            }
+        };
+        let sink = undo.sinks[idx as usize]
+            .as_any_mut()
+            .downcast_mut::<S>()
+            .expect("undo token reused with a different sink type");
+        record(sink);
+        undo.order.push(idx);
     }
 
     /// Returns a savepoint capturing the current undo-log position.
@@ -205,22 +336,41 @@ impl Transaction {
         }
     }
 
+    /// Replays (and discards) every undo entry logged at or after position
+    /// `from`, most recent first. The undo state is moved out of the
+    /// `RefCell` for the duration so closure-based inverse operations may
+    /// re-enter the transaction; inverse operations must not log *new*
+    /// undo entries (see [`UndoSink`]).
+    fn replay_undo_from(&self, from: usize) {
+        let (mut sinks, index, tail) = {
+            let mut inner = self.inner.borrow_mut();
+            if from >= inner.undo.order.len() {
+                return;
+            }
+            inner.replaying = true;
+            let tail = inner.undo.order.split_off(from);
+            (
+                std::mem::take(&mut inner.undo.sinks),
+                std::mem::take(&mut inner.undo.index),
+                tail,
+            )
+        };
+        for idx in tail.into_iter().rev() {
+            sinks[idx as usize].undo_last();
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.replaying = false;
+        inner.undo.sinks = sinks;
+        inner.undo.index = index;
+    }
+
     /// Rolls the transaction back to `savepoint`: every inverse operation
     /// logged after the savepoint is replayed (most recent first). Locks
     /// acquired since the savepoint are **kept** — this mirrors a contract
     /// `throw`, which discards tentative storage changes but whose reads
     /// and writes still determine the block's happens-before order.
     pub fn rollback_to(&self, savepoint: Savepoint) {
-        let to_undo: Vec<UndoOp> = {
-            let mut inner = self.inner.borrow_mut();
-            if savepoint.undo_len >= inner.undo.len() {
-                return;
-            }
-            inner.undo.split_off(savepoint.undo_len)
-        };
-        for op in to_undo.into_iter().rev() {
-            op();
-        }
+        self.replay_undo_from(savepoint.undo_len);
     }
 
     /// Runs `body` as a **nested speculative action** (paper §3): the child
@@ -238,40 +388,30 @@ impl Transaction {
     pub fn nested<R, E>(&self, body: impl FnOnce(&Transaction) -> Result<R, E>) -> Result<R, E> {
         let undo_start = {
             let mut inner = self.inner.borrow_mut();
-            inner.frames.push(Vec::new());
+            let mark = u32::try_from(inner.held_order.len()).expect("fewer than 2^32 locks");
+            inner.frames.push(mark);
             inner.undo.len()
         };
         let result = body(self);
         match result {
             Ok(value) => {
-                let mut inner = self.inner.borrow_mut();
-                let child_locks = inner.frames.pop().unwrap_or_default();
-                // Merge the child's acquisitions into the parent frame (if
-                // any) so a later aborting ancestor releases them too.
-                if let Some(parent) = inner.frames.last_mut() {
-                    parent.extend(child_locks);
-                }
+                // The child's acquisitions stay in `held_order` past the
+                // enclosing frame's mark, so an aborting ancestor releases
+                // them too — popping the mark is all the merging needed.
+                self.inner.borrow_mut().frames.pop();
                 Ok(value)
             }
             Err(err) => {
                 // Undo the child's operations.
-                let to_undo: Vec<UndoOp> = {
-                    let mut inner = self.inner.borrow_mut();
-                    inner.undo.split_off(undo_start)
-                };
-                for op in to_undo.into_iter().rev() {
-                    op();
-                }
+                self.replay_undo_from(undo_start);
                 // Release the locks the child acquired (they are not needed
                 // for the parent's consistency: the child's effects are gone).
                 let child_locks = {
                     let mut inner = self.inner.borrow_mut();
-                    let child_locks = inner.frames.pop().unwrap_or_default();
+                    let mark = inner.frames.pop().unwrap_or(0) as usize;
+                    let child_locks = inner.held_order.split_off(mark);
                     for lock in &child_locks {
                         inner.held.remove(lock);
-                        if let Some(pos) = inner.held_order.iter().position(|l| l == lock) {
-                            inner.held_order.remove(pos);
-                        }
                     }
                     child_locks
                 };
@@ -298,7 +438,7 @@ impl Transaction {
             }
             inner.closed = true;
             inner.undo.clear();
-            let locks: Vec<LockId> = inner.held_order.clone();
+            let locks: Vec<LockId> = inner.held_order.take_all();
             let modes: Vec<LockMode> = locks
                 .iter()
                 .map(|l| inner.held.get(l).copied().unwrap_or(LockMode::Exclusive))
@@ -335,20 +475,19 @@ impl Transaction {
     ///
     /// Returns [`StmError::TransactionClosed`] if already closed.
     pub fn abort(&self) -> Result<(), StmError> {
-        let (to_undo, locks) = {
+        let locks = {
             let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(StmError::TransactionClosed);
             }
             inner.closed = true;
-            let to_undo = std::mem::take(&mut inner.undo);
-            let locks = std::mem::take(&mut inner.held_order);
+            let locks = inner.held_order.take_all();
             inner.held.clear();
-            (to_undo, locks)
+            locks
         };
-        for op in to_undo.into_iter().rev() {
-            op();
-        }
+        // `closed` is already set, so inverse operations cannot log new
+        // undo entries even through the legacy closure path.
+        self.replay_undo_from(0);
         if self.kind == TxnKind::Speculative {
             self.manager.release_abort(self.id, &locks);
         }
@@ -381,7 +520,7 @@ impl Transaction {
             inner.held.clear();
             (
                 std::mem::take(&mut inner.trace),
-                std::mem::take(&mut inner.held_order),
+                inner.held_order.take_all(),
             )
         };
         if self.kind == TxnKind::Speculative {

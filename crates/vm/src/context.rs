@@ -6,7 +6,7 @@ use crate::error::VmError;
 use crate::event::Event;
 use crate::gas::GasMeter;
 use crate::msg::Msg;
-use crate::world::World;
+use crate::world::{ContractRegistry, World};
 use cc_stm::Transaction;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -26,6 +26,10 @@ pub const MAX_CALL_DEPTH: usize = 64;
 pub struct CallContext<'a> {
     txn: &'a Transaction,
     world: &'a World,
+    /// Frozen registry snapshot shared by the whole call tree: nested
+    /// calls resolve contracts with a lock-free hash lookup instead of
+    /// re-locking the world's registry on every hop.
+    contracts: ContractRegistry,
     msg: Msg,
     this: Address,
     gas: Arc<Mutex<GasMeter>>,
@@ -39,6 +43,7 @@ impl<'a> CallContext<'a> {
     pub(crate) fn root(
         txn: &'a Transaction,
         world: &'a World,
+        contracts: ContractRegistry,
         msg: Msg,
         this: Address,
         gas: GasMeter,
@@ -46,6 +51,7 @@ impl<'a> CallContext<'a> {
         CallContext {
             txn,
             world,
+            contracts,
             msg,
             this,
             gas: Arc::new(Mutex::new(gas)),
@@ -230,11 +236,17 @@ impl<'a> CallContext<'a> {
             gas.schedule().call
         };
         self.interpret(call_cost);
-        let callee = self.world.contract(to).ok_or(VmError::UnknownContract)?;
+        // Lock-free resolution against the call tree's frozen snapshot.
+        let callee = self
+            .contracts
+            .get(&to)
+            .cloned()
+            .ok_or(VmError::UnknownContract)?;
 
         let mut child = CallContext {
             txn: self.txn,
             world: self.world,
+            contracts: Arc::clone(&self.contracts),
             msg: Msg {
                 sender: self.this,
                 value,

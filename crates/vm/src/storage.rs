@@ -50,33 +50,59 @@ where
         Ok(self.inner.contains_key(ctx.txn(), key)?)
     }
 
-    /// Binds `key` to `value` (charges one `sstore`).
+    /// Binds `key` to `value` (charges one `sstore`). The prior binding
+    /// moves into the undo log; use [`StorageMap::replace`] when it is
+    /// needed.
     ///
     /// # Errors
     ///
     /// Out-of-gas or speculative-conflict errors.
-    pub fn insert(
+    pub fn insert(&self, ctx: &mut CallContext<'_>, key: K, value: V) -> Result<(), VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.insert(ctx.txn(), key, value)?)
+    }
+
+    /// Binds `key` to `value` and returns the previous binding (charges
+    /// one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn replace(
         &self,
         ctx: &mut CallContext<'_>,
         key: K,
         value: V,
     ) -> Result<Option<V>, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.insert(ctx.txn(), key, value)?)
+        Ok(self.inner.replace(ctx.txn(), key, value)?)
     }
 
-    /// Removes the binding for `key` (charges one `sstore`).
+    /// Removes the binding for `key`, reporting whether one existed
+    /// (charges one `sstore`). Use [`StorageMap::take`] to get the removed
+    /// value back.
     ///
     /// # Errors
     ///
     /// Out-of-gas or speculative-conflict errors.
-    pub fn remove(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
+    pub fn remove(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<bool, VmError> {
         ctx.charge_sstore()?;
         Ok(self.inner.remove(ctx.txn(), key)?)
     }
 
+    /// Removes and returns the binding for `key` (charges one `sstore`).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn take(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
+        ctx.charge_sstore()?;
+        Ok(self.inner.take(ctx.txn(), key)?)
+    }
+
     /// Read-modify-write of the value bound to `key`, inserting `default`
-    /// first when absent (charges an `sload` plus an `sstore`).
+    /// first when absent (charges an `sload` plus an `sstore`). Performed
+    /// in place in a single storage pass.
     ///
     /// # Errors
     ///
@@ -87,7 +113,7 @@ where
         key: K,
         default: V,
         f: impl FnOnce(&mut V),
-    ) -> Result<V, VmError> {
+    ) -> Result<(), VmError> {
         ctx.charge_sload()?;
         ctx.charge_sstore()?;
         Ok(self.inner.update_or(ctx.txn(), key, default, f)?)

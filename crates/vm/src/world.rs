@@ -9,6 +9,7 @@ use crate::gas::{GasMeter, GasSchedule};
 use crate::msg::Msg;
 use crate::receipt::{ExecutionStatus, Receipt};
 use crate::snapshot::WorldSnapshot;
+use cc_primitives::fx::FxHashMap;
 use cc_primitives::hash::Hash256;
 use cc_stm::{Stm, StmError, Transaction};
 use parking_lot::RwLock;
@@ -16,15 +17,28 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// An immutable point-in-time view of the deployed-contract registry,
+/// shared by every call frame of a transaction so nested contract calls
+/// resolve their callee with a plain hash lookup — no registry lock, no
+/// `BTreeMap` walk per hop.
+pub type ContractRegistry = Arc<FxHashMap<Address, Arc<dyn Contract>>>;
+
 /// The set of deployed contracts plus the speculative runtime they execute
 /// under — the "ledger state" a miner starts from when assembling a block.
 ///
 /// `World` is shared by reference across the miner's worker threads; all
 /// mutation happens through contract storage inside transactions.
+///
+/// The registry is **read-mostly**: deploys (rare, setup-time) rebuild a
+/// frozen [`ContractRegistry`] snapshot, and execution reads only the
+/// snapshot.
 pub struct World {
     stm: Stm,
     gas_schedule: GasSchedule,
+    /// Authoritative registry, ordered for deterministic snapshots.
     contracts: RwLock<BTreeMap<Address, Arc<dyn Contract>>>,
+    /// Frozen lookup table rebuilt on every deploy.
+    resolved: RwLock<ContractRegistry>,
 }
 
 impl Default for World {
@@ -49,6 +63,7 @@ impl World {
             stm: Stm::new(),
             gas_schedule: GasSchedule::default(),
             contracts: RwLock::new(BTreeMap::new()),
+            resolved: RwLock::new(Arc::new(FxHashMap::default())),
         }
     }
 
@@ -84,11 +99,26 @@ impl World {
             "contract already deployed at {address}"
         );
         contracts.insert(address, contract);
+        // Rebuild the frozen lookup snapshot (deploys are rare; lookups
+        // are the hot path).
+        *self.resolved.write() = Arc::new(
+            contracts
+                .iter()
+                .map(|(addr, c)| (*addr, Arc::clone(c)))
+                .collect(),
+        );
     }
 
     /// Looks up the contract deployed at `address`.
     pub fn contract(&self, address: Address) -> Option<Arc<dyn Contract>> {
-        self.contracts.read().get(&address).cloned()
+        self.resolved.read().get(&address).cloned()
+    }
+
+    /// The frozen registry snapshot used for contract resolution during
+    /// execution. Cloning the `Arc` is one refcount increment; lookups on
+    /// the snapshot take no lock at all.
+    pub fn registry(&self) -> ContractRegistry {
+        Arc::clone(&self.resolved.read())
     }
 
     /// Addresses of all deployed contracts (sorted).
@@ -127,22 +157,33 @@ impl World {
         gas_limit: u64,
     ) -> Result<Receipt, StmError> {
         let meter = GasMeter::new(gas_limit, self.gas_schedule);
-        let mut ctx = CallContext::root(txn, self, msg, to, meter);
+        let registry = self.registry();
+        let callee = registry.get(&to).cloned();
+        let mut ctx = CallContext::root(txn, self, registry, msg, to, meter);
         let savepoint = txn.savepoint();
 
-        let outcome = ctx.charge_tx_base().and_then(|_| match self.contract(to) {
+        let outcome = ctx.charge_tx_base().and_then(|_| match callee {
             Some(contract) => contract.call(&mut ctx, call),
             None => Err(VmError::UnknownContract),
         });
 
         match outcome {
-            Ok(output) => Ok(Receipt {
-                tx_index,
-                status: ExecutionStatus::Succeeded,
-                gas_used: ctx.gas_used(),
-                output,
-                events: ctx.take_events(),
-            }),
+            Ok(output) => {
+                debug_assert!(
+                    ctx.gas_used() <= gas_limit,
+                    "gas meter reported {} used against a limit of {gas_limit}",
+                    ctx.gas_used()
+                );
+                Ok(Receipt {
+                    tx_index,
+                    status: ExecutionStatus::Succeeded,
+                    // Clamped like the failure path: a meter bug must never
+                    // produce a successful receipt with gas_used > limit.
+                    gas_used: ctx.gas_used().min(gas_limit),
+                    output,
+                    events: ctx.take_events(),
+                })
+            }
             Err(err) => {
                 if let VmError::Stm(stm_err) = &err {
                     if stm_err.is_retryable() {

@@ -1,0 +1,186 @@
+//! Shared-mode read concurrency, end to end: serial ≡ speculative state
+//! and receipt equivalence over the four paper benchmarks with Shared
+//! reads enabled, validator acceptance of every miner-produced block, and
+//! the structural guarantee that published fork-join schedules contain no
+//! read-read (non-conflicting) edges.
+
+use cc_core::engine::Engine;
+use cc_integration_tests::{counter_world, engine, serial_engine, workload};
+use cc_ledger::Transaction;
+use cc_stm::LockMode;
+use cc_vm::{Address, ArgValue, CallData};
+use cc_workload::Benchmark;
+
+/// Every happens-before edge a miner publishes must connect transactions
+/// whose lock profiles actually conflict — in particular, two
+/// transactions that only share Shared-mode (read) locks must never be
+/// ordered.
+fn assert_no_commuting_edges(block: &cc_ledger::Block, label: &str) {
+    let schedule = block
+        .schedule
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: speculative blocks publish a schedule"));
+    for &(a, b) in &schedule.edges {
+        let profile = |i: usize| {
+            &schedule
+                .profiles
+                .iter()
+                .find(|p| p.tx_index == i)
+                .unwrap_or_else(|| panic!("{label}: transaction {i} has a published profile"))
+                .profile
+        };
+        assert!(
+            profile(a).conflicts_with(profile(b)),
+            "{label}: edge {a}->{b} connects commuting profiles (a read-read \
+             edge would needlessly serialize the validator's fork-join replay)"
+        );
+    }
+}
+
+#[test]
+fn serial_and_speculative_agree_on_the_four_paper_benchmarks() {
+    let serial = serial_engine();
+    let speculative = engine(3);
+    for benchmark in Benchmark::ALL {
+        let label = benchmark.to_string();
+        let w = workload(benchmark, 80, 0.25, 23);
+
+        let mined = speculative
+            .mine(&w.build_world(), w.transactions())
+            .unwrap_or_else(|e| panic!("{label}: speculative mining failed: {e}"));
+
+        // Replaying the published serial order with the serial engine must
+        // land on the same state (serializability with Shared reads).
+        let schedule = mined.block.schedule.as_ref().expect("schedule published");
+        let ordered: Vec<Transaction> = schedule
+            .serial_order
+            .iter()
+            .map(|&i| mined.block.transactions[i].clone())
+            .collect();
+        let baseline = serial
+            .mine(&w.build_world(), ordered)
+            .unwrap_or_else(|e| panic!("{label}: serial mining failed: {e}"));
+        assert_eq!(
+            mined.block.header.state_root, baseline.block.header.state_root,
+            "{label}: speculative and serial execution must agree on state"
+        );
+
+        // Receipts agree transaction by transaction (the serial block
+        // stores them in schedule order; map back through the order).
+        for (serial_pos, &original_index) in schedule.serial_order.iter().enumerate() {
+            let speculative_receipt = &mined.block.receipts[original_index];
+            let serial_receipt = &baseline.block.receipts[serial_pos];
+            assert_eq!(
+                speculative_receipt.status, serial_receipt.status,
+                "{label}: receipt status of tx {original_index} differs"
+            );
+            assert_eq!(
+                speculative_receipt.gas_used, serial_receipt.gas_used,
+                "{label}: gas of tx {original_index} differs"
+            );
+        }
+
+        // The validator accepts every miner-produced block.
+        let report = speculative
+            .validate(&w.build_world(), &mined.block)
+            .unwrap_or_else(|e| panic!("{label}: honest block rejected: {e}"));
+        assert_eq!(report.state_root, mined.block.header.state_root);
+
+        assert_no_commuting_edges(&mined.block, &label);
+    }
+}
+
+#[test]
+fn read_only_transactions_are_unordered_and_validate() {
+    // A block of `get` calls (pure reads of the same counter key) plus a
+    // couple of writers: the readers must share locks — no edges among
+    // them — while each writer orders against every reader of its key.
+    let world = counter_world();
+    let speculative = engine(3);
+
+    let reader = |nonce: u64, of: u64| {
+        Transaction::new(
+            nonce,
+            Address::from_index(90 + nonce),
+            cc_integration_tests::counter_address(),
+            CallData::new("get", vec![ArgValue::Addr(Address::from_index(of))]),
+            1_000_000,
+        )
+    };
+    let mut txs: Vec<Transaction> = (0..10).map(|i| reader(i, 7)).collect();
+    txs.push(cc_integration_tests::increment_tx(100, 7, 3));
+    txs.push(cc_integration_tests::increment_tx(101, 7, 2));
+
+    let mined = speculative.mine(&world, txs).expect("block mines");
+    let schedule = mined.block.schedule.as_ref().expect("schedule");
+
+    // No edge between any two of the ten readers.
+    for &(a, b) in &schedule.edges {
+        assert!(
+            a >= 10 || b >= 10,
+            "edge {a}->{b} orders two read-only transactions"
+        );
+    }
+    // Each reader's profile holds the counts key in Shared mode.
+    for record in schedule.profiles.iter().filter(|p| p.tx_index < 10) {
+        assert!(
+            record
+                .profile
+                .locks
+                .iter()
+                .any(|e| e.mode == LockMode::Shared),
+            "reader {} should hold a shared lock",
+            record.tx_index
+        );
+        assert!(
+            !record
+                .profile
+                .locks
+                .iter()
+                .any(|e| e.mode == LockMode::Exclusive),
+            "reader {} must not hold exclusive locks",
+            record.tx_index
+        );
+    }
+    // The two writers targeting the same sender key serialize with each
+    // other and with the readers of that key.
+    assert_no_commuting_edges(&mined.block, "read-only block");
+
+    // The block replays deterministically.
+    let report = Engine::speculative(4)
+        .expect("threads >= 1")
+        .validate(&counter_world(), &mined.block)
+        .expect("honest read-heavy block validates");
+    assert_eq!(report.state_root, mined.block.header.state_root);
+}
+
+#[test]
+fn read_heavy_blocks_have_short_critical_paths() {
+    // With Shared reads, a block that is mostly reads of one hot key must
+    // not serialize: its critical path stays near the writer count, not
+    // the block size. (Before Shared mode every read took the key
+    // exclusively and the same block was one long chain.)
+    let world = counter_world();
+    let reader = |nonce: u64| {
+        Transaction::new(
+            nonce,
+            Address::from_index(50 + nonce),
+            cc_integration_tests::counter_address(),
+            CallData::new("total", vec![]),
+            1_000_000,
+        )
+    };
+    // 30 readers of the shared total plus one writer (increment adds to
+    // the additive total).
+    let mut txs: Vec<Transaction> = (0..30).map(reader).collect();
+    txs.push(cc_integration_tests::increment_tx(200, 1, 5));
+
+    let mined = engine(3).mine(&world, txs).expect("block mines");
+    let schedule = mined.block.schedule.as_ref().expect("schedule");
+    assert!(
+        schedule.critical_path() <= 3,
+        "30 shared readers + 1 writer should form a near-flat schedule, got \
+         critical path {}",
+        schedule.critical_path()
+    );
+}
