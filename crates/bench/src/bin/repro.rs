@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--threads N] [--reps R] [--quick] [--json PATH] \
-//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|read-heavy|perf|all]
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]
 //! repro diff OLD.json NEW.json [--tolerance PCT] [--strict]
 //! ```
 //!
@@ -21,12 +21,16 @@
 //! * `micro` — per-operation cost of the boosted-storage hot path
 //!   (insert/get/update/add and a read-heavy transaction, plus the
 //!   pre-typed-undo boxed-closure baseline).
+//! * `schedule` — the schedule pipeline itself: happens-before graph
+//!   build time, published edge count (vs. the pre-reduction all-pairs
+//!   count) and encoded metadata bytes on chain / antichain / hot-key /
+//!   mixed-mode block shapes.
 //! * `read-heavy` — engine-level read-heavy hot-key blocks: miner time,
 //!   blocking waits and schedule shape (shared reads keep the critical
 //!   path flat where exclusive reads serialized the block).
-//! * `perf` — `micro` + `read-heavy` + `contention`: the sections the
-//!   per-PR perf trajectory (`BENCH_PR*.json`) and the CI smoke diff
-//!   track.
+//! * `perf` — `micro` + `schedule` + `read-heavy` + `contention`: the
+//!   sections the per-PR perf trajectory (`BENCH_PR*.json`) and the CI
+//!   smoke diff track.
 //! * `all` (default) — everything above.
 //! * `diff OLD.json NEW.json` — compares two `--json` outputs
 //!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
@@ -46,6 +50,7 @@
 use cc_bench::contention::{contention_threads, measure_contention, Backend, ContentionPoint, Mix};
 use cc_bench::json::Json;
 use cc_bench::micro::{run_micro, MicroPoint};
+use cc_bench::schedule::{run_schedule, SchedulePoint};
 use cc_bench::{
     average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_read_heavy,
     measure_serial_validation, ReadHeavyPoint, SweepPoint, DEFAULT_THREADS, REPETITIONS,
@@ -468,6 +473,63 @@ fn print_micro(opts: &Options) -> Vec<MicroPoint> {
     points
 }
 
+fn schedule_passes(quick: bool) -> usize {
+    if quick {
+        3
+    } else {
+        9
+    }
+}
+
+fn print_schedule(opts: &Options) -> Vec<SchedulePoint> {
+    println!("\n== Schedule pipeline: build time, edges, metadata bytes ==");
+    let points = run_schedule(schedule_passes(opts.quick));
+    println!(
+        "{:>12} {:>8} {:>12} {:>10} {:>14} {:>10} {:>12}",
+        "shape", "txns", "build (µs)", "edges", "all-pairs", "crit path", "meta bytes"
+    );
+    for p in &points {
+        println!(
+            "{:>12} {:>8} {:>12.1} {:>10} {:>14} {:>10} {:>12}",
+            p.shape,
+            p.txns,
+            p.build_us,
+            p.edges,
+            p.all_pairs_edges,
+            p.critical_path,
+            p.metadata_bytes
+        );
+    }
+    if let Some(chain) = points.iter().find(|p| p.shape == "chain") {
+        println!(
+            "\nchain reduction: {} published edges vs {} all-ordered-pairs ({:.0}x smaller)",
+            chain.edges,
+            chain.all_pairs_edges,
+            chain.all_pairs_edges as f64 / chain.edges.max(1) as f64
+        );
+    }
+    points
+}
+
+fn schedule_json(points: &[SchedulePoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("shape", Json::str(p.shape)),
+                    ("txns", Json::num(p.txns as u32)),
+                    ("build_us", Json::num(p.build_us)),
+                    ("edges", Json::num(p.edges as u32)),
+                    ("all_pairs_edges", Json::num(p.all_pairs_edges as u32)),
+                    ("critical_path", Json::num(p.critical_path as u32)),
+                    ("metadata_bytes", Json::num(p.metadata_bytes as u32)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn timing_json(t: &cc_bench::Timing) -> Json {
     Json::object([
         ("mean_ms", Json::num(t.mean_ms())),
@@ -638,6 +700,22 @@ fn extract_metrics(doc: &Json) -> Vec<Metric> {
                     value,
                     direction: Direction::LowerIsBetter,
                 });
+            }
+        }
+    }
+    if let Some(points) = doc.get("schedule").and_then(Json::as_array) {
+        for p in points {
+            let Some(shape) = p.get("shape").and_then(Json::as_str) else {
+                continue;
+            };
+            for metric in ["build_us", "edges", "metadata_bytes"] {
+                if let Some(value) = p.get(metric).and_then(Json::as_f64) {
+                    out.push(Metric {
+                        label: format!("schedule/{shape}/{metric}"),
+                        value,
+                        direction: Direction::LowerIsBetter,
+                    });
+                }
             }
         }
     }
@@ -816,6 +894,7 @@ fn main() {
     let mut conflict: Option<Vec<(Benchmark, Vec<SweepPoint>)>> = None;
     let mut contention: Option<Vec<ContentionPoint>> = None;
     let mut micro: Option<Vec<MicroPoint>> = None;
+    let mut schedule: Option<Vec<SchedulePoint>> = None;
     let mut read_heavy: Option<Vec<ReadHeavyPoint>> = None;
 
     match opts.command.as_str() {
@@ -848,11 +927,15 @@ fn main() {
         "micro" => {
             micro = Some(print_micro(&opts));
         }
+        "schedule" => {
+            schedule = Some(print_schedule(&opts));
+        }
         "read-heavy" => {
             read_heavy = Some(print_read_heavy(&opts));
         }
         "perf" => {
             micro = Some(print_micro(&opts));
+            schedule = Some(print_schedule(&opts));
             read_heavy = Some(print_read_heavy(&opts));
             contention = Some(print_contention(&opts));
         }
@@ -865,12 +948,13 @@ fn main() {
             blocksize = Some(bs);
             conflict = Some(cf);
             micro = Some(print_micro(&opts));
+            schedule = Some(print_schedule(&opts));
             read_heavy = Some(print_read_heavy(&opts));
             contention = Some(print_contention(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|read-heavy|perf|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]");
             eprintln!("       repro diff OLD.json NEW.json [--tolerance PCT] [--strict]");
             std::process::exit(2);
         }
@@ -891,6 +975,9 @@ fn main() {
         }
         if let Some(points) = &micro {
             sections.push(("stm_micro", micro_json(points)));
+        }
+        if let Some(points) = &schedule {
+            sections.push(("schedule", schedule_json(points)));
         }
         if let Some(points) = &read_heavy {
             sections.push(("read_heavy", read_heavy_json(points)));

@@ -217,16 +217,33 @@ pub fn measure_contention(
     ops_per_thread: usize,
     mix: Mix,
 ) -> ContentionPoint {
-    let (ops_per_sec, waits_per_1k) = match backend {
-        Backend::Global => throughput(
-            &baseline::GlobalLockManager::new(),
-            threads,
-            ops_per_thread,
-            mix,
-        ),
-        Backend::Sharded1 => throughput(&LockManager::with_shards(1), threads, ops_per_thread, mix),
-        Backend::Sharded => throughput(&LockManager::new(), threads, ops_per_thread, mix),
-    };
+    // Each pass only takes milliseconds, so a single scheduler hiccup can
+    // halve a one-shot measurement. Run a few passes and report the best
+    // one — anything below the best is interference, not the lock manager
+    // (the same min-filtering rationale as the micro suite). Important on
+    // the single-core CI container and for the committed `BENCH_*.json`
+    // baselines that `repro diff` compares against.
+    const PASSES: usize = 5;
+    let mut best: Option<(f64, f64)> = None;
+    for _ in 0..PASSES {
+        let sample = match backend {
+            Backend::Global => throughput(
+                &baseline::GlobalLockManager::new(),
+                threads,
+                ops_per_thread,
+                mix,
+            ),
+            Backend::Sharded1 => {
+                throughput(&LockManager::with_shards(1), threads, ops_per_thread, mix)
+            }
+            Backend::Sharded => throughput(&LockManager::new(), threads, ops_per_thread, mix),
+        };
+        best = match best {
+            Some(current) if current.0 >= sample.0 => Some(current),
+            _ => Some(sample),
+        };
+    }
+    let (ops_per_sec, waits_per_1k) = best.expect("at least one pass runs");
     ContentionPoint {
         threads,
         mix,

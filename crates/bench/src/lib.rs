@@ -14,6 +14,7 @@
 pub mod contention;
 pub mod json;
 pub mod micro;
+pub mod schedule;
 
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, Workload, WorkloadSpec};

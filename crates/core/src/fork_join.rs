@@ -38,7 +38,7 @@ where
     // Remaining-predecessor counters; a task becomes ready when its
     // counter reaches zero.
     let pending: Vec<AtomicUsize> = (0..n)
-        .map(|i| AtomicUsize::new(graph.predecessors(i).count()))
+        .map(|i| AtomicUsize::new(graph.pred_count(i)))
         .collect();
     let completed = AtomicUsize::new(0);
     let injector: Injector<usize> = Injector::new();
@@ -113,11 +113,7 @@ mod tests {
     use std::sync::atomic::AtomicU64;
 
     fn chain(n: usize) -> HappensBeforeGraph {
-        let mut g = HappensBeforeGraph::new(n);
-        for i in 1..n {
-            g.add_edge(i - 1, i);
-        }
-        g
+        HappensBeforeGraph::from_edges(n, (1..n).map(|i| (i - 1, i)))
     }
 
     #[test]
@@ -143,11 +139,7 @@ mod tests {
     #[test]
     fn diamond_dependencies_respected() {
         // 0 -> {1, 2} -> 3
-        let mut g = HappensBeforeGraph::new(4);
-        g.add_edge(0, 1);
-        g.add_edge(0, 2);
-        g.add_edge(1, 3);
-        g.add_edge(2, 3);
+        let g = HappensBeforeGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
         for _ in 0..20 {
             let log = Mutex::new(Vec::new());
             run_fork_join(&g, 3, |i| {
@@ -165,14 +157,15 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(7);
         let n = 60;
-        let mut g = HappensBeforeGraph::new(n);
+        let mut edges = Vec::new();
         for b in 1..n {
             for a in 0..b {
                 if rng.gen_bool(0.08) {
-                    g.add_edge(a, b);
+                    edges.push((a, b));
                 }
             }
         }
+        let g = HappensBeforeGraph::from_edges(n, edges);
         let log = Mutex::new(Vec::new());
         run_fork_join(&g, 5, |i| {
             log.lock().push(i);

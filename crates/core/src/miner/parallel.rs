@@ -80,93 +80,120 @@ impl Miner for ParallelMiner {
         let locks_before = stm.lock_stats();
 
         let n = transactions.len();
-        let slots: Vec<Mutex<Option<(Receipt, LockProfile)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let retries = AtomicU64::new(0);
         let failed = AtomicBool::new(false);
         let failure: Mutex<Option<CoreError>> = Mutex::new(None);
 
-        crossbeam::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|_| {
-                    loop {
-                        if failed.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let index = next.fetch_add(1, Ordering::Relaxed);
-                        if index >= n {
-                            break;
-                        }
-                        let tx = &transactions[index];
-                        let mut attempt = 0u32;
+        // Each index is claimed by exactly one worker (the `next` counter),
+        // so results need no per-slot synchronization: every worker
+        // accumulates its own `(index, receipt, profile)` triples and the
+        // scope join publishes them to this thread.
+        let worker_results: Vec<Vec<(usize, Receipt, LockProfile)>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut local: Vec<(usize, Receipt, LockProfile)> = Vec::new();
                         loop {
-                            attempt += 1;
-                            let txn = stm.begin();
-                            match world.execute(
-                                &txn,
-                                index,
-                                tx.msg(),
-                                tx.to,
-                                &tx.call,
-                                tx.gas_limit,
-                            ) {
-                                Ok(receipt) => match txn.commit() {
-                                    Ok(commit) => {
-                                        *slots[index].lock() = Some((receipt, commit.profile));
-                                        break;
-                                    }
+                            if failed.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= n {
+                                break;
+                            }
+                            let tx = &transactions[index];
+                            let mut attempt = 0u32;
+                            loop {
+                                // Another worker may have failed the whole
+                                // block while this one was backing off —
+                                // don't keep retrying a doomed block.
+                                if failed.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                attempt += 1;
+                                let txn = stm.begin();
+                                match world.execute(
+                                    &txn,
+                                    index,
+                                    tx.msg(),
+                                    tx.to,
+                                    &tx.call,
+                                    tx.gas_limit,
+                                ) {
+                                    Ok(receipt) => match txn.commit() {
+                                        Ok(commit) => {
+                                            local.push((index, receipt, commit.profile));
+                                            break;
+                                        }
+                                        Err(source) => {
+                                            failed.store(true, Ordering::Release);
+                                            failure.lock().get_or_insert(CoreError::MiningFailed {
+                                                tx_index: index,
+                                                source,
+                                            });
+                                            break;
+                                        }
+                                    },
                                     Err(source) => {
-                                        failed.store(true, Ordering::Release);
-                                        failure.lock().get_or_insert(CoreError::MiningFailed {
-                                            tx_index: index,
-                                            source,
-                                        });
-                                        break;
+                                        // Deadlock victim: undo and retry.
+                                        let _ = txn.abort();
+                                        retries.fetch_add(1, Ordering::Relaxed);
+                                        if attempt >= self.retry.max_attempts {
+                                            failed.store(true, Ordering::Release);
+                                            failure.lock().get_or_insert(CoreError::MiningFailed {
+                                                tx_index: index,
+                                                source,
+                                            });
+                                            break;
+                                        }
+                                        self.retry.backoff(attempt);
                                     }
-                                },
-                                Err(source) => {
-                                    // Deadlock victim: undo and retry.
-                                    let _ = txn.abort();
-                                    retries.fetch_add(1, Ordering::Relaxed);
-                                    if attempt >= self.retry.max_attempts {
-                                        failed.store(true, Ordering::Release);
-                                        failure.lock().get_or_insert(CoreError::MiningFailed {
-                                            tx_index: index,
-                                            source,
-                                        });
-                                        break;
-                                    }
-                                    self.retry.backoff(attempt);
                                 }
                             }
                         }
-                    }
-                });
-            }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("miner worker panicked"))
+                .collect()
         })
-        .expect("miner worker panicked");
+        .expect("miner scope failed");
 
         if let Some(err) = failure.into_inner() {
             return Err(err);
         }
 
-        let mut receipts = Vec::with_capacity(n);
-        let mut profiles = Vec::with_capacity(n);
-        for slot in slots {
-            let (receipt, profile) = slot
-                .into_inner()
-                .expect("every transaction slot is filled on success");
-            receipts.push(receipt);
-            profiles.push(profile);
+        let mut receipts: Vec<Option<Receipt>> = (0..n).map(|_| None).collect();
+        let mut profiles: Vec<Option<LockProfile>> = (0..n).map(|_| None).collect();
+        for (index, receipt, profile) in worker_results.into_iter().flatten() {
+            receipts[index] = Some(receipt);
+            profiles[index] = Some(profile);
         }
+        let receipts: Vec<Receipt> = receipts
+            .into_iter()
+            .map(|r| r.expect("every transaction has a receipt on success"))
+            .collect();
+        let profiles: Vec<LockProfile> = profiles
+            .into_iter()
+            .map(|p| p.expect("every transaction has a profile on success"))
+            .collect();
 
         // Algorithm 1: derive the happens-before graph from the lock log
-        // and produce the equivalent serial order by topological sort.
+        // and produce the equivalent serial order by topological sort. The
+        // profiles move into the published metadata; nothing is cloned.
         let (schedule, critical_path, hb_edges) = if self.capture_schedule {
             let graph = HappensBeforeGraph::from_profiles(&profiles);
-            let schedule = graph.to_metadata(&profiles)?;
-            (Some(schedule), graph.critical_path(), graph.edge_count())
+            let critical_path = graph.critical_path();
+            let hb_edges = graph.edge_count();
+            (
+                Some(graph.into_metadata(profiles)?),
+                critical_path,
+                hb_edges,
+            )
         } else {
             (None, 0, 0)
         };

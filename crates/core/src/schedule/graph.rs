@@ -5,30 +5,191 @@
 //! publishes the resulting lock profile. "If an abstract lock has counter
 //! value 1 in A's profile and 2 in C's profile, then C must be scheduled
 //! after A." This module reconstructs that ordering.
+//!
+//! Two representation choices keep the schedule pipeline cheap per
+//! transaction (schedules ship inside blocks and are re-validated by every
+//! node, so their size and build cost are consensus-wide per-op costs):
+//!
+//! * **Transitively-reduced construction.** [`from_profiles`] does *not*
+//!   materialize every ordered conflicting pair per lock (O(h²) edges for
+//!   h holders of a hot lock). Each lock's holders, sorted by counter, are
+//!   grouped into maximal *runs* of mutually-commuting modes, and edges are
+//!   added only between consecutive runs. This is the per-lock transitive
+//!   reduction: an exclusive chain of h holders publishes h−1 edges
+//!   instead of h(h−1)/2, and mixed modes produce writer→readers→writer
+//!   fans. Reachability — and therefore the critical path — is exactly
+//!   that of the all-pairs graph (the invariant is
+//!   *reachability-preserving*, not edge-preserving; a property test in
+//!   `tests/schedule_reduction.rs` checks it against an all-pairs
+//!   reference).
+//! * **CSR adjacency.** Successors and predecessors are flat sorted arrays
+//!   plus per-vertex offsets (compressed sparse row) instead of one
+//!   `BTreeSet` per vertex, with duplicate edges removed once at build
+//!   time. The topological order is computed **once** per graph and reused
+//!   by [`topological_sort`], [`critical_path`], [`reachability`] and
+//!   [`into_metadata`] — a mined block used to run Kahn's algorithm three
+//!   times and the validator a fourth.
+//!
+//! [`from_profiles`]: HappensBeforeGraph::from_profiles
+//! [`topological_sort`]: HappensBeforeGraph::topological_sort
+//! [`critical_path`]: HappensBeforeGraph::critical_path
+//! [`reachability`]: HappensBeforeGraph::reachability
+//! [`into_metadata`]: HappensBeforeGraph::into_metadata
 
 use crate::error::CoreError;
 use cc_ledger::{ProfileRecord, ScheduleMetadata};
+use cc_primitives::fx::FxHashMap;
 use cc_stm::{LockId, LockMode, LockProfile};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Splits `holders` (already sorted — by counter on the miner side, by
+/// serial position on the validator side) into maximal runs of
+/// mutually-commuting modes and calls `pair(prev_run, next_run)` for each
+/// consecutive pair of runs; `pair` returning `false` stops the walk.
+///
+/// This is the one definition of a "run" shared by the reduced
+/// construction ([`HappensBeforeGraph::from_profiles`]) and the
+/// validator's race check — the two consensus-critical sides must agree
+/// on run boundaries, so they must share this code.
+pub(crate) fn for_each_consecutive_run_pair<T>(
+    holders: &[T],
+    mode_of: impl Fn(&T) -> LockMode,
+    mut pair: impl FnMut(&[T], &[T]) -> bool,
+) {
+    let mut run_start = 0usize;
+    let mut prev_run: Option<(usize, usize)> = None;
+    for i in 1..=holders.len() {
+        let boundary =
+            i == holders.len() || mode_of(&holders[i]).conflicts(mode_of(&holders[run_start]));
+        if !boundary {
+            continue;
+        }
+        if let Some((p0, p1)) = prev_run {
+            if !pair(&holders[p0..p1], &holders[run_start..i]) {
+                return;
+            }
+        }
+        prev_run = Some((run_start, i));
+        run_start = i;
+    }
+}
 
 /// A directed acyclic graph whose vertices are the block's transaction
 /// indices and whose edges order conflicting transactions according to the
 /// miner's commit order.
+///
+/// The graph is immutable once built: constructors take the full edge set
+/// (or derive it from lock profiles), deduplicate it, lay both adjacency
+/// directions out in CSR form and compute the canonical topological order
+/// up front.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HappensBeforeGraph {
     n: usize,
-    succs: Vec<BTreeSet<usize>>,
-    preds: Vec<BTreeSet<usize>>,
+    /// Successor targets, grouped by source vertex, sorted within a group.
+    succs: Vec<u32>,
+    /// `succs[succ_offsets[v]..succ_offsets[v+1]]` are `v`'s successors.
+    succ_offsets: Vec<u32>,
+    /// Predecessor sources, grouped by target vertex, sorted within a group.
+    preds: Vec<u32>,
+    /// `preds[pred_offsets[v]..pred_offsets[v+1]]` are `v`'s predecessors.
+    pred_offsets: Vec<u32>,
+    /// The canonical (smallest-ready-index-first) topological order, or
+    /// `None` if the edge set is cyclic (possible only for corrupted
+    /// input — profiles produced by an actual speculative execution are
+    /// acyclic because counter order is commit order).
+    topo: Option<Vec<usize>>,
 }
 
 impl HappensBeforeGraph {
     /// Creates a graph over `n` transactions with no edges.
     pub fn new(n: usize) -> Self {
-        HappensBeforeGraph {
-            n,
-            succs: vec![BTreeSet::new(); n],
-            preds: vec![BTreeSet::new(); n],
+        Self::build(n, Vec::new())
+    }
+
+    /// Builds a graph over `n` transactions from an explicit edge list.
+    /// Self-edges and out-of-range endpoints are ignored; duplicates are
+    /// removed.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let list: Vec<(u32, u32)> = edges
+            .into_iter()
+            .filter(|&(a, b)| a != b && a < n && b < n)
+            .map(|(a, b)| (a as u32, b as u32))
+            .collect();
+        Self::build(n, list)
+    }
+
+    /// Drops self-edges, deduplicates, lays the edges out in CSR form and
+    /// computes the canonical topological order once. (A profile carrying
+    /// two entries for the same lock puts one transaction in two adjacent
+    /// runs of `from_profiles`, which would otherwise order the
+    /// transaction against itself.)
+    fn build(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        debug_assert!(n <= u32::MAX as usize, "blocks index transactions in u32");
+        edges.retain(|&(a, b)| a != b);
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut succ_offsets = vec![0u32; n + 1];
+        for &(a, _) in &edges {
+            succ_offsets[a as usize + 1] += 1;
         }
+        for v in 0..n {
+            succ_offsets[v + 1] += succ_offsets[v];
+        }
+        // `edges` is sorted by (source, target), so the targets are already
+        // grouped by source and sorted within each group.
+        let succs: Vec<u32> = edges.iter().map(|&(_, b)| b).collect();
+
+        let mut pred_offsets = vec![0u32; n + 1];
+        for &(_, b) in &edges {
+            pred_offsets[b as usize + 1] += 1;
+        }
+        for v in 0..n {
+            pred_offsets[v + 1] += pred_offsets[v];
+        }
+        let mut cursor: Vec<u32> = pred_offsets[..n].to_vec();
+        let mut preds = vec![0u32; edges.len()];
+        for &(a, b) in &edges {
+            let slot = &mut cursor[b as usize];
+            preds[*slot as usize] = a;
+            *slot += 1;
+        }
+        // Sources arrive in ascending order (edges are sorted), so each
+        // predecessor group is sorted as well.
+
+        let mut graph = HappensBeforeGraph {
+            n,
+            succs,
+            succ_offsets,
+            preds,
+            pred_offsets,
+            topo: None,
+        };
+        graph.topo = graph.compute_topo();
+        graph
+    }
+
+    /// Deterministic Kahn's algorithm: always pick the smallest ready
+    /// index, so the published serial order is reproducible. Runs once at
+    /// build time; every later consumer reuses the cached order.
+    fn compute_topo(&self) -> Option<Vec<usize>> {
+        let mut indegree: Vec<u32> = (0..self.n).map(|v| self.pred_count(v) as u32).collect();
+        let mut ready: BinaryHeap<Reverse<usize>> = (0..self.n)
+            .filter(|&v| indegree[v] == 0)
+            .map(Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(Reverse(v)) = ready.pop() {
+            order.push(v);
+            for &succ in self.succ_slice(v) {
+                indegree[succ as usize] -= 1;
+                if indegree[succ as usize] == 0 {
+                    ready.push(Reverse(succ as usize));
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
     }
 
     /// Number of vertices (transactions).
@@ -41,38 +202,47 @@ impl HappensBeforeGraph {
         self.n == 0
     }
 
-    /// Adds the edge `before → after` (self-edges and duplicates are
-    /// ignored).
-    pub fn add_edge(&mut self, before: usize, after: usize) {
-        if before == after || before >= self.n || after >= self.n {
-            return;
-        }
-        self.succs[before].insert(after);
-        self.preds[after].insert(before);
+    fn succ_slice(&self, v: usize) -> &[u32] {
+        &self.succs[self.succ_offsets[v] as usize..self.succ_offsets[v + 1] as usize]
+    }
+
+    fn pred_slice(&self, v: usize) -> &[u32] {
+        &self.preds[self.pred_offsets[v] as usize..self.pred_offsets[v + 1] as usize]
     }
 
     /// Whether the edge `before → after` is present.
     pub fn has_edge(&self, before: usize, after: usize) -> bool {
-        before < self.n && self.succs[before].contains(&after)
+        before < self.n
+            && after < self.n
+            && self
+                .succ_slice(before)
+                .binary_search(&(after as u32))
+                .is_ok()
     }
 
     /// Immediate predecessors of `i` (the transactions a fork-join task
     /// for `i` must join on — paper Algorithm 2's `B`).
     pub fn predecessors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.preds[i].iter().copied()
+        self.pred_slice(i).iter().map(|&v| v as usize)
     }
 
     /// Immediate successors of `i`.
     pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
-        self.succs[i].iter().copied()
+        self.succ_slice(i).iter().map(|&v| v as usize)
+    }
+
+    /// Number of immediate predecessors of `i` (O(1) — used by the
+    /// fork-join executor to size its join counters).
+    pub fn pred_count(&self, i: usize) -> usize {
+        (self.pred_offsets[i + 1] - self.pred_offsets[i]) as usize
     }
 
     /// All edges as `(before, after)` pairs, sorted.
     pub fn edges(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (a, succs) in self.succs.iter().enumerate() {
-            for &b in succs {
-                out.push((a, b));
+        let mut out = Vec::with_capacity(self.succs.len());
+        for v in 0..self.n {
+            for &succ in self.succ_slice(v) {
+                out.push((v, succ as usize));
             }
         }
         out
@@ -80,82 +250,87 @@ impl HappensBeforeGraph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.succs.iter().map(BTreeSet::len).sum()
+        self.succs.len()
     }
 
     /// Builds the happens-before graph from the lock profiles of a block's
     /// committed transactions (`profiles[i]` is transaction `i`'s profile).
     ///
     /// For every abstract lock, the committing transactions that held it
-    /// are ordered by their counter values; an edge is added between every
-    /// ordered pair whose lock modes do not commute. Two transactions that
-    /// only ever held a lock in additive (commutative) mode are left
-    /// unordered, preserving the parallelism the miner actually exploited.
+    /// are sorted by counter value and grouped into maximal **runs** of
+    /// mutually-commuting modes (a run of shared readers, a run of
+    /// additive updaters, or a single exclusive holder — exclusive does
+    /// not commute even with itself). Edges are added only between
+    /// consecutive runs: every member of a run happens-before every member
+    /// of the next. Transactions inside one run are left unordered,
+    /// preserving the parallelism the miner actually exploited; members of
+    /// non-adjacent runs either commute (same mode, nothing to order) or
+    /// are ordered transitively through the runs between them. The result
+    /// is the per-lock transitive reduction of the all-ordered-pairs
+    /// graph: same reachability, same critical path, h−1 edges instead of
+    /// h(h−1)/2 for an exclusive chain of h holders.
     pub fn from_profiles(profiles: &[LockProfile]) -> Self {
-        let mut graph = HappensBeforeGraph::new(profiles.len());
+        let n = profiles.len();
         // lock -> [(counter, tx_index, mode)]
-        let mut by_lock: BTreeMap<LockId, Vec<(u64, usize, LockMode)>> = BTreeMap::new();
+        let mut by_lock: FxHashMap<LockId, Vec<(u64, u32, LockMode)>> = FxHashMap::default();
         for (tx_index, profile) in profiles.iter().enumerate() {
             for entry in &profile.locks {
-                by_lock
-                    .entry(entry.lock)
-                    .or_default()
-                    .push((entry.counter, tx_index, entry.mode));
+                by_lock.entry(entry.lock).or_default().push((
+                    entry.counter,
+                    tx_index as u32,
+                    entry.mode,
+                ));
             }
         }
+        let mut edges: Vec<(u32, u32)> = Vec::new();
         for holders in by_lock.values_mut() {
             holders.sort_unstable();
-            for i in 0..holders.len() {
-                for j in (i + 1)..holders.len() {
-                    let (_, tx_a, mode_a) = holders[i];
-                    let (_, tx_b, mode_b) = holders[j];
-                    if mode_a.conflicts(mode_b) {
-                        graph.add_edge(tx_a, tx_b);
+            // Split the counter-ordered holders into maximal runs of
+            // mutually-commuting modes. A holder extends the current run
+            // iff its mode commutes with the run's mode, i.e. the modes
+            // are equal and non-exclusive; every boundary is therefore a
+            // conflicting pair, and so is every cross pair of two
+            // consecutive runs.
+            for_each_consecutive_run_pair(
+                holders,
+                |&(_, _, mode)| mode,
+                |prev, next| {
+                    for &(_, before, _) in prev {
+                        for &(_, after, _) in next {
+                            edges.push((before, after));
+                        }
                     }
-                }
-            }
+                    true
+                },
+            );
         }
-        graph
+        Self::build(n, edges)
     }
 
-    /// A topological order of the vertices, or `None` if the graph has a
-    /// cycle (which can only happen for a corrupted schedule — profiles
-    /// produced by an actual speculative execution are acyclic because
-    /// counter order is commit order).
+    /// The canonical topological order of the vertices, or `None` if the
+    /// graph has a cycle. The order is computed once when the graph is
+    /// built; this returns a copy of it.
     pub fn topological_sort(&self) -> Option<Vec<usize>> {
-        let mut indegree: Vec<usize> = (0..self.n).map(|i| self.preds[i].len()).collect();
-        // Deterministic Kahn's algorithm: always pick the smallest ready
-        // index, so the published serial order is reproducible.
-        let mut ready: BTreeSet<usize> = (0..self.n).filter(|&i| indegree[i] == 0).collect();
-        let mut order = Vec::with_capacity(self.n);
-        while let Some(&next) = ready.iter().next() {
-            ready.remove(&next);
-            order.push(next);
-            for &succ in &self.succs[next] {
-                indegree[succ] -= 1;
-                if indegree[succ] == 0 {
-                    ready.insert(succ);
-                }
-            }
-        }
-        if order.len() == self.n {
-            Some(order)
-        } else {
-            None
-        }
+        self.topo.clone()
+    }
+
+    /// Borrows the cached topological order without copying it, or `None`
+    /// for a cyclic graph.
+    pub fn serial_order(&self) -> Option<&[usize]> {
+        self.topo.as_deref()
     }
 
     /// Length (in vertices) of the longest path — the critical path of the
     /// fork-join program a validator will execute. Zero for an empty
     /// graph.
     pub fn critical_path(&self) -> usize {
-        let Some(order) = self.topological_sort() else {
+        let Some(order) = self.topo.as_deref() else {
             return self.n; // a cyclic (corrupt) graph is maximally serial
         };
         let mut depth = vec![1usize; self.n];
-        for &v in &order {
-            for &succ in &self.succs[v] {
-                depth[succ] = depth[succ].max(depth[v] + 1);
+        for &v in order {
+            for &succ in self.succ_slice(v) {
+                depth[succ as usize] = depth[succ as usize].max(depth[v] + 1);
             }
         }
         depth.into_iter().max().unwrap_or(0)
@@ -167,13 +342,19 @@ impl HappensBeforeGraph {
     pub fn reachability(&self) -> Reachability {
         let words = self.n.div_ceil(64);
         let mut reach = vec![vec![0u64; words]; self.n];
-        let order = self
-            .topological_sort()
-            .unwrap_or_else(|| (0..self.n).collect());
+        let fallback: Vec<usize>;
+        let order: &[usize] = match self.topo.as_deref() {
+            Some(order) => order,
+            None => {
+                fallback = (0..self.n).collect();
+                &fallback
+            }
+        };
         // Process in reverse topological order so each vertex's set is
         // complete before its predecessors use it.
         for &v in order.iter().rev() {
-            for &succ in &self.succs[v] {
+            for &succ in self.succ_slice(v) {
+                let succ = succ as usize;
                 // reach[v] |= reach[succ]; reach[v] |= {succ}
                 let (head, tail) = reach.split_at_mut(v.max(succ));
                 let (a, b) = if v < succ {
@@ -191,38 +372,57 @@ impl HappensBeforeGraph {
     }
 
     /// Converts the graph plus the per-transaction profiles into the
-    /// metadata a miner publishes in the block.
+    /// metadata a miner publishes in the block, **consuming both**: the
+    /// cached topological order moves into `serial_order` and every
+    /// profile moves into its [`ProfileRecord`] — nothing is cloned on the
+    /// mining hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedSchedule`] if the graph is cyclic.
+    pub fn into_metadata(self, profiles: Vec<LockProfile>) -> Result<ScheduleMetadata, CoreError> {
+        let edges = self.edges();
+        let serial_order = self.topo.ok_or_else(|| CoreError::MalformedSchedule {
+            reason: "happens-before graph contains a cycle".into(),
+        })?;
+        Ok(ScheduleMetadata {
+            serial_order,
+            edges,
+            profiles: profiles
+                .into_iter()
+                .enumerate()
+                .map(|(tx_index, profile)| ProfileRecord { tx_index, profile })
+                .collect(),
+        })
+    }
+
+    /// Clone-based convenience wrapper around [`Self::into_metadata`] for
+    /// callers that need to keep the graph and profiles (tests, tools).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::MalformedSchedule`] if the graph is cyclic.
     pub fn to_metadata(&self, profiles: &[LockProfile]) -> Result<ScheduleMetadata, CoreError> {
-        let serial_order = self
-            .topological_sort()
-            .ok_or_else(|| CoreError::MalformedSchedule {
-                reason: "happens-before graph contains a cycle".into(),
-            })?;
-        Ok(ScheduleMetadata {
-            serial_order,
-            edges: self.edges(),
-            profiles: profiles
-                .iter()
-                .enumerate()
-                .map(|(tx_index, profile)| ProfileRecord {
-                    tx_index,
-                    profile: profile.clone(),
-                })
-                .collect(),
-        })
+        self.clone().into_metadata(profiles.to_vec())
     }
 
     /// Reconstructs a graph from published metadata, validating its shape.
     ///
+    /// Note on the duplicate-edge rule: rejecting duplicates is a
+    /// **validation tightening** over the original representation (which
+    /// silently collapsed them), i.e. it shrinks the set of blocks
+    /// validators accept. Honest miners have never published duplicates —
+    /// the canonical encoding is produced from a deduplicated edge set —
+    /// so only adversarial blocks are affected, but in a network where
+    /// schedule rules are consensus, such a change must ship to all
+    /// validators together.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::MalformedSchedule`] if the serial order is not
-    /// a permutation of `0..n`, an edge index is out of range, the edge
-    /// set is cyclic, or the serial order is inconsistent with the edges.
+    /// a permutation of `0..n`, an edge is out of range, a self-loop or a
+    /// duplicate, the edge set is cyclic, or the serial order is
+    /// inconsistent with the edges.
     pub fn from_metadata(meta: &ScheduleMetadata, n: usize) -> Result<Self, CoreError> {
         if meta.serial_order.len() != n {
             return Err(CoreError::MalformedSchedule {
@@ -241,20 +441,32 @@ impl HappensBeforeGraph {
             }
             seen[i] = true;
         }
-        let mut graph = HappensBeforeGraph::new(n);
+        let mut list: Vec<(u32, u32)> = Vec::with_capacity(meta.edges.len());
         for &(a, b) in &meta.edges {
             if a >= n || b >= n || a == b {
                 return Err(CoreError::MalformedSchedule {
                     reason: format!("edge ({a}, {b}) is out of range"),
                 });
             }
-            graph.add_edge(a, b);
+            list.push((a as u32, b as u32));
         }
-        let Some(_) = graph.topological_sort() else {
+        let published = list.len();
+        let graph = Self::build(n, list);
+        // The canonical representation has no duplicate edges; published
+        // duplicates would silently vanish in the CSR dedup, so reject
+        // them instead of letting the digest cover bytes the graph
+        // ignores. Out-of-range and self edges were rejected above, so
+        // the build can only have shrunk the list by deduplicating.
+        if graph.edge_count() != published {
+            return Err(CoreError::MalformedSchedule {
+                reason: "duplicate happens-before edge".into(),
+            });
+        }
+        if graph.topo.is_none() {
             return Err(CoreError::MalformedSchedule {
                 reason: "published edges contain a cycle".into(),
             });
-        };
+        }
         // The published serial order must itself respect every edge.
         let mut position = vec![0usize; n];
         for (pos, &tx) in meta.serial_order.iter().enumerate() {
@@ -331,6 +543,28 @@ mod tests {
     }
 
     #[test]
+    fn exclusive_chain_publishes_exactly_h_minus_one_edges() {
+        // The headline reduction: h exclusive holders of one hot lock used
+        // to publish h(h−1)/2 ordered pairs; the segment-run construction
+        // publishes the chain itself.
+        let bid = LockSpace::new("highestBid").whole();
+        let h = 40;
+        let profiles: Vec<LockProfile> = (0..h)
+            .map(|i| profile(&[(bid, LockMode::Exclusive, i as u64 + 1)]))
+            .collect();
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert_eq!(g.edge_count(), h - 1);
+        assert_eq!(g.critical_path(), h);
+        for i in 0..h - 1 {
+            assert!(g.has_edge(i, i + 1), "chain edge {i}->{} missing", i + 1);
+        }
+        // Reachability is still the full order.
+        let r = g.reachability();
+        assert!(r.can_reach(0, h - 1));
+        assert!(!r.can_reach(h - 1, 0));
+    }
+
+    #[test]
     fn shared_readers_stay_unordered() {
         // Read-read pairs must create no happens-before edge: three
         // transactions read the same key (counters 1..3), a fourth writes
@@ -355,6 +589,27 @@ mod tests {
     }
 
     #[test]
+    fn writer_reader_writer_fans_skip_the_transitive_edge() {
+        // W, R, R, W: the second writer is ordered after the readers, and
+        // the W→W edge is implied (transitively) rather than published.
+        let key = LockSpace::new("cell").whole();
+        let profiles = vec![
+            profile(&[(key, LockMode::Exclusive, 1)]),
+            profile(&[(key, LockMode::Shared, 2)]),
+            profile(&[(key, LockMode::Shared, 3)]),
+            profile(&[(key, LockMode::Exclusive, 4)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3) && g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3), "W->W is implied, not published");
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.critical_path(), 3);
+        let r = g.reachability();
+        assert!(r.can_reach(0, 3), "the reduced graph still orders W->W");
+    }
+
+    #[test]
     fn additive_holders_stay_unordered() {
         let counts = LockSpace::new("voteCounts");
         let p0 = counts.lock_for(&0u64);
@@ -371,34 +626,77 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_lock_entries_in_one_profile_do_not_self_order() {
+        // `LockProfile::new` does not forbid two entries for the same
+        // lock; the duplicate holder lands in two adjacent runs and must
+        // not produce a self-edge (which would make the graph cyclic and
+        // fail the whole block).
+        let key = LockSpace::new("dup").whole();
+        let profiles = vec![
+            profile(&[(key, LockMode::Exclusive, 1), (key, LockMode::Exclusive, 2)]),
+            profile(&[(key, LockMode::Exclusive, 3)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.edges(), vec![(0, 1)]);
+        assert!(g.topological_sort().is_some(), "graph must stay acyclic");
+    }
+
+    #[test]
+    fn duplicate_edges_across_locks_collapse() {
+        // Two locks held by the same two transactions in the same order
+        // must publish the edge once.
+        let a = LockSpace::new("a").whole();
+        let b = LockSpace::new("b").whole();
+        let profiles = vec![
+            profile(&[(a, LockMode::Exclusive, 1), (b, LockMode::Exclusive, 1)]),
+            profile(&[(a, LockMode::Exclusive, 2), (b, LockMode::Exclusive, 2)]),
+        ];
+        let g = HappensBeforeGraph::from_profiles(&profiles);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edges(), vec![(0, 1)]);
+    }
+
+    #[test]
     fn topological_sort_respects_edges_and_is_deterministic() {
-        let mut g = HappensBeforeGraph::new(4);
-        g.add_edge(2, 0);
-        g.add_edge(0, 3);
+        let g = HappensBeforeGraph::from_edges(4, [(2, 0), (0, 3)]);
         let order = g.topological_sort().unwrap();
         let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
         assert!(pos(2) < pos(0));
         assert!(pos(0) < pos(3));
         assert_eq!(order, g.topological_sort().unwrap());
+        assert_eq!(g.serial_order().unwrap(), order.as_slice());
     }
 
     #[test]
     fn cycle_is_detected() {
-        let mut g = HappensBeforeGraph::new(2);
-        g.add_edge(0, 1);
-        g.add_edge(1, 0);
+        let g = HappensBeforeGraph::from_edges(2, [(0, 1), (1, 0)]);
         assert!(g.topological_sort().is_none());
         assert!(g
             .to_metadata(&[LockProfile::default(), LockProfile::default()])
             .is_err());
+        assert_eq!(g.critical_path(), 2, "cyclic graphs are maximally serial");
+    }
+
+    #[test]
+    fn csr_accessors_are_consistent() {
+        let g = HappensBeforeGraph::from_edges(5, [(0, 2), (0, 3), (1, 3), (3, 4), (0, 2)]);
+        assert_eq!(g.edge_count(), 4, "duplicates are removed at build time");
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(g.predecessors(3).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.pred_count(3), 2);
+        assert_eq!(g.pred_count(0), 0);
+        assert_eq!(g.edges(), vec![(0, 2), (0, 3), (1, 3), (3, 4)]);
+        assert!(g.has_edge(0, 3));
+        assert!(!g.has_edge(3, 0));
+        // Self-edges and out-of-range endpoints are dropped, not stored.
+        let g = HappensBeforeGraph::from_edges(2, [(0, 0), (0, 9), (1, 0)]);
+        assert_eq!(g.edges(), vec![(1, 0)]);
     }
 
     #[test]
     fn critical_path_of_chain_and_antichain() {
-        let mut chain = HappensBeforeGraph::new(5);
-        for i in 0..4 {
-            chain.add_edge(i, i + 1);
-        }
+        let chain = HappensBeforeGraph::from_edges(5, (0..4).map(|i| (i, i + 1)));
         assert_eq!(chain.critical_path(), 5);
         let antichain = HappensBeforeGraph::new(5);
         assert_eq!(antichain.critical_path(), 1);
@@ -407,10 +705,7 @@ mod tests {
 
     #[test]
     fn reachability_closure() {
-        let mut g = HappensBeforeGraph::new(5);
-        g.add_edge(0, 1);
-        g.add_edge(1, 2);
-        g.add_edge(3, 4);
+        let g = HappensBeforeGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
         let r = g.reachability();
         assert!(r.can_reach(0, 2));
         assert!(!r.can_reach(2, 0));
@@ -435,6 +730,10 @@ mod tests {
         assert_eq!(meta.profiles.len(), 2);
         let g2 = HappensBeforeGraph::from_metadata(&meta, 2).unwrap();
         assert_eq!(g, g2);
+
+        // The consuming path publishes identical metadata without cloning.
+        let meta2 = g.clone().into_metadata(profiles.clone()).unwrap();
+        assert_eq!(meta, meta2);
     }
 
     #[test]
@@ -453,6 +752,13 @@ mod tests {
         let meta = ScheduleMetadata {
             serial_order: vec![0, 1],
             edges: vec![(0, 5)],
+            profiles: vec![],
+        };
+        assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());
+        // Duplicate edge.
+        let meta = ScheduleMetadata {
+            serial_order: vec![0, 1],
+            edges: vec![(0, 1), (0, 1)],
             profiles: vec![],
         };
         assert!(HappensBeforeGraph::from_metadata(&meta, 2).is_err());

@@ -3,4 +3,5 @@
 
 mod graph;
 
+pub(crate) use graph::for_each_consecutive_run_pair;
 pub use graph::{HappensBeforeGraph, Reachability};

@@ -7,6 +7,7 @@ use crate::schedule::HappensBeforeGraph;
 use crate::stats::ValidationReport;
 use crate::validator::{receipt_mismatches, Validator};
 use cc_ledger::Block;
+use cc_primitives::fx::FxHashMap;
 use cc_stm::profile::collapse_trace;
 use cc_stm::{LockId, LockMode};
 use cc_vm::{Receipt, World};
@@ -130,28 +131,50 @@ impl Validator for ParallelValidator {
             }
 
             // (2) No hidden data races: conflicting transactions must be
-            // ordered by the published graph.
+            // ordered by the published graph. Mirroring the reduced
+            // construction, each lock's holders are sorted by their serial
+            // position and grouped into maximal runs of mutually-commuting
+            // modes; only cross pairs of *consecutive* runs need a
+            // reachability query. That is equivalent to checking every
+            // conflicting pair — ordering between consecutive runs
+            // composes transitively, and the published serial order
+            // respects every edge (enforced by `from_metadata`), so an
+            // ordered pair is always reachable in serial-order direction —
+            // but costs O(run boundaries) instead of O(h²) per hot lock.
             let reachability = graph.reachability();
-            let mut by_lock: BTreeMap<LockId, Vec<(usize, LockMode)>> = BTreeMap::new();
+            let mut position = vec![0usize; n];
+            for (pos, &tx) in schedule.serial_order.iter().enumerate() {
+                position[tx] = pos;
+            }
+            let mut by_lock: FxHashMap<LockId, Vec<(usize, LockMode)>> = FxHashMap::default();
             for (index, trace) in traces.iter().enumerate() {
                 for (&lock, &mode) in trace {
                     by_lock.entry(lock).or_default().push((index, mode));
                 }
             }
-            'locks: for (lock, holders) in &by_lock {
-                for i in 0..holders.len() {
-                    for j in (i + 1)..holders.len() {
-                        let (tx_a, mode_a) = holders[i];
-                        let (tx_b, mode_b) = holders[j];
-                        if mode_a.conflicts(mode_b) && !reachability.ordered(tx_a, tx_b) {
-                            reasons.push(format!(
-                                "data race: transactions {tx_a} and {tx_b} conflict on lock {lock} but are unordered in the published schedule"
-                            ));
-                            // One reason per lock is enough to reject.
-                            continue 'locks;
+            // Deterministic rejection messages regardless of hash order.
+            let mut locks: Vec<(LockId, Vec<(usize, LockMode)>)> = by_lock.into_iter().collect();
+            locks.sort_unstable_by_key(|&(lock, _)| lock);
+            for (lock, mut holders) in locks {
+                holders.sort_unstable_by_key(|&(tx, _)| position[tx]);
+                crate::schedule::for_each_consecutive_run_pair(
+                    &holders,
+                    |&(_, mode)| mode,
+                    |prev, next| {
+                        for &(tx_a, _) in prev {
+                            for &(tx_b, _) in next {
+                                if !reachability.can_reach(tx_a, tx_b) {
+                                    reasons.push(format!(
+                                        "data race: transactions {tx_a} and {tx_b} conflict on lock {lock} but are unordered in the published schedule"
+                                    ));
+                                    // One reason per lock is enough to reject.
+                                    return false;
+                                }
+                            }
                         }
-                    }
-                }
+                        true
+                    },
+                );
             }
         }
 

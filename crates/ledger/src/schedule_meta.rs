@@ -78,20 +78,42 @@ impl ScheduleMetadata {
         if n == 0 {
             return 0;
         }
-        let mut depth = vec![1usize; n];
-        // serial_order is a topological order, so a single pass suffices.
+        // serial_order is a topological order, so one pass over the edges
+        // bucketed by source position suffices. The buckets are built with
+        // a counting sort (O(n + e)) instead of cloning and
+        // comparison-sorting the edge list.
         let mut order_pos = vec![0usize; n];
         for (pos, &tx) in self.serial_order.iter().enumerate() {
             if tx < n {
                 order_pos[tx] = pos;
             }
         }
-        let mut edges = self.edges.clone();
-        edges.sort_by_key(|&(a, _)| order_pos.get(a).copied().unwrap_or(0));
-        for &(a, b) in &edges {
-            if a < n && b < n {
-                depth[b] = depth[b].max(depth[a] + 1);
+        let in_range = |a: usize, b: usize| a < n && b < n;
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, b) in &self.edges {
+            if in_range(a, b) {
+                offsets[order_pos[a] + 1] += 1;
             }
+        }
+        for pos in 0..n {
+            offsets[pos + 1] += offsets[pos];
+        }
+        let mut cursor = offsets.clone();
+        // Each bucket keeps the full (source, target) pair: the source is
+        // not recoverable from the bucket position unless the serial
+        // order is a valid permutation, and this method is also called on
+        // not-yet-validated metadata (e.g. by `Display`).
+        let mut buckets = vec![(0usize, 0usize); offsets[n]];
+        for &(a, b) in &self.edges {
+            if in_range(a, b) {
+                let slot = &mut cursor[order_pos[a]];
+                buckets[*slot] = (a, b);
+                *slot += 1;
+            }
+        }
+        let mut depth = vec![1usize; n];
+        for &(a, b) in &buckets {
+            depth[b] = depth[b].max(depth[a] + 1);
         }
         depth.into_iter().max().unwrap_or(0)
     }
@@ -174,6 +196,15 @@ impl ScheduleMetadata {
         self.encode(&mut enc);
         sha256(enc.as_slice())
     }
+
+    /// Size in bytes of the canonical encoding — the space this schedule
+    /// occupies in a published block (tracked by the `schedule` section of
+    /// the perf-trajectory files).
+    pub fn encoded_size(&self) -> usize {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.as_slice().len()
+    }
 }
 
 impl fmt::Display for ScheduleMetadata {
@@ -245,6 +276,38 @@ mod tests {
         let bytes = enc.into_bytes();
         let decoded = ScheduleMetadata::decode(&mut Decoder::new(&bytes)).unwrap();
         assert_eq!(decoded, s);
+    }
+
+    #[test]
+    fn critical_path_tolerates_malformed_metadata() {
+        // Not-yet-validated metadata (e.g. straight out of `decode`) may
+        // have a serial order that is not a permutation; critical_path is
+        // advisory there but must use each edge's real source, not the
+        // transaction the serial order claims sits at that position.
+        let s = ScheduleMetadata {
+            serial_order: vec![2, 2, 2],
+            edges: vec![(0, 2), (1, 0)],
+            profiles: Vec::new(),
+        };
+        // Real depths: 1 -> 0 -> 2 gives a path of 3 vertices, but the
+        // edges are processed in the (degenerate) bucket order where both
+        // sit at position 0, so only the direct hops count: depth 2.
+        assert_eq!(s.critical_path(), 2);
+        // Out-of-range edges are ignored, not a panic.
+        let s = ScheduleMetadata {
+            serial_order: vec![0, 1],
+            edges: vec![(0, 9), (9, 1), (0, 1)],
+            profiles: Vec::new(),
+        };
+        assert_eq!(s.critical_path(), 2);
+    }
+
+    #[test]
+    fn encoded_size_matches_encoding() {
+        let s = sample();
+        let mut enc = Encoder::new();
+        s.encode(&mut enc);
+        assert_eq!(s.encoded_size(), enc.into_bytes().len());
     }
 
     #[test]
