@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--threads N] [--reps R] [--quick] [--json PATH] \
 //!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]
-//! repro diff OLD.json NEW.json [--tolerance PCT] [--strict]
+//! repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]
 //! ```
 //!
 //! * `figure1-blocksize` — Figure 1, left column: speedup vs. block size at
@@ -34,11 +34,16 @@
 //! * `all` (default) — everything above.
 //! * `diff OLD.json NEW.json` — compares two `--json` outputs
 //!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
-//!   with `--strict`, regressions make the exit status non-zero.
+//!   with `--strict`, regressions make the exit status non-zero, and
+//!   `--section NAME` restricts the comparison to one section (e.g.
+//!   `--section stm_micro`), which is how CI gates the per-op hot-path
+//!   numbers strictly while keeping the full-suite diff informational.
 //!
 //! `--quick` shrinks the sweeps (fewer points, 2 repetitions) so the whole
 //! run finishes in a couple of minutes; the full run mirrors the paper's
-//! 5 repetitions + 3 warm-ups.
+//! 5 repetitions + 3 warm-ups. The `stm_micro` section is exempt from the
+//! shrinking: its numbers are strictly CI-gated against the committed
+//! baseline, so quick runs must not bias them (see `micro_ops`).
 //!
 //! `--json PATH` additionally writes the run's sweep data — the Figure-1
 //! block-size/conflict sweeps, the contention suite and the micro suite,
@@ -72,6 +77,9 @@ struct Options {
     tolerance: f64,
     /// `diff`: exit non-zero when regressions are flagged.
     strict: bool,
+    /// `diff`: restrict the comparison to one section's metrics
+    /// (label prefix, e.g. `stm_micro`).
+    section: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -84,6 +92,7 @@ fn parse_args() -> Options {
         json_path: None,
         tolerance: 25.0,
         strict: false,
+        section: None,
     };
     let mut saw_command = false;
     let mut args = std::env::args().skip(1);
@@ -111,6 +120,13 @@ fn parse_args() -> Options {
                 Some(pct) => options.tolerance = pct,
                 None => {
                     eprintln!("--tolerance requires a percentage");
+                    std::process::exit(2);
+                }
+            },
+            "--section" => match args.next() {
+                Some(name) => options.section = Some(name),
+                None => {
+                    eprintln!("--section requires a section name (e.g. stm_micro)");
                     std::process::exit(2);
                 }
             },
@@ -443,12 +459,14 @@ fn print_contention(opts: &Options) -> Vec<ContentionPoint> {
     points
 }
 
-fn micro_ops(quick: bool) -> usize {
-    if quick {
-        20_000
-    } else {
-        100_000
-    }
+fn micro_ops(_quick: bool) -> usize {
+    // Deliberately NOT shrunk by --quick: the stm_micro section is the
+    // strictly CI-gated hot-path scoreboard, and fewer iterations bias
+    // every case 30–50% high (worse warm-up, worse amortization of the
+    // timing loop) — the gate would then compare a quick smoke run
+    // against the committed full-run baseline and flag phantom
+    // regressions. The full iteration count costs only a few seconds.
+    100_000
 }
 
 fn print_micro(opts: &Options) -> Vec<MicroPoint> {
@@ -808,14 +826,38 @@ fn load_bench_json(path: &str) -> Json {
 }
 
 /// Compares two bench JSONs and prints per-benchmark deltas. Returns the
-/// number of regressions beyond the tolerance.
-fn run_diff(old_path: &str, new_path: &str, tolerance: f64) -> usize {
+/// number of regressions beyond the tolerance. `section` restricts the
+/// comparison to metrics whose label lives under `section/`.
+fn run_diff(old_path: &str, new_path: &str, tolerance: f64, section: Option<&str>) -> usize {
     let old_doc = load_bench_json(old_path);
     let new_doc = load_bench_json(new_path);
-    let old_metrics = extract_metrics(&old_doc);
-    let new_metrics = extract_metrics(&new_doc);
+    let in_section = |m: &Metric| match section {
+        Some(name) => m.label.starts_with(&format!("{name}/")),
+        None => true,
+    };
+    let old_metrics: Vec<Metric> = extract_metrics(&old_doc)
+        .into_iter()
+        .filter(in_section)
+        .collect();
+    let new_metrics: Vec<Metric> = extract_metrics(&new_doc)
+        .into_iter()
+        .filter(in_section)
+        .collect();
+    if let Some(name) = section {
+        // An empty gate would silently pass: regressions are only counted
+        // over the label intersection, so a typo'd section name OR a
+        // baseline missing the section (stale / generated by a different
+        // command) must both fail loudly instead.
+        for (metrics, path) in [(&new_metrics, new_path), (&old_metrics, old_path)] {
+            if metrics.is_empty() {
+                eprintln!("section {name} matched no metrics in {path}");
+                std::process::exit(2);
+            }
+        }
+    }
 
-    println!("== bench diff: {old_path} → {new_path} (tolerance ±{tolerance:.0}%) ==\n");
+    let scope = section.unwrap_or("all sections");
+    println!("== bench diff: {old_path} → {new_path} ({scope}, tolerance ±{tolerance:.0}%) ==\n");
     println!(
         "{:<64} {:>12} {:>12} {:>9}",
         "metric", "old", "new", "delta"
@@ -874,10 +916,12 @@ fn main() {
 
     if opts.command == "diff" {
         let [old_path, new_path] = opts.operands.as_slice() else {
-            eprintln!("usage: repro diff OLD.json NEW.json [--tolerance PCT] [--strict]");
+            eprintln!(
+                "usage: repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]"
+            );
             std::process::exit(2);
         };
-        let regressions = run_diff(old_path, new_path, opts.tolerance);
+        let regressions = run_diff(old_path, new_path, opts.tolerance, opts.section.as_deref());
         if opts.strict && regressions > 0 {
             std::process::exit(1);
         }
@@ -955,7 +999,9 @@ fn main() {
         other => {
             eprintln!("unknown command `{other}`");
             eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]");
-            eprintln!("       repro diff OLD.json NEW.json [--tolerance PCT] [--strict]");
+            eprintln!(
+                "       repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]"
+            );
             std::process::exit(2);
         }
     }

@@ -135,9 +135,63 @@ pub fn run_micro(ops: usize) -> Vec<MicroPoint> {
     }
 
     // -- read path: shared-mode get --------------------------------------
+    // Batched at [`OPS_PER_TXN`] like the mutation cases, so the read and
+    // write paths amortize the fixed begin/commit cost identically and
+    // their ns/op are directly comparable (pre-PR-5 this case ran one get
+    // per transaction, which is why shared-mode reads *appeared* slower
+    // than exclusive inserts).
     {
         let stm = Stm::new();
         let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.get");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let ns = time_case(ops / OPS_PER_TXN as usize, |i| {
+            let base = (i as u64 * OPS_PER_TXN) % 1024;
+            stm.run(|txn| {
+                for j in 0..OPS_PER_TXN {
+                    map.get(txn, &((base + j) % 1024))?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }) / OPS_PER_TXN as f64;
+        points.push(MicroPoint {
+            name: "map-get-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- read path: borrowing get_with (no V: Clone per read) ------------
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.getwith");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let ns = time_case(ops / OPS_PER_TXN as usize, |i| {
+            let base = (i as u64 * OPS_PER_TXN) % 1024;
+            stm.run(|txn| {
+                for j in 0..OPS_PER_TXN {
+                    map.get_with(txn, &((base + j) % 1024), |v| v.is_some())?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }) / OPS_PER_TXN as f64;
+        points.push(MicroPoint {
+            name: "map-get-with-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- read path: whole-transaction cost of a single get ---------------
+    // One operation per transaction: dominated by the fixed
+    // begin/acquire/release/commit machinery, tracked so per-transaction
+    // overhead regressions stay visible.
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.get1");
         for i in 0..1024u64 {
             map.seed(i, i);
         }
@@ -146,7 +200,43 @@ pub fn run_micro(ops: usize) -> Vec<MicroPoint> {
             stm.run(|txn| map.get(txn, &key)).unwrap();
         });
         points.push(MicroPoint {
-            name: "map-get-commit",
+            name: "map-get-single-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- fixed cost: an empty transaction --------------------------------
+    {
+        let stm = Stm::new();
+        let ns = time_case(ops, |_| {
+            stm.run(|_txn| Ok(())).unwrap();
+        });
+        points.push(MicroPoint {
+            name: "txn-begin-commit",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- upgrade path: same-key get → insert (Shared → Exclusive) --------
+    // The shape contracts overwhelmingly produce (read a slot, then write
+    // it); exercises the in-place lock upgrade and the transaction's
+    // one-slot last-lock cache.
+    {
+        let stm = Stm::new();
+        let map: BoostedMap<u64, u64> = BoostedMap::new("micro.map.upgrade");
+        for i in 0..1024u64 {
+            map.seed(i, i);
+        }
+        let ns = time_case(ops, |i| {
+            let key = (i as u64) % 1024;
+            stm.run(|txn| {
+                let current = map.get(txn, &key)?.unwrap_or(0);
+                map.insert(txn, key, current + 1)
+            })
+            .unwrap();
+        });
+        points.push(MicroPoint {
+            name: "txn-get-then-insert",
             ns_per_op: ns,
         });
     }
@@ -226,7 +316,7 @@ mod tests {
     #[test]
     fn micro_suite_produces_positive_timings() {
         let points = run_micro(64);
-        assert_eq!(points.len(), 7);
+        assert_eq!(points.len(), 11);
         for p in &points {
             assert!(p.ns_per_op > 0.0, "{} measured nothing", p.name);
         }

@@ -134,8 +134,8 @@ impl Ballot {
         ctx: &mut CallContext<'_>,
         voter: Address,
     ) -> Result<ReturnValue, VmError> {
-        let chairperson = self.chairperson.get(ctx)?;
-        if ctx.sender() != chairperson {
+        let sender = ctx.sender();
+        if self.chairperson.with(ctx, |chair| *chair != sender)? {
             return ctx.throw("only the chairperson can give the right to vote");
         }
         let existing = self.voters.get(ctx, &voter)?.unwrap_or_default();
@@ -164,11 +164,15 @@ impl Ballot {
         // every hop here charges storage reads, so the same bound applies.
         loop {
             ctx.charge_steps(1)?;
-            let target = self.voters.get(ctx, &to)?.unwrap_or_default();
-            if target.delegate.is_zero() || target.delegate == sender_addr {
+            // Only the hop target's delegate pointer matters here; read it
+            // by reference instead of cloning the whole Voter per hop.
+            let next = self
+                .voters
+                .get_with(ctx, &to, |v| v.map(|v| v.delegate).unwrap_or_default())?;
+            if next.is_zero() || next == sender_addr {
                 break;
             }
-            to = target.delegate;
+            to = next;
         }
         if to == sender_addr {
             return ctx.throw("delegation loop");

@@ -74,7 +74,7 @@ impl Crowdsale {
     }
 
     fn buy(&self, ctx: &mut CallContext<'_>) -> Result<ReturnValue, VmError> {
-        if !self.open.get(ctx)? {
+        if !self.open.with(ctx, |o| *o)? {
             return ctx.throw("crowdsale is closed");
         }
         let value = ctx.msg().value.amount();
@@ -108,7 +108,8 @@ impl Crowdsale {
     }
 
     fn close(&self, ctx: &mut CallContext<'_>) -> Result<ReturnValue, VmError> {
-        if ctx.sender() != self.owner.get(ctx)? {
+        let sender = ctx.sender();
+        if self.owner.with(ctx, |owner| *owner != sender)? {
             return ctx.throw("only the owner can close the sale");
         }
         self.open.set(ctx, false)?;

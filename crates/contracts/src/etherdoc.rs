@@ -147,8 +147,11 @@ impl EtherDoc {
     }
 
     fn get_owner(&self, ctx: &mut CallContext<'_>, hash: [u8; 32]) -> Result<ReturnValue, VmError> {
-        match self.documents.get(ctx, &hash)? {
-            Some(doc) => Ok(ReturnValue::Addr(doc.owner)),
+        match self
+            .documents
+            .get_with(ctx, &hash, |doc| doc.map(|doc| doc.owner))?
+        {
+            Some(owner) => Ok(ReturnValue::Addr(owner)),
             None => ctx.throw("no such document"),
         }
     }

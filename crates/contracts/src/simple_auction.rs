@@ -79,7 +79,7 @@ impl SimpleAuction {
         ctx: &mut CallContext<'_>,
         amount: u128,
     ) -> Result<ReturnValue, VmError> {
-        if self.ended.get(ctx)? {
+        if self.ended.with(ctx, |e| *e)? {
             return ctx.throw("auction already ended");
         }
         let current = self.highest_bid.get(ctx)?;
@@ -128,7 +128,7 @@ impl SimpleAuction {
     }
 
     fn auction_end(&self, ctx: &mut CallContext<'_>) -> Result<ReturnValue, VmError> {
-        if self.ended.get(ctx)? {
+        if self.ended.with(ctx, |e| *e)? {
             return ctx.throw("auctionEnd has already been called");
         }
         self.ended.set(ctx, true)?;

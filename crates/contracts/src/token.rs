@@ -81,7 +81,8 @@ impl Token {
         to: Address,
         amount: u128,
     ) -> Result<ReturnValue, VmError> {
-        if ctx.sender() != self.minter.get(ctx)? {
+        let sender = ctx.sender();
+        if self.minter.with(ctx, |minter| *minter != sender)? {
             return ctx.throw("only the minter can mint");
         }
         self.balances.update_or(ctx, to, 0, |b| *b += amount)?;

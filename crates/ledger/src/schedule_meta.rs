@@ -136,8 +136,8 @@ impl ScheduleMetadata {
             enc.put_u64(record.tx_index as u64);
             enc.put_u64(record.profile.locks.len() as u64);
             for entry in &record.profile.locks {
-                enc.put_u64(entry.lock.space);
-                enc.put_u64(entry.lock.key);
+                enc.put_u64(entry.lock.space());
+                enc.put_u64(entry.lock.key());
                 enc.put_u8(entry.mode.to_byte());
                 enc.put_u64(entry.counter);
             }

@@ -76,9 +76,29 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 /// validator relies on when comparing its lock traces with the miner's
 /// published lock profiles.
 pub fn fnv1a_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    #[cfg(debug_assertions)]
+    KEY_HASH_COUNT.with(|c| c.set(c.get() + 1));
     let mut h = FnvHasher::new();
     value.hash(&mut h);
     h.finish()
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Debug-only tally of [`fnv1a_of`] calls on this thread — the
+    /// hash-count hook the STM crate's hot-path tests assert against
+    /// ("each boosted storage operation hashes its key exactly once").
+    static KEY_HASH_COUNT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug-only: number of [`fnv1a_of`] key-hash computations performed on
+/// the current thread since it started. Tests snapshot this before and
+/// after an operation to assert how many times the operation hashed a
+/// key. Compiled out of release builds (release code must not pay for the
+/// counter, and perf numbers must not include it).
+#[cfg(debug_assertions)]
+pub fn key_hash_count() -> u64 {
+    KEY_HASH_COUNT.with(|c| c.get())
 }
 
 #[cfg(test)]

@@ -110,6 +110,378 @@ pub fn fx_hash_of<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
     h.finish()
 }
 
+// ---- RawFxMap: a map keyed by caller-supplied hashes ---------------------
+
+/// One slot of a [`RawFxMap`].
+#[derive(Debug, Clone)]
+enum Slot<K, V> {
+    /// Never occupied; terminates probe sequences.
+    Empty,
+    /// Previously occupied; probe sequences continue past it.
+    Tombstone,
+    /// A live entry, remembering the caller-supplied hash so rehashing
+    /// never re-hashes a key.
+    Full { hash: u64, key: K, value: V },
+}
+
+/// Fibonacci multiplier used to derive a probe start from a stored hash
+/// (`2^64 / phi`, the usual constant). The caller's hash is used *as
+/// given* for equality; only the probe start is re-mixed, so tables stay
+/// well distributed even if the supplied hashes cluster in their low bits.
+const PROBE_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A hash map whose **every** operation takes a caller-supplied 64-bit
+/// hash — the raw-entry-style companion to [`FxHashMap`].
+///
+/// The boosted-storage hot path computes one FNV-64 fingerprint per
+/// logical key and then needs that key in several tables (the abstract
+/// lock's backing store above all). A `HashMap` re-hashes the key on
+/// every lookup; `RawFxMap` instead trusts the caller's hash, stores it
+/// alongside the entry, and compares keys only on hash equality. Supplying
+/// inconsistent hashes for equal keys makes entries unfindable (a logic
+/// error, like an inconsistent `Hash` impl — never memory unsafety).
+///
+/// Collisions are resolved by linear probing over a power-of-two table
+/// with tombstone deletion; at most ⅞ of the table is ever occupied, so
+/// probe chains stay short and every probe terminates.
+///
+/// # Example
+///
+/// ```
+/// use cc_primitives::fx::{fx_hash_of, RawFxMap};
+/// let mut map: RawFxMap<String, u32> = RawFxMap::new();
+/// let h = fx_hash_of("alice");
+/// map.insert_hashed(h, "alice".to_string(), 7);
+/// assert_eq!(map.get_hashed(h, "alice"), Some(&7));
+/// assert_eq!(map.remove_hashed(h, "alice"), Some(7));
+/// assert!(map.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RawFxMap<K, V> {
+    /// Power-of-two slot table (empty until the first insert).
+    slots: Vec<Slot<K, V>>,
+    /// Number of `Full` slots.
+    items: usize,
+    /// Number of `Full` + `Tombstone` slots (bounds probe-chain length).
+    used: usize,
+}
+
+impl<K, V> Default for RawFxMap<K, V> {
+    fn default() -> Self {
+        RawFxMap::new()
+    }
+}
+
+impl<K, V> RawFxMap<K, V> {
+    /// Creates an empty map (no allocation until the first insert).
+    pub fn new() -> Self {
+        RawFxMap {
+            slots: Vec::new(),
+            items: 0,
+            used: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Removes every entry, keeping the allocated table.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = Slot::Empty;
+        }
+        self.items = 0;
+        self.used = 0;
+    }
+
+    /// Iterates over `(&key, &value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().filter_map(|slot| match slot {
+            Slot::Full { key, value, .. } => Some((key, value)),
+            _ => None,
+        })
+    }
+
+    /// Probe start index for `hash` in the current table.
+    fn probe_start(&self, hash: u64) -> usize {
+        // High multiply bits, folded down to the table size.
+        (hash.wrapping_mul(PROBE_MIX) >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    /// Index of the live entry for `(hash, key)`, if present.
+    fn find<Q>(&self, hash: u64, key: &Q) -> Option<usize>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(hash);
+        loop {
+            match &self.slots[i] {
+                Slot::Empty => return None,
+                Slot::Full {
+                    hash: h, key: k, ..
+                } if *h == hash && k.borrow() == key => return Some(i),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Grows (or compacts tombstones out of) the table so at least one
+    /// more entry fits under the ⅞ load ceiling.
+    fn reserve_one(&mut self) {
+        let cap = self.slots.len();
+        if cap == 0 {
+            self.rehash(8);
+        } else if (self.used + 1) * 8 > cap * 7 {
+            // Grow when genuinely full; rehash in place when the load is
+            // mostly tombstones.
+            let target = if (self.items + 1) * 2 > cap {
+                cap * 2
+            } else {
+                cap
+            };
+            self.rehash(target);
+        }
+    }
+
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| Slot::Empty).collect());
+        self.used = self.items;
+        let mask = new_cap - 1;
+        for slot in old {
+            if let Slot::Full { hash, key, value } = slot {
+                // Keys are unique and the new table has no tombstones:
+                // place at the first empty slot of the probe sequence.
+                let mut i = self.probe_start(hash);
+                while matches!(self.slots[i], Slot::Full { .. }) {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = Slot::Full { hash, key, value };
+            }
+        }
+    }
+}
+
+impl<K: Eq, V> RawFxMap<K, V> {
+    /// Returns a reference to the value for `key`, using the caller's
+    /// `hash` (which must match the hash the entry was inserted under).
+    pub fn get_hashed<Q>(&self, hash: u64, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        self.find(hash, key).map(|i| match &self.slots[i] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("find returns full slots"),
+        })
+    }
+
+    /// Mutable-reference variant of [`RawFxMap::get_hashed`].
+    pub fn get_hashed_mut<Q>(&mut self, hash: u64, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        let i = self.find(hash, key)?;
+        match &mut self.slots[i] {
+            Slot::Full { value, .. } => Some(value),
+            _ => unreachable!("find returns full slots"),
+        }
+    }
+
+    /// Whether an entry for `(hash, key)` exists.
+    pub fn contains_hashed<Q>(&self, hash: u64, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        self.find(hash, key).is_some()
+    }
+
+    /// Inserts `key → value` under `hash`, returning the previous value if
+    /// the key was already bound.
+    pub fn insert_hashed(&mut self, hash: u64, key: K, value: V) -> Option<V> {
+        self.reserve_one();
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(hash);
+        let mut first_tombstone: Option<usize> = None;
+        loop {
+            match &mut self.slots[i] {
+                Slot::Empty => {
+                    let target = first_tombstone.unwrap_or(i);
+                    if first_tombstone.is_none() {
+                        self.used += 1;
+                    }
+                    self.items += 1;
+                    self.slots[target] = Slot::Full { hash, key, value };
+                    return None;
+                }
+                Slot::Tombstone => {
+                    if first_tombstone.is_none() {
+                        first_tombstone = Some(i);
+                    }
+                    i = (i + 1) & mask;
+                }
+                Slot::Full {
+                    hash: h,
+                    key: k,
+                    value: v,
+                } => {
+                    if *h == hash && *k == key {
+                        return Some(std::mem::replace(v, value));
+                    }
+                    i = (i + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Removes the entry for `(hash, key)`, returning its value.
+    pub fn remove_hashed<Q>(&mut self, hash: u64, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + ?Sized,
+    {
+        let i = self.find(hash, key)?;
+        self.items -= 1;
+        match std::mem::replace(&mut self.slots[i], Slot::Tombstone) {
+            Slot::Full { value, .. } => Some(value),
+            _ => unreachable!("find returns full slots"),
+        }
+    }
+
+    /// Raw-entry API: in-place access to the slot for `(hash, key)`,
+    /// occupied or vacant. The key is consumed; on the occupied path the
+    /// map keeps its existing key and the supplied one is dropped (like
+    /// `std`'s entry API).
+    pub fn entry_hashed(&mut self, hash: u64, key: K) -> RawEntry<'_, K, V> {
+        self.reserve_one();
+        match self.find(hash, &key) {
+            Some(idx) => RawEntry::Occupied(RawOccupiedEntry { map: self, idx }),
+            None => RawEntry::Vacant(RawVacantEntry {
+                map: self,
+                hash,
+                key,
+            }),
+        }
+    }
+}
+
+/// A view into one slot of a [`RawFxMap`], from [`RawFxMap::entry_hashed`].
+pub enum RawEntry<'a, K, V> {
+    /// The key is bound.
+    Occupied(RawOccupiedEntry<'a, K, V>),
+    /// The key is not bound.
+    Vacant(RawVacantEntry<'a, K, V>),
+}
+
+impl<'a, K: Eq, V> RawEntry<'a, K, V> {
+    /// Returns a mutable reference to the bound value, inserting `default`
+    /// first if vacant.
+    pub fn or_insert(self, default: V) -> &'a mut V {
+        self.or_insert_with(|| default)
+    }
+
+    /// Returns a mutable reference to the bound value, inserting the
+    /// result of `default()` first if vacant.
+    pub fn or_insert_with(self, default: impl FnOnce() -> V) -> &'a mut V {
+        match self {
+            RawEntry::Occupied(entry) => entry.into_mut(),
+            RawEntry::Vacant(entry) => entry.insert(default()),
+        }
+    }
+}
+
+/// An occupied slot of a [`RawFxMap`].
+pub struct RawOccupiedEntry<'a, K, V> {
+    map: &'a mut RawFxMap<K, V>,
+    idx: usize,
+}
+
+impl<'a, K, V> RawOccupiedEntry<'a, K, V> {
+    /// The bound value.
+    pub fn get(&self) -> &V {
+        match &self.map.slots[self.idx] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("occupied entries point at full slots"),
+        }
+    }
+
+    /// The bound value, mutably.
+    pub fn get_mut(&mut self) -> &mut V {
+        match &mut self.map.slots[self.idx] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("occupied entries point at full slots"),
+        }
+    }
+
+    /// Consumes the entry, returning a reference tied to the map.
+    pub fn into_mut(self) -> &'a mut V {
+        match &mut self.map.slots[self.idx] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("occupied entries point at full slots"),
+        }
+    }
+
+    /// Removes the entry, returning its value.
+    pub fn remove(self) -> V {
+        self.map.items -= 1;
+        match std::mem::replace(&mut self.map.slots[self.idx], Slot::Tombstone) {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("occupied entries point at full slots"),
+        }
+    }
+}
+
+/// A vacant slot of a [`RawFxMap`].
+pub struct RawVacantEntry<'a, K, V> {
+    map: &'a mut RawFxMap<K, V>,
+    hash: u64,
+    key: K,
+}
+
+impl<'a, K: Eq, V> RawVacantEntry<'a, K, V> {
+    /// Inserts `value`, returning a reference tied to the map.
+    pub fn insert(self, value: V) -> &'a mut V {
+        // `entry_hashed` already reserved headroom and proved the key
+        // absent; claim the first tombstone or empty slot of the probe
+        // sequence.
+        let mask = self.map.slots.len() - 1;
+        let mut i = self.map.probe_start(self.hash);
+        loop {
+            match &self.map.slots[i] {
+                Slot::Empty | Slot::Tombstone => break,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        if matches!(self.map.slots[i], Slot::Empty) {
+            self.map.used += 1;
+        }
+        self.map.items += 1;
+        self.map.slots[i] = Slot::Full {
+            hash: self.hash,
+            key: self.key,
+            value,
+        };
+        match &mut self.map.slots[i] {
+            Slot::Full { value, .. } => value,
+            _ => unreachable!("slot was just filled"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +515,139 @@ mod tests {
             seen.insert(fx_hash_of(&i));
         }
         assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn raw_map_insert_get_remove_roundtrip() {
+        let mut map: RawFxMap<u64, String> = RawFxMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get_hashed(fx_hash_of(&1u64), &1), None);
+        for i in 0..100u64 {
+            assert_eq!(map.insert_hashed(fx_hash_of(&i), i, format!("v{i}")), None);
+        }
+        assert_eq!(map.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(
+                map.get_hashed(fx_hash_of(&i), &i).map(String::as_str),
+                Some(format!("v{i}")).as_deref()
+            );
+        }
+        // Overwrite returns the prior value.
+        assert_eq!(
+            map.insert_hashed(fx_hash_of(&7u64), 7, "new".into()),
+            Some("v7".into())
+        );
+        assert_eq!(map.len(), 100);
+        // Removals tombstone; survivors stay findable.
+        for i in (0..100u64).step_by(2) {
+            assert_eq!(map.remove_hashed(fx_hash_of(&i), &i), Some(format!("v{i}")));
+            assert_eq!(map.remove_hashed(fx_hash_of(&i), &i), None);
+        }
+        assert_eq!(map.len(), 50);
+        assert!(map.contains_hashed(fx_hash_of(&1u64), &1));
+        assert!(!map.contains_hashed(fx_hash_of(&2u64), &2));
+        assert_eq!(map.iter().count(), 50);
+        map.clear();
+        assert!(map.is_empty());
+        assert_eq!(map.iter().count(), 0);
+    }
+
+    #[test]
+    fn raw_map_entry_api() {
+        let mut map: RawFxMap<&'static str, u32> = RawFxMap::new();
+        let h = fx_hash_of("x");
+        *map.entry_hashed(h, "x").or_insert(0) += 3;
+        *map.entry_hashed(h, "x").or_insert(0) += 4;
+        assert_eq!(map.get_hashed(h, "x"), Some(&7));
+        match map.entry_hashed(h, "x") {
+            RawEntry::Occupied(mut e) => {
+                assert_eq!(*e.get(), 7);
+                *e.get_mut() = 9;
+                assert_eq!(e.remove(), 9);
+            }
+            RawEntry::Vacant(_) => panic!("entry must be occupied"),
+        }
+        assert!(map.is_empty());
+        match map.entry_hashed(h, "x") {
+            RawEntry::Vacant(e) => {
+                *e.insert(1) += 1;
+            }
+            RawEntry::Occupied(_) => panic!("entry must be vacant after remove"),
+        }
+        assert_eq!(map.get_hashed(h, "x"), Some(&2));
+        assert_eq!(
+            *map.entry_hashed(fx_hash_of("y"), "y").or_insert_with(|| 5),
+            5
+        );
+    }
+
+    #[test]
+    fn raw_map_survives_tombstone_heavy_churn() {
+        // Insert/remove cycles that would wedge a probe loop if tombstones
+        // were never compacted: the load ceiling must count tombstones and
+        // rehashing must drop them.
+        let mut map: RawFxMap<u64, u64> = RawFxMap::new();
+        for round in 0..50u64 {
+            for i in 0..64u64 {
+                map.insert_hashed(fx_hash_of(&i), i, round);
+            }
+            for i in 0..64u64 {
+                assert_eq!(map.remove_hashed(fx_hash_of(&i), &i), Some(round));
+            }
+        }
+        assert!(map.is_empty());
+        map.insert_hashed(fx_hash_of(&1u64), 1, 1);
+        assert_eq!(map.get_hashed(fx_hash_of(&1u64), &1), Some(&1));
+    }
+
+    proptest::proptest! {
+        /// Every `*_hashed` API agrees with a plain `HashMap` driven by the
+        /// same operation sequence — same lookups, same prior values, same
+        /// final contents — across random key sets including deletions.
+        #[test]
+        fn prop_raw_map_agrees_with_std_map(
+            ops in proptest::collection::vec((0u8..4, 0u8..24, 0u32..1000), 0..200),
+        ) {
+            let mut raw: RawFxMap<u8, u32> = RawFxMap::new();
+            let mut reference: HashMap<u8, u32> = HashMap::new();
+            for &(op, key, value) in &ops {
+                let h = fx_hash_of(&key);
+                match op % 4 {
+                    0 => {
+                        proptest::prop_assert_eq!(
+                            raw.insert_hashed(h, key, value),
+                            reference.insert(key, value)
+                        );
+                    }
+                    1 => {
+                        proptest::prop_assert_eq!(
+                            raw.remove_hashed(h, &key),
+                            reference.remove(&key)
+                        );
+                    }
+                    2 => {
+                        proptest::prop_assert_eq!(
+                            raw.get_hashed(h, &key).copied(),
+                            reference.get(&key).copied()
+                        );
+                        proptest::prop_assert_eq!(
+                            raw.contains_hashed(h, &key),
+                            reference.contains_key(&key)
+                        );
+                    }
+                    _ => {
+                        *raw.entry_hashed(h, key).or_insert(0) += u32::from(key);
+                        *reference.entry(key).or_insert(0) += u32::from(key);
+                    }
+                }
+                proptest::prop_assert_eq!(raw.len(), reference.len());
+            }
+            let mut raw_entries: Vec<(u8, u32)> = raw.iter().map(|(k, v)| (*k, *v)).collect();
+            let mut ref_entries: Vec<(u8, u32)> = reference.into_iter().collect();
+            raw_entries.sort_unstable();
+            ref_entries.sort_unstable();
+            proptest::prop_assert_eq!(raw_entries, ref_entries);
+        }
     }
 
     #[test]

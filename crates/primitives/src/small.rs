@@ -96,6 +96,28 @@ impl<T, const N: usize> InlineVec<T, N> {
         self.len = 0;
     }
 
+    /// Returns the element at `index`, if in bounds.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            None
+        } else if index < N {
+            self.buf[index].as_ref()
+        } else {
+            self.spill.get(index - N)
+        }
+    }
+
+    /// Mutable-reference variant of [`InlineVec::get`].
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len {
+            None
+        } else if index < N {
+            self.buf[index].as_mut()
+        } else {
+            self.spill.get_mut(index - N)
+        }
+    }
+
     /// Iterates over the elements in order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.buf[..self.len.min(N)]

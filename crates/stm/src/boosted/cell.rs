@@ -97,16 +97,18 @@ where
         self.lock
     }
 
-    /// Records the prior value with this cell's undo sink.
-    fn log_undo(&self, txn: &Transaction, prior: T) {
-        txn.log_undo_typed(
-            Arc::as_ptr(&self.value) as usize,
-            || CellUndo {
-                target: Arc::clone(&self.value),
-                entries: Vec::new(),
-            },
-            |sink| sink.entries.push(prior),
-        );
+    /// The undo-sink token of this cell (the backing storage address).
+    fn undo_token(&self) -> usize {
+        Arc::as_ptr(&self.value) as usize
+    }
+
+    /// The sink constructor passed to the transaction on first use.
+    fn undo_init(&self) -> impl FnOnce() -> CellUndo<T> {
+        let target = Arc::clone(&self.value);
+        || CellUndo {
+            target,
+            entries: Vec::new(),
+        }
     }
 
     /// Transactionally reads the value. Takes the cell lock in shared
@@ -120,6 +122,23 @@ where
         Ok(self.value.read().clone())
     }
 
+    /// Transactionally reads the value **by reference**: `f` observes it
+    /// in place and only what it returns is materialized. Use this when
+    /// the caller immediately discards or compares the value — it skips
+    /// the `T: Clone` that [`BoostedCell::get`] pays per read. Same
+    /// shared-mode locking.
+    ///
+    /// `f` runs under the cell's storage lock; it must not touch the
+    /// transaction or this cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn with<R>(&self, txn: &Transaction, f: impl FnOnce(&T) -> R) -> Result<R, StmError> {
+        txn.acquire(self.lock, LockMode::Shared)?;
+        Ok(f(&self.value.read()))
+    }
+
     /// Transactionally overwrites the value; the previous value moves
     /// into the undo log (no clones).
     ///
@@ -127,13 +146,20 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn set(&self, txn: &Transaction, new: T) -> Result<(), StmError> {
-        txn.acquire(self.lock, LockMode::Exclusive)?;
-        let previous = {
-            let mut slot = self.value.write();
-            std::mem::replace(&mut *slot, new)
-        };
-        self.log_undo(txn, previous);
-        Ok(())
+        txn.acquire_and_log(
+            self.lock,
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let mut slot = self.value.write();
+                std::mem::replace(&mut *slot, new)
+            },
+            |sink, previous| {
+                sink.entries.push(previous);
+                true
+            },
+        )
     }
 
     /// Transactionally applies `f` to the value in place (a single
@@ -143,15 +169,25 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn modify(&self, txn: &Transaction, f: impl FnOnce(&mut T)) -> Result<T, StmError> {
-        txn.acquire(self.lock, LockMode::Exclusive)?;
-        let (previous, updated) = {
-            let mut slot = self.value.write();
-            let previous = slot.clone();
-            f(&mut slot);
-            (previous, slot.clone())
-        };
-        self.log_undo(txn, previous);
-        Ok(updated)
+        let mut updated = None;
+        txn.acquire_and_log(
+            self.lock,
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let mut slot = self.value.write();
+                let previous = slot.clone();
+                f(&mut slot);
+                updated = Some(slot.clone());
+                previous
+            },
+            |sink, previous| {
+                sink.entries.push(previous);
+                true
+            },
+        )?;
+        Ok(updated.expect("mutation ran"))
     }
 
     /// Non-transactional read (setup, state commitment, tests).

@@ -4,7 +4,8 @@
 use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
-use cc_primitives::fx::FxHashMap;
+use cc_primitives::fnv::fnv1a_of;
+use cc_primitives::fx::RawFxMap;
 use parking_lot::RwLock;
 use std::any::Any;
 use std::fmt;
@@ -36,20 +37,21 @@ use std::sync::Arc;
 pub struct BoostedCounterMap<K> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<FxHashMap<K, u64>>>,
+    inner: Arc<RwLock<RawFxMap<K, u64>>>,
 }
 
-/// One typed inverse entry of a [`BoostedCounterMap`] mutation.
+/// One typed inverse entry of a [`BoostedCounterMap`] mutation; carries
+/// the key's FNV fingerprint so inverses never re-hash.
 enum CounterUndoEntry<K> {
     /// Subtract the delta an `add` contributed.
-    Sub(K, u64),
+    Sub(u64, K, u64),
     /// Restore the prior binding a `set` overwrote.
-    Restore(K, Option<u64>),
+    Restore(u64, K, Option<u64>),
 }
 
 /// The typed undo sink of one [`BoostedCounterMap`].
 struct CounterUndo<K> {
-    target: Arc<RwLock<FxHashMap<K, u64>>>,
+    target: Arc<RwLock<RawFxMap<K, u64>>>,
     entries: Vec<CounterUndoEntry<K>>,
 }
 
@@ -61,17 +63,17 @@ where
         if let Some(entry) = self.entries.pop() {
             let mut map = self.target.write();
             match entry {
-                CounterUndoEntry::Sub(key, delta) => {
-                    if let Some(v) = map.get_mut(&key) {
+                CounterUndoEntry::Sub(hash, key, delta) => {
+                    if let Some(v) = map.get_hashed_mut(hash, &key) {
                         *v = v.saturating_sub(delta);
                     }
                 }
-                CounterUndoEntry::Restore(key, prior) => match prior {
+                CounterUndoEntry::Restore(hash, key, prior) => match prior {
                     Some(v) => {
-                        map.insert(key, v);
+                        map.insert_hashed(hash, key, v);
                     }
                     None => {
-                        map.remove(&key);
+                        map.remove_hashed(hash, &key);
                     }
                 },
             }
@@ -110,20 +112,22 @@ where
         BoostedCounterMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(FxHashMap::default())),
+            inner: Arc::new(RwLock::new(RawFxMap::new())),
         }
     }
 
-    /// Records one typed inverse entry with this map's undo sink.
-    fn log_undo(&self, txn: &Transaction, entry: CounterUndoEntry<K>) {
-        txn.log_undo_typed(
-            Arc::as_ptr(&self.inner) as usize,
-            || CounterUndo {
-                target: Arc::clone(&self.inner),
-                entries: Vec::new(),
-            },
-            |sink| sink.entries.push(entry),
-        );
+    /// The undo-sink token of this map (the backing storage address).
+    fn undo_token(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// The sink constructor passed to the transaction on first use.
+    fn undo_init(&self) -> impl FnOnce() -> CounterUndo<K> {
+        let target = Arc::clone(&self.inner);
+        || CounterUndo {
+            target,
+            entries: Vec::new(),
+        }
     }
 
     /// The stable name of this map.
@@ -141,13 +145,21 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn add(&self, txn: &Transaction, key: K, delta: u64) -> Result<(), StmError> {
-        txn.acquire(self.space.lock_for(&key), LockMode::Additive)?;
-        {
-            let mut map = self.inner.write();
-            *map.entry(key.clone()).or_insert(0) += delta;
-        }
-        self.log_undo(txn, CounterUndoEntry::Sub(key, delta));
-        Ok(())
+        let h = fnv1a_of(&key);
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Additive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                *self.inner.write().entry_hashed(h, key.clone()).or_insert(0) += delta;
+                key
+            },
+            |sink, key| {
+                sink.entries.push(CounterUndoEntry::Sub(h, key, delta));
+                true
+            },
+        )
     }
 
     /// Transactionally reads the tally for `key` (0 if absent). Shared:
@@ -158,8 +170,9 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<u64, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
-        Ok(self.inner.read().get(key).copied().unwrap_or(0))
+        let h = fnv1a_of(key);
+        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
+        Ok(self.inner.read().get_hashed(h, key).copied().unwrap_or(0))
     }
 
     /// Transactionally overwrites the tally for `key` (exclusive). The
@@ -169,20 +182,37 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn set(&self, txn: &Transaction, key: K, value: u64) -> Result<(), StmError> {
-        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
-        let previous = self.inner.write().insert(key.clone(), value);
-        self.log_undo(txn, CounterUndoEntry::Restore(key, previous));
-        Ok(())
+        let h = fnv1a_of(&key);
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                (key, previous)
+            },
+            |sink, (key, previous)| {
+                sink.entries
+                    .push(CounterUndoEntry::Restore(h, key, previous));
+                true
+            },
+        )
     }
 
     /// Non-transactional read (setup, commitment, tests).
     pub fn peek(&self, key: &K) -> u64 {
-        self.inner.read().get(key).copied().unwrap_or(0)
+        self.inner
+            .read()
+            .get_hashed(fnv1a_of(key), key)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Non-transactional write used during setup.
     pub fn seed(&self, key: K, value: u64) {
-        self.inner.write().insert(key, value);
+        let h = fnv1a_of(&key);
+        self.inner.write().insert_hashed(h, key, value);
     }
 
     /// Point-in-time copy of all tallies.
@@ -204,7 +234,10 @@ where
     pub fn restore(&self, entries: impl IntoIterator<Item = (K, u64)>) {
         let mut map = self.inner.write();
         map.clear();
-        map.extend(entries);
+        for (key, value) in entries {
+            let h = fnv1a_of(&key);
+            map.insert_hashed(h, key, value);
+        }
     }
 }
 

@@ -4,7 +4,8 @@
 use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
-use cc_primitives::fx::FxHashMap;
+use cc_primitives::fnv::fnv1a_of;
+use cc_primitives::fx::RawFxMap;
 use parking_lot::RwLock;
 use std::any::Any;
 use std::fmt;
@@ -29,6 +30,12 @@ use std::sync::Arc;
 /// value; use [`BoostedMap::replace`] / [`BoostedMap::take`] when the
 /// prior binding is needed (they clone it once into the undo log).
 ///
+/// Every operation hashes its key **exactly once**: the FNV-64
+/// fingerprint computed up front becomes the abstract-lock key *and* the
+/// backing-store hash (the store is a [`RawFxMap`] keyed by
+/// caller-supplied hashes), and the mutation path enters the transaction
+/// through the fused [`Transaction::acquire_and_log`].
+///
 /// # Example
 ///
 /// ```
@@ -38,20 +45,22 @@ use std::sync::Arc;
 /// stm.run(|txn| {
 ///     m.insert(txn, 7, "alice".to_string())?;
 ///     assert_eq!(m.get(txn, &7)?, Some("alice".to_string()));
+///     assert_eq!(m.get_with(txn, &7, |v| v.map(String::len))?, Some(5));
 ///     Ok(())
 /// }).unwrap();
 /// ```
 pub struct BoostedMap<K, V> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<FxHashMap<K, V>>>,
+    inner: Arc<RwLock<RawFxMap<K, V>>>,
 }
 
-/// The typed undo sink of one [`BoostedMap`]: `(key, prior binding)`
-/// entries, most recent last.
+/// The typed undo sink of one [`BoostedMap`]: `(key hash, key, prior
+/// binding)` entries, most recent last. The fingerprint rides along so
+/// replaying an inverse never re-hashes the key either.
 struct MapUndo<K, V> {
-    target: Arc<RwLock<FxHashMap<K, V>>>,
-    entries: Vec<(K, Option<V>)>,
+    target: Arc<RwLock<RawFxMap<K, V>>>,
+    entries: Vec<(u64, K, Option<V>)>,
 }
 
 impl<K, V> UndoSink for MapUndo<K, V>
@@ -60,14 +69,14 @@ where
     V: Send + Sync + 'static,
 {
     fn undo_last(&mut self) {
-        if let Some((key, prior)) = self.entries.pop() {
+        if let Some((hash, key, prior)) = self.entries.pop() {
             let mut map = self.target.write();
             match prior {
                 Some(value) => {
-                    map.insert(key, value);
+                    map.insert_hashed(hash, key, value);
                 }
                 None => {
-                    map.remove(&key);
+                    map.remove_hashed(hash, &key);
                 }
             }
         }
@@ -108,20 +117,22 @@ where
         BoostedMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(FxHashMap::default())),
+            inner: Arc::new(RwLock::new(RawFxMap::new())),
         }
     }
 
-    /// Records one `(key, prior)` inverse entry with this map's undo sink.
-    fn log_undo(&self, txn: &Transaction, key: K, prior: Option<V>) {
-        txn.log_undo_typed(
-            Arc::as_ptr(&self.inner) as usize,
-            || MapUndo {
-                target: Arc::clone(&self.inner),
-                entries: Vec::new(),
-            },
-            |sink| sink.entries.push((key, prior)),
-        );
+    /// The undo-sink token of this map (the backing storage address).
+    fn undo_token(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// The sink constructor passed to the transaction on first use.
+    fn undo_init(&self) -> impl FnOnce() -> MapUndo<K, V> {
+        let target = Arc::clone(&self.inner);
+        || MapUndo {
+            target,
+            entries: Vec::new(),
+        }
     }
 
     /// The stable name this map was created with.
@@ -142,8 +153,32 @@ where
     /// Propagates lock-acquisition failures (deadlock victim, closed
     /// transaction).
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
-        Ok(self.inner.read().get(key).cloned())
+        let h = fnv1a_of(key);
+        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
+        Ok(self.inner.read().get_hashed(h, key).cloned())
+    }
+
+    /// Transactionally reads the value bound to `key` **by reference**:
+    /// `f` observes the binding in place and only what it returns is
+    /// materialized. Use this when the caller immediately discards,
+    /// compares or projects the value — it skips the `V: Clone` that
+    /// [`BoostedMap::get`] pays per read. Same shared-mode locking.
+    ///
+    /// `f` runs under the map's storage lock; it must not touch the
+    /// transaction or this map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn get_with<R>(
+        &self,
+        txn: &Transaction,
+        key: &K,
+        f: impl FnOnce(Option<&V>) -> R,
+    ) -> Result<R, StmError> {
+        let h = fnv1a_of(key);
+        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
+        Ok(f(self.inner.read().get_hashed(h, key)))
     }
 
     /// Transactionally checks whether `key` is bound (shared mode).
@@ -152,8 +187,9 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn contains_key(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Shared)?;
-        Ok(self.inner.read().contains_key(key))
+        let h = fnv1a_of(key);
+        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
+        Ok(self.inner.read().contains_hashed(h, key))
     }
 
     /// Transactionally binds `key` to `value`. The previous binding (if
@@ -163,10 +199,21 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn insert(&self, txn: &Transaction, key: K, value: V) -> Result<(), StmError> {
-        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
-        let previous = self.inner.write().insert(key.clone(), value);
-        self.log_undo(txn, key, previous);
-        Ok(())
+        let h = fnv1a_of(&key);
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                (key, previous)
+            },
+            |sink, (key, previous)| {
+                sink.entries.push((h, key, previous));
+                true
+            },
+        )
     }
 
     /// Like [`BoostedMap::insert`], but returns the previous binding
@@ -176,10 +223,24 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn replace(&self, txn: &Transaction, key: K, value: V) -> Result<Option<V>, StmError> {
-        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
-        let previous = self.inner.write().insert(key.clone(), value);
-        self.log_undo(txn, key, previous.clone());
-        Ok(previous)
+        let h = fnv1a_of(&key);
+        let mut returned = None;
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                returned = previous.clone();
+                (key, previous)
+            },
+            |sink, (key, previous)| {
+                sink.entries.push((h, key, previous));
+                true
+            },
+        )?;
+        Ok(returned)
     }
 
     /// Transactionally removes the binding for `key`, reporting whether
@@ -190,12 +251,26 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn remove(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
-        let previous = self.inner.write().remove(key);
-        let existed = previous.is_some();
-        if existed {
-            self.log_undo(txn, key.clone(), previous);
-        }
+        let h = fnv1a_of(key);
+        let mut existed = false;
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let previous = self.inner.write().remove_hashed(h, key);
+                existed = previous.is_some();
+                previous.map(|value| (key.clone(), value))
+            },
+            |sink, removed| match removed {
+                Some((key, value)) => {
+                    sink.entries.push((h, key, Some(value)));
+                    true
+                }
+                None => false,
+            },
+        )?;
         Ok(existed)
     }
 
@@ -206,12 +281,27 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn take(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
-        txn.acquire(self.space.lock_for(key), LockMode::Exclusive)?;
-        let previous = self.inner.write().remove(key);
-        if previous.is_some() {
-            self.log_undo(txn, key.clone(), previous.clone());
-        }
-        Ok(previous)
+        let h = fnv1a_of(key);
+        let mut returned = None;
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let previous = self.inner.write().remove_hashed(h, key);
+                returned = previous.clone();
+                previous.map(|value| (key.clone(), value))
+            },
+            |sink, removed| match removed {
+                Some((key, value)) => {
+                    sink.entries.push((h, key, Some(value)));
+                    true
+                }
+                None => false,
+            },
+        )?;
+        Ok(returned)
     }
 
     /// Transactionally applies `f` to the value bound to `key` (inserting
@@ -229,37 +319,43 @@ where
         default: V,
         f: impl FnOnce(&mut V),
     ) -> Result<(), StmError> {
-        txn.acquire(self.space.lock_for(&key), LockMode::Exclusive)?;
-        let prior = {
-            let mut map = self.inner.write();
-            match map.entry(key.clone()) {
-                std::collections::hash_map::Entry::Occupied(mut entry) => {
-                    let prior = entry.get().clone();
-                    f(entry.get_mut());
-                    Some(prior)
-                }
-                std::collections::hash_map::Entry::Vacant(entry) => {
+        let h = fnv1a_of(&key);
+        txn.acquire_and_log(
+            self.space.lock_for_hashed(h),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let mut map = self.inner.write();
+                if let Some(slot) = map.get_hashed_mut(h, &key) {
+                    let prior = slot.clone();
+                    f(slot);
+                    (key, Some(prior))
+                } else {
                     let mut value = default;
                     f(&mut value);
-                    entry.insert(value);
-                    None
+                    map.insert_hashed(h, key.clone(), value);
+                    (key, None)
                 }
-            }
-        };
-        self.log_undo(txn, key, prior);
-        Ok(())
+            },
+            |sink, (key, prior)| {
+                sink.entries.push((h, key, prior));
+                true
+            },
+        )
     }
 
     /// Non-transactional read used only during setup (e.g. building a
     /// genesis state) and in tests. Not linearized with respect to running
     /// transactions.
     pub fn peek(&self, key: &K) -> Option<V> {
-        self.inner.read().get(key).cloned()
+        self.inner.read().get_hashed(fnv1a_of(key), key).cloned()
     }
 
     /// Non-transactional insert used only during setup.
     pub fn seed(&self, key: K, value: V) {
-        self.inner.write().insert(key, value);
+        let h = fnv1a_of(&key);
+        self.inner.write().insert_hashed(h, key, value);
     }
 
     /// Number of bindings (non-transactional; setup/tests only).
@@ -282,7 +378,10 @@ where
     pub fn restore(&self, entries: impl IntoIterator<Item = (K, V)>) {
         let mut map = self.inner.write();
         map.clear();
-        map.extend(entries);
+        for (key, value) in entries {
+            let h = fnv1a_of(&key);
+            map.insert_hashed(h, key, value);
+        }
     }
 
     /// Removes every binding (non-transactional).
@@ -414,6 +513,119 @@ mod tests {
         let p = txn.commit().unwrap();
         let lock = m.lock_space().lock_for(&1u64);
         assert_eq!(p.profile.entry(lock).unwrap().mode, LockMode::Exclusive);
+    }
+
+    #[test]
+    fn same_key_upgrade_holds_one_lock_and_publishes_exclusive() {
+        // The contract-typical `get` → `insert` on one key: the Shared
+        // hold is upgraded in place, so the transaction tracks exactly
+        // one held lock (not a Shared + an Exclusive entry) and the
+        // published profile carries one entry, Exclusive, with the lock's
+        // use counter.
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.upgrade.one");
+        m.seed(7, 1);
+        let txn = stm.begin();
+        assert_eq!(m.get(&txn, &7).unwrap(), Some(1));
+        assert_eq!(txn.held_locks(), 1, "shared read holds the key lock");
+        m.insert(&txn, 7, 2).unwrap();
+        assert_eq!(
+            txn.held_locks(),
+            1,
+            "upgrade reuses the existing held entry"
+        );
+        let p = txn.commit().unwrap();
+        assert_eq!(p.profile.len(), 1, "one profile entry for the one lock");
+        let entry = p.profile.entry(m.lock_space().lock_for(&7u64)).unwrap();
+        assert_eq!(entry.mode, LockMode::Exclusive);
+        assert_eq!(entry.counter, 1, "first commit through this lock");
+        // A second same-key transaction orders after it via the counter.
+        let txn2 = stm.begin();
+        m.get(&txn2, &7).unwrap();
+        let p2 = txn2.commit().unwrap();
+        assert_eq!(
+            p2.profile
+                .entry(m.lock_space().lock_for(&7u64))
+                .unwrap()
+                .counter,
+            2
+        );
+    }
+
+    #[test]
+    fn get_with_reads_in_place() {
+        let stm = Stm::new();
+        let m: BoostedMap<u64, String> = BoostedMap::new("t.get_with");
+        m.seed(1, "alice".to_string());
+        stm.run(|txn| {
+            assert_eq!(m.get_with(txn, &1, |v| v.map(String::len))?, Some(5));
+            assert!(!m.get_with(txn, &2, |v| v.is_some())?);
+            Ok(())
+        })
+        .unwrap();
+        // get_with takes the same shared lock as get: a writer conflicts.
+        let t1 = stm.begin();
+        m.get_with(&t1, &1, |_| ()).unwrap();
+        let p1 = t1.commit().unwrap();
+        let t2 = stm.begin();
+        m.insert(&t2, 1, "bob".into()).unwrap();
+        let p2 = t2.commit().unwrap();
+        assert!(p1.profile.conflicts_with(&p2.profile));
+    }
+
+    /// One FNV key-hash per boosted-map operation on the commit path —
+    /// the acceptance gate of the single-hash rework, asserted via the
+    /// debug-only hash-count hook. (The hook only exists in debug builds,
+    /// which is what `cargo test` runs.)
+    #[cfg(debug_assertions)]
+    #[test]
+    fn each_map_op_hashes_its_key_exactly_once() {
+        use cc_primitives::fnv::key_hash_count;
+
+        let stm = Stm::new();
+        let m: BoostedMap<u64, u64> = BoostedMap::new("t.hashcount");
+        m.seed(1, 10);
+
+        let txn = stm.begin();
+        let ops: &[(&str, &dyn Fn())] = &[
+            ("get", &|| {
+                m.get(&txn, &1).unwrap();
+            }),
+            ("get_with", &|| {
+                m.get_with(&txn, &1, |_| ()).unwrap();
+            }),
+            ("contains_key", &|| {
+                m.contains_key(&txn, &1).unwrap();
+            }),
+            ("insert", &|| {
+                m.insert(&txn, 2, 20).unwrap();
+            }),
+            ("replace", &|| {
+                m.replace(&txn, 2, 21).unwrap();
+            }),
+            ("update_or", &|| {
+                m.update_or(&txn, 3, 0, |v| *v += 1).unwrap();
+            }),
+            ("remove", &|| {
+                m.remove(&txn, &2).unwrap();
+            }),
+            ("take", &|| {
+                m.take(&txn, &3).unwrap();
+            }),
+        ];
+        for (name, op) in ops {
+            let before = key_hash_count();
+            op();
+            assert_eq!(
+                key_hash_count() - before,
+                1,
+                "{name} must hash its key exactly once"
+            );
+        }
+        // Commit (release + profile) re-hashes nothing.
+        let before = key_hash_count();
+        txn.commit().unwrap();
+        assert_eq!(key_hash_count() - before, 0, "commit hashes no keys");
     }
 
     #[test]

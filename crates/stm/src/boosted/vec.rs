@@ -119,16 +119,23 @@ where
         &self.name
     }
 
-    /// Records one typed inverse entry with this vector's undo sink.
-    fn log_undo(&self, txn: &Transaction, entry: VecUndoEntry<T>) {
-        txn.log_undo_typed(
-            Arc::as_ptr(&self.inner) as usize,
-            || VecUndo {
-                target: Arc::clone(&self.inner),
-                entries: Vec::new(),
-            },
-            |sink| sink.entries.push(entry),
-        );
+    /// The undo-sink token of this vector (the backing storage address).
+    fn undo_token(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// The sink constructor passed to the transaction on first use.
+    fn undo_init(&self) -> impl FnOnce() -> VecUndo<T> {
+        let target = Arc::clone(&self.inner);
+        || VecUndo {
+            target,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The element lock for index `i`, hashing the index once.
+    fn element_lock(&self, i: usize) -> crate::lock::LockId {
+        self.space.lock_for(&i)
     }
 
     /// Transactionally returns the number of elements. Takes the length
@@ -159,8 +166,29 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, i: usize) -> Result<Option<T>, StmError> {
-        txn.acquire(self.space.lock_for(&i), LockMode::Shared)?;
+        txn.acquire(self.element_lock(i), LockMode::Shared)?;
         Ok(self.inner.read().get(i).cloned())
+    }
+
+    /// Transactionally reads index `i` **by reference**: `f` observes the
+    /// element in place (or `None` when out of bounds) and only what it
+    /// returns is materialized — no `T: Clone` per read. Same shared-mode
+    /// locking as [`BoostedVec::get`].
+    ///
+    /// `f` runs under the vector's storage lock; it must not touch the
+    /// transaction or this vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-acquisition failures.
+    pub fn get_with<R>(
+        &self,
+        txn: &Transaction,
+        i: usize,
+        f: impl FnOnce(Option<&T>) -> R,
+    ) -> Result<R, StmError> {
+        txn.acquire(self.element_lock(i), LockMode::Shared)?;
+        Ok(f(self.inner.read().get(i)))
     }
 
     /// Transactionally overwrites index `i`. Returns `false` (and does
@@ -171,21 +199,30 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn set(&self, txn: &Transaction, i: usize, value: T) -> Result<bool, StmError> {
-        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
-        let previous = {
-            let mut v = self.inner.write();
-            match v.get_mut(i) {
-                Some(slot) => Some(std::mem::replace(slot, value)),
-                None => None,
-            }
-        };
-        match previous {
-            Some(prev) => {
-                self.log_undo(txn, VecUndoEntry::Set(i, prev));
-                Ok(true)
-            }
-            None => Ok(false),
-        }
+        let mut in_bounds = false;
+        txn.acquire_and_log(
+            self.element_lock(i),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let mut v = self.inner.write();
+                let previous = match v.get_mut(i) {
+                    Some(slot) => Some(std::mem::replace(slot, value)),
+                    None => None,
+                };
+                in_bounds = previous.is_some();
+                previous
+            },
+            |sink, previous| match previous {
+                Some(prev) => {
+                    sink.entries.push(VecUndoEntry::Set(i, prev));
+                    true
+                }
+                None => false,
+            },
+        )?;
+        Ok(in_bounds)
     }
 
     /// Transactionally applies `f` to element `i` in place (a single
@@ -201,25 +238,33 @@ where
         i: usize,
         f: impl FnOnce(&mut T),
     ) -> Result<Option<T>, StmError> {
-        txn.acquire(self.space.lock_for(&i), LockMode::Exclusive)?;
-        let outcome = {
-            let mut v = self.inner.write();
-            match v.get_mut(i) {
-                Some(slot) => {
-                    let prior = slot.clone();
-                    f(slot);
-                    Some((prior, slot.clone()))
+        let mut updated = None;
+        txn.acquire_and_log(
+            self.element_lock(i),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let mut v = self.inner.write();
+                match v.get_mut(i) {
+                    Some(slot) => {
+                        let prior = slot.clone();
+                        f(slot);
+                        updated = Some(slot.clone());
+                        Some(prior)
+                    }
+                    None => None,
                 }
-                None => None,
-            }
-        };
-        match outcome {
-            Some((prior, updated)) => {
-                self.log_undo(txn, VecUndoEntry::Set(i, prior));
-                Ok(Some(updated))
-            }
-            None => Ok(None),
-        }
+            },
+            |sink, prior| match prior {
+                Some(prior) => {
+                    sink.entries.push(VecUndoEntry::Set(i, prior));
+                    true
+                }
+                None => false,
+            },
+        )?;
+        Ok(updated)
     }
 
     /// Transactionally appends a value, returning its index. Locks the
@@ -231,9 +276,17 @@ where
     pub fn push(&self, txn: &Transaction, value: T) -> Result<usize, StmError> {
         txn.acquire(self.length_lock, LockMode::Exclusive)?;
         let index = self.inner.read().len();
-        txn.acquire(self.space.lock_for(&index), LockMode::Exclusive)?;
-        self.inner.write().push(value);
-        self.log_undo(txn, VecUndoEntry::Unpush(index));
+        txn.acquire_and_log(
+            self.element_lock(index),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || self.inner.write().push(value),
+            |sink, ()| {
+                sink.entries.push(VecUndoEntry::Unpush(index));
+                true
+            },
+        )?;
         Ok(index)
     }
 
@@ -252,11 +305,25 @@ where
             }
             v.len() - 1
         };
-        txn.acquire(self.space.lock_for(&last_index), LockMode::Exclusive)?;
-        let popped = self.inner.write().pop();
-        if let Some(value) = popped.clone() {
-            self.log_undo(txn, VecUndoEntry::Repush(value));
-        }
+        let mut popped = None;
+        txn.acquire_and_log(
+            self.element_lock(last_index),
+            LockMode::Exclusive,
+            self.undo_token(),
+            self.undo_init(),
+            || {
+                let value = self.inner.write().pop();
+                popped = value.clone();
+                value
+            },
+            |sink, value| match value {
+                Some(value) => {
+                    sink.entries.push(VecUndoEntry::Repush(value));
+                    true
+                }
+                None => false,
+            },
+        )?;
         Ok(popped)
     }
 

@@ -48,19 +48,23 @@ impl LockSpace {
 
     /// Builds the [`LockId`] for a specific key within this space.
     pub fn lock_for<K: Hash + ?Sized>(&self, key: &K) -> LockId {
-        LockId {
-            space: self.0,
-            key: fnv1a_of(key),
-        }
+        LockId::from_raw(self.0, fnv1a_of(key))
+    }
+
+    /// Builds the [`LockId`] for a key whose FNV-64 fingerprint the caller
+    /// has already computed (via [`cc_primitives::fnv::fnv1a_of`]).
+    ///
+    /// This is the single-hash entry point of the boosted-storage hot
+    /// path: a collection hashes its key **once**, derives the lock id
+    /// here, and reuses the same fingerprint for the backing-store lookup.
+    pub fn lock_for_hashed(&self, key_hash: u64) -> LockId {
+        LockId::from_raw(self.0, key_hash)
     }
 
     /// Builds the [`LockId`] protecting the space as a whole (used by
     /// scalar cells and by whole-collection operations).
     pub fn whole(&self) -> LockId {
-        LockId {
-            space: self.0,
-            key: u64::MAX,
-        }
+        LockId::from_raw(self.0, u64::MAX)
     }
 }
 
@@ -69,19 +73,82 @@ impl LockSpace {
 /// Distinct keys of the same collection hash to distinct `key` values (up
 /// to FNV collisions, which conservatively create extra conflicts and are
 /// therefore safe).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Besides the two halves, a `LockId` carries their **mix** — one
+/// multiply-mix of `space ^ key`, computed once at construction. Every
+/// downstream table keyed by lock id reuses it: the transaction's held
+/// set and the lock manager's stripe table hash a `LockId` by writing the
+/// mix (a single word) and the manager's stripe index is the mix's high
+/// bits, so a storage operation never re-mixes the same identifier twice.
+#[derive(Clone, Copy)]
 pub struct LockId {
     /// The lock space (collection / cell) this lock belongs to.
-    pub space: u64,
+    space: u64,
     /// The hashed logical key within the space.
-    pub key: u64,
+    key: u64,
+    /// Cached `mix64(space ^ key)`; derived, never compared.
+    mix: u64,
 }
 
+/// The 64-bit Fibonacci multiplier (`2^64 / phi`) mixing the two halves.
+const MIX_MULTIPLIER: u64 = 0x9e37_79b9_7f4a_7c15;
+
 impl LockId {
-    /// Constructs a lock id from raw parts (used when decoding published
-    /// schedule metadata).
+    /// Constructs a lock id from its two halves (also used when decoding
+    /// published schedule metadata), caching their mix.
     pub fn from_raw(space: u64, key: u64) -> Self {
-        LockId { space, key }
+        LockId {
+            space,
+            key,
+            mix: (space ^ key).wrapping_mul(MIX_MULTIPLIER),
+        }
+    }
+
+    /// The lock space (collection / cell) this lock belongs to.
+    pub fn space(&self) -> u64 {
+        self.space
+    }
+
+    /// The hashed logical key within the space.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The cached multiply-mix of the two halves. Well distributed in its
+    /// high bits; used for stripe selection and as the single-word hash of
+    /// the id in lock-keyed tables.
+    pub fn mix(&self) -> u64 {
+        self.mix
+    }
+}
+
+// `mix` is a pure function of `(space, key)`, so equality, ordering and
+// hashing ignore it (hashing *writes* it, which is consistent: equal ids
+// have equal mixes).
+impl PartialEq for LockId {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space && self.key == other.key
+    }
+}
+
+impl Eq for LockId {}
+
+impl PartialOrd for LockId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LockId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.space, self.key).cmp(&(other.space, other.key))
+    }
+}
+
+impl Hash for LockId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // One word instead of two: the id is already well mixed.
+        state.write_u64(self.mix);
     }
 }
 
@@ -300,8 +367,33 @@ mod tests {
     #[test]
     fn from_raw_roundtrip() {
         let id = LockId::from_raw(3, 9);
-        assert_eq!(id.space, 3);
-        assert_eq!(id.key, 9);
+        assert_eq!(id.space(), 3);
+        assert_eq!(id.key(), 9);
         assert_eq!(LockSpace::from_raw(5).raw(), 5);
+    }
+
+    #[test]
+    fn hashed_constructor_matches_unhashed() {
+        use cc_primitives::fnv::fnv1a_of;
+        let space = LockSpace::new("hashed");
+        for key in [0u64, 1, 7, u64::MAX] {
+            let direct = space.lock_for(&key);
+            let via_hash = space.lock_for_hashed(fnv1a_of(&key));
+            assert_eq!(direct, via_hash);
+            assert_eq!(direct.mix(), via_hash.mix());
+        }
+    }
+
+    #[test]
+    fn mix_is_cached_consistently() {
+        let id = LockId::from_raw(3, 9);
+        let same = LockId::from_raw(3, 9);
+        let other = LockId::from_raw(3, 10);
+        assert_eq!(id, same);
+        assert_eq!(id.mix(), same.mix());
+        assert_ne!(id, other);
+        // Equal ids hash identically through the mix.
+        use cc_primitives::fx::fx_hash_of;
+        assert_eq!(fx_hash_of(&id), fx_hash_of(&same));
     }
 }

@@ -155,40 +155,46 @@ struct LockEntry {
 }
 
 impl LockEntry {
-    fn holder_mode(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders
-            .iter()
-            .find(|&&(t, _)| t == txn)
-            .map(|&(_, m)| m)
-    }
-
-    fn can_grant(&self, txn: TxnId, mode: LockMode) -> bool {
+    /// Grants the lock to `txn` in `mode` if currently grantable, in one
+    /// pass over the holder set. Returns `Some(newly)` on success (`newly`
+    /// = `txn` was not a holder before) and `None` when the request must
+    /// wait. The empty-holders case — the entire fast path of an
+    /// uncontended acquisition, shared reads included — is decided on the
+    /// first branch.
+    fn try_grant(&mut self, txn: TxnId, mode: LockMode) -> Option<bool> {
         if self.holders.is_empty() {
-            return true;
+            self.holders.push((txn, mode));
+            return Some(true);
         }
-        if let Some(held) = self.holder_mode(txn) {
-            // Re-entrant request: same or weaker mode is trivially fine;
-            // an upgrade is possible only if we are the sole holder.
-            if held.strongest(mode) == held {
-                return true;
+        let mut ours: Option<usize> = None;
+        let mut others_compatible = true;
+        for (i, &(t, m)) in self.holders.iter().enumerate() {
+            if t == txn {
+                ours = Some(i);
+            } else if !m.compatible(mode) {
+                others_compatible = false;
             }
-            return self.holders.len() == 1;
         }
-        // New holder: every current holder must be compatible.
-        self.holders.iter().all(|&(_, h)| h.compatible(mode))
-    }
-
-    /// Records the grant; returns whether `txn` is a *new* holder.
-    fn grant(&mut self, txn: TxnId, mode: LockMode) -> bool {
-        match self.holders.iter_mut().find(|(t, _)| *t == txn) {
-            Some((_, held)) => {
-                *held = held.strongest(mode);
-                false
+        match ours {
+            Some(i) => {
+                // Re-entrant request: same or weaker mode is trivially
+                // fine; an upgrade is possible only for the sole holder.
+                let held = self.holders[i].1;
+                if held.strongest(mode) == held {
+                    Some(false)
+                } else if self.holders.len() == 1 {
+                    self.holders[i].1 = held.strongest(mode);
+                    Some(false)
+                } else {
+                    None
+                }
             }
-            None => {
+            // New holder: every current holder must be compatible.
+            None if others_compatible => {
                 self.holders.push((txn, mode));
-                true
+                Some(true)
             }
+            None => None,
         }
     }
 
@@ -308,12 +314,11 @@ impl LockManager {
         self.shards.len()
     }
 
-    /// Stripe index for a lock. Both halves of a `LockId` are FNV-64
-    /// outputs already; one xor + multiply spreads them across stripes and
-    /// the high bits (best mixed by the multiply) pick the stripe.
+    /// Stripe index for a lock: the high bits (best mixed by the multiply)
+    /// of the mix the `LockId` computed once at construction. No hashing
+    /// happens here at all.
     fn shard_index(&self, lock: LockId) -> usize {
-        let mixed = (lock.space ^ lock.key).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        ((mixed >> 32) & self.mask) as usize
+        ((lock.mix() >> 32) & self.mask) as usize
     }
 
     fn shard(&self, lock: LockId) -> &Shard {
@@ -351,8 +356,7 @@ impl LockManager {
         let mut parked = false;
         loop {
             let entry = state.entry(lock).or_default();
-            if entry.can_grant(txn, mode) {
-                let newly = entry.grant(txn, mode);
+            if let Some(newly) = entry.try_grant(txn, mode) {
                 // A new holder changes the holder set concurrent waiters
                 // snapshotted for deadlock detection; wake them so they
                 // refresh (see module docs). Upgrades keep the holder set.
@@ -404,51 +408,66 @@ impl LockManager {
         }
     }
 
+    /// Releases one lock under its stripe mutex; returns the post-release
+    /// use counter (0 on an abort release) and collects targeted wakeups.
+    fn release_one(
+        &self,
+        txn: TxnId,
+        lock: LockId,
+        commit: bool,
+        wake: &mut Vec<Arc<WaitNode>>,
+    ) -> u64 {
+        let mut state = self.shard(lock).locks.lock();
+        let mut counter = 0;
+        if let Some(entry) = state.get_mut(&lock) {
+            let removed = entry.remove_holder(txn);
+            if commit {
+                entry.use_counter += 1;
+                counter = entry.use_counter;
+            }
+            if removed && !entry.waiters.is_empty() {
+                // Targeted wakeup: only this lock's waiters.
+                wake.append(&mut entry.waiters);
+            }
+        }
+        counter
+    }
+
+    /// Releases the lock of every entry on behalf of a **committing**
+    /// transaction, writing each lock's incremented use counter into the
+    /// entry in place. This is the commit hot path: no intermediate
+    /// collections are allocated — the caller's profile entries are the
+    /// only buffer, and locks are released in held order, one constant-work
+    /// stripe critical section each.
+    pub fn release_commit_entries(&self, txn: TxnId, entries: &mut [crate::ProfileEntry]) {
+        let mut wake: Vec<Arc<WaitNode>> = Vec::new();
+        for entry in entries.iter_mut() {
+            entry.counter = self.release_one(txn, entry.lock, true, &mut wake);
+        }
+        self.notify_waiters(wake);
+    }
+
     /// Releases every lock in `locks` on behalf of a **committing**
     /// transaction: each lock's use counter is incremented and the new
     /// counter value returned (in the same order as the input).
     pub fn release_commit(&self, txn: TxnId, locks: &[LockId]) -> Vec<u64> {
-        self.release(txn, locks, true)
+        let mut wake: Vec<Arc<WaitNode>> = Vec::new();
+        let counters = locks
+            .iter()
+            .map(|&lock| self.release_one(txn, lock, true, &mut wake))
+            .collect();
+        self.notify_waiters(wake);
+        counters
     }
 
     /// Releases every lock in `locks` on behalf of an **aborting**
     /// transaction; use counters are not incremented.
     pub fn release_abort(&self, txn: TxnId, locks: &[LockId]) {
-        self.release(txn, locks, false);
-    }
-
-    fn release(&self, txn: TxnId, locks: &[LockId], commit: bool) -> Vec<u64> {
-        let mut counters = vec![0u64; locks.len()];
         let mut wake: Vec<Arc<WaitNode>> = Vec::new();
-        // Group the locks by stripe so each stripe mutex is taken once.
-        let mut order: Vec<(usize, usize)> = locks
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (self.shard_index(l), i))
-            .collect();
-        order.sort_unstable();
-        let mut at = 0;
-        while at < order.len() {
-            let stripe = order[at].0;
-            let mut state = self.shards[stripe].locks.lock();
-            while at < order.len() && order[at].0 == stripe {
-                let idx = order[at].1;
-                if let Some(entry) = state.get_mut(&locks[idx]) {
-                    let removed = entry.remove_holder(txn);
-                    if commit {
-                        entry.use_counter += 1;
-                        counters[idx] = entry.use_counter;
-                    }
-                    if removed {
-                        // Targeted wakeup: only this lock's waiters.
-                        wake.append(&mut entry.waiters);
-                    }
-                }
-                at += 1;
-            }
+        for &lock in locks {
+            self.release_one(txn, lock, false, &mut wake);
         }
         self.notify_waiters(wake);
-        counters
     }
 
     /// Resets all use counters and forgets idle locks. The miner calls this

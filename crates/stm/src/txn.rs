@@ -96,6 +96,10 @@ struct UndoLog {
     sinks: Vec<Box<dyn UndoSink>>,
     /// sink token (collection storage address) → index into `sinks`.
     index: FxHashMap<usize, u32>,
+    /// One-slot cache of the most recently used `(token, sink index)`:
+    /// contract transactions overwhelmingly log consecutive entries into
+    /// the same collection, so the common mutation skips the `index` map.
+    last: Option<(usize, u32)>,
 }
 
 impl UndoLog {
@@ -107,6 +111,44 @@ impl UndoLog {
         self.order.clear();
         self.sinks.clear();
         self.index.clear();
+        self.last = None;
+    }
+
+    /// Appends one entry to the sink identified by `token`, creating the
+    /// sink via `init` on first use (see [`Transaction::log_undo_typed`]).
+    ///
+    /// `record` returns whether it actually pushed an entry; the global
+    /// order slot is appended only then, so conditional inverses (e.g. a
+    /// remove of an absent key) stay perfectly aligned with their sinks.
+    fn record<S: UndoSink>(
+        &mut self,
+        token: usize,
+        init: impl FnOnce() -> S,
+        record: impl FnOnce(&mut S) -> bool,
+    ) {
+        let idx = match self.last {
+            Some((t, idx)) if t == token => idx,
+            _ => {
+                let idx = match self.index.get(&token) {
+                    Some(&idx) => idx,
+                    None => {
+                        let idx = u32::try_from(self.sinks.len()).expect("fewer than 2^32 sinks");
+                        self.sinks.push(Box::new(init()));
+                        self.index.insert(token, idx);
+                        idx
+                    }
+                };
+                self.last = Some((token, idx));
+                idx
+            }
+        };
+        let sink = self.sinks[idx as usize]
+            .as_any_mut()
+            .downcast_mut::<S>()
+            .expect("undo token reused with a different sink type");
+        if record(sink) {
+            self.order.push(idx);
+        }
     }
 }
 
@@ -118,20 +160,33 @@ pub struct Savepoint {
     undo_len: usize,
 }
 
+/// Above this many held locks the linear-scan held set is augmented with a
+/// positional hash index. Typical contract transactions hold a handful of
+/// locks, for which scanning an inline array of `(LockId, LockMode)` pairs
+/// is faster than any hashing — and it makes the commit path a straight
+/// iteration with zero lookups.
+const HELD_LINEAR_MAX: usize = 16;
+
 struct TxnInner {
     /// Typed undo log. Replayed in reverse on abort/rollback.
     undo: UndoLog,
-    /// All locks held by this transaction (top-level and nested frames),
-    /// with the strongest mode acquired so far. Keyed through FxHash —
-    /// lock ids are already FNV-64 pairs.
-    held: FxHashMap<LockId, LockMode>,
-    /// Acquisition order, used to release in a deterministic order.
-    /// Inline for the typical transaction (a handful of locks).
-    held_order: InlineVec<LockId, 8>,
+    /// All locks held by this transaction (top-level and nested frames) in
+    /// acquisition order, each with the strongest mode acquired so far.
+    /// Doubles as the release order and the commit-time profile source.
+    held: InlineVec<(LockId, LockMode), 8>,
+    /// Positional index over `held` (`lock → position`), maintained only
+    /// while `held.len() > HELD_LINEAR_MAX`. May contain stale entries
+    /// after a nested abort; lookups verify position and lock before
+    /// trusting a hit.
+    held_index: FxHashMap<LockId, u32>,
+    /// One-slot cache of the most recently touched held lock. Contract
+    /// code overwhelmingly does `get` → `insert` on the same key; the
+    /// cache resolves the second acquisition without scanning.
+    last_held: Option<(LockId, u32)>,
     /// Validator-side trace of would-be acquisitions.
     trace: Vec<TraceEntry>,
     /// Nested-action bookkeeping: each open frame is a mark into
-    /// `held_order` — everything pushed after the mark was acquired by
+    /// `held` — everything pushed after the mark was acquired by
     /// the frame (locks are only appended while the single-threaded frame
     /// runs, so a frame's locks are exactly a suffix).
     frames: InlineVec<u32, 4>,
@@ -143,11 +198,68 @@ struct TxnInner {
     replaying: bool,
 }
 
+impl TxnInner {
+    /// Position of `lock` in the held set, if held. Verifies indexed hits,
+    /// so stale `held_index` entries (left by nested aborts) are treated
+    /// as misses.
+    fn held_pos(&self, lock: LockId) -> Option<usize> {
+        if self.held.len() > HELD_LINEAR_MAX {
+            let pos = *self.held_index.get(&lock)? as usize;
+            match self.held.get(pos) {
+                Some(&(l, _)) if l == lock => Some(pos),
+                _ => None,
+            }
+        } else {
+            (0..self.held.len()).find(|&i| self.held.get(i).is_some_and(|&(l, _)| l == lock))
+        }
+    }
+
+    /// Records a newly granted lock at the end of the held set.
+    fn push_held(&mut self, lock: LockId, mode: LockMode) {
+        let pos = self.held.len();
+        self.held.push((lock, mode));
+        let len = self.held.len();
+        if len == HELD_LINEAR_MAX + 1 {
+            // Crossing the threshold: build the index over everything.
+            self.held_index = self
+                .held
+                .iter()
+                .enumerate()
+                .map(|(i, &(l, _))| (l, i as u32))
+                .collect();
+        } else if len > HELD_LINEAR_MAX + 1 {
+            self.held_index.insert(lock, pos as u32);
+        }
+        self.last_held = Some((lock, pos as u32));
+    }
+
+    /// Resolves `lock` against the held set; returns `true` when it is
+    /// already held in a sufficient mode (and primes the one-slot cache).
+    fn held_sufficient(&mut self, lock: LockId, mode: LockMode) -> bool {
+        let pos = match self.last_held {
+            Some((l, i)) if l == lock => Some(i as usize),
+            _ => self.held_pos(lock),
+        };
+        if let Some(pos) = pos {
+            if let Some(&(_, held)) = self.held.get(pos) {
+                if held.strongest(mode) == held {
+                    self.last_held = Some((lock, pos as u32));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
 impl fmt::Debug for TxnInner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TxnInner")
             .field("undo_len", &self.undo.len())
-            .field("held", &self.held_order.iter().collect::<Vec<_>>())
+            .field(
+                "held",
+                &self.held.iter().map(|&(l, _)| l).collect::<Vec<_>>(),
+            )
             .field("frames", &self.frames.len())
             .field("closed", &self.closed)
             .finish()
@@ -197,8 +309,9 @@ impl Transaction {
             manager,
             inner: RefCell::new(TxnInner {
                 undo: UndoLog::default(),
-                held: FxHashMap::default(),
-                held_order: InlineVec::new(),
+                held: InlineVec::new(),
+                held_index: FxHashMap::default(),
+                last_held: None,
                 trace: Vec::new(),
                 frames: InlineVec::new(),
                 closed: false,
@@ -241,28 +354,106 @@ impl Transaction {
                 Ok(())
             }
             TxnKind::Speculative => {
-                let currently = inner.held.get(&lock).copied();
-                let sufficient = matches!(currently, Some(held) if held.strongest(mode) == held);
-                if sufficient {
+                if inner.held_sufficient(lock, mode) {
                     return Ok(());
                 }
                 // Release the borrow while potentially blocking in the
                 // manager: an undo closure of a boosted collection must be
                 // able to re-enter the transaction if it ever needs to.
                 drop(inner);
-                let newly = self.manager.acquire(self.id, lock, mode)?;
-                let mut inner = self.inner.borrow_mut();
-                let entry = inner.held.entry(lock).or_insert(mode);
-                *entry = entry.strongest(mode);
-                if newly {
-                    // Open nested frames need no bookkeeping here: a
-                    // frame's acquisitions are exactly the `held_order`
-                    // suffix past its mark.
-                    inner.held_order.push(lock);
-                }
-                Ok(())
+                self.acquire_slow(lock, mode)
             }
         }
+    }
+
+    /// Acquires through the shared manager (blocking if contended) and
+    /// records the grant in the held set. Must be called with the interior
+    /// borrow released.
+    fn acquire_slow(&self, lock: LockId, mode: LockMode) -> Result<(), StmError> {
+        let newly = self.manager.acquire(self.id, lock, mode)?;
+        let mut inner = self.inner.borrow_mut();
+        if newly {
+            // Open nested frames need no bookkeeping here: a frame's
+            // acquisitions are exactly the `held` suffix past its mark.
+            inner.push_held(lock, mode);
+        } else {
+            // Re-entrant grant or in-place upgrade: strengthen the
+            // recorded mode.
+            match inner.held_pos(lock) {
+                Some(pos) => {
+                    let entry = inner.held.get_mut(pos).expect("held position is in bounds");
+                    entry.1 = entry.1.strongest(mode);
+                    inner.last_held = Some((lock, pos as u32));
+                }
+                // Defensive: the manager believes we already hold the
+                // lock but the held set lost track (cannot happen while
+                // the nested-abort bookkeeping is correct); record it so
+                // release still happens.
+                None => inner.push_held(lock, mode),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fused acquire + mutate + undo-log entry point for the boosted
+    /// collections' mutation path.
+    ///
+    /// Semantically equivalent to [`Transaction::acquire`] followed by the
+    /// backing-store mutation `op` and [`Transaction::log_undo_typed`],
+    /// but the already-held fast path crosses the interior `RefCell` once
+    /// instead of twice, and the sink lookup goes through the one-slot
+    /// undo cache. `op` performs the collection's backing-store mutation
+    /// and returns the raw material of the inverse entry; `record` moves
+    /// that entry into the (downcast) sink, returning whether it pushed
+    /// one (a conditional mutation — removing an absent key, writing out
+    /// of bounds — records nothing and must return `false`).
+    ///
+    /// `op` and `record` run while the transaction's interior is borrowed:
+    /// they must mutate only the collection's own storage and must **not**
+    /// re-enter the transaction (acquire locks, log undo entries, open
+    /// savepoints). Boosted collections satisfy this by construction.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Transaction::acquire`].
+    pub fn acquire_and_log<S: UndoSink, T>(
+        &self,
+        lock: LockId,
+        mode: LockMode,
+        token: usize,
+        init: impl FnOnce() -> S,
+        op: impl FnOnce() -> T,
+        record: impl FnOnce(&mut S, T) -> bool,
+    ) -> Result<(), StmError> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.closed {
+            return Err(StmError::TransactionClosed);
+        }
+        match self.kind {
+            TxnKind::Replay => inner.trace.push(TraceEntry { lock, mode }),
+            TxnKind::Speculative => {
+                if !inner.held_sufficient(lock, mode) {
+                    drop(inner);
+                    self.acquire_slow(lock, mode)?;
+                    inner = self.inner.borrow_mut();
+                }
+            }
+        }
+        if inner.replaying {
+            // Same contract as `log_undo_typed`: inverse operations must
+            // not log new entries. Mutate (matching the legacy closure
+            // path's behaviour) but skip the log.
+            debug_assert!(
+                !inner.replaying,
+                "inverse operations must not re-enter boosted mutators"
+            );
+            drop(inner);
+            op();
+            return Ok(());
+        }
+        let value = op();
+        inner.undo.record(token, init, |sink| record(sink, value));
+        Ok(())
     }
 
     /// Records an inverse operation that will be run if the transaction
@@ -311,22 +502,10 @@ impl Transaction {
             );
             return;
         }
-        let undo = &mut inner.undo;
-        let idx = match undo.index.get(&token) {
-            Some(&idx) => idx,
-            None => {
-                let idx = u32::try_from(undo.sinks.len()).expect("fewer than 2^32 sinks");
-                undo.sinks.push(Box::new(init()));
-                undo.index.insert(token, idx);
-                idx
-            }
-        };
-        let sink = undo.sinks[idx as usize]
-            .as_any_mut()
-            .downcast_mut::<S>()
-            .expect("undo token reused with a different sink type");
-        record(sink);
-        undo.order.push(idx);
+        inner.undo.record(token, init, |sink| {
+            record(sink);
+            true
+        });
     }
 
     /// Returns a savepoint capturing the current undo-log position.
@@ -388,14 +567,14 @@ impl Transaction {
     pub fn nested<R, E>(&self, body: impl FnOnce(&Transaction) -> Result<R, E>) -> Result<R, E> {
         let undo_start = {
             let mut inner = self.inner.borrow_mut();
-            let mark = u32::try_from(inner.held_order.len()).expect("fewer than 2^32 locks");
+            let mark = u32::try_from(inner.held.len()).expect("fewer than 2^32 locks");
             inner.frames.push(mark);
             inner.undo.len()
         };
         let result = body(self);
         match result {
             Ok(value) => {
-                // The child's acquisitions stay in `held_order` past the
+                // The child's acquisitions stay in `held` past the
                 // enclosing frame's mark, so an aborting ancestor releases
                 // them too — popping the mark is all the merging needed.
                 self.inner.borrow_mut().frames.pop();
@@ -406,14 +585,19 @@ impl Transaction {
                 self.replay_undo_from(undo_start);
                 // Release the locks the child acquired (they are not needed
                 // for the parent's consistency: the child's effects are gone).
-                let child_locks = {
+                let child_locks: Vec<LockId> = {
                     let mut inner = self.inner.borrow_mut();
                     let mark = inner.frames.pop().unwrap_or(0) as usize;
-                    let child_locks = inner.held_order.split_off(mark);
-                    for lock in &child_locks {
-                        inner.held.remove(lock);
+                    let child_pairs = inner.held.split_off(mark);
+                    if inner.held.len() <= HELD_LINEAR_MAX {
+                        // Back under the linear-scan threshold: the index
+                        // is unused; drop whatever it holds. (Above the
+                        // threshold stale suffix entries are tolerated —
+                        // `held_pos` verifies every hit.)
+                        inner.held_index.clear();
                     }
-                    child_locks
+                    inner.last_held = None;
+                    child_pairs.into_iter().map(|(l, _)| l).collect()
                 };
                 if self.kind == TxnKind::Speculative {
                     self.manager.release_abort(self.id, &child_locks);
@@ -431,39 +615,36 @@ impl Transaction {
     ///
     /// Returns [`StmError::TransactionClosed`] if already closed.
     pub fn commit(&self) -> Result<CommitProfile, StmError> {
-        let (locks, modes) = {
+        // The held set already carries `(lock, strongest mode)` in
+        // acquisition order, so the profile is built by straight iteration
+        // — the entry vector below is the commit path's only allocation,
+        // and the manager writes release counters into it in place.
+        let mut entries: Vec<ProfileEntry>;
+        {
             let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(StmError::TransactionClosed);
             }
             inner.closed = true;
             inner.undo.clear();
-            let locks: Vec<LockId> = inner.held_order.take_all();
-            let modes: Vec<LockMode> = locks
-                .iter()
-                .map(|l| inner.held.get(l).copied().unwrap_or(LockMode::Exclusive))
-                .collect();
-            (locks, modes)
-        };
-        let profile = if self.kind == TxnKind::Speculative {
-            let counters = self.manager.release_commit(self.id, &locks);
-            let entries = locks
-                .iter()
-                .zip(modes.iter())
-                .zip(counters.iter())
-                .map(|((lock, mode), counter)| ProfileEntry {
-                    lock: *lock,
-                    mode: *mode,
-                    counter: *counter,
-                })
-                .collect();
-            LockProfile::new(entries)
-        } else {
-            LockProfile::default()
-        };
+            entries = Vec::with_capacity(inner.held.len());
+            for &(lock, mode) in inner.held.iter() {
+                entries.push(ProfileEntry {
+                    lock,
+                    mode,
+                    counter: 0,
+                });
+            }
+            inner.held.clear();
+            inner.held_index.clear();
+            inner.last_held = None;
+        }
+        if self.kind == TxnKind::Speculative {
+            self.manager.release_commit_entries(self.id, &mut entries);
+        }
         Ok(CommitProfile {
             txn: self.id,
-            profile,
+            profile: LockProfile::new(entries),
         })
     }
 
@@ -481,8 +662,10 @@ impl Transaction {
                 return Err(StmError::TransactionClosed);
             }
             inner.closed = true;
-            let locks = inner.held_order.take_all();
+            let locks: Vec<LockId> = inner.held.iter().map(|&(l, _)| l).collect();
             inner.held.clear();
+            inner.held_index.clear();
+            inner.last_held = None;
             locks
         };
         // `closed` is already set, so inverse operations cannot log new
@@ -517,11 +700,11 @@ impl Transaction {
             }
             inner.closed = true;
             inner.undo.clear();
+            let locks: Vec<LockId> = inner.held.iter().map(|&(l, _)| l).collect();
             inner.held.clear();
-            (
-                std::mem::take(&mut inner.trace),
-                inner.held_order.take_all(),
-            )
+            inner.held_index.clear();
+            inner.last_held = None;
+            (std::mem::take(&mut inner.trace), locks)
         };
         if self.kind == TxnKind::Speculative {
             self.manager.release_abort(self.id, &locks);

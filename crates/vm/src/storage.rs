@@ -40,6 +40,24 @@ where
         Ok(self.inner.get(ctx.txn(), key)?)
     }
 
+    /// Reads the value bound to `key` **by reference** (charges one
+    /// `sload`): `f` observes the binding in place and only its result is
+    /// materialized. Use when the caller compares or projects the value —
+    /// it skips the per-read `V: Clone` of [`StorageMap::get`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get_with<R>(
+        &self,
+        ctx: &mut CallContext<'_>,
+        key: &K,
+        f: impl FnOnce(Option<&V>) -> R,
+    ) -> Result<R, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get_with(ctx.txn(), key, f)?)
+    }
+
     /// Whether `key` is bound (charges one `sload`).
     ///
     /// # Errors
@@ -183,6 +201,23 @@ where
         Ok(self.inner.get(ctx.txn())?)
     }
 
+    /// Reads the value **by reference** (charges one `sload`): `f`
+    /// observes it in place and only its result is materialized. Use when
+    /// the caller compares or discards the value — it skips the per-read
+    /// `T: Clone` of [`StorageCell::get`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn with<R>(
+        &self,
+        ctx: &mut CallContext<'_>,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<R, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.with(ctx.txn(), f)?)
+    }
+
     /// Overwrites the value (charges one `sstore`).
     ///
     /// # Errors
@@ -269,6 +304,23 @@ where
     pub fn get(&self, ctx: &mut CallContext<'_>, i: usize) -> Result<Option<T>, VmError> {
         ctx.charge_sload()?;
         Ok(self.inner.get(ctx.txn(), i)?)
+    }
+
+    /// Reads element `i` **by reference** (charges one `sload`): `f`
+    /// observes the element in place (or `None` when out of bounds) and
+    /// only its result is materialized — no per-read `T: Clone`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-gas or speculative-conflict errors.
+    pub fn get_with<R>(
+        &self,
+        ctx: &mut CallContext<'_>,
+        i: usize,
+        f: impl FnOnce(Option<&T>) -> R,
+    ) -> Result<R, VmError> {
+        ctx.charge_sload()?;
+        Ok(self.inner.get_with(ctx.txn(), i, f)?)
     }
 
     /// Overwrites element `i` (charges one `sstore`); `Ok(false)` if out of
