@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--threads N] [--reps R] [--quick] [--json PATH] \
-//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]
+//! repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] \
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|perf|all]
 //! repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]
 //! ```
 //!
@@ -28,9 +28,13 @@
 //! * `read-heavy` — engine-level read-heavy hot-key blocks: miner time,
 //!   blocking waits and schedule shape (shared reads keep the critical
 //!   path flat where exclusive reads serialized the block).
-//! * `perf` — `micro` + `schedule` + `read-heavy` + `contention`: the
-//!   sections the per-PR perf trajectory (`BENCH_PR*.json`) and the CI
-//!   smoke diff track.
+//! * `abort-rate` — pessimistic vs optimistic abort accounting across the
+//!   conflict sweep: deadlock-victim retries (speculative STM) against
+//!   first-committer-wins validation failures (optimistic MVCC), plus the
+//!   optimistic strategy's validation-free read-only commit count.
+//! * `perf` — `micro` + `schedule` + `read-heavy` + `abort-rate` +
+//!   `contention`: the sections the per-PR perf trajectory
+//!   (`BENCH_PR*.json`) and the CI smoke diff track.
 //! * `all` (default) — everything above.
 //! * `diff OLD.json NEW.json` — compares two `--json` outputs
 //!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
@@ -38,6 +42,12 @@
 //!   `--section NAME` restricts the comparison to one section (e.g.
 //!   `--section stm_micro`), which is how CI gates the per-op hot-path
 //!   numbers strictly while keeping the full-suite diff informational.
+//!
+//! `--strategy NAME` selects the concurrent strategy the Figure-1 sweeps
+//! measure against the serial baseline (`speculative-stm` by default;
+//! `optimistic-mvcc` benchmarks the multi-version back-end through the
+//! identical harness). The `abort-rate` section always measures both
+//! concurrent strategies, whatever `--strategy` says.
 //!
 //! `--quick` shrinks the sweeps (fewer points, 2 repetitions) so the whole
 //! run finishes in a couple of minutes; the full run mirrors the paper's
@@ -57,8 +67,9 @@ use cc_bench::json::Json;
 use cc_bench::micro::{run_micro, MicroPoint};
 use cc_bench::schedule::{run_schedule, SchedulePoint};
 use cc_bench::{
-    average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_read_heavy,
-    measure_serial_validation, ReadHeavyPoint, SweepPoint, DEFAULT_THREADS, REPETITIONS,
+    average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_abort_rate,
+    measure_read_heavy, measure_serial_validation, measure_with, AbortRatePoint, ReadHeavyPoint,
+    SweepPoint, DEFAULT_THREADS, REPETITIONS,
 };
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_workload::{Benchmark, WorkloadSpec};
@@ -68,6 +79,10 @@ struct Options {
     threads: usize,
     repetitions: usize,
     quick: bool,
+    /// The concurrent strategy the Figure-1 sweeps measure against the
+    /// serial baseline (`--strategy serial` is accepted but degenerate:
+    /// it measures the baseline against itself).
+    strategy: ExecutionStrategy,
     command: String,
     /// Positional arguments after the command (used by `diff`).
     operands: Vec<String>,
@@ -87,6 +102,7 @@ fn parse_args() -> Options {
         threads: DEFAULT_THREADS,
         repetitions: REPETITIONS,
         quick: false,
+        strategy: ExecutionStrategy::SpeculativeStm,
         command: "all".to_string(),
         operands: Vec::new(),
         json_path: None,
@@ -116,6 +132,19 @@ fn parse_args() -> Options {
             }
             "--quick" => options.quick = true,
             "--strict" => options.strict = true,
+            "--strategy" => match args.next().map(|v| v.parse::<ExecutionStrategy>()) {
+                Some(Ok(strategy)) => options.strategy = strategy,
+                Some(Err(err)) => {
+                    eprintln!("--strategy: {err}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!(
+                        "--strategy requires a name (serial, speculative-stm or optimistic-mvcc)"
+                    );
+                    std::process::exit(2);
+                }
+            },
             "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(pct) => options.tolerance = pct,
                 None => {
@@ -178,7 +207,7 @@ fn sweep_blocksize_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoin
             SweepPoint {
                 block_size,
                 conflict: 0.15,
-                measurement: measure(&workload, opts.threads, opts.repetitions),
+                measurement: measure_with(&workload, opts.strategy, opts.threads, opts.repetitions),
             }
         })
         .collect()
@@ -192,7 +221,7 @@ fn sweep_conflict_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoint
             SweepPoint {
                 block_size: 200,
                 conflict,
-                measurement: measure(&workload, opts.threads, opts.repetitions),
+                measurement: measure_with(&workload, opts.strategy, opts.threads, opts.repetitions),
             }
         })
         .collect()
@@ -200,8 +229,8 @@ fn sweep_conflict_points(benchmark: Benchmark, opts: &Options) -> Vec<SweepPoint
 
 fn print_figure1_blocksize(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
     println!(
-        "\n== Figure 1 (left column): speedup vs. block size, 15% conflict, {} threads ==",
-        opts.threads
+        "\n== Figure 1 (left column): speedup vs. block size, 15% conflict, {} threads, {} ==",
+        opts.threads, opts.strategy
     );
     let mut all = Vec::new();
     for benchmark in Benchmark::ALL {
@@ -226,8 +255,8 @@ fn print_figure1_blocksize(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> 
 
 fn print_figure1_conflict(opts: &Options) -> Vec<(Benchmark, Vec<SweepPoint>)> {
     println!(
-        "\n== Figure 1 (right column): speedup vs. conflict %, 200 transactions, {} threads ==",
-        opts.threads
+        "\n== Figure 1 (right column): speedup vs. conflict %, 200 transactions, {} threads, {} ==",
+        opts.threads, opts.strategy
     );
     let mut all = Vec::new();
     for benchmark in Benchmark::ALL {
@@ -672,6 +701,116 @@ fn read_heavy_json(points: &[ReadHeavyPoint]) -> Json {
     )
 }
 
+/// The conflict fractions the abort-rate sweep measures (a subset of the
+/// Figure-1 conflict axis; abort behaviour changes slowly with conflict,
+/// so fewer points suffice).
+fn abort_rate_conflicts(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.5, 1.0]
+    } else {
+        vec![0.0, 0.15, 0.3, 0.6, 1.0]
+    }
+}
+
+fn abort_rate_block_size(quick: bool) -> usize {
+    if quick {
+        100
+    } else {
+        200
+    }
+}
+
+fn print_abort_rate(opts: &Options) -> Vec<(Benchmark, Vec<AbortRatePoint>)> {
+    println!(
+        "\n== Abort rates: pessimistic (deadlock victims) vs optimistic (validation failures), {} threads ==",
+        opts.threads
+    );
+    let block_size = abort_rate_block_size(opts.quick);
+    let mut all = Vec::new();
+    for benchmark in Benchmark::ALL {
+        println!("\n-- {benchmark} ({block_size} txns) --");
+        println!(
+            "{:>10} {:>14} {:>12} {:>14} {:>12} {:>12} {:>12}",
+            "conflict",
+            "spec aborts",
+            "spec waits",
+            "opt aborts",
+            "opt r/o",
+            "spec (ms)",
+            "opt (ms)"
+        );
+        let mut points = Vec::new();
+        for conflict in abort_rate_conflicts(opts.quick) {
+            let workload = WorkloadSpec::new(benchmark, block_size, conflict).generate();
+            let p = measure_abort_rate(&workload, opts.threads, opts.repetitions);
+            println!(
+                "{:>9.0}% {:>14.1} {:>12.1} {:>14.1} {:>12.1} {:>12.2} {:>12.2}",
+                p.conflict * 100.0,
+                p.speculative_retries_per_block,
+                p.speculative_waits_per_block,
+                p.optimistic_retries_per_block,
+                p.optimistic_read_only_per_block,
+                p.speculative_ms,
+                p.optimistic_ms,
+            );
+            points.push(p);
+        }
+        all.push((benchmark, points));
+    }
+    println!(
+        "\n(\"spec aborts\": deadlock-victim retries per block under speculative STM; \
+         \"opt aborts\": first-committer-wins validation failures per block under \
+         optimistic MVCC; \"opt r/o\": optimistic commits that skipped validation \
+         entirely — read-only transactions never abort)"
+    );
+    all
+}
+
+fn abort_rate_json(sweeps: &[(Benchmark, Vec<AbortRatePoint>)]) -> Json {
+    Json::Array(
+        sweeps
+            .iter()
+            .map(|(benchmark, points)| {
+                Json::object([
+                    ("benchmark", Json::str(benchmark.to_string())),
+                    (
+                        "points",
+                        Json::Array(
+                            points
+                                .iter()
+                                .map(|p| {
+                                    Json::object([
+                                        ("block_size", Json::num(p.block_size as u32)),
+                                        ("conflict", Json::num(p.conflict)),
+                                        (
+                                            "speculative_retries_per_block",
+                                            Json::num(p.speculative_retries_per_block),
+                                        ),
+                                        (
+                                            "speculative_waits_per_block",
+                                            Json::num(p.speculative_waits_per_block),
+                                        ),
+                                        (
+                                            "optimistic_retries_per_block",
+                                            Json::num(p.optimistic_retries_per_block),
+                                        ),
+                                        (
+                                            "optimistic_read_only_per_block",
+                                            Json::num(p.optimistic_read_only_per_block),
+                                        ),
+                                        ("speculative_ms", Json::num(p.speculative_ms)),
+                                        ("optimistic_ms", Json::num(p.optimistic_ms)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn micro_json(points: &[MicroPoint]) -> Json {
     Json::Array(
         points
@@ -756,6 +895,35 @@ fn extract_metrics(doc: &Json) -> Vec<Metric> {
                         value,
                         direction,
                     });
+                }
+            }
+        }
+    }
+    if let Some(sweeps) = doc.get("abort_rate").and_then(Json::as_array) {
+        for sweep in sweeps {
+            let Some(benchmark) = sweep.get("benchmark").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(points) = sweep.get("points").and_then(Json::as_array) else {
+                continue;
+            };
+            for p in points {
+                let Some(conflict) = p.get("conflict").and_then(Json::as_f64) else {
+                    continue;
+                };
+                for metric in [
+                    "speculative_retries_per_block",
+                    "optimistic_retries_per_block",
+                    "speculative_ms",
+                    "optimistic_ms",
+                ] {
+                    if let Some(value) = p.get(metric).and_then(Json::as_f64) {
+                        out.push(Metric {
+                            label: format!("abort_rate/{benchmark}/c{conflict:.2}/{metric}"),
+                            value,
+                            direction: Direction::LowerIsBetter,
+                        });
+                    }
                 }
             }
         }
@@ -928,9 +1096,10 @@ fn main() {
         return;
     }
     println!(
-        "concurrent-contracts reproduction harness — {} threads, {} repetitions{}",
+        "concurrent-contracts reproduction harness — {} threads, {} repetitions, {} strategy{}",
         opts.threads,
         opts.repetitions,
+        opts.strategy,
         if opts.quick { " (quick mode)" } else { "" }
     );
 
@@ -940,6 +1109,7 @@ fn main() {
     let mut micro: Option<Vec<MicroPoint>> = None;
     let mut schedule: Option<Vec<SchedulePoint>> = None;
     let mut read_heavy: Option<Vec<ReadHeavyPoint>> = None;
+    let mut abort_rate: Option<Vec<(Benchmark, Vec<AbortRatePoint>)>> = None;
 
     match opts.command.as_str() {
         "figure1-blocksize" => {
@@ -977,10 +1147,14 @@ fn main() {
         "read-heavy" => {
             read_heavy = Some(print_read_heavy(&opts));
         }
+        "abort-rate" => {
+            abort_rate = Some(print_abort_rate(&opts));
+        }
         "perf" => {
             micro = Some(print_micro(&opts));
             schedule = Some(print_schedule(&opts));
             read_heavy = Some(print_read_heavy(&opts));
+            abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
         }
         "all" => {
@@ -994,11 +1168,12 @@ fn main() {
             micro = Some(print_micro(&opts));
             schedule = Some(print_schedule(&opts));
             read_heavy = Some(print_read_heavy(&opts));
+            abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|perf|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|perf|all]");
             eprintln!(
                 "       repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]"
             );
@@ -1027,6 +1202,9 @@ fn main() {
         }
         if let Some(points) = &read_heavy {
             sections.push(("read_heavy", read_heavy_json(points)));
+        }
+        if let Some(sweeps) = &abort_rate {
+            sections.push(("abort_rate", abort_rate_json(sweeps)));
         }
         if let Some(points) = &contention {
             sections.push(("contention", contention_json(points)));

@@ -111,8 +111,30 @@ pub struct SweepPoint {
 /// validation, each with [`WARMUPS`] warm-ups and `repetitions` measured
 /// runs on fresh worlds.
 pub fn measure(workload: &Workload, threads: usize, repetitions: usize) -> Measurement {
+    measure_with(
+        workload,
+        ExecutionStrategy::SpeculativeStm,
+        threads,
+        repetitions,
+    )
+}
+
+/// Like [`measure`], but the concurrent side (miner and validator) runs
+/// under an explicit [`ExecutionStrategy`] instead of the default
+/// speculative STM. The serial baseline is measured identically either
+/// way, so speedups from different strategies are directly comparable.
+///
+/// Because the optimistic miner publishes the same schedule metadata as
+/// the speculative one, the validator leg needs no per-strategy code:
+/// whatever block the strategy mines, the fork-join validator replays it.
+pub fn measure_with(
+    workload: &Workload,
+    strategy: ExecutionStrategy,
+    threads: usize,
+    repetitions: usize,
+) -> Measurement {
     let serial_engine = engine(ExecutionStrategy::Serial, threads);
-    let speculative_engine = engine(ExecutionStrategy::SpeculativeStm, threads);
+    let speculative_engine = engine(strategy, threads);
 
     // A reference block for the validator runs (any honest parallel block
     // will do; we mine one up front).
@@ -322,6 +344,101 @@ pub fn measure_read_heavy(
     }
 }
 
+/// One point of the abort-rate comparison: the same workload mined under
+/// the pessimistic (speculative STM) and the optimistic (MVCC) strategy,
+/// reporting how often each one aborts.
+///
+/// The two strategies abort for different reasons — speculative
+/// transactions die as deadlock victims while holding abstract locks,
+/// optimistic ones fail first-committer-wins read-set validation — but
+/// both surface as `retries` in [`cc_core::stats::MinerStats`], so the
+/// rates are directly comparable. `optimistic_read_only_per_block` counts
+/// the commits the optimistic strategy finished without validation at
+/// all: its structurally abort-free reads.
+#[derive(Debug, Clone, Copy)]
+pub struct AbortRatePoint {
+    /// Block size (number of transactions).
+    pub block_size: usize,
+    /// Data-conflict fraction (0.0–1.0).
+    pub conflict: f64,
+    /// Mean deadlock-victim retries per speculatively-mined block.
+    pub speculative_retries_per_block: f64,
+    /// Mean lock-manager blocking waits per speculatively-mined block.
+    pub speculative_waits_per_block: f64,
+    /// Mean validation-failure retries per optimistically-mined block.
+    pub optimistic_retries_per_block: f64,
+    /// Mean read-only (validation-free, abort-free) commits per
+    /// optimistically-mined block.
+    pub optimistic_read_only_per_block: f64,
+    /// Mean speculative mining time (ms).
+    pub speculative_ms: f64,
+    /// Mean optimistic mining time (ms).
+    pub optimistic_ms: f64,
+}
+
+impl AbortRatePoint {
+    /// Speculative aborts per transaction.
+    pub fn speculative_abort_rate(&self) -> f64 {
+        self.speculative_retries_per_block / self.block_size.max(1) as f64
+    }
+
+    /// Optimistic aborts per transaction.
+    pub fn optimistic_abort_rate(&self) -> f64 {
+        self.optimistic_retries_per_block / self.block_size.max(1) as f64
+    }
+}
+
+/// Mines `workload` repeatedly under both concurrent strategies and
+/// averages each one's abort accounting (one warm-up run plus
+/// `repetitions` measured runs per strategy, each on a fresh world).
+pub fn measure_abort_rate(
+    workload: &Workload,
+    threads: usize,
+    repetitions: usize,
+) -> AbortRatePoint {
+    let mine_stats = |strategy: ExecutionStrategy| {
+        let engine = engine(strategy, threads);
+        let mut retries = Vec::new();
+        let mut waits = Vec::new();
+        let mut read_only = Vec::new();
+        let mut elapsed = Vec::new();
+        for _ in 0..repetitions.max(1) + 1 {
+            let world = workload.build_world();
+            let mined = engine
+                .mine(&world, workload.transactions())
+                .expect("abort-rate block mines");
+            retries.push(mined.stats.retries as f64);
+            waits.push(mined.stats.locks.waits as f64);
+            read_only.push(mined.stats.read_only as f64);
+            elapsed.push(mined.stats.elapsed);
+        }
+        // Drop the warm-up run.
+        retries.remove(0);
+        waits.remove(0);
+        read_only.remove(0);
+        elapsed.remove(0);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        (
+            mean(&retries),
+            mean(&waits),
+            mean(&read_only),
+            Timing::from_samples(&elapsed).mean_ms(),
+        )
+    };
+    let (spec_retries, spec_waits, _, spec_ms) = mine_stats(ExecutionStrategy::SpeculativeStm);
+    let (opt_retries, _, opt_read_only, opt_ms) = mine_stats(ExecutionStrategy::OptimisticMvcc);
+    AbortRatePoint {
+        block_size: workload.transactions().len(),
+        conflict: workload.spec().conflict,
+        speculative_retries_per_block: spec_retries,
+        speculative_waits_per_block: spec_waits,
+        optimistic_retries_per_block: opt_retries,
+        optimistic_read_only_per_block: opt_read_only,
+        speculative_ms: spec_ms,
+        optimistic_ms: opt_ms,
+    }
+}
+
 fn time_runs(repetitions: usize, mut run: impl FnMut() -> Duration) -> Timing {
     for _ in 0..WARMUPS {
         run();
@@ -483,6 +600,27 @@ mod tests {
         // No read-read edges: the edge count is bounded by readers×writers
         // plus nothing else (writer-writer pairs commute additively).
         assert!(point.hb_edges <= point.readers * point.writers);
+    }
+
+    #[test]
+    fn strategies_measure_through_the_same_harness() {
+        let workload = WorkloadSpec::new(Benchmark::EtherDoc, 16, 0.2).generate();
+        let m = measure_with(&workload, ExecutionStrategy::OptimisticMvcc, 2, 1);
+        assert!(m.serial.mean > Duration::ZERO);
+        assert!(m.miner.mean > Duration::ZERO);
+        assert!(m.validator.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn abort_rate_point_compares_the_two_strategies() {
+        let workload = WorkloadSpec::new(Benchmark::SimpleAuction, 20, 0.5).generate();
+        let point = measure_abort_rate(&workload, 2, 1);
+        assert_eq!(point.block_size, 20);
+        assert!((point.conflict - 0.5).abs() < f64::EPSILON);
+        assert!(point.speculative_ms > 0.0);
+        assert!(point.optimistic_ms > 0.0);
+        assert!(point.speculative_abort_rate() >= 0.0);
+        assert!(point.optimistic_abort_rate() >= 0.0);
     }
 
     #[test]

@@ -54,7 +54,7 @@
 //! ```
 
 use crate::error::CoreError;
-use crate::miner::{MinedBlock, Miner, ParallelMiner, SerialMiner};
+use crate::miner::{MinedBlock, Miner, MvccMiner, ParallelMiner, SerialMiner};
 use crate::stats::ValidationReport;
 use crate::validator::{ParallelValidator, SerialValidator, Validator};
 use cc_ledger::{Block, Transaction};
@@ -62,13 +62,13 @@ use cc_primitives::hash::Hash256;
 use cc_stm::RetryPolicy;
 use cc_vm::World;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
 
 /// Which concurrency back-end executes blocks.
 ///
-/// Marked non-exhaustive: OptSmart-style optimistic multi-version
-/// execution (Anjana et al.) is the next planned variant, and consumers
-/// should be ready for more.
+/// Marked non-exhaustive: more back-ends may follow, and consumers
+/// should be ready for new variants.
 #[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecutionStrategy {
@@ -81,6 +81,13 @@ pub enum ExecutionStrategy {
     /// (Algorithm 2).
     #[default]
     SpeculativeStm,
+    /// OptSmart-style optimistic multi-version execution (Anjana et al.):
+    /// transactions read consistent snapshots from timestamped version
+    /// lists, buffer writes privately, and validate their read sets at
+    /// commit (first committer wins). Read-only transactions never abort.
+    /// The miner synthesizes the same schedule metadata as the
+    /// speculative strategy, so validation stays fork-join.
+    OptimisticMvcc,
 }
 
 impl fmt::Display for ExecutionStrategy {
@@ -88,6 +95,27 @@ impl fmt::Display for ExecutionStrategy {
         match self {
             ExecutionStrategy::Serial => f.write_str("serial"),
             ExecutionStrategy::SpeculativeStm => f.write_str("speculative-stm"),
+            ExecutionStrategy::OptimisticMvcc => f.write_str("optimistic-mvcc"),
+        }
+    }
+}
+
+impl FromStr for ExecutionStrategy {
+    type Err = CoreError;
+
+    /// Parses the canonical names printed by [`fmt::Display`]
+    /// (`serial`, `speculative-stm`, `optimistic-mvcc`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial" => Ok(ExecutionStrategy::Serial),
+            "speculative-stm" => Ok(ExecutionStrategy::SpeculativeStm),
+            "optimistic-mvcc" => Ok(ExecutionStrategy::OptimisticMvcc),
+            other => Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "unknown execution strategy {other:?} \
+                     (expected serial, speculative-stm or optimistic-mvcc)"
+                ),
+            }),
         }
     }
 }
@@ -156,6 +184,11 @@ impl EngineConfig {
     /// form of [`EngineConfig::new`]).
     pub fn speculative() -> Self {
         EngineConfig::new().strategy(ExecutionStrategy::SpeculativeStm)
+    }
+
+    /// A configuration for the optimistic multi-version strategy.
+    pub fn optimistic() -> Self {
+        EngineConfig::new().strategy(ExecutionStrategy::OptimisticMvcc)
     }
 
     /// Selects the concurrency back-end.
@@ -228,6 +261,18 @@ impl EngineConfig {
                 ),
                 Arc::new(ParallelValidator::new(self.threads).with_trace_checks(self.check_traces)),
             ),
+            ExecutionStrategy::OptimisticMvcc => (
+                Arc::new(
+                    MvccMiner::new(self.threads)
+                        .with_retry_policy(self.retry)
+                        .with_schedule_capture(self.capture_schedule),
+                ),
+                // The optimistic miner publishes the same schedule
+                // metadata (profiles + happens-before edges) as the
+                // speculative one, so the fork-join validator is reused
+                // unchanged — validators stay strategy-agnostic.
+                Arc::new(ParallelValidator::new(self.threads).with_trace_checks(self.check_traces)),
+            ),
         };
         Ok(Engine {
             config: self,
@@ -289,6 +334,16 @@ impl Engine {
         EngineConfig::speculative().threads(threads).build()
     }
 
+    /// An optimistic multi-version engine with `threads` workers and
+    /// defaults for everything else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when `threads` is zero.
+    pub fn optimistic(threads: usize) -> Result<Engine, CoreError> {
+        EngineConfig::optimistic().threads(threads).build()
+    }
+
     /// The configuration this engine was built from.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -304,7 +359,9 @@ impl Engine {
     pub fn threads(&self) -> usize {
         match self.config.strategy {
             ExecutionStrategy::Serial => 1,
-            ExecutionStrategy::SpeculativeStm => self.config.threads,
+            ExecutionStrategy::SpeculativeStm | ExecutionStrategy::OptimisticMvcc => {
+                self.config.threads
+            }
         }
     }
 
@@ -478,6 +535,42 @@ mod tests {
         engine.validate(&counter_world(), &mined.block).unwrap();
         assert!(format!("{engine:?}").contains("SpeculativeStm"));
         assert!(ExecutionStrategy::Serial.to_string().contains("serial"));
+    }
+
+    #[test]
+    fn strategy_names_round_trip_through_from_str() {
+        for strategy in [
+            ExecutionStrategy::Serial,
+            ExecutionStrategy::SpeculativeStm,
+            ExecutionStrategy::OptimisticMvcc,
+        ] {
+            let parsed: ExecutionStrategy = strategy.to_string().parse().unwrap();
+            assert_eq!(parsed, strategy);
+        }
+        assert!(matches!(
+            "mvcc".parse::<ExecutionStrategy>(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!("Serial".parse::<ExecutionStrategy>().is_err());
+    }
+
+    #[test]
+    fn optimistic_engine_mines_and_validates() {
+        let optimistic = Engine::optimistic(3).unwrap();
+        assert_eq!(optimistic.strategy(), ExecutionStrategy::OptimisticMvcc);
+        assert_eq!(optimistic.threads(), 3);
+        let mined = optimistic.mine(&counter_world(), counter_txs(20)).unwrap();
+        let baseline = Engine::serial()
+            .mine(&counter_world(), counter_txs(20))
+            .unwrap();
+        assert_eq!(
+            mined.block.header.state_root,
+            baseline.block.header.state_root
+        );
+        // The published schedule validates under the ordinary fork-join
+        // validator, exactly like a speculatively-mined block.
+        let report = optimistic.validate(&counter_world(), &mined.block).unwrap();
+        assert_eq!(report.state_root, mined.block.header.state_root);
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Block mining: the serial baseline and the speculative parallel miner.
+//! Block mining: the serial baseline, the speculative parallel miner and
+//! the optimistic multi-version miner.
 
+mod mvcc;
 mod parallel;
 mod serial;
 
+pub use mvcc::MvccMiner;
 pub use parallel::ParallelMiner;
 pub use serial::SerialMiner;
 

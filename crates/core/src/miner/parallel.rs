@@ -6,7 +6,7 @@ use crate::schedule::HappensBeforeGraph;
 use crate::stats::MinerStats;
 use cc_ledger::{Block, Transaction};
 use cc_primitives::hash::Hash256;
-use cc_stm::{LockProfile, RetryPolicy};
+use cc_stm::{LockMode, LockProfile, RetryPolicy};
 use cc_vm::{Receipt, World};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -182,6 +182,11 @@ impl Miner for ParallelMiner {
             .map(|p| p.expect("every transaction has a profile on success"))
             .collect();
 
+        let read_only = profiles
+            .iter()
+            .filter(|p| p.locks.iter().all(|e| e.mode == LockMode::Shared))
+            .count() as u64;
+
         // Algorithm 1: derive the happens-before graph from the lock log
         // and produce the equivalent serial order by topological sort. The
         // profiles move into the published metadata; nothing is cloned.
@@ -219,6 +224,7 @@ impl Miner for ParallelMiner {
                 critical_path,
                 hb_edges,
                 locks: stm.lock_stats().since(&locks_before),
+                read_only,
             },
         })
     }
@@ -378,6 +384,91 @@ mod tests {
         assert_eq!(auction.current_highest_bid(), 12);
         // All bids touch the highest-bid cell, so the schedule is a chain.
         assert_eq!(mined.block.schedule.as_ref().unwrap().critical_path(), 12);
+    }
+
+    /// A contract whose single method reads a cell under a shared lock,
+    /// dawdles while holding it, then writes the cell back — the classic
+    /// read-then-upgrade pattern. Two concurrent calls both hold the
+    /// shared lock and both request the exclusive upgrade, so one of them
+    /// must die as a deadlock victim.
+    #[derive(Debug)]
+    struct UpgradingContract {
+        address: Address,
+        cell: cc_vm::StorageCell<u64>,
+    }
+
+    impl cc_vm::Contract for UpgradingContract {
+        fn kind(&self) -> cc_vm::ContractKind {
+            cc_vm::ContractKind("Upgrading")
+        }
+
+        fn address(&self) -> Address {
+            self.address
+        }
+
+        fn call(
+            &self,
+            ctx: &mut cc_vm::CallContext<'_>,
+            call: &CallData,
+        ) -> Result<cc_vm::ReturnValue, cc_vm::VmError> {
+            match call.function.as_str() {
+                "readThenBump" => {
+                    let seen = self.cell.get(ctx)?;
+                    // Hold the shared lock long enough for the other
+                    // worker to acquire it too before either upgrades.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    self.cell.set(ctx, seen + 1)?;
+                    Ok(cc_vm::ReturnValue::Uint(u128::from(seen + 1)))
+                }
+                other => Err(cc_vm::VmError::UnknownFunction {
+                    function: other.to_string(),
+                }),
+            }
+        }
+
+        fn snapshot(&self) -> cc_vm::ContractSnapshot {
+            cc_vm::ContractSnapshot::new(
+                "Upgrading",
+                self.address,
+                vec![self.cell.snapshot_field()],
+            )
+        }
+    }
+
+    #[test]
+    fn upgrade_deadlock_victims_are_counted_as_retries() {
+        let world = World::new();
+        let addr = Address::from_name("upgrade-deadlock");
+        world.deploy(Arc::new(UpgradingContract {
+            address: addr,
+            cell: cc_vm::StorageCell::new("Upgrading.cell", 0),
+        }));
+        let txs: Vec<Transaction> = (0..2)
+            .map(|i| {
+                Transaction::new(
+                    i,
+                    Address::from_index(i),
+                    addr,
+                    CallData::nullary("readThenBump"),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let mined = ParallelMiner::new(2)
+            .with_retry_policy(RetryPolicy::no_backoff(64))
+            .mine(&world, txs)
+            .unwrap();
+        assert!(mined.block.receipts.iter().all(Receipt::succeeded));
+        assert!(
+            mined.stats.retries >= 1,
+            "the shared→exclusive upgrade deadlock's victim must show up \
+             in the abort accounting (saw {} retries)",
+            mined.stats.retries
+        );
+        assert_eq!(
+            mined.stats.locks.deadlocks, mined.stats.retries,
+            "every pessimistic retry in this block is a deadlock victim"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::miner::{MinedBlock, Miner};
 use crate::stats::MinerStats;
 use cc_ledger::{Block, ScheduleMetadata, Transaction};
 use cc_primitives::hash::Hash256;
+use cc_stm::LockMode;
 use cc_vm::{Receipt, World};
 use std::time::Instant;
 
@@ -62,6 +63,7 @@ impl Miner for SerialMiner {
 
         let mut receipts: Vec<Receipt> = Vec::with_capacity(transactions.len());
         let mut retries = 0u64;
+        let mut read_only = 0u64;
         for (index, tx) in transactions.iter().enumerate() {
             // With no concurrent transactions a deadlock abort is
             // impossible, but the retry loop keeps the execution path
@@ -70,10 +72,18 @@ impl Miner for SerialMiner {
                 let txn = stm.begin();
                 match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit) {
                     Ok(receipt) => {
-                        txn.commit().map_err(|source| CoreError::MiningFailed {
+                        let commit = txn.commit().map_err(|source| CoreError::MiningFailed {
                             tx_index: index,
                             source,
                         })?;
+                        if commit
+                            .profile
+                            .locks
+                            .iter()
+                            .all(|e| e.mode == LockMode::Shared)
+                        {
+                            read_only += 1;
+                        }
                         receipts.push(receipt);
                         break;
                     }
@@ -116,6 +126,7 @@ impl Miner for SerialMiner {
                 critical_path,
                 hb_edges,
                 locks: stm.lock_stats().since(&locks_before),
+                read_only,
             },
         })
     }

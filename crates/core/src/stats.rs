@@ -23,6 +23,11 @@ pub struct MinerStats {
     pub critical_path: usize,
     /// Number of happens-before edges discovered.
     pub hb_edges: usize,
+    /// Number of committed transactions that performed no writes — under
+    /// the optimistic strategy these commit without validation and can
+    /// never abort; pessimistic miners count commits whose profile holds
+    /// only shared locks.
+    pub read_only: u64,
     /// Lock-manager activity while this block was mined: acquisitions,
     /// blocking waits, deadlocks, targeted wakeups, and the stripe count
     /// of the sharded lock table. The serial miner still acquires locks
@@ -35,11 +40,12 @@ impl fmt::Display for MinerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} txns on {} thread(s) in {:?} ({} retries, critical path {}, {} edges; locks: {} acquired, {} waits, {} deadlocks over {} shards)",
+            "{} txns on {} thread(s) in {:?} ({} retries, {} read-only, critical path {}, {} edges; locks: {} acquired, {} waits, {} deadlocks over {} shards)",
             self.transactions,
             self.threads,
             self.elapsed,
             self.retries,
+            self.read_only,
             self.critical_path,
             self.hb_edges,
             self.locks.acquisitions,
@@ -90,6 +96,7 @@ mod tests {
             gas_used: 1_000,
             critical_path: 7,
             hb_edges: 30,
+            read_only: 40,
             locks: LockStats {
                 acquisitions: 420,
                 waits: 12,
@@ -101,6 +108,7 @@ mod tests {
         let s = stats.to_string();
         assert!(s.contains("200 txns"));
         assert!(s.contains("3 thread"));
+        assert!(s.contains("40 read-only"));
         assert!(s.contains("420 acquired"));
         assert!(s.contains("16 shards"));
 

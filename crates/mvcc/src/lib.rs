@@ -1,0 +1,350 @@
+//! `cc_mvcc` — a timestamped multi-version store with optimistic,
+//! abort-free-read transactions.
+//!
+//! This crate is the optimistic counterpart to `cc_stm`'s pessimistic
+//! transactional boosting (OptSmart, Anjana et al. 2021, over the PODC'17
+//! framework): instead of acquiring abstract locks up front, a transaction
+//! reads a fixed **snapshot** (every key resolves to the newest version at
+//! or below its begin timestamp), buffers writes privately, and validates
+//! **first-committer-wins** at commit. The parts:
+//!
+//! * [`TimestampOracle`] — issues snapshot instants, tracks the active set
+//!   and exposes the garbage-collection horizon.
+//! * [`VersionedMap`] / [`VersionedCell`] / [`VersionedVec`] /
+//!   [`VersionedCounterMap`] — per-key version lists over a single-version
+//!   backing store (the `*Base` traits), mirroring the boosted collection
+//!   APIs one-for-one, including the `(LockId, LockMode)` footprint the
+//!   pessimistic twin would acquire.
+//! * [`MvccTxn`] — read-set/write-set transactions with savepoints and
+//!   nested speculative actions; read-only transactions commit without
+//!   validation and therefore **never abort**.
+//! * [`MvccRuntime`] — the per-world oracle + commit mutex + collection
+//!   registry; finalizes blocks by flattening newest versions into the
+//!   backing store and garbage-collects below the oldest active snapshot.
+//!
+//! ```
+//! use cc_mvcc::{MapBase, MvccRuntime, VersionedMap};
+//! use cc_stm::LockSpace;
+//! use parking_lot::Mutex;
+//! use std::collections::HashMap;
+//!
+//! struct Base(Mutex<HashMap<u64, u64>>);
+//! impl MapBase<u64, u64> for Base {
+//!     fn load(&self, k: &u64) -> Option<u64> {
+//!         self.0.lock().get(k).copied()
+//!     }
+//!     fn store(&self, k: &u64, v: Option<u64>) {
+//!         let mut base = self.0.lock();
+//!         match v {
+//!             Some(v) => base.insert(*k, v),
+//!             None => base.remove(k),
+//!         };
+//!     }
+//! }
+//!
+//! let runtime = MvccRuntime::new();
+//! let map = VersionedMap::new(LockSpace::new("demo"), Base(Mutex::new(HashMap::new())));
+//! runtime.register(map.handle());
+//!
+//! let writer = runtime.begin();
+//! map.insert(&writer, 1, 10);
+//! let commit = writer.commit().expect("no contention");
+//! assert!(!commit.read_only);
+//!
+//! let reader = runtime.begin();
+//! assert_eq!(map.get(&reader, &1), Some(10));
+//! assert!(reader.commit().expect("readers never abort").read_only);
+//! ```
+
+pub mod error;
+pub mod oracle;
+pub mod runtime;
+pub mod store;
+pub mod txn;
+
+pub use cc_primitives::ts::Timestamp;
+pub use error::MvccError;
+pub use oracle::TimestampOracle;
+pub use runtime::MvccRuntime;
+pub use store::{
+    CellBase, MapBase, MvccCollection, TallyBase, VecBase, VersionedCell, VersionedCounterMap,
+    VersionedMap, VersionedVec,
+};
+pub use txn::{MvccCommit, MvccSavepoint, MvccTxn};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stm::{LockMode, LockSpace};
+    use parking_lot::Mutex;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    struct TestBase(Mutex<HashMap<u64, u64>>);
+
+    impl TestBase {
+        fn new(entries: &[(u64, u64)]) -> Self {
+            TestBase(Mutex::new(entries.iter().copied().collect()))
+        }
+    }
+
+    impl MapBase<u64, u64> for TestBase {
+        fn load(&self, key: &u64) -> Option<u64> {
+            self.0.lock().get(key).copied()
+        }
+        fn store(&self, key: &u64, value: Option<u64>) {
+            let mut base = self.0.lock();
+            match value {
+                Some(v) => {
+                    base.insert(*key, v);
+                }
+                None => {
+                    base.remove(key);
+                }
+            }
+        }
+    }
+
+    fn fixture() -> (MvccRuntime, VersionedMap<u64, u64>) {
+        let runtime = MvccRuntime::new();
+        let map = VersionedMap::new(
+            LockSpace::new("test.map"),
+            TestBase::new(&[(1, 100), (2, 200)]),
+        );
+        runtime.register(map.handle());
+        (runtime, map)
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let (runtime, map) = fixture();
+        let reader = runtime.begin();
+        assert_eq!(map.get(&reader, &1), Some(100), "base fall-through");
+
+        let writer = runtime.begin();
+        map.insert(&writer, 1, 111);
+        assert!(!writer.commit().unwrap().read_only);
+
+        // The reader's snapshot predates the commit.
+        assert_eq!(map.get(&reader, &1), Some(100));
+        let commit = reader.commit().expect("read-only commit cannot fail");
+        assert!(commit.read_only);
+        assert_eq!(commit.ts, Timestamp::BASE);
+
+        // A fresh snapshot sees the new version.
+        let later = runtime.begin();
+        assert_eq!(map.get(&later, &1), Some(111));
+        later.commit().unwrap();
+    }
+
+    #[test]
+    fn first_committer_wins_on_read_write_conflict() {
+        let (runtime, map) = fixture();
+        let a = runtime.begin();
+        let b = runtime.begin();
+
+        // Both read key 1, both write it: the second committer loses.
+        let seen_a = map.get(&a, &1).unwrap();
+        let seen_b = map.get(&b, &1).unwrap();
+        map.insert(&a, 1, seen_a + 1);
+        map.insert(&b, 1, seen_b + 7);
+
+        a.commit().expect("first committer wins");
+        let err = b.commit().expect_err("second committer must abort");
+        assert!(err.is_retryable());
+
+        // The retry sees the winner's version and succeeds.
+        let retry = runtime.begin();
+        let seen = map.get(&retry, &1).unwrap();
+        assert_eq!(seen, 101);
+        map.insert(&retry, 1, seen + 7);
+        retry.commit().expect("no conflict on retry");
+    }
+
+    #[test]
+    fn savepoints_and_nested_actions_roll_back_buffered_writes() {
+        let (runtime, map) = fixture();
+        let txn = runtime.begin();
+        map.insert(&txn, 1, 111);
+
+        let savepoint = txn.savepoint();
+        map.insert(&txn, 2, 222);
+        map.take(&txn, &1);
+        txn.rollback_to(savepoint);
+        assert_eq!(map.get(&txn, &1), Some(111), "pre-savepoint write kept");
+        assert_eq!(map.get(&txn, &2), Some(200), "post-savepoint write undone");
+
+        let failed: Result<(), &str> = txn.nested(|t| {
+            map.insert(t, 2, 999);
+            Err("child throws")
+        });
+        assert!(failed.is_err());
+        assert_eq!(map.get(&txn, &2), Some(200), "child write undone");
+
+        let commit = txn.commit().unwrap();
+        assert!(!commit.read_only);
+        runtime.finalize_block();
+        let check = runtime.begin();
+        assert_eq!(map.get(&check, &1), Some(111));
+        assert_eq!(map.get(&check, &2), Some(200));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn nested_failure_drops_child_footprint_but_keeps_strengthenings() {
+        let (runtime, map) = fixture();
+        let space = LockSpace::new("test.map");
+        let txn = runtime.begin();
+        map.get(&txn, &1);
+        let _: Result<(), &str> = txn.nested(|t| {
+            map.insert(t, 1, 5); // strengthens the parent's shared entry
+            map.insert(t, 2, 6); // new entry, dropped on failure
+            Err("throw")
+        });
+        let commit = txn.commit().unwrap();
+        assert_eq!(
+            commit.footprint,
+            vec![(space.lock_for(&1u64), LockMode::Exclusive)],
+            "key 1 strengthened in place, key 2 dropped"
+        );
+    }
+
+    #[test]
+    fn finalize_flattens_newest_versions_into_base() {
+        let (runtime, map) = fixture();
+        for round in 0..3u64 {
+            let txn = runtime.begin();
+            map.insert(&txn, 1, 1000 + round);
+            map.take(&txn, &2);
+            txn.commit().unwrap();
+        }
+        runtime.finalize_block();
+
+        let txn = runtime.begin();
+        assert_eq!(map.get(&txn, &1), Some(1002), "newest version flattened");
+        assert_eq!(map.get(&txn, &2), None, "tombstone removed the base key");
+        assert!(txn.commit().unwrap().read_only);
+    }
+
+    #[test]
+    fn collect_prunes_below_oldest_active_snapshot() {
+        let (runtime, map) = fixture();
+        for round in 0..5u64 {
+            let txn = runtime.begin();
+            map.insert(&txn, 1, round);
+            txn.commit().unwrap();
+        }
+        // A pinned old snapshot keeps its resolution alive through GC.
+        let pinned = runtime.begin();
+        let seen_before = map.get(&pinned, &1);
+        runtime.collect();
+        assert_eq!(map.get(&pinned, &1), seen_before);
+        pinned.commit().unwrap();
+
+        // With nothing active, GC trims every list to its newest version.
+        runtime.collect();
+        let txn = runtime.begin();
+        assert_eq!(map.get(&txn, &1), Some(4));
+        txn.commit().unwrap();
+    }
+
+    /// A backing store the test keeps a handle to, so finalized content
+    /// can be inspected after the `VersionedMap` consumed it.
+    #[derive(Clone)]
+    struct SharedBase(std::sync::Arc<Mutex<HashMap<u64, u64>>>);
+
+    impl MapBase<u64, u64> for SharedBase {
+        fn load(&self, key: &u64) -> Option<u64> {
+            self.0.lock().get(key).copied()
+        }
+        fn store(&self, key: &u64, value: Option<u64>) {
+            let mut base = self.0.lock();
+            match value {
+                Some(v) => {
+                    base.insert(*key, v);
+                }
+                None => {
+                    base.remove(key);
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// A serial stream of optimistic transactions over the versioned
+        /// map must behave exactly like the same operations applied to a
+        /// plain single-version `HashMap`: uncommitted effects are
+        /// private, committed ones are visible to later snapshots,
+        /// aborted ones vanish, fresh readers always see the committed
+        /// reference, GC never changes any observable read, and
+        /// finalizing flattens the version lists to exactly the
+        /// reference content.
+        #[test]
+        fn prop_versioned_map_matches_single_version_reference(
+            seed_entries in proptest::collection::vec((0u64..16, 0u64..1000), 0..8),
+            txns in proptest::collection::vec(
+                (
+                    proptest::collection::vec((0u8..3, 0u64..16, 0u64..1000), 0..8),
+                    any::<bool>(),
+                ),
+                0..12,
+            ),
+        ) {
+            let runtime = MvccRuntime::new();
+            let shared = SharedBase(std::sync::Arc::new(Mutex::new(
+                seed_entries.iter().copied().collect(),
+            )));
+            let map = VersionedMap::new(LockSpace::new("test.prop"), shared.clone());
+            runtime.register(map.handle());
+            let mut reference: HashMap<u64, u64> = seed_entries.iter().copied().collect();
+
+            for (ops, commit) in &txns {
+                let txn = runtime.begin();
+                let mut speculative = reference.clone();
+                for (op, key, value) in ops {
+                    match op % 3 {
+                        0 => {
+                            map.insert(&txn, *key, *value);
+                            speculative.insert(*key, *value);
+                        }
+                        1 => {
+                            map.remove(&txn, key);
+                            speculative.remove(key);
+                        }
+                        _ => {
+                            map.update_or(&txn, *key, 0, |x| *x = x.wrapping_add(*value));
+                            let next = speculative.get(key).copied().unwrap_or(0).wrapping_add(*value);
+                            speculative.insert(*key, next);
+                        }
+                    }
+                    // Read-your-writes: the transaction sees its own
+                    // buffered effects atop its snapshot.
+                    prop_assert_eq!(map.get(&txn, key), speculative.get(key).copied());
+                    prop_assert_eq!(map.contains_key(&txn, key), speculative.contains_key(key));
+                }
+                if *commit {
+                    txn.commit().unwrap();
+                    reference = speculative;
+                } else {
+                    txn.abort().unwrap();
+                }
+
+                // A fresh snapshot sees exactly the committed reference —
+                // and, being read-only, commits without ever aborting.
+                let reader = runtime.begin();
+                for key in 0u64..16 {
+                    prop_assert_eq!(map.get(&reader, &key), reference.get(&key).copied());
+                }
+                prop_assert!(reader.commit().unwrap().read_only);
+
+                // GC under no active snapshots must not disturb anything
+                // a later reader can observe.
+                runtime.collect();
+            }
+
+            runtime.finalize_block();
+            let base = shared.0.lock().clone();
+            prop_assert_eq!(base, reference);
+        }
+    }
+}

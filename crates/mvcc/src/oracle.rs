@@ -1,0 +1,112 @@
+//! The global timestamp oracle.
+//!
+//! The oracle hands out *begin* timestamps (snapshot instants) and tracks
+//! which of them are still active so garbage collection knows how far back
+//! a version list must stay reconstructible.
+//!
+//! `latest` is the newest **fully installed** commit timestamp: committers
+//! allocate `latest + 1` while holding the runtime's commit mutex, install
+//! every version of the transaction, and only then publish the new value.
+//! A reader that picks up `begin_ts = latest` therefore sees a consistent
+//! snapshot — every version at or below its snapshot is completely
+//! installed, and anything newer is filtered out by timestamp.
+
+use cc_primitives::ts::Timestamp;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Issues snapshot timestamps and tracks the active set.
+#[derive(Debug, Default)]
+pub struct TimestampOracle {
+    /// Newest fully installed commit timestamp.
+    latest: AtomicU64,
+    /// Active begin timestamps with multiplicity (several transactions may
+    /// share a snapshot).
+    active: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl TimestampOracle {
+    /// Creates an oracle whose first snapshot is [`Timestamp::BASE`].
+    pub fn new() -> Self {
+        TimestampOracle::default()
+    }
+
+    /// Starts a transaction: returns the current snapshot instant and
+    /// registers it as active (paired with [`TimestampOracle::finish`]).
+    pub fn begin(&self) -> Timestamp {
+        let mut active = self.active.lock();
+        let ts = self.latest.load(Ordering::Acquire);
+        *active.entry(ts).or_insert(0) += 1;
+        Timestamp::from_raw(ts)
+    }
+
+    /// Ends a transaction begun at `begin_ts` (commit or abort alike).
+    pub fn finish(&self, begin_ts: Timestamp) {
+        let mut active = self.active.lock();
+        if let Some(count) = active.get_mut(&begin_ts.raw()) {
+            *count -= 1;
+            if *count == 0 {
+                active.remove(&begin_ts.raw());
+            }
+        }
+    }
+
+    /// The newest fully installed commit timestamp.
+    pub fn latest(&self) -> Timestamp {
+        Timestamp::from_raw(self.latest.load(Ordering::Acquire))
+    }
+
+    /// Publishes `ts` as fully installed. Called with the runtime's commit
+    /// mutex held, after every version of the committing transaction has
+    /// been appended.
+    pub(crate) fn publish(&self, ts: Timestamp) {
+        self.latest.store(ts.raw(), Ordering::Release);
+    }
+
+    /// The garbage-collection horizon: the oldest active snapshot, or the
+    /// newest installed timestamp when nothing is active. Versions strictly
+    /// below the newest version at or below the horizon can never be read
+    /// again.
+    pub fn horizon(&self) -> Timestamp {
+        let active = self.active.lock();
+        match active.keys().next() {
+            Some(&oldest) => Timestamp::from_raw(oldest),
+            None => self.latest(),
+        }
+    }
+
+    /// Number of in-flight transactions (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.active.lock().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_track_installs() {
+        let oracle = TimestampOracle::new();
+        assert_eq!(oracle.begin(), Timestamp::BASE);
+        let next = oracle.latest().next();
+        oracle.publish(next);
+        assert_eq!(oracle.begin(), next);
+        assert_eq!(oracle.active_count(), 2);
+    }
+
+    #[test]
+    fn horizon_is_oldest_active_snapshot() {
+        let oracle = TimestampOracle::new();
+        let old = oracle.begin(); // t0
+        oracle.publish(Timestamp::from_raw(5));
+        let new = oracle.begin(); // t5
+        assert_eq!(oracle.horizon(), Timestamp::BASE);
+        oracle.finish(old);
+        assert_eq!(oracle.horizon(), Timestamp::from_raw(5));
+        oracle.finish(new);
+        assert_eq!(oracle.horizon(), Timestamp::from_raw(5));
+        assert_eq!(oracle.active_count(), 0);
+    }
+}

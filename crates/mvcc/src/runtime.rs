@@ -1,0 +1,87 @@
+//! The per-world optimistic runtime: oracle, commit mutex and the
+//! registry of versioned collections.
+
+use crate::oracle::TimestampOracle;
+use crate::store::MvccCollection;
+use crate::txn::MvccTxn;
+use parking_lot::{Mutex, MutexGuard};
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared state for one world's optimistic execution: the timestamp
+/// oracle, the first-committer-wins commit mutex, and every versioned
+/// collection that has been touched (so block finalization and garbage
+/// collection can reach them all).
+#[derive(Default)]
+pub struct MvccRuntime {
+    oracle: TimestampOracle,
+    commit: Mutex<()>,
+    collections: Mutex<Vec<Arc<dyn MvccCollection>>>,
+}
+
+impl MvccRuntime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        MvccRuntime::default()
+    }
+
+    /// Starts an optimistic transaction at the current snapshot.
+    pub fn begin(&self) -> MvccTxn<'_> {
+        MvccTxn::new(self, self.oracle.begin())
+    }
+
+    /// The runtime's timestamp oracle.
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
+    /// Registers a versioned collection so [`MvccRuntime::finalize_block`]
+    /// and [`MvccRuntime::collect`] reach it. Idempotent per collection.
+    pub fn register(&self, collection: Arc<dyn MvccCollection>) {
+        let mut collections = self.collections.lock();
+        if !collections.iter().any(|c| Arc::ptr_eq(c, &collection)) {
+            collections.push(collection);
+        }
+    }
+
+    /// Flattens the newest committed version of every key into the backing
+    /// stores and clears all version lists. Called by the miner after the
+    /// last transaction of a block committed, before the state root is
+    /// computed; must not run concurrently with active transactions.
+    pub fn finalize_block(&self) {
+        for collection in self.collections.lock().iter() {
+            collection.finalize();
+        }
+    }
+
+    /// Garbage-collects versions that no active or future snapshot can
+    /// read: in every version list, versions older than the newest one at
+    /// or below the oldest active begin timestamp are dropped. Safe to run
+    /// concurrently with transactions.
+    pub fn collect(&self) {
+        let horizon = self.oracle.horizon();
+        for collection in self.collections.lock().iter() {
+            collection.collect(horizon);
+        }
+    }
+
+    /// Number of registered collections (diagnostics).
+    pub fn collection_count(&self) -> usize {
+        self.collections.lock().len()
+    }
+
+    /// The first-committer-wins critical section.
+    pub(crate) fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit.lock()
+    }
+}
+
+impl fmt::Debug for MvccRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MvccRuntime")
+            .field("latest", &self.oracle.latest())
+            .field("active", &self.oracle.active_count())
+            .field("collections", &self.collections.lock().len())
+            .finish()
+    }
+}

@@ -1,0 +1,210 @@
+//! A versioned scalar.
+
+use super::{newer_than, prune, read_at, MvccCollection, Version};
+use crate::txn::{MvccTxn, PendingOps};
+use cc_primitives::ts::Timestamp;
+use cc_stm::{LockId, LockMode};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::sync::Arc;
+
+/// The single-version backing store a [`VersionedCell`] overlays.
+pub trait CellBase<T>: Send + Sync {
+    /// Reads the committed base value.
+    fn load(&self) -> T;
+    /// Applies the finalized value.
+    fn store(&self, value: T);
+}
+
+/// Buffered per-transaction state for one versioned cell.
+pub(crate) struct CellPending<T> {
+    write: Option<T>,
+    read: bool,
+    /// Journal of prior `write` buffers.
+    undo: Vec<Option<T>>,
+}
+
+impl<T> Default for CellPending<T> {
+    fn default() -> Self {
+        CellPending {
+            write: None,
+            read: false,
+            undo: Vec::new(),
+        }
+    }
+}
+
+impl<T: Send + 'static> PendingOps for CellPending<T> {
+    fn undo_last(&mut self) {
+        self.write = self.undo.pop().expect("undo entry exists");
+    }
+
+    fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn has_writes(&self) -> bool {
+        self.write.is_some()
+    }
+
+    fn any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct CellCore<T> {
+    lock: LockId,
+    versions: RwLock<Vec<Version<T>>>,
+    base: Box<dyn CellBase<T>>,
+}
+
+impl<T> MvccCollection for CellCore<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn validate(&self, pending: &dyn Any, begin_ts: Timestamp) -> bool {
+        let p = pending
+            .downcast_ref::<CellPending<T>>()
+            .expect("cell pending state");
+        if !p.read && p.write.is_none() {
+            return true;
+        }
+        !newer_than(&self.versions.read(), begin_ts)
+    }
+
+    fn install(&self, pending: &mut dyn Any, commit_ts: Timestamp) {
+        let p = pending
+            .downcast_mut::<CellPending<T>>()
+            .expect("cell pending state");
+        if let Some(value) = p.write.take() {
+            self.versions.write().push(Version {
+                ts: commit_ts,
+                additive: false,
+                value,
+            });
+        }
+    }
+
+    fn finalize(&self) {
+        let mut versions = self.versions.write();
+        let newest = versions.drain(..).next_back();
+        if let Some(newest) = newest {
+            self.base.store(newest.value);
+        }
+    }
+
+    fn collect(&self, horizon: Timestamp) {
+        prune(&mut self.versions.write(), horizon);
+    }
+}
+
+/// A multi-version scalar: snapshot reads, one buffered write per
+/// transaction, base fall-through.
+pub struct VersionedCell<T> {
+    core: Arc<CellCore<T>>,
+}
+
+impl<T> VersionedCell<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Creates a versioned overlay guarded by the same whole-cell lock id
+    /// as the pessimistic twin, over `base`.
+    pub fn new(lock: LockId, base: impl CellBase<T> + 'static) -> Self {
+        VersionedCell {
+            core: Arc::new(CellCore {
+                lock,
+                versions: RwLock::new(Vec::new()),
+                base: Box::new(base),
+            }),
+        }
+    }
+
+    /// The collection's commit/lifecycle handle.
+    pub fn handle(&self) -> Arc<dyn MvccCollection> {
+        Arc::clone(&self.core) as Arc<dyn MvccCollection>
+    }
+
+    fn token(&self) -> usize {
+        Arc::as_ptr(&self.core) as *const () as usize
+    }
+
+    /// Value as seen by `txn`, marking the cell read.
+    fn read(&self, txn: &MvccTxn<'_>) -> T {
+        let buffered = txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut CellPending<T>| {
+                p.read = true;
+                p.write.clone()
+            },
+        );
+        if let Some(value) = buffered {
+            return value;
+        }
+        {
+            let versions = self.core.versions.read();
+            if let Some(version) = read_at(&versions, txn.begin_ts()) {
+                return version.value.clone();
+            }
+        }
+        self.core.base.load()
+    }
+
+    fn buffer(&self, txn: &MvccTxn<'_>, value: T) {
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut CellPending<T>| {
+                let prior = p.write.replace(value);
+                p.undo.push(prior);
+            },
+        );
+    }
+
+    /// Reads the value (pessimistic twin: shared cell lock).
+    pub fn get(&self, txn: &MvccTxn<'_>) -> T {
+        txn.footprint(self.core.lock, LockMode::Shared);
+        self.read(txn)
+    }
+
+    /// Reads the value by reference.
+    pub fn with<R>(&self, txn: &MvccTxn<'_>, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.get(txn))
+    }
+
+    /// Overwrites the value (pessimistic twin: exclusive cell lock).
+    pub fn set(&self, txn: &MvccTxn<'_>, value: T) {
+        txn.footprint(self.core.lock, LockMode::Exclusive);
+        self.buffer(txn, value);
+    }
+
+    /// Read-modify-write; returns the updated value.
+    pub fn modify(&self, txn: &MvccTxn<'_>, f: impl FnOnce(&mut T)) -> T {
+        txn.footprint(self.core.lock, LockMode::Exclusive);
+        let mut value = self.read(txn);
+        f(&mut value);
+        self.buffer(txn, value.clone());
+        value
+    }
+}
+
+impl<T> Clone for VersionedCell<T> {
+    fn clone(&self) -> Self {
+        VersionedCell {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for VersionedCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedCell")
+            .field("versions", &self.core.versions.read().len())
+            .finish()
+    }
+}

@@ -1,0 +1,294 @@
+//! A versioned tally map with a commutative `add`.
+//!
+//! Each version stores the **materialized running total**, not the delta,
+//! so snapshot reads stay one lookup. What makes `add` commute is the
+//! version's `additive` flag plus the install rule: a purely additive
+//! transaction validates only against newer *non-additive* versions, and
+//! installs its delta on top of the newest total — concurrent adders all
+//! commit, exactly like the pessimistic `Additive` lock mode.
+
+use super::{newer_exclusive_than, newer_than, prune, read_at, MvccCollection, Version};
+use crate::txn::{MvccTxn, PendingOps};
+use cc_primitives::fx::{FxHashMap, FxHashSet};
+use cc_primitives::ts::Timestamp;
+use cc_stm::{LockMode, LockSpace};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// The single-version backing store a [`VersionedCounterMap`] overlays.
+pub trait TallyBase<K>: Send + Sync {
+    /// Reads the committed base tally (0 when absent).
+    fn load(&self, key: &K) -> u64;
+    /// Applies a finalized tally.
+    fn store(&self, key: &K, value: u64);
+}
+
+/// One key's buffered arithmetic: an optional overwrite followed by a
+/// delta (`set` clobbers earlier buffered state; `add` accumulates).
+#[derive(Debug, Clone)]
+struct Tally {
+    set: Option<u64>,
+    delta: u64,
+}
+
+/// Buffered per-transaction state for one versioned counter map.
+pub(crate) struct CounterPending<K> {
+    ops: FxHashMap<K, Tally>,
+    reads: FxHashSet<K>,
+    undo: Vec<(K, Option<Tally>)>,
+}
+
+impl<K> Default for CounterPending<K> {
+    fn default() -> Self {
+        CounterPending {
+            ops: FxHashMap::default(),
+            reads: FxHashSet::default(),
+            undo: Vec::new(),
+        }
+    }
+}
+
+impl<K> PendingOps for CounterPending<K>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+{
+    fn undo_last(&mut self) {
+        let (key, prior) = self.undo.pop().expect("undo entry exists");
+        match prior {
+            Some(tally) => {
+                self.ops.insert(key, tally);
+            }
+            None => {
+                self.ops.remove(&key);
+            }
+        }
+    }
+
+    fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn has_writes(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    fn any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct CounterCore<K> {
+    space: LockSpace,
+    versions: RwLock<FxHashMap<K, Vec<Version<u64>>>>,
+    base: Box<dyn TallyBase<K>>,
+}
+
+impl<K> CounterCore<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// The newest total regardless of snapshot (commit-time view).
+    fn latest_total(&self, versions: &FxHashMap<K, Vec<Version<u64>>>, key: &K) -> u64 {
+        versions
+            .get(key)
+            .and_then(|list| list.last())
+            .map(|v| v.value)
+            .unwrap_or_else(|| self.base.load(key))
+    }
+}
+
+impl<K> MvccCollection for CounterCore<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    fn validate(&self, pending: &dyn Any, begin_ts: Timestamp) -> bool {
+        let p = pending
+            .downcast_ref::<CounterPending<K>>()
+            .expect("counter pending state");
+        let versions = self.versions.read();
+        for key in &p.reads {
+            if versions
+                .get(key)
+                .is_some_and(|list| newer_than(list, begin_ts))
+            {
+                return false;
+            }
+        }
+        for (key, tally) in &p.ops {
+            let Some(list) = versions.get(key) else {
+                continue;
+            };
+            let conflicted = if tally.set.is_some() {
+                newer_than(list, begin_ts)
+            } else {
+                // A pure add commutes with other adds; only a newer
+                // overwrite (or a read-validated key, handled above)
+                // invalidates it.
+                newer_exclusive_than(list, begin_ts)
+            };
+            if conflicted {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn install(&self, pending: &mut dyn Any, commit_ts: Timestamp) {
+        let p = pending
+            .downcast_mut::<CounterPending<K>>()
+            .expect("counter pending state");
+        let mut versions = self.versions.write();
+        for (key, tally) in p.ops.drain() {
+            let current = self.latest_total(&versions, &key);
+            let total = tally.set.unwrap_or(current) + tally.delta;
+            versions.entry(key).or_default().push(Version {
+                ts: commit_ts,
+                additive: tally.set.is_none(),
+                value: total,
+            });
+        }
+    }
+
+    fn finalize(&self) {
+        let mut versions = self.versions.write();
+        for (key, list) in versions.drain() {
+            if let Some(newest) = list.last() {
+                self.base.store(&key, newest.value);
+            }
+        }
+    }
+
+    fn collect(&self, horizon: Timestamp) {
+        let mut versions = self.versions.write();
+        for list in versions.values_mut() {
+            prune(list, horizon);
+        }
+    }
+}
+
+/// A multi-version tally map whose `add` commutes across transactions.
+pub struct VersionedCounterMap<K> {
+    core: Arc<CounterCore<K>>,
+}
+
+impl<K> VersionedCounterMap<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    /// Creates a versioned overlay for the lock space `space` over `base`.
+    pub fn new(space: LockSpace, base: impl TallyBase<K> + 'static) -> Self {
+        VersionedCounterMap {
+            core: Arc::new(CounterCore {
+                space,
+                versions: RwLock::new(FxHashMap::default()),
+                base: Box::new(base),
+            }),
+        }
+    }
+
+    /// The collection's commit/lifecycle handle.
+    pub fn handle(&self) -> Arc<dyn MvccCollection> {
+        Arc::clone(&self.core) as Arc<dyn MvccCollection>
+    }
+
+    fn token(&self) -> usize {
+        Arc::as_ptr(&self.core) as *const () as usize
+    }
+
+    /// The tally as of the snapshot, before this transaction's buffered
+    /// arithmetic.
+    fn snapshot_total(&self, txn: &MvccTxn<'_>, key: &K) -> u64 {
+        {
+            let versions = self.core.versions.read();
+            if let Some(list) = versions.get(key) {
+                if let Some(version) = read_at(list, txn.begin_ts()) {
+                    return version.value;
+                }
+            }
+        }
+        self.core.base.load(key)
+    }
+
+    /// Adds `delta` to the tally (pessimistic twin: additive key lock);
+    /// commutes with concurrent adds to the same key.
+    pub fn add(&self, txn: &MvccTxn<'_>, key: K, delta: u64) {
+        txn.footprint(self.core.space.lock_for(&key), LockMode::Additive);
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut CounterPending<K>| {
+                let prior = p.ops.get(&key).cloned();
+                let mut tally = prior.clone().unwrap_or(Tally {
+                    set: None,
+                    delta: 0,
+                });
+                tally.delta += delta;
+                p.ops.insert(key.clone(), tally);
+                p.undo.push((key.clone(), prior));
+            },
+        );
+    }
+
+    /// Reads the tally (pessimistic twin: shared key lock); orders against
+    /// concurrent adds.
+    pub fn get(&self, txn: &MvccTxn<'_>, key: &K) -> u64 {
+        txn.footprint(self.core.space.lock_for(key), LockMode::Shared);
+        let pending = txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut CounterPending<K>| {
+                p.reads.insert(key.clone());
+                p.ops.get(key).cloned()
+            },
+        );
+        match pending {
+            Some(Tally {
+                set: Some(base),
+                delta,
+            }) => base + delta,
+            Some(Tally { set: None, delta }) => self.snapshot_total(txn, key) + delta,
+            None => self.snapshot_total(txn, key),
+        }
+    }
+
+    /// Overwrites the tally (pessimistic twin: exclusive key lock).
+    pub fn set(&self, txn: &MvccTxn<'_>, key: K, value: u64) {
+        txn.footprint(self.core.space.lock_for(&key), LockMode::Exclusive);
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut CounterPending<K>| {
+                let prior = p.ops.insert(
+                    key.clone(),
+                    Tally {
+                        set: Some(value),
+                        delta: 0,
+                    },
+                );
+                p.undo.push((key.clone(), prior));
+            },
+        );
+    }
+}
+
+impl<K> Clone for VersionedCounterMap<K> {
+    fn clone(&self) -> Self {
+        VersionedCounterMap {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<K> std::fmt::Debug for VersionedCounterMap<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedCounterMap")
+            .field("keys_with_versions", &self.core.versions.read().len())
+            .finish()
+    }
+}

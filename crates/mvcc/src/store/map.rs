@@ -1,0 +1,268 @@
+//! A versioned `mapping(K => V)`.
+
+use super::{newer_than, prune, read_at, MvccCollection, Version};
+use crate::txn::{MvccTxn, PendingOps};
+use cc_primitives::fx::{FxHashMap, FxHashSet};
+use cc_primitives::ts::Timestamp;
+use cc_stm::{LockMode, LockSpace};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// The single-version backing store a [`VersionedMap`] overlays (in the
+/// VM, an adapter over the boosted map; in tests, any mutex-wrapped map).
+pub trait MapBase<K, V>: Send + Sync {
+    /// Reads the committed base binding for `key`.
+    fn load(&self, key: &K) -> Option<V>;
+    /// Applies a finalized binding: `Some` upserts, `None` removes.
+    fn store(&self, key: &K, value: Option<V>);
+}
+
+/// Buffered per-transaction state for one versioned map.
+pub(crate) struct MapPending<K, V> {
+    /// Last buffered write per key (`None` = pending removal).
+    writes: FxHashMap<K, Option<V>>,
+    /// Keys whose committed value this transaction observed.
+    reads: FxHashSet<K>,
+    /// Journal of prior `writes` bindings, for savepoint rollback.
+    undo: Vec<(K, Option<Option<V>>)>,
+}
+
+impl<K, V> Default for MapPending<K, V> {
+    fn default() -> Self {
+        MapPending {
+            writes: FxHashMap::default(),
+            reads: FxHashSet::default(),
+            undo: Vec::new(),
+        }
+    }
+}
+
+impl<K, V> PendingOps for MapPending<K, V>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    V: Send + 'static,
+{
+    fn undo_last(&mut self) {
+        let (key, prior) = self.undo.pop().expect("undo entry exists");
+        match prior {
+            Some(binding) => {
+                self.writes.insert(key, binding);
+            }
+            None => {
+                self.writes.remove(&key);
+            }
+        }
+    }
+
+    fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn has_writes(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    fn any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct MapCore<K, V> {
+    space: LockSpace,
+    versions: RwLock<FxHashMap<K, Vec<Version<Option<V>>>>>,
+    base: Box<dyn MapBase<K, V>>,
+}
+
+impl<K, V> MvccCollection for MapCore<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn validate(&self, pending: &dyn Any, begin_ts: Timestamp) -> bool {
+        let p = pending
+            .downcast_ref::<MapPending<K, V>>()
+            .expect("map pending state");
+        let versions = self.versions.read();
+        let conflicted = |key: &K| {
+            versions
+                .get(key)
+                .is_some_and(|list| newer_than(list, begin_ts))
+        };
+        !p.reads.iter().any(conflicted) && !p.writes.keys().any(conflicted)
+    }
+
+    fn install(&self, pending: &mut dyn Any, commit_ts: Timestamp) {
+        let p = pending
+            .downcast_mut::<MapPending<K, V>>()
+            .expect("map pending state");
+        let mut versions = self.versions.write();
+        for (key, value) in p.writes.drain() {
+            versions.entry(key).or_default().push(Version {
+                ts: commit_ts,
+                additive: false,
+                value,
+            });
+        }
+    }
+
+    fn finalize(&self) {
+        let mut versions = self.versions.write();
+        for (key, list) in versions.drain() {
+            if let Some(newest) = list.into_iter().next_back() {
+                self.base.store(&key, newest.value);
+            }
+        }
+    }
+
+    fn collect(&self, horizon: Timestamp) {
+        let mut versions = self.versions.write();
+        for list in versions.values_mut() {
+            prune(list, horizon);
+        }
+    }
+}
+
+/// A multi-version map: snapshot reads, buffered writes, base fall-through.
+pub struct VersionedMap<K, V> {
+    core: Arc<MapCore<K, V>>,
+}
+
+impl<K, V> VersionedMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates a versioned overlay for the lock space `space` (shared with
+    /// the pessimistic twin so footprints match) over `base`.
+    pub fn new(space: LockSpace, base: impl MapBase<K, V> + 'static) -> Self {
+        VersionedMap {
+            core: Arc::new(MapCore {
+                space,
+                versions: RwLock::new(FxHashMap::default()),
+                base: Box::new(base),
+            }),
+        }
+    }
+
+    /// The collection's commit/lifecycle handle, for
+    /// [`crate::MvccRuntime::register`].
+    pub fn handle(&self) -> Arc<dyn MvccCollection> {
+        Arc::clone(&self.core) as Arc<dyn MvccCollection>
+    }
+
+    fn token(&self) -> usize {
+        Arc::as_ptr(&self.core) as *const () as usize
+    }
+
+    /// Marks `key` read and returns its value as seen by `txn`: buffered
+    /// write, else newest version at or below the snapshot, else base.
+    fn read(&self, txn: &MvccTxn<'_>, key: &K) -> Option<V> {
+        let buffered = txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut MapPending<K, V>| {
+                p.reads.insert(key.clone());
+                p.writes.get(key).cloned()
+            },
+        );
+        if let Some(binding) = buffered {
+            return binding;
+        }
+        {
+            let versions = self.core.versions.read();
+            if let Some(list) = versions.get(key) {
+                if let Some(version) = read_at(list, txn.begin_ts()) {
+                    return version.value.clone();
+                }
+            }
+        }
+        self.core.base.load(key)
+    }
+
+    fn buffer(&self, txn: &MvccTxn<'_>, key: K, value: Option<V>) {
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut MapPending<K, V>| {
+                let prior = p.writes.insert(key.clone(), value);
+                p.undo.push((key, prior));
+            },
+        );
+    }
+
+    /// Reads the value bound to `key` (pessimistic twin: shared key lock).
+    pub fn get(&self, txn: &MvccTxn<'_>, key: &K) -> Option<V> {
+        txn.footprint(self.core.space.lock_for(key), LockMode::Shared);
+        self.read(txn, key)
+    }
+
+    /// Reads the binding by reference.
+    pub fn get_with<R>(&self, txn: &MvccTxn<'_>, key: &K, f: impl FnOnce(Option<&V>) -> R) -> R {
+        let value = self.get(txn, key);
+        f(value.as_ref())
+    }
+
+    /// Whether `key` is bound.
+    pub fn contains_key(&self, txn: &MvccTxn<'_>, key: &K) -> bool {
+        self.get(txn, key).is_some()
+    }
+
+    /// Binds `key` to `value` (pessimistic twin: exclusive key lock).
+    pub fn insert(&self, txn: &MvccTxn<'_>, key: K, value: V) {
+        txn.footprint(self.core.space.lock_for(&key), LockMode::Exclusive);
+        self.buffer(txn, key, Some(value));
+    }
+
+    /// Binds `key` to `value` and returns the previous binding. The
+    /// returned binding is a semantic read: the key joins the read set.
+    pub fn replace(&self, txn: &MvccTxn<'_>, key: K, value: V) -> Option<V> {
+        txn.footprint(self.core.space.lock_for(&key), LockMode::Exclusive);
+        let previous = self.read(txn, &key);
+        self.buffer(txn, key, Some(value));
+        previous
+    }
+
+    /// Removes the binding for `key`, reporting whether one existed.
+    pub fn remove(&self, txn: &MvccTxn<'_>, key: &K) -> bool {
+        self.take(txn, key).is_some()
+    }
+
+    /// Removes and returns the binding for `key`.
+    pub fn take(&self, txn: &MvccTxn<'_>, key: &K) -> Option<V> {
+        txn.footprint(self.core.space.lock_for(key), LockMode::Exclusive);
+        let previous = self.read(txn, key);
+        self.buffer(txn, key.clone(), None);
+        previous
+    }
+
+    /// Read-modify-write of the value bound to `key`, inserting `default`
+    /// first when absent.
+    pub fn update_or(&self, txn: &MvccTxn<'_>, key: K, default: V, f: impl FnOnce(&mut V)) {
+        txn.footprint(self.core.space.lock_for(&key), LockMode::Exclusive);
+        let mut value = self.read(txn, &key).unwrap_or(default);
+        f(&mut value);
+        self.buffer(txn, key, Some(value));
+    }
+}
+
+impl<K, V> Clone for VersionedMap<K, V> {
+    fn clone(&self) -> Self {
+        VersionedMap {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for VersionedMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedMap")
+            .field("keys_with_versions", &self.core.versions.read().len())
+            .finish()
+    }
+}

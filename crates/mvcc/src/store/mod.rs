@@ -1,0 +1,131 @@
+//! The timestamped multi-version collections.
+//!
+//! Every collection keeps **per-key version lists**: a `Vec` of
+//! `(commit_ts, value)` entries in ascending timestamp order, appended to
+//! only inside the first-committer-wins critical section. Readers scan a
+//! list backwards for the newest version at or below their snapshot and
+//! fall through to the *backing store* (the pessimistic boosted
+//! collection, exposed through the small `*Base` traits) when a key has no
+//! version yet — the backing store plays the role of timestamp
+//! [`Timestamp::BASE`].
+//!
+//! At the end of a block the miner calls `finalize` on every collection:
+//! the newest version of each key is flattened into the backing store and
+//! the lists are cleared, so snapshots, state roots and subsequent
+//! pessimistic blocks observe ordinary single-version state.
+
+use cc_primitives::ts::Timestamp;
+use std::any::Any;
+
+mod cell;
+mod counter;
+mod map;
+mod vec;
+
+pub use cell::{CellBase, VersionedCell};
+pub use counter::{TallyBase, VersionedCounterMap};
+pub use map::{MapBase, VersionedMap};
+pub use vec::{VecBase, VersionedVec};
+
+/// One committed version of a value.
+#[derive(Debug, Clone)]
+pub(crate) struct Version<T> {
+    /// Commit timestamp (strictly positive; the backing store is `BASE`).
+    pub ts: Timestamp,
+    /// Whether the installing write was commutative (a counter `add`).
+    /// Additive versions do not invalidate concurrent additive writers.
+    pub additive: bool,
+    pub value: T,
+}
+
+/// The commit- and block-lifecycle face of a versioned collection, held
+/// type-erased by transactions (for validate/install) and by the runtime
+/// registry (for finalize/collect).
+pub trait MvccCollection: Send + Sync {
+    /// First-committer-wins validation of one transaction's buffered state
+    /// against versions installed after `begin_ts`. Runs inside the commit
+    /// critical section.
+    fn validate(&self, pending: &dyn Any, begin_ts: Timestamp) -> bool;
+    /// Installs the buffered writes as versions at `commit_ts`. Runs
+    /// inside the commit critical section, after `validate` succeeded.
+    fn install(&self, pending: &mut dyn Any, commit_ts: Timestamp);
+    /// Flattens the newest version of every key into the backing store and
+    /// clears the version lists.
+    fn finalize(&self);
+    /// Drops versions no snapshot at or after `horizon` can read.
+    fn collect(&self, horizon: Timestamp);
+}
+
+/// Trims a version list to the suffix still reachable from `horizon`: the
+/// newest version at or below the horizon (the one every current and
+/// future snapshot resolves to) plus everything newer.
+pub(crate) fn prune<T>(list: &mut Vec<Version<T>>, horizon: Timestamp) {
+    if let Some(keep_from) = list.iter().rposition(|v| v.ts <= horizon) {
+        list.drain(..keep_from);
+    }
+}
+
+/// The newest version at or below `ts`, scanning backwards (lists are
+/// short and recent versions are the common hit).
+pub(crate) fn read_at<T>(list: &[Version<T>], ts: Timestamp) -> Option<&Version<T>> {
+    list.iter().rev().find(|v| v.ts <= ts)
+}
+
+/// Whether any version newer than `begin_ts` exists (first-committer-wins
+/// conflict for reads and exclusive writes).
+pub(crate) fn newer_than<T>(list: &[Version<T>], begin_ts: Timestamp) -> bool {
+    list.last().is_some_and(|v| v.ts > begin_ts)
+}
+
+/// Whether any non-additive version newer than `begin_ts` exists (the
+/// conflict rule for purely additive writes, which commute with each
+/// other).
+pub(crate) fn newer_exclusive_than<T>(list: &[Version<T>], begin_ts: Timestamp) -> bool {
+    list.iter()
+        .rev()
+        .take_while(|v| v.ts > begin_ts)
+        .any(|v| !v.additive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn version(ts: u64, additive: bool) -> Version<u32> {
+        Version {
+            ts: Timestamp::from_raw(ts),
+            additive,
+            value: ts as u32,
+        }
+    }
+
+    #[test]
+    fn prune_keeps_newest_reachable_version() {
+        let mut list = vec![version(1, false), version(3, false), version(7, false)];
+        prune(&mut list, Timestamp::from_raw(5));
+        assert_eq!(list.len(), 2, "t3 survives as the horizon's resolution");
+        assert_eq!(list[0].ts, Timestamp::from_raw(3));
+
+        let mut all_old = vec![version(1, false), version(2, false)];
+        prune(&mut all_old, Timestamp::from_raw(9));
+        assert_eq!(all_old.len(), 1);
+
+        let mut all_new = vec![version(8, false)];
+        prune(&mut all_new, Timestamp::from_raw(5));
+        assert_eq!(all_new.len(), 1, "nothing at or below the horizon");
+    }
+
+    #[test]
+    fn conflict_predicates() {
+        let list = vec![version(2, false), version(6, true)];
+        assert!(newer_than(&list, Timestamp::from_raw(4)));
+        assert!(!newer_than(&list, Timestamp::from_raw(6)));
+        assert!(
+            !newer_exclusive_than(&list, Timestamp::from_raw(4)),
+            "only an additive version is newer"
+        );
+        assert!(newer_exclusive_than(&list, Timestamp::from_raw(1)));
+        assert_eq!(read_at(&list, Timestamp::from_raw(5)).unwrap().ts.raw(), 2);
+        assert!(read_at(&list, Timestamp::BASE).is_none());
+    }
+}

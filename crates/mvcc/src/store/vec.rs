@@ -1,0 +1,367 @@
+//! A versioned dynamically-sized array.
+//!
+//! The length and each element index get their own version lists, matching
+//! the pessimistic twin's lock granularity (length lock = the space's
+//! `whole()` lock, element locks = per-index). Bounds checks are semantic
+//! reads of the length: they join the read set even for operations whose
+//! pessimistic twin takes no length lock (`set`/`modify`), because a
+//! bounds decision taken against the snapshot must still hold at the
+//! serialization point.
+
+use super::{newer_than, prune, read_at, MvccCollection, Version};
+use crate::txn::{MvccTxn, PendingOps};
+use cc_primitives::fx::{FxHashMap, FxHashSet};
+use cc_primitives::ts::Timestamp;
+use cc_stm::{LockId, LockMode, LockSpace};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::sync::Arc;
+
+/// The single-version backing store a [`VersionedVec`] overlays.
+pub trait VecBase<T>: Send + Sync {
+    /// Committed base length.
+    fn len(&self) -> usize;
+    /// Whether the committed base is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Committed base element (`None` when out of bounds).
+    fn load(&self, i: usize) -> Option<T>;
+    /// Replaces the backing contents with the finalized items.
+    fn store(&self, items: Vec<T>);
+}
+
+/// One journaled mutation's prior state.
+enum VecUndo<T> {
+    Len(Option<usize>),
+    Elem(usize, Option<Option<T>>),
+}
+
+/// Buffered per-transaction state for one versioned vector.
+pub(crate) struct VecPending<T> {
+    len: Option<usize>,
+    /// Buffered element writes (`None` = popped/truncated slot).
+    elems: FxHashMap<usize, Option<T>>,
+    read_len: bool,
+    read_elems: FxHashSet<usize>,
+    undo: Vec<VecUndo<T>>,
+}
+
+impl<T> Default for VecPending<T> {
+    fn default() -> Self {
+        VecPending {
+            len: None,
+            elems: FxHashMap::default(),
+            read_len: false,
+            read_elems: FxHashSet::default(),
+            undo: Vec::new(),
+        }
+    }
+}
+
+impl<T: Send + 'static> PendingOps for VecPending<T> {
+    fn undo_last(&mut self) {
+        match self.undo.pop().expect("undo entry exists") {
+            VecUndo::Len(prior) => self.len = prior,
+            VecUndo::Elem(i, prior) => match prior {
+                Some(binding) => {
+                    self.elems.insert(i, binding);
+                }
+                None => {
+                    self.elems.remove(&i);
+                }
+            },
+        }
+    }
+
+    fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn has_writes(&self) -> bool {
+        self.len.is_some() || !self.elems.is_empty()
+    }
+
+    fn any_ref(&self) -> &dyn Any {
+        self
+    }
+
+    fn any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct VecCore<T> {
+    space: LockSpace,
+    length_lock: LockId,
+    lengths: RwLock<Vec<Version<usize>>>,
+    elements: RwLock<FxHashMap<usize, Vec<Version<Option<T>>>>>,
+    base: Box<dyn VecBase<T>>,
+}
+
+impl<T> MvccCollection for VecCore<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn validate(&self, pending: &dyn Any, begin_ts: Timestamp) -> bool {
+        let p = pending
+            .downcast_ref::<VecPending<T>>()
+            .expect("vec pending state");
+        if (p.read_len || p.len.is_some()) && newer_than(&self.lengths.read(), begin_ts) {
+            return false;
+        }
+        let elements = self.elements.read();
+        let conflicted = |i: &usize| {
+            elements
+                .get(i)
+                .is_some_and(|list| newer_than(list, begin_ts))
+        };
+        !p.read_elems.iter().any(conflicted) && !p.elems.keys().any(conflicted)
+    }
+
+    fn install(&self, pending: &mut dyn Any, commit_ts: Timestamp) {
+        let p = pending
+            .downcast_mut::<VecPending<T>>()
+            .expect("vec pending state");
+        if let Some(len) = p.len.take() {
+            self.lengths.write().push(Version {
+                ts: commit_ts,
+                additive: false,
+                value: len,
+            });
+        }
+        let mut elements = self.elements.write();
+        for (i, value) in p.elems.drain() {
+            elements.entry(i).or_default().push(Version {
+                ts: commit_ts,
+                additive: false,
+                value,
+            });
+        }
+    }
+
+    fn finalize(&self) {
+        let mut lengths = self.lengths.write();
+        let mut elements = self.elements.write();
+        let new_len = lengths
+            .last()
+            .map(|v| v.value)
+            .unwrap_or_else(|| self.base.len());
+        let items: Vec<T> = (0..new_len)
+            .map(|i| match elements.get(&i).and_then(|list| list.last()) {
+                Some(version) => version
+                    .value
+                    .clone()
+                    .expect("an in-bounds element is never a tombstone"),
+                None => self.base.load(i).expect("base element within final length"),
+            })
+            .collect();
+        lengths.clear();
+        elements.clear();
+        self.base.store(items);
+    }
+
+    fn collect(&self, horizon: Timestamp) {
+        prune(&mut self.lengths.write(), horizon);
+        let mut elements = self.elements.write();
+        for list in elements.values_mut() {
+            prune(list, horizon);
+        }
+    }
+}
+
+/// A multi-version vector with snapshot bounds checks.
+pub struct VersionedVec<T> {
+    core: Arc<VecCore<T>>,
+}
+
+impl<T> VersionedVec<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    /// Creates a versioned overlay for the lock space `space` over `base`.
+    pub fn new(space: LockSpace, base: impl VecBase<T> + 'static) -> Self {
+        VersionedVec {
+            core: Arc::new(VecCore {
+                space,
+                length_lock: space.whole(),
+                lengths: RwLock::new(Vec::new()),
+                elements: RwLock::new(FxHashMap::default()),
+                base: Box::new(base),
+            }),
+        }
+    }
+
+    /// The collection's commit/lifecycle handle.
+    pub fn handle(&self) -> Arc<dyn MvccCollection> {
+        Arc::clone(&self.core) as Arc<dyn MvccCollection>
+    }
+
+    fn token(&self) -> usize {
+        Arc::as_ptr(&self.core) as *const () as usize
+    }
+
+    fn element_lock(&self, i: usize) -> LockId {
+        self.core.space.lock_for(&i)
+    }
+
+    /// Length as seen by `txn`, marking it read (every bounds decision
+    /// depends on it).
+    fn current_len(&self, txn: &MvccTxn<'_>) -> usize {
+        let buffered = txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut VecPending<T>| {
+                p.read_len = true;
+                p.len
+            },
+        );
+        if let Some(len) = buffered {
+            return len;
+        }
+        {
+            let lengths = self.core.lengths.read();
+            if let Some(version) = read_at(&lengths, txn.begin_ts()) {
+                return version.value;
+            }
+        }
+        self.core.base.len()
+    }
+
+    /// Element `i` as seen by `txn`, marking it read.
+    fn read_elem(&self, txn: &MvccTxn<'_>, i: usize) -> Option<T> {
+        let buffered = txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut VecPending<T>| {
+                p.read_elems.insert(i);
+                p.elems.get(&i).cloned()
+            },
+        );
+        if let Some(binding) = buffered {
+            return binding;
+        }
+        {
+            let elements = self.core.elements.read();
+            if let Some(list) = elements.get(&i) {
+                if let Some(version) = read_at(list, txn.begin_ts()) {
+                    return version.value.clone();
+                }
+            }
+        }
+        self.core.base.load(i)
+    }
+
+    fn buffer_len(&self, txn: &MvccTxn<'_>, len: usize) {
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut VecPending<T>| {
+                let prior = p.len.replace(len);
+                p.undo.push(VecUndo::Len(prior));
+            },
+        );
+    }
+
+    fn buffer_elem(&self, txn: &MvccTxn<'_>, i: usize, value: Option<T>) {
+        txn.with_pending(
+            self.token(),
+            || self.handle(),
+            |p: &mut VecPending<T>| {
+                let prior = p.elems.insert(i, value);
+                p.undo.push(VecUndo::Elem(i, prior));
+            },
+        );
+    }
+
+    /// Number of elements (pessimistic twin: shared length lock).
+    pub fn len(&self, txn: &MvccTxn<'_>) -> usize {
+        txn.footprint(self.core.length_lock, LockMode::Shared);
+        self.current_len(txn)
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self, txn: &MvccTxn<'_>) -> bool {
+        self.len(txn) == 0
+    }
+
+    /// Reads element `i` (pessimistic twin: shared element lock).
+    pub fn get(&self, txn: &MvccTxn<'_>, i: usize) -> Option<T> {
+        txn.footprint(self.element_lock(i), LockMode::Shared);
+        self.read_elem(txn, i)
+    }
+
+    /// Reads element `i` by reference.
+    pub fn get_with<R>(&self, txn: &MvccTxn<'_>, i: usize, f: impl FnOnce(Option<&T>) -> R) -> R {
+        let value = self.get(txn, i);
+        f(value.as_ref())
+    }
+
+    /// Overwrites element `i`; `false` (and no write) when out of bounds.
+    /// Pessimistic twin: exclusive element lock only — but the bounds
+    /// check reads the length into the read set.
+    pub fn set(&self, txn: &MvccTxn<'_>, i: usize, value: T) -> bool {
+        txn.footprint(self.element_lock(i), LockMode::Exclusive);
+        if i >= self.current_len(txn) {
+            return false;
+        }
+        self.buffer_elem(txn, i, Some(value));
+        true
+    }
+
+    /// Read-modify-write of element `i`; returns the updated value, or
+    /// `None` when out of bounds.
+    pub fn modify(&self, txn: &MvccTxn<'_>, i: usize, f: impl FnOnce(&mut T)) -> Option<T> {
+        txn.footprint(self.element_lock(i), LockMode::Exclusive);
+        if i >= self.current_len(txn) {
+            return None;
+        }
+        let mut value = self.read_elem(txn, i)?;
+        f(&mut value);
+        self.buffer_elem(txn, i, Some(value.clone()));
+        Some(value)
+    }
+
+    /// Appends an element, returning its index (pessimistic twin:
+    /// exclusive length lock plus the new element's lock).
+    pub fn push(&self, txn: &MvccTxn<'_>, value: T) -> usize {
+        txn.footprint(self.core.length_lock, LockMode::Exclusive);
+        let index = self.current_len(txn);
+        self.buffer_len(txn, index + 1);
+        txn.footprint(self.element_lock(index), LockMode::Exclusive);
+        self.buffer_elem(txn, index, Some(value));
+        index
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&self, txn: &MvccTxn<'_>) -> Option<T> {
+        txn.footprint(self.core.length_lock, LockMode::Exclusive);
+        let len = self.current_len(txn);
+        if len == 0 {
+            return None;
+        }
+        let last = len - 1;
+        txn.footprint(self.element_lock(last), LockMode::Exclusive);
+        let value = self.read_elem(txn, last);
+        self.buffer_len(txn, last);
+        self.buffer_elem(txn, last, None);
+        value
+    }
+}
+
+impl<T> Clone for VersionedVec<T> {
+    fn clone(&self) -> Self {
+        VersionedVec {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for VersionedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedVec")
+            .field("length_versions", &self.core.lengths.read().len())
+            .field("element_lists", &self.core.elements.read().len())
+            .finish()
+    }
+}

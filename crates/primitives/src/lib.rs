@@ -40,5 +40,6 @@ pub mod fx;
 pub mod hash;
 pub mod hex;
 pub mod small;
+pub mod ts;
 
 pub use hash::{sha256, Hash256};

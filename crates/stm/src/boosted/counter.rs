@@ -135,6 +135,12 @@ where
         &self.name
     }
 
+    /// The lock space this map's key locks live in (shared with an
+    /// optimistic overlay so footprints match).
+    pub fn lock_space(&self) -> LockSpace {
+        self.space
+    }
+
     /// Transactionally adds `delta` to the tally for `key` (starting from
     /// zero if absent). Acquires the key lock in additive mode, so
     /// concurrent adds to the same key commute. Returns nothing — reading

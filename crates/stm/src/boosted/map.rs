@@ -358,6 +358,13 @@ where
         self.inner.write().insert_hashed(h, key, value);
     }
 
+    /// Non-transactional removal, the counterpart of [`seed`](Self::seed):
+    /// used during setup and when a finalized multi-version overlay
+    /// flattens a tombstone into the base map.
+    pub fn seed_remove(&self, key: &K) {
+        self.inner.write().remove_hashed(fnv1a_of(key), key);
+    }
+
     /// Number of bindings (non-transactional; setup/tests only).
     pub fn snapshot_len(&self) -> usize {
         self.inner.read().len()

@@ -119,6 +119,12 @@ where
         &self.name
     }
 
+    /// The lock space this vector's length and element locks live in
+    /// (shared with an optimistic overlay so footprints match).
+    pub fn lock_space(&self) -> LockSpace {
+        self.space
+    }
+
     /// The undo-sink token of this vector (the backing storage address).
     fn undo_token(&self) -> usize {
         Arc::as_ptr(&self.inner) as usize

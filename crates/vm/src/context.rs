@@ -7,7 +7,8 @@ use crate::event::Event;
 use crate::gas::GasMeter;
 use crate::msg::Msg;
 use crate::world::{ContractRegistry, World};
-use cc_stm::Transaction;
+use cc_mvcc::{MvccSavepoint, MvccTxn};
+use cc_stm::{Savepoint, Transaction};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -15,6 +16,82 @@ use std::sync::Arc;
 /// small bound is plenty for the reproduced workloads and keeps runaway
 /// recursion from overflowing the stack).
 pub const MAX_CALL_DEPTH: usize = 64;
+
+/// The concurrency-control seam: a borrowed handle to whichever
+/// transaction flavor the block is being executed under.
+///
+/// Contract code never sees this distinction — the storage wrappers
+/// dispatch each operation to the pessimistic boosted collection
+/// ([`cc_stm::Transaction`]) or the optimistic versioned overlay
+/// ([`cc_mvcc::MvccTxn`]) behind the same gas-charging API, and both
+/// flavors support the savepoint/nested-action semantics the VM relies on
+/// for Solidity `throw` handling.
+#[derive(Clone, Copy)]
+pub enum TxnRef<'a> {
+    /// A pessimistic transactional-boosting transaction (abstract locks,
+    /// in-place writes, typed undo log).
+    Stm(&'a Transaction),
+    /// An optimistic multi-version transaction (snapshot reads, buffered
+    /// writes, first-committer-wins validation).
+    Mvcc(&'a MvccTxn<'a>),
+}
+
+/// A rollback point valid for the transaction flavor it was taken from.
+#[derive(Debug, Clone, Copy)]
+pub enum TxnSavepoint {
+    /// Position in a pessimistic transaction's undo log.
+    Stm(Savepoint),
+    /// Position in an optimistic transaction's write-buffer journal.
+    Mvcc(MvccSavepoint),
+}
+
+impl<'a> TxnRef<'a> {
+    /// Marks a rollback point: storage effects after it can be undone
+    /// while the transaction keeps its footprint (locks taken, keys read).
+    pub fn savepoint(self) -> TxnSavepoint {
+        match self {
+            TxnRef::Stm(txn) => TxnSavepoint::Stm(txn.savepoint()),
+            TxnRef::Mvcc(txn) => TxnSavepoint::Mvcc(txn.savepoint()),
+        }
+    }
+
+    /// Rolls tentative storage effects back to `savepoint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the savepoint came from the other transaction flavor.
+    pub fn rollback_to(self, savepoint: TxnSavepoint) {
+        match (self, savepoint) {
+            (TxnRef::Stm(txn), TxnSavepoint::Stm(sp)) => txn.rollback_to(sp),
+            (TxnRef::Mvcc(txn), TxnSavepoint::Mvcc(sp)) => txn.rollback_to(sp),
+            _ => panic!("savepoint taken under a different concurrency-control flavor"),
+        }
+    }
+
+    /// Runs `body` as a nested speculative action: when it fails, its
+    /// storage effects are rolled back (and, under pessimistic control,
+    /// the locks it newly acquired are released) without aborting the
+    /// enclosing transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `body`'s error after undoing its effects.
+    pub fn nested<R, E>(self, body: impl FnOnce(TxnRef<'_>) -> Result<R, E>) -> Result<R, E> {
+        match self {
+            TxnRef::Stm(txn) => txn.nested(|child| body(TxnRef::Stm(child))),
+            TxnRef::Mvcc(txn) => txn.nested(|child| body(TxnRef::Mvcc(child))),
+        }
+    }
+}
+
+impl std::fmt::Debug for TxnRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnRef::Stm(_) => f.write_str("TxnRef::Stm"),
+            TxnRef::Mvcc(txn) => write!(f, "TxnRef::Mvcc@{}", txn.begin_ts()),
+        }
+    }
+}
 
 /// Everything a contract function needs while executing: the enclosing
 /// speculative transaction, the `msg` context, the gas meter, the event
@@ -24,7 +101,7 @@ pub const MAX_CALL_DEPTH: usize = 64;
 /// [`crate::StorageMap`]-style wrappers (which charge gas and go through
 /// the boosted collections) for all persistent state.
 pub struct CallContext<'a> {
-    txn: &'a Transaction,
+    txn: TxnRef<'a>,
     world: &'a World,
     /// Frozen registry snapshot shared by the whole call tree: nested
     /// calls resolve contracts with a lock-free hash lookup instead of
@@ -41,7 +118,7 @@ impl<'a> CallContext<'a> {
     /// Creates the root context for one transaction. Normally called only
     /// by [`World::call`].
     pub(crate) fn root(
-        txn: &'a Transaction,
+        txn: TxnRef<'a>,
         world: &'a World,
         contracts: ContractRegistry,
         msg: Msg,
@@ -61,7 +138,7 @@ impl<'a> CallContext<'a> {
     }
 
     /// The enclosing speculative (or replay) transaction.
-    pub fn txn(&self) -> &'a Transaction {
+    pub fn txn(&self) -> TxnRef<'a> {
         self.txn
     }
 

@@ -63,7 +63,7 @@ pub mod world;
 
 pub use abi::{ArgValue, CallData, ReturnValue};
 pub use address::Address;
-pub use context::CallContext;
+pub use context::{CallContext, TxnRef, TxnSavepoint};
 pub use contract::{Contract, ContractKind};
 pub use error::VmError;
 pub use event::Event;

@@ -1,20 +1,112 @@
-//! Gas-charging storage wrappers over the boosted collections.
+//! Gas-charging storage wrappers over the interchangeable concurrency
+//! backends.
 //!
 //! Contracts declare persistent state with these types. Every operation
 //! takes the [`CallContext`]: it charges gas and then performs the
-//! corresponding boosted operation inside the enclosing transaction, so
+//! corresponding collection operation inside the enclosing transaction, so
 //! state access is simultaneously metered and speculative.
+//!
+//! Each wrapper owns a **pessimistic** boosted collection (the
+//! authoritative single-version state, used by [`TxnRef::Stm`]
+//! transactions, seeding, snapshots and state roots) plus a lazily built
+//! **optimistic** versioned overlay (used by [`TxnRef::Mvcc`]
+//! transactions). The overlay treats the boosted collection as its
+//! backing store via the small `*Base` adapter traits, shares its lock
+//! space so both flavors report identical lock footprints, and is
+//! registered with the world's [`cc_mvcc::MvccRuntime`] on first use so
+//! block finalization flattens committed versions back into the boosted
+//! base.
 
-use crate::context::CallContext;
+use crate::context::{CallContext, TxnRef};
 use crate::error::VmError;
 use crate::snapshot::{FieldSnapshot, ToBytes};
+use cc_mvcc::{
+    CellBase, MapBase, MvccTxn, TallyBase, VecBase, VersionedCell, VersionedCounterMap,
+    VersionedMap, VersionedVec,
+};
 use cc_stm::{BoostedCell, BoostedCounterMap, BoostedMap, BoostedVec};
 use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
+
+/// Adapter: a boosted map as the single-version base of a versioned map.
+struct MapBackend<K, V>(BoostedMap<K, V>);
+
+impl<K, V> MapBase<K, V> for MapBackend<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn load(&self, key: &K) -> Option<V> {
+        self.0.peek(key)
+    }
+
+    fn store(&self, key: &K, value: Option<V>) {
+        match value {
+            Some(v) => self.0.seed(key.clone(), v),
+            None => self.0.seed_remove(key),
+        }
+    }
+}
+
+/// Adapter: a boosted cell as the single-version base of a versioned cell.
+struct CellBackend<T>(BoostedCell<T>);
+
+impl<T> CellBase<T> for CellBackend<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn load(&self) -> T {
+        self.0.peek()
+    }
+
+    fn store(&self, value: T) {
+        self.0.seed(value);
+    }
+}
+
+/// Adapter: a boosted vector as the single-version base of a versioned
+/// vector.
+struct VecBackend<T>(BoostedVec<T>);
+
+impl<T> VecBase<T> for VecBackend<T>
+where
+    T: Clone + Send + Sync + 'static,
+{
+    fn len(&self) -> usize {
+        self.0.snapshot_len()
+    }
+
+    fn load(&self, i: usize) -> Option<T> {
+        self.0.peek(i)
+    }
+
+    fn store(&self, items: Vec<T>) {
+        self.0.restore(items);
+    }
+}
+
+/// Adapter: a boosted tally map as the single-version base of a versioned
+/// counter map.
+struct TallyBackend<K>(BoostedCounterMap<K>);
+
+impl<K> TallyBase<K> for TallyBackend<K>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+{
+    fn load(&self, key: &K) -> u64 {
+        self.0.peek(key)
+    }
+
+    fn store(&self, key: &K, value: u64) {
+        self.0.seed(key.clone(), value);
+    }
+}
 
 /// A persistent `mapping(K => V)` state variable.
 #[derive(Debug, Clone)]
 pub struct StorageMap<K, V> {
     inner: BoostedMap<K, V>,
+    overlay: Arc<OnceLock<VersionedMap<K, V>>>,
 }
 
 impl<K, V> StorageMap<K, V>
@@ -27,7 +119,18 @@ where
     pub fn new(name: &str) -> Self {
         StorageMap {
             inner: BoostedMap::new(name),
+            overlay: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The versioned overlay, built (and registered with the transaction's
+    /// runtime) on the first optimistic access.
+    fn versioned(&self, txn: &MvccTxn<'_>) -> &VersionedMap<K, V> {
+        self.overlay.get_or_init(|| {
+            let map = VersionedMap::new(self.inner.lock_space(), MapBackend(self.inner.clone()));
+            txn.runtime().register(map.handle());
+            map
+        })
     }
 
     /// Reads the value bound to `key` (charges one `sload`).
@@ -37,7 +140,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn get(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get(ctx.txn(), key)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get(txn, key)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get(txn, key)),
+        }
     }
 
     /// Reads the value bound to `key` **by reference** (charges one
@@ -55,7 +161,10 @@ where
         f: impl FnOnce(Option<&V>) -> R,
     ) -> Result<R, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get_with(ctx.txn(), key, f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get_with(txn, key, f)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get_with(txn, key, f)),
+        }
     }
 
     /// Whether `key` is bound (charges one `sload`).
@@ -65,7 +174,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn contains_key(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<bool, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.contains_key(ctx.txn(), key)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.contains_key(txn, key)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).contains_key(txn, key)),
+        }
     }
 
     /// Binds `key` to `value` (charges one `sstore`). The prior binding
@@ -77,7 +189,13 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn insert(&self, ctx: &mut CallContext<'_>, key: K, value: V) -> Result<(), VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.insert(ctx.txn(), key, value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.insert(txn, key, value)?),
+            TxnRef::Mvcc(txn) => {
+                self.versioned(txn).insert(txn, key, value);
+                Ok(())
+            }
+        }
     }
 
     /// Binds `key` to `value` and returns the previous binding (charges
@@ -93,7 +211,10 @@ where
         value: V,
     ) -> Result<Option<V>, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.replace(ctx.txn(), key, value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.replace(txn, key, value)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).replace(txn, key, value)),
+        }
     }
 
     /// Removes the binding for `key`, reporting whether one existed
@@ -105,7 +226,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn remove(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<bool, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.remove(ctx.txn(), key)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.remove(txn, key)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).remove(txn, key)),
+        }
     }
 
     /// Removes and returns the binding for `key` (charges one `sstore`).
@@ -115,7 +239,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn take(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<Option<V>, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.take(ctx.txn(), key)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.take(txn, key)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).take(txn, key)),
+        }
     }
 
     /// Read-modify-write of the value bound to `key`, inserting `default`
@@ -134,7 +261,13 @@ where
     ) -> Result<(), VmError> {
         ctx.charge_sload()?;
         ctx.charge_sstore()?;
-        Ok(self.inner.update_or(ctx.txn(), key, default, f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.update_or(txn, key, default, f)?),
+            TxnRef::Mvcc(txn) => {
+                self.versioned(txn).update_or(txn, key, default, f);
+                Ok(())
+            }
+        }
     }
 
     /// Non-transactional write used while constructing initial state.
@@ -178,6 +311,7 @@ where
 #[derive(Debug, Clone)]
 pub struct StorageCell<T> {
     inner: BoostedCell<T>,
+    overlay: Arc<OnceLock<VersionedCell<T>>>,
 }
 
 impl<T> StorageCell<T>
@@ -188,7 +322,18 @@ where
     pub fn new(name: &str, initial: T) -> Self {
         StorageCell {
             inner: BoostedCell::new(name, initial),
+            overlay: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The versioned overlay, built (and registered with the transaction's
+    /// runtime) on the first optimistic access.
+    fn versioned(&self, txn: &MvccTxn<'_>) -> &VersionedCell<T> {
+        self.overlay.get_or_init(|| {
+            let cell = VersionedCell::new(self.inner.lock_id(), CellBackend(self.inner.clone()));
+            txn.runtime().register(cell.handle());
+            cell
+        })
     }
 
     /// Reads the value (charges one `sload`).
@@ -198,7 +343,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn get(&self, ctx: &mut CallContext<'_>) -> Result<T, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get(ctx.txn())?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get(txn)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get(txn)),
+        }
     }
 
     /// Reads the value **by reference** (charges one `sload`): `f`
@@ -215,7 +363,10 @@ where
         f: impl FnOnce(&T) -> R,
     ) -> Result<R, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.with(ctx.txn(), f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.with(txn, f)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).with(txn, f)),
+        }
     }
 
     /// Overwrites the value (charges one `sstore`).
@@ -225,7 +376,13 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn set(&self, ctx: &mut CallContext<'_>, value: T) -> Result<(), VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.set(ctx.txn(), value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.set(txn, value)?),
+            TxnRef::Mvcc(txn) => {
+                self.versioned(txn).set(txn, value);
+                Ok(())
+            }
+        }
     }
 
     /// Read-modify-write (charges an `sload` plus an `sstore`).
@@ -236,7 +393,10 @@ where
     pub fn modify(&self, ctx: &mut CallContext<'_>, f: impl FnOnce(&mut T)) -> Result<T, VmError> {
         ctx.charge_sload()?;
         ctx.charge_sstore()?;
-        Ok(self.inner.modify(ctx.txn(), f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.modify(txn, f)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).modify(txn, f)),
+        }
     }
 
     /// Non-transactional write used while constructing initial state.
@@ -264,6 +424,7 @@ where
 #[derive(Debug, Clone)]
 pub struct StorageVec<T> {
     inner: BoostedVec<T>,
+    overlay: Arc<OnceLock<VersionedVec<T>>>,
 }
 
 impl<T> StorageVec<T>
@@ -274,7 +435,18 @@ where
     pub fn new(name: &str) -> Self {
         StorageVec {
             inner: BoostedVec::new(name),
+            overlay: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The versioned overlay, built (and registered with the transaction's
+    /// runtime) on the first optimistic access.
+    fn versioned(&self, txn: &MvccTxn<'_>) -> &VersionedVec<T> {
+        self.overlay.get_or_init(|| {
+            let vec = VersionedVec::new(self.inner.lock_space(), VecBackend(self.inner.clone()));
+            txn.runtime().register(vec.handle());
+            vec
+        })
     }
 
     /// Number of elements (charges one `sload`).
@@ -284,7 +456,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn len(&self, ctx: &mut CallContext<'_>) -> Result<usize, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.len(ctx.txn())?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.len(txn)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).len(txn)),
+        }
     }
 
     /// Whether the array is empty (charges one `sload`).
@@ -303,7 +478,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn get(&self, ctx: &mut CallContext<'_>, i: usize) -> Result<Option<T>, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get(ctx.txn(), i)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get(txn, i)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get(txn, i)),
+        }
     }
 
     /// Reads element `i` **by reference** (charges one `sload`): `f`
@@ -320,7 +498,10 @@ where
         f: impl FnOnce(Option<&T>) -> R,
     ) -> Result<R, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get_with(ctx.txn(), i, f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get_with(txn, i, f)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get_with(txn, i, f)),
+        }
     }
 
     /// Overwrites element `i` (charges one `sstore`); `Ok(false)` if out of
@@ -331,7 +512,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn set(&self, ctx: &mut CallContext<'_>, i: usize, value: T) -> Result<bool, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.set(ctx.txn(), i, value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.set(txn, i, value)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).set(txn, i, value)),
+        }
     }
 
     /// Read-modify-write of element `i` (charges an `sload` + `sstore`).
@@ -347,7 +531,10 @@ where
     ) -> Result<Option<T>, VmError> {
         ctx.charge_sload()?;
         ctx.charge_sstore()?;
-        Ok(self.inner.modify(ctx.txn(), i, f)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.modify(txn, i, f)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).modify(txn, i, f)),
+        }
     }
 
     /// Appends an element, returning its index (charges one `sstore`).
@@ -357,7 +544,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn push(&self, ctx: &mut CallContext<'_>, value: T) -> Result<usize, VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.push(ctx.txn(), value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.push(txn, value)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).push(txn, value)),
+        }
     }
 
     /// Non-transactional append used while constructing initial state.
@@ -403,6 +593,7 @@ where
 #[derive(Debug, Clone)]
 pub struct StorageCounterMap<K> {
     inner: BoostedCounterMap<K>,
+    overlay: Arc<OnceLock<VersionedCounterMap<K>>>,
 }
 
 impl<K> StorageCounterMap<K>
@@ -413,7 +604,19 @@ where
     pub fn new(name: &str) -> Self {
         StorageCounterMap {
             inner: BoostedCounterMap::new(name),
+            overlay: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The versioned overlay, built (and registered with the transaction's
+    /// runtime) on the first optimistic access.
+    fn versioned(&self, txn: &MvccTxn<'_>) -> &VersionedCounterMap<K> {
+        self.overlay.get_or_init(|| {
+            let map =
+                VersionedCounterMap::new(self.inner.lock_space(), TallyBackend(self.inner.clone()));
+            txn.runtime().register(map.handle());
+            map
+        })
     }
 
     /// Adds `delta` to the tally for `key` (charges one `sstore`);
@@ -424,7 +627,13 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn add(&self, ctx: &mut CallContext<'_>, key: K, delta: u64) -> Result<(), VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.add(ctx.txn(), key, delta)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.add(txn, key, delta)?),
+            TxnRef::Mvcc(txn) => {
+                self.versioned(txn).add(txn, key, delta);
+                Ok(())
+            }
+        }
     }
 
     /// Reads the tally for `key` (charges one `sload`); orders against
@@ -435,7 +644,10 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn get(&self, ctx: &mut CallContext<'_>, key: &K) -> Result<u64, VmError> {
         ctx.charge_sload()?;
-        Ok(self.inner.get(ctx.txn(), key)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.get(txn, key)?),
+            TxnRef::Mvcc(txn) => Ok(self.versioned(txn).get(txn, key)),
+        }
     }
 
     /// Overwrites the tally for `key` (charges one `sstore`).
@@ -445,7 +657,13 @@ where
     /// Out-of-gas or speculative-conflict errors.
     pub fn set(&self, ctx: &mut CallContext<'_>, key: K, value: u64) -> Result<(), VmError> {
         ctx.charge_sstore()?;
-        Ok(self.inner.set(ctx.txn(), key, value)?)
+        match ctx.txn() {
+            TxnRef::Stm(txn) => Ok(self.inner.set(txn, key, value)?),
+            TxnRef::Mvcc(txn) => {
+                self.versioned(txn).set(txn, key, value);
+                Ok(())
+            }
+        }
     }
 
     /// Non-transactional write used while constructing initial state.

@@ -2,13 +2,14 @@
 
 use crate::abi::CallData;
 use crate::address::Address;
-use crate::context::CallContext;
+use crate::context::{CallContext, TxnRef};
 use crate::contract::Contract;
 use crate::error::VmError;
 use crate::gas::{GasMeter, GasSchedule};
 use crate::msg::Msg;
 use crate::receipt::{ExecutionStatus, Receipt};
 use crate::snapshot::WorldSnapshot;
+use cc_mvcc::MvccRuntime;
 use cc_primitives::fx::FxHashMap;
 use cc_primitives::hash::Hash256;
 use cc_stm::{Stm, StmError, Transaction};
@@ -34,6 +35,7 @@ pub type ContractRegistry = Arc<FxHashMap<Address, Arc<dyn Contract>>>;
 /// snapshot.
 pub struct World {
     stm: Stm,
+    mvcc: MvccRuntime,
     gas_schedule: GasSchedule,
     /// Authoritative registry, ordered for deterministic snapshots.
     contracts: RwLock<BTreeMap<Address, Arc<dyn Contract>>>,
@@ -61,6 +63,7 @@ impl World {
     pub fn new() -> Self {
         World {
             stm: Stm::new(),
+            mvcc: MvccRuntime::new(),
             gas_schedule: GasSchedule::default(),
             contracts: RwLock::new(BTreeMap::new()),
             resolved: RwLock::new(Arc::new(FxHashMap::default())),
@@ -75,9 +78,18 @@ impl World {
         }
     }
 
-    /// The speculative runtime used by this world.
+    /// The pessimistic (transactional-boosting) runtime of this world.
     pub fn stm(&self) -> &Stm {
         &self.stm
+    }
+
+    /// The optimistic (multi-version) runtime of this world. Storage
+    /// wrappers lazily register their versioned overlays here on first
+    /// MVCC access; an optimistic miner uses it to begin transactions,
+    /// garbage-collect old versions and finalize the block's versions
+    /// into the boosted base state.
+    pub fn mvcc(&self) -> &MvccRuntime {
+        &self.mvcc
     }
 
     /// The gas schedule in force.
@@ -150,6 +162,28 @@ impl World {
     pub fn execute(
         &self,
         txn: &Transaction,
+        tx_index: usize,
+        msg: Msg,
+        to: Address,
+        call: &CallData,
+        gas_limit: u64,
+    ) -> Result<Receipt, StmError> {
+        self.execute_in(TxnRef::Stm(txn), tx_index, msg, to, call, gas_limit)
+    }
+
+    /// [`World::execute`] generalized over the concurrency-control seam:
+    /// runs the call under whichever transaction flavor `txn` carries.
+    /// Optimistic transactions cannot fail mid-execution (conflicts only
+    /// surface when the miner commits), so under [`TxnRef::Mvcc`] this
+    /// always returns `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`StmError`] only when a pessimistic transaction is
+    /// chosen as a deadlock victim and must retry.
+    pub fn execute_in(
+        &self,
+        txn: TxnRef<'_>,
         tx_index: usize,
         msg: Msg,
         to: Address,
@@ -397,6 +431,60 @@ mod tests {
         txn.commit().unwrap();
         assert!(receipt.succeeded());
         assert_eq!(receipt.output, ReturnValue::Uint(1));
+    }
+
+    #[test]
+    fn optimistic_execution_matches_pessimistic_state() {
+        let (world, addr) = world_with_counter();
+        let msg = Msg::from_sender(Address::from_index(1));
+        let call = CallData::new("increment", vec![ArgValue::Uint(3)]);
+
+        let txn = world.mvcc().begin();
+        let receipt = world
+            .execute_in(TxnRef::Mvcc(&txn), 0, msg, addr, &call, 1_000_000)
+            .unwrap();
+        let commit = txn.commit().unwrap();
+        assert!(!commit.read_only);
+        world.mvcc().finalize_block();
+
+        // A pessimistic twin world executing the same call lands on the
+        // same state root and gas usage.
+        let (twin, twin_addr) = world_with_counter();
+        let stm_txn = twin.stm().begin();
+        let twin_receipt = twin
+            .execute(&stm_txn, 0, msg, twin_addr, &call, 1_000_000)
+            .unwrap();
+        stm_txn.commit().unwrap();
+
+        assert!(receipt.succeeded());
+        assert_eq!(receipt.gas_used, twin_receipt.gas_used);
+        assert_eq!(receipt.output, twin_receipt.output);
+        assert_eq!(world.state_root(), twin.state_root());
+    }
+
+    #[test]
+    fn optimistic_revert_rolls_back_buffered_writes() {
+        let (world, addr) = world_with_counter();
+        let root_before = world.state_root();
+        let txn = world.mvcc().begin();
+        let receipt = world
+            .execute_in(
+                TxnRef::Mvcc(&txn),
+                0,
+                Msg::from_sender(Address::from_index(1)),
+                addr,
+                &CallData::new("increment_then_fail", vec![ArgValue::Uint(3)]),
+                1_000_000,
+            )
+            .unwrap();
+        let commit = txn.commit().unwrap();
+        assert!(matches!(receipt.status, ExecutionStatus::Reverted { .. }));
+        assert!(
+            commit.read_only,
+            "a fully rolled-back optimistic transaction commits as a reader"
+        );
+        world.mvcc().finalize_block();
+        assert_eq!(world.state_root(), root_before);
     }
 
     #[test]

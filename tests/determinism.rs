@@ -2,7 +2,7 @@
 //! must produce the same result regardless of thread count, repetition, or
 //! which node performs it.
 
-use cc_integration_tests::{engine, serial_engine, workload};
+use cc_integration_tests::{engine, optimistic_engine, serial_engine, workload};
 use cc_workload::Benchmark;
 
 #[test]
@@ -53,6 +53,30 @@ fn serial_and_parallel_validators_agree() {
             parallel_report.state_root, serial_report.state_root,
             "{benchmark}"
         );
+    }
+}
+
+#[test]
+fn optimistic_blocks_validate_deterministically_everywhere() {
+    // Blocks mined by the optimistic multi-version strategy carry the
+    // same kind of schedule metadata as speculative ones, so validation
+    // must be just as deterministic: any thread count, any validator
+    // flavour, same state root.
+    for benchmark in Benchmark::ALL {
+        let w = workload(benchmark, 80, 0.3, 23);
+        let mined = optimistic_engine(3)
+            .mine(&w.build_world(), w.transactions())
+            .unwrap_or_else(|e| panic!("{benchmark}: optimistic mining failed: {e}"));
+        for threads in [1, 3, 8] {
+            let report = engine(threads)
+                .validate(&w.build_world(), &mined.block)
+                .unwrap_or_else(|e| panic!("{benchmark} with {threads} threads rejected: {e}"));
+            assert_eq!(report.state_root, mined.block.header.state_root);
+        }
+        let serial_report = serial_engine()
+            .validate(&w.build_world(), &mined.block)
+            .unwrap_or_else(|e| panic!("{benchmark}: serial validator rejected: {e}"));
+        assert_eq!(serial_report.state_root, mined.block.header.state_root);
     }
 }
 

@@ -5,7 +5,7 @@
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};
 use cc_core::error::CoreError;
 use cc_core::node::Node;
-use cc_integration_tests::{counter_world, increment_tx, workload};
+use cc_integration_tests::{counter_world, increment_tx, optimistic_engine, workload};
 use cc_ledger::Transaction;
 use cc_stm::RetryPolicy;
 use cc_vm::{Receipt, World};
@@ -147,6 +147,76 @@ fn serial_and_speculative_engines_agree_on_all_five_workloads() {
 
         // And each engine's validator accepts the other's honest block.
         speculative
+            .validate(&rebuild(&label), &mined.block)
+            .unwrap_or_else(|e| panic!("{label}: fork-join validation failed: {e}"));
+        serial
+            .validate(&rebuild(&label), &mined.block)
+            .unwrap_or_else(|e| panic!("{label}: serial validation failed: {e}"));
+    }
+}
+
+#[test]
+fn optimistic_and_serial_engines_agree_on_all_five_workloads() {
+    let serial = Engine::serial();
+    let optimistic = optimistic_engine(4);
+
+    for (label, world, txs) in five_workloads() {
+        // The optimistic miner publishes the serial order its
+        // first-committer-wins commits are equivalent to; replaying that
+        // order serially must reproduce state, gas and receipts exactly —
+        // the same serializability contract the speculative strategy
+        // honours.
+        let mined = optimistic
+            .mine(&world, txs.clone())
+            .unwrap_or_else(|e| panic!("{label}: optimistic mining failed: {e}"));
+        let schedule = mined.block.schedule.as_ref().expect("schedule published");
+        let reordered: Vec<Transaction> = schedule
+            .serial_order
+            .iter()
+            .map(|&i| txs[i].clone())
+            .collect();
+        let baseline = serial
+            .mine(&rebuild(&label), reordered)
+            .unwrap_or_else(|e| panic!("{label}: serial mining failed: {e}"));
+
+        assert_eq!(
+            mined.block.header.state_root, baseline.block.header.state_root,
+            "{label}: optimistic and serial engines must land on the same state"
+        );
+        assert_eq!(
+            mined.block.header.gas_used, baseline.block.header.gas_used,
+            "{label}: total gas must match"
+        );
+        assert_eq!(
+            mined.block.receipts.len(),
+            baseline.block.receipts.len(),
+            "{label}"
+        );
+        for (serial_pos, &original_index) in schedule.serial_order.iter().enumerate() {
+            let optimistic_receipt: &Receipt = &mined.block.receipts[original_index];
+            let serial_receipt: &Receipt = &baseline.block.receipts[serial_pos];
+            assert_eq!(
+                optimistic_receipt.status, serial_receipt.status,
+                "{label}: tx {original_index} status"
+            );
+            assert_eq!(
+                optimistic_receipt.gas_used, serial_receipt.gas_used,
+                "{label}: tx {original_index} gas"
+            );
+            assert_eq!(
+                optimistic_receipt.output, serial_receipt.output,
+                "{label}: tx {original_index} output"
+            );
+            assert_eq!(
+                optimistic_receipt.events, serial_receipt.events,
+                "{label}: tx {original_index} events"
+            );
+        }
+
+        // The optimistic block's schedule metadata is indistinguishable
+        // from a speculative one: the strategy-agnostic fork-join
+        // validator (and the serial one) both accept it.
+        optimistic
             .validate(&rebuild(&label), &mined.block)
             .unwrap_or_else(|e| panic!("{label}: fork-join validation failed: {e}"));
         serial

@@ -22,6 +22,14 @@ pub fn serial_engine() -> Engine {
     Engine::serial()
 }
 
+/// An optimistic multi-version engine with `threads` workers.
+pub fn optimistic_engine(threads: usize) -> Engine {
+    EngineConfig::optimistic()
+        .threads(threads)
+        .build()
+        .expect("test engine config is valid")
+}
+
 /// A speculative engine whose validator skips lock-trace checks — the
 /// legacy replay mode used for schedule-less (serially mined) blocks.
 pub fn lenient_engine(threads: usize) -> Engine {
