@@ -14,9 +14,12 @@
 //! and a boxed `FnOnce` inverse closure) against the same runtime, so the
 //! committed numbers carry their own before/after comparison.
 
+use cc_primitives::fnv::fnv1a_of;
+use cc_primitives::fx::ShardedRawTable;
 use cc_stm::{BoostedCell, BoostedCounterMap, BoostedMap, LockMode, LockSpace, Stm, Transaction};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -217,6 +220,42 @@ pub fn run_micro(ops: usize) -> Vec<MicroPoint> {
         });
     }
 
+    // -- fixed cost: an empty transaction from a pooled arena ------------
+    // Same shape as `txn-begin-commit`, but the block-scoped pool recycles
+    // one transaction's undo sinks, lock vector and trace buffer across
+    // every iteration instead of allocating fresh ones.
+    {
+        let stm = Stm::new();
+        let scope = stm.begin_block();
+        let ns = time_case(ops, |_| {
+            scope.run(|_txn| Ok(())).unwrap();
+        });
+        points.push(MicroPoint {
+            name: "txn-begin-commit-pooled",
+            ns_per_op: ns,
+        });
+    }
+
+    // -- raw backing-store read: the concrete cost under the abstract lock
+    // What one boosted `get` pays *below* the lock layer: shard selection,
+    // the word-sized latch, and the open-addressed probe. The gap between
+    // this and `map-get-commit` is pure transaction machinery.
+    {
+        let table: ShardedRawTable<u64, u64> = ShardedRawTable::new();
+        for i in 0..1024u64 {
+            table.with(fnv1a_of(&i), |map| map.insert_hashed(fnv1a_of(&i), i, i));
+        }
+        let ns = time_case(ops, |i| {
+            let key = (i as u64) % 1024;
+            let h = fnv1a_of(&key);
+            black_box(table.with(h, |map| map.get_hashed(h, &key).copied()));
+        });
+        points.push(MicroPoint {
+            name: "map-get-raw",
+            ns_per_op: ns,
+        });
+    }
+
     // -- upgrade path: same-key get → insert (Shared → Exclusive) --------
     // The shape contracts overwhelmingly produce (read a slot, then write
     // it); exercises the in-place lock upgrade and the transaction's
@@ -316,7 +355,7 @@ mod tests {
     #[test]
     fn micro_suite_produces_positive_timings() {
         let points = run_micro(64);
-        assert_eq!(points.len(), 11);
+        assert_eq!(points.len(), 13);
         for p in &points {
             assert!(p.ns_per_op > 0.0, "{} measured nothing", p.name);
         }

@@ -93,6 +93,11 @@ impl Miner for ParallelMiner {
             let handles: Vec<_> = (0..self.threads)
                 .map(|_| {
                     scope.spawn(|_| {
+                        // Each worker recycles its transaction arenas across
+                        // the whole block: undo-log sinks, lock vectors and
+                        // trace buffers are allocated by the first attempts
+                        // and reused by every later one.
+                        let pool = stm.txn_scope();
                         let mut local: Vec<(usize, Receipt, LockProfile)> = Vec::new();
                         loop {
                             if failed.load(Ordering::Acquire) {
@@ -112,7 +117,7 @@ impl Miner for ParallelMiner {
                                     break;
                                 }
                                 attempt += 1;
-                                let txn = stm.begin();
+                                let txn = pool.begin();
                                 match world.execute(
                                     &txn,
                                     index,

@@ -58,7 +58,7 @@ impl Miner for SerialMiner {
     ) -> Result<MinedBlock, CoreError> {
         let start = Instant::now();
         let stm = world.stm();
-        stm.begin_block();
+        let pool = stm.begin_block();
         let locks_before = stm.lock_stats();
 
         let mut receipts: Vec<Receipt> = Vec::with_capacity(transactions.len());
@@ -69,7 +69,7 @@ impl Miner for SerialMiner {
             // impossible, but the retry loop keeps the execution path
             // identical to the parallel miner's.
             loop {
-                let txn = stm.begin();
+                let txn = pool.begin();
                 match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit) {
                     Ok(receipt) => {
                         let commit = txn.commit().map_err(|source| CoreError::MiningFailed {

@@ -35,7 +35,7 @@ impl Validator for SerialValidator {
             ));
         }
         let stm = world.stm();
-        stm.begin_block();
+        let pool = stm.begin_block();
 
         let n = block.transactions.len();
         // Replay in the published serial order when a schedule is present
@@ -50,7 +50,7 @@ impl Validator for SerialValidator {
         for &index in &order {
             let tx = &block.transactions[index];
             loop {
-                let txn = stm.begin();
+                let txn = pool.begin();
                 match world.execute(&txn, index, tx.msg(), tx.to, &tx.call, tx.gas_limit) {
                     Ok(receipt) => {
                         txn.commit().map_err(|e| {

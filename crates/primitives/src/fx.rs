@@ -22,8 +22,10 @@
 //! assert_eq!(shards[&42], "stripe");
 //! ```
 
+use std::cell::UnsafeCell;
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// 64-bit Fx seed: `2^64 / phi`, the same odd constant rustc uses.
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -479,6 +481,229 @@ impl<'a, K: Eq, V> RawVacantEntry<'a, K, V> {
             Slot::Full { value, .. } => value,
             _ => unreachable!("slot was just filled"),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw shared stores under external (abstract) locking.
+// ---------------------------------------------------------------------------
+
+/// Number of shards in a [`ShardedRawTable`]. A power of two so shard
+/// selection is a mask of the fingerprint's low bits. Low bits are
+/// deliberate: [`RawFxMap`] derives its probe start from the *high* bits
+/// of `hash * PROBE_MIX`, so low-bit sharding keeps every shard's probe
+/// distribution uniform instead of clustering it into `1/SHARDS` of the
+/// table.
+pub const RAW_TABLE_SHARDS: usize = 16;
+
+/// A word-sized spin latch protecting the *structure* of a raw store.
+///
+/// This is not a reader-writer lock and it is not the concurrency-control
+/// mechanism: transactional exclusion comes from the STM's abstract locks.
+/// The latch exists only because distinct keys may share one
+/// open-addressing table (or one `Vec` allocation), so two transactions
+/// holding *different* abstract locks can still race on table structure —
+/// rehashes, probe walks, length counters, reallocation. One
+/// `compare_exchange` on entry and one store on exit is the entire cost;
+/// there is no poisoning, no waiter bookkeeping and no syscall path.
+#[derive(Debug, Default)]
+struct Latch(AtomicBool);
+
+/// Releases the latch on drop, so a panic inside a criticial section
+/// (e.g. a user closure in `get_with`) cannot wedge the shard.
+struct LatchGuard<'a>(&'a Latch);
+
+impl Latch {
+    #[inline]
+    fn lock(&self) -> LatchGuard<'_> {
+        // Uncontended path: one acquire CAS. Contended path (two txns
+        // whose distinct keys share a shard): spin on a relaxed load so
+        // the owning core keeps the line in shared state until release.
+        while self
+            .0
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            while self.0.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+        }
+        LatchGuard(self)
+    }
+}
+
+impl Drop for LatchGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.0 .0.store(false, Ordering::Release);
+    }
+}
+
+/// One shard: a latch plus an unsynchronized [`RawFxMap`]. Padded to a
+/// cache line so contention on one shard's latch does not false-share
+/// with its neighbours.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct RawShard<K, V> {
+    latch: Latch,
+    table: UnsafeCell<RawFxMap<K, V>>,
+}
+
+/// A fingerprint-sharded hash table whose *semantic* safety argument is
+/// an externally held abstract lock.
+///
+/// The caller supplies the key's 64-bit fingerprint (the same single hash
+/// that already selected the abstract lock — PR 5's one-hash-per-op
+/// discipline); the low bits select one of [`RAW_TABLE_SHARDS`] shards and
+/// the full fingerprint drives the shard's [`RawFxMap`] probe sequence.
+///
+/// # Safety argument
+///
+/// Two layers, doing two different jobs:
+///
+/// * **Logical entries** are protected by the abstract locks: the STM
+///   acquires a per-key lock before any operation, and two-phase locking
+///   serializes conflicting transactions. The boosted collections assert
+///   this in debug builds (`Transaction::debug_assert_held`) before every
+///   raw access.
+/// * **Physical structure** (probe chains, rehashes, item counters) is
+///   shared between *distinct* keys that land in the same shard, which
+///   abstract locks do not serialize. The per-shard [`Latch`] covers
+///   exactly that window: every access runs its closure under the shard
+///   latch. Disjoint-key transactions touching different shards never
+///   interact at all.
+///
+/// `with` hands the closure `&mut RawFxMap` from an `UnsafeCell`; the
+/// latch guarantees the reference is exclusive for the closure's
+/// lifetime. Closures must not re-enter the same table (the latch is not
+/// reentrant) — the boosted collections only perform straight-line map
+/// operations inside them.
+#[derive(Default)]
+pub struct ShardedRawTable<K, V> {
+    shards: [RawShard<K, V>; RAW_TABLE_SHARDS],
+}
+
+// SAFETY: all access to the `UnsafeCell` interior goes through `with` /
+// `fold`, which hold the shard latch for the duration of the reference.
+#[allow(unsafe_code)]
+unsafe impl<K: Send, V: Send> Sync for ShardedRawTable<K, V> {}
+
+impl<K, V> ShardedRawTable<K, V> {
+    /// Creates an empty table (no allocation until the first insert).
+    pub fn new() -> Self {
+        ShardedRawTable {
+            shards: std::array::from_fn(|_| RawShard {
+                latch: Latch::default(),
+                table: UnsafeCell::new(RawFxMap::new()),
+            }),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, hash: u64) -> &RawShard<K, V> {
+        &self.shards[hash as usize & (RAW_TABLE_SHARDS - 1)]
+    }
+
+    /// Runs `f` with exclusive access to the shard owning `hash`.
+    ///
+    /// The caller must hold the abstract lock for the key being operated
+    /// on; the shard latch taken here only protects table structure
+    /// shared with other keys.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub fn with<R>(&self, hash: u64, f: impl FnOnce(&mut RawFxMap<K, V>) -> R) -> R {
+        let shard = self.shard(hash);
+        let _guard = shard.latch.lock();
+        // SAFETY: the shard latch is held (and released on drop, even on
+        // panic), so this is the only live reference into the cell.
+        f(unsafe { &mut *shard.table.get() })
+    }
+
+    /// Folds `f` over every shard's table in shard order, latching each
+    /// shard in turn. Used for whole-table operations (snapshots, length)
+    /// — not a consistent point-in-time cut unless the caller quiesces
+    /// writers, which is exactly the contract the non-transactional
+    /// `snapshot`/`restore` collection APIs already carry.
+    #[allow(unsafe_code)]
+    pub fn fold<A>(&self, init: A, mut f: impl FnMut(A, &mut RawFxMap<K, V>) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            let _guard = shard.latch.lock();
+            // SAFETY: as in `with` — the latch serializes this reference.
+            acc = f(acc, unsafe { &mut *shard.table.get() });
+        }
+        acc
+    }
+
+    /// Total number of entries across all shards.
+    pub fn len(&self) -> usize {
+        self.fold(0usize, |acc, table| acc + table.len())
+    }
+
+    /// True if no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry from every shard.
+    pub fn clear(&self) {
+        self.fold((), |(), table| table.clear());
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedRawTable<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRawTable")
+            .field("shards", &RAW_TABLE_SHARDS)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The single-slot analogue of [`ShardedRawTable`]: one latch over one
+/// unsynchronized value.
+///
+/// Backs `BoostedCell<T>` (as `RawSlot<T>`) and `BoostedVec<T>` (as
+/// `RawSlot<Vec<T>>`). A cell is guarded by one whole-value abstract lock,
+/// and a vector by per-element locks *plus* a length lock — but vector
+/// element reads and a concurrent `push` under disjoint abstract locks
+/// still share the `Vec`'s allocation (a reallocation would invalidate
+/// the read), so the structural latch is required for the same reason as
+/// the table shards.
+#[derive(Default)]
+pub struct RawSlot<T> {
+    latch: Latch,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: all access goes through `with`, which holds the latch for the
+// duration of the reference.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for RawSlot<T> {}
+
+impl<T> RawSlot<T> {
+    /// Wraps `value` in a latched raw slot.
+    pub fn new(value: T) -> Self {
+        RawSlot {
+            latch: Latch::default(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the value.
+    #[inline]
+    #[allow(unsafe_code)]
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let _guard = self.latch.lock();
+        // SAFETY: the latch is held (released on drop, even on panic), so
+        // this is the only live reference into the cell.
+        f(unsafe { &mut *self.value.get() })
+    }
+}
+
+impl<T> std::fmt::Debug for RawSlot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RawSlot { .. }")
     }
 }
 

@@ -31,7 +31,10 @@
 //! assert_eq!(digest.to_hex().len(), 64);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied by default; the only exemption is the raw shared
+// tables in [`fx`], whose accesses are serialized by the STM's abstract
+// locks plus a word-sized per-shard latch (see `fx::ShardedRawTable`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;

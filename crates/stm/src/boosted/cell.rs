@@ -4,7 +4,7 @@
 use crate::error::StmError;
 use crate::lock::{LockId, LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
-use parking_lot::RwLock;
+use cc_primitives::fx::RawSlot;
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
@@ -16,6 +16,13 @@ use std::sync::Arc;
 /// that touch the cell conflict — which is exactly the semantics of a
 /// scalar Solidity state variable, and is what produces the
 /// SimpleAuction/EtherDoc conflict behaviour studied in the paper.
+///
+/// The backing store is a latched [`RawSlot`] — no reader-writer lock.
+/// The abstract cell lock already serializes conflicting accesses (shared
+/// readers commute and never overlap the exclusive writer), so the
+/// word-sized latch only backstops non-transactional `peek`/`seed` and
+/// panics inside read closures; debug builds additionally prove the
+/// abstract lock is held before every raw access.
 ///
 /// # Example
 ///
@@ -33,21 +40,24 @@ use std::sync::Arc;
 pub struct BoostedCell<T> {
     name: String,
     lock: LockId,
-    value: Arc<RwLock<T>>,
+    value: Arc<RawSlot<T>>,
 }
 
 /// The typed undo sink of one [`BoostedCell`]: prior values, most recent
 /// last.
 struct CellUndo<T> {
-    target: Arc<RwLock<T>>,
+    target: Arc<RawSlot<T>>,
     entries: Vec<T>,
 }
 
 impl<T: Send + Sync + 'static> UndoSink for CellUndo<T> {
     fn undo_last(&mut self) {
         if let Some(prior) = self.entries.pop() {
-            *self.target.write() = prior;
+            self.target.with(|slot| *slot = prior);
         }
+    }
+    fn reset(&mut self) {
+        self.entries.clear();
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -68,7 +78,7 @@ impl<T: fmt::Debug> fmt::Debug for BoostedCell<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BoostedCell")
             .field("name", &self.name)
-            .field("value", &*self.value.read())
+            .field("value", &self.value.with(|v| format!("{v:?}")))
             .finish()
     }
 }
@@ -83,7 +93,7 @@ where
         BoostedCell {
             name: name.to_string(),
             lock: LockSpace::new(name).whole(),
-            value: Arc::new(RwLock::new(initial)),
+            value: Arc::new(RawSlot::new(initial)),
         }
     }
 
@@ -119,7 +129,8 @@ where
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction) -> Result<T, StmError> {
         txn.acquire(self.lock, LockMode::Shared)?;
-        Ok(self.value.read().clone())
+        txn.debug_assert_held(self.lock);
+        Ok(self.value.with(|v| v.clone()))
     }
 
     /// Transactionally reads the value **by reference**: `f` observes it
@@ -128,7 +139,7 @@ where
     /// the `T: Clone` that [`BoostedCell::get`] pays per read. Same
     /// shared-mode locking.
     ///
-    /// `f` runs under the cell's storage lock; it must not touch the
+    /// `f` runs under the slot's latch; it must not touch the
     /// transaction or this cell.
     ///
     /// # Errors
@@ -136,7 +147,8 @@ where
     /// Propagates lock-acquisition failures.
     pub fn with<R>(&self, txn: &Transaction, f: impl FnOnce(&T) -> R) -> Result<R, StmError> {
         txn.acquire(self.lock, LockMode::Shared)?;
-        Ok(f(&self.value.read()))
+        txn.debug_assert_held(self.lock);
+        Ok(self.value.with(|v| f(v)))
     }
 
     /// Transactionally overwrites the value; the previous value moves
@@ -151,10 +163,7 @@ where
             LockMode::Exclusive,
             self.undo_token(),
             self.undo_init(),
-            || {
-                let mut slot = self.value.write();
-                std::mem::replace(&mut *slot, new)
-            },
+            || self.value.with(|slot| std::mem::replace(slot, new)),
             |sink, previous| {
                 sink.entries.push(previous);
                 true
@@ -176,11 +185,12 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let mut slot = self.value.write();
-                let previous = slot.clone();
-                f(&mut slot);
-                updated = Some(slot.clone());
-                previous
+                self.value.with(|slot| {
+                    let previous = slot.clone();
+                    f(slot);
+                    updated = Some(slot.clone());
+                    previous
+                })
             },
             |sink, previous| {
                 sink.entries.push(previous);
@@ -192,12 +202,12 @@ where
 
     /// Non-transactional read (setup, state commitment, tests).
     pub fn peek(&self) -> T {
-        self.value.read().clone()
+        self.value.with(|v| v.clone())
     }
 
     /// Non-transactional write (setup / snapshot restore only).
     pub fn seed(&self, value: T) {
-        *self.value.write() = value;
+        self.value.with(|slot| *slot = value);
     }
 }
 

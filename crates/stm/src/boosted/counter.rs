@@ -5,8 +5,7 @@ use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
 use cc_primitives::fnv::fnv1a_of;
-use cc_primitives::fx::RawFxMap;
-use parking_lot::RwLock;
+use cc_primitives::fx::ShardedRawTable;
 use std::any::Any;
 use std::fmt;
 use std::hash::Hash;
@@ -37,7 +36,7 @@ use std::sync::Arc;
 pub struct BoostedCounterMap<K> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<RawFxMap<K, u64>>>,
+    inner: Arc<ShardedRawTable<K, u64>>,
 }
 
 /// One typed inverse entry of a [`BoostedCounterMap`] mutation; carries
@@ -51,7 +50,7 @@ enum CounterUndoEntry<K> {
 
 /// The typed undo sink of one [`BoostedCounterMap`].
 struct CounterUndo<K> {
-    target: Arc<RwLock<RawFxMap<K, u64>>>,
+    target: Arc<ShardedRawTable<K, u64>>,
     entries: Vec<CounterUndoEntry<K>>,
 }
 
@@ -61,23 +60,31 @@ where
 {
     fn undo_last(&mut self) {
         if let Some(entry) = self.entries.pop() {
-            let mut map = self.target.write();
+            // Inverses replay while the aborting transaction still holds
+            // the key's abstract lock, so the raw access is licensed.
             match entry {
                 CounterUndoEntry::Sub(hash, key, delta) => {
-                    if let Some(v) = map.get_hashed_mut(hash, &key) {
-                        *v = v.saturating_sub(delta);
-                    }
+                    self.target.with(hash, |map| {
+                        if let Some(v) = map.get_hashed_mut(hash, &key) {
+                            *v = v.saturating_sub(delta);
+                        }
+                    });
                 }
-                CounterUndoEntry::Restore(hash, key, prior) => match prior {
-                    Some(v) => {
-                        map.insert_hashed(hash, key, v);
-                    }
-                    None => {
-                        map.remove_hashed(hash, &key);
-                    }
-                },
+                CounterUndoEntry::Restore(hash, key, prior) => {
+                    self.target.with(hash, |map| match prior {
+                        Some(v) => {
+                            map.insert_hashed(hash, key, v);
+                        }
+                        None => {
+                            map.remove_hashed(hash, &key);
+                        }
+                    });
+                }
             }
         }
+    }
+    fn reset(&mut self) {
+        self.entries.clear();
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -98,7 +105,7 @@ impl<K> fmt::Debug for BoostedCounterMap<K> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BoostedCounterMap")
             .field("name", &self.name)
-            .field("len", &self.inner.read().len())
+            .field("len", &self.inner.len())
             .finish()
     }
 }
@@ -112,7 +119,7 @@ where
         BoostedCounterMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(RawFxMap::new())),
+            inner: Arc::new(ShardedRawTable::new()),
         }
     }
 
@@ -158,7 +165,12 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                *self.inner.write().entry_hashed(h, key.clone()).or_insert(0) += delta;
+                // Concurrent additive holders of the same key commute at
+                // the abstract level; the shard latch (inside `with`)
+                // orders their physical read-modify-writes.
+                self.inner.with(h, |map| {
+                    *map.entry_hashed(h, key.clone()).or_insert(0) += delta;
+                });
                 key
             },
             |sink, key| {
@@ -177,8 +189,12 @@ where
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<u64, StmError> {
         let h = fnv1a_of(key);
-        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
-        Ok(self.inner.read().get_hashed(h, key).copied().unwrap_or(0))
+        let lock = self.space.lock_for_hashed(h);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self
+            .inner
+            .with(h, |map| map.get_hashed(h, key).copied().unwrap_or(0)))
     }
 
     /// Transactionally overwrites the tally for `key` (exclusive). The
@@ -195,7 +211,9 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                let previous = self
+                    .inner
+                    .with(h, |map| map.insert_hashed(h, key.clone(), value));
                 (key, previous)
             },
             |sink, (key, previous)| {
@@ -208,17 +226,17 @@ where
 
     /// Non-transactional read (setup, commitment, tests).
     pub fn peek(&self, key: &K) -> u64 {
+        let h = fnv1a_of(key);
         self.inner
-            .read()
-            .get_hashed(fnv1a_of(key), key)
-            .copied()
-            .unwrap_or(0)
+            .with(h, |map| map.get_hashed(h, key).copied().unwrap_or(0))
     }
 
     /// Non-transactional write used during setup.
     pub fn seed(&self, key: K, value: u64) {
         let h = fnv1a_of(&key);
-        self.inner.write().insert_hashed(h, key, value);
+        self.inner.with(h, |map| {
+            map.insert_hashed(h, key, value);
+        });
     }
 
     /// Point-in-time copy of all tallies.
@@ -228,21 +246,24 @@ where
     /// indistinguishable from one that was never touched, otherwise state
     /// commitments would depend on aborted speculation.
     pub fn snapshot(&self) -> Vec<(K, u64)> {
-        self.inner
-            .read()
-            .iter()
-            .filter(|(_, v)| **v != 0)
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+        self.inner.fold(Vec::new(), |mut acc, map| {
+            acc.extend(
+                map.iter()
+                    .filter(|(_, v)| **v != 0)
+                    .map(|(k, v)| (k.clone(), *v)),
+            );
+            acc
+        })
     }
 
     /// Replaces all tallies (snapshot restore / setup only).
     pub fn restore(&self, entries: impl IntoIterator<Item = (K, u64)>) {
-        let mut map = self.inner.write();
-        map.clear();
+        self.inner.clear();
         for (key, value) in entries {
             let h = fnv1a_of(&key);
-            map.insert_hashed(h, key, value);
+            self.inner.with(h, |map| {
+                map.insert_hashed(h, key, value);
+            });
         }
     }
 }

@@ -5,8 +5,7 @@ use crate::error::StmError;
 use crate::lock::{LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
 use cc_primitives::fnv::fnv1a_of;
-use cc_primitives::fx::RawFxMap;
-use parking_lot::RwLock;
+use cc_primitives::fx::ShardedRawTable;
 use std::any::Any;
 use std::fmt;
 use std::hash::Hash;
@@ -32,9 +31,16 @@ use std::sync::Arc;
 ///
 /// Every operation hashes its key **exactly once**: the FNV-64
 /// fingerprint computed up front becomes the abstract-lock key *and* the
-/// backing-store hash (the store is a [`RawFxMap`] keyed by
-/// caller-supplied hashes), and the mutation path enters the transaction
+/// backing-store hash, and the mutation path enters the transaction
 /// through the fused [`Transaction::acquire_and_log`].
+///
+/// The backing store is a [`ShardedRawTable`] — **no reader-writer lock**.
+/// The held abstract lock is what makes the raw access sound (two-phase
+/// locking serializes conflicting operations); a word-sized per-shard
+/// latch protects only the table structure shared between distinct keys,
+/// and debug builds prove the abstract lock is actually held before every
+/// raw access ([`Transaction::debug_assert_held`]). See "Safety argument"
+/// in the crate README.
 ///
 /// # Example
 ///
@@ -52,14 +58,17 @@ use std::sync::Arc;
 pub struct BoostedMap<K, V> {
     name: String,
     space: LockSpace,
-    inner: Arc<RwLock<RawFxMap<K, V>>>,
+    inner: Arc<ShardedRawTable<K, V>>,
 }
 
 /// The typed undo sink of one [`BoostedMap`]: `(key hash, key, prior
 /// binding)` entries, most recent last. The fingerprint rides along so
-/// replaying an inverse never re-hashes the key either.
+/// replaying an inverse never re-hashes the key either. The `Arc` on the
+/// backing store also pins the sink token (the store's address) for as
+/// long as the sink lives — a recycled transaction arena can therefore
+/// keep the sink across transactions without token collisions.
 struct MapUndo<K, V> {
-    target: Arc<RwLock<RawFxMap<K, V>>>,
+    target: Arc<ShardedRawTable<K, V>>,
     entries: Vec<(u64, K, Option<V>)>,
 }
 
@@ -70,16 +79,20 @@ where
 {
     fn undo_last(&mut self) {
         if let Some((hash, key, prior)) = self.entries.pop() {
-            let mut map = self.target.write();
-            match prior {
+            // Safe without the transaction handle: inverses replay while
+            // the aborting transaction still holds the key's abstract lock.
+            self.target.with(hash, |map| match prior {
                 Some(value) => {
                     map.insert_hashed(hash, key, value);
                 }
                 None => {
                     map.remove_hashed(hash, &key);
                 }
-            }
+            });
         }
+    }
+    fn reset(&mut self) {
+        self.entries.clear();
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -100,7 +113,7 @@ impl<K, V> fmt::Debug for BoostedMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BoostedMap")
             .field("name", &self.name)
-            .field("len", &self.inner.read().len())
+            .field("len", &self.inner.len())
             .finish()
     }
 }
@@ -117,7 +130,7 @@ where
         BoostedMap {
             name: name.to_string(),
             space: LockSpace::new(name),
-            inner: Arc::new(RwLock::new(RawFxMap::new())),
+            inner: Arc::new(ShardedRawTable::new()),
         }
     }
 
@@ -154,8 +167,10 @@ where
     /// transaction).
     pub fn get(&self, txn: &Transaction, key: &K) -> Result<Option<V>, StmError> {
         let h = fnv1a_of(key);
-        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
-        Ok(self.inner.read().get_hashed(h, key).cloned())
+        let lock = self.space.lock_for_hashed(h);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self.inner.with(h, |map| map.get_hashed(h, key).cloned()))
     }
 
     /// Transactionally reads the value bound to `key` **by reference**:
@@ -164,7 +179,7 @@ where
     /// compares or projects the value — it skips the `V: Clone` that
     /// [`BoostedMap::get`] pays per read. Same shared-mode locking.
     ///
-    /// `f` runs under the map's storage lock; it must not touch the
+    /// `f` runs under the store's shard latch; it must not touch the
     /// transaction or this map.
     ///
     /// # Errors
@@ -177,8 +192,10 @@ where
         f: impl FnOnce(Option<&V>) -> R,
     ) -> Result<R, StmError> {
         let h = fnv1a_of(key);
-        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
-        Ok(f(self.inner.read().get_hashed(h, key)))
+        let lock = self.space.lock_for_hashed(h);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self.inner.with(h, |map| f(map.get_hashed(h, key))))
     }
 
     /// Transactionally checks whether `key` is bound (shared mode).
@@ -188,8 +205,10 @@ where
     /// Propagates lock-acquisition failures.
     pub fn contains_key(&self, txn: &Transaction, key: &K) -> Result<bool, StmError> {
         let h = fnv1a_of(key);
-        txn.acquire(self.space.lock_for_hashed(h), LockMode::Shared)?;
-        Ok(self.inner.read().contains_hashed(h, key))
+        let lock = self.space.lock_for_hashed(h);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self.inner.with(h, |map| map.contains_hashed(h, key)))
     }
 
     /// Transactionally binds `key` to `value`. The previous binding (if
@@ -206,7 +225,9 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                let previous = self
+                    .inner
+                    .with(h, |map| map.insert_hashed(h, key.clone(), value));
                 (key, previous)
             },
             |sink, (key, previous)| {
@@ -231,7 +252,9 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let previous = self.inner.write().insert_hashed(h, key.clone(), value);
+                let previous = self
+                    .inner
+                    .with(h, |map| map.insert_hashed(h, key.clone(), value));
                 returned = previous.clone();
                 (key, previous)
             },
@@ -259,7 +282,7 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let previous = self.inner.write().remove_hashed(h, key);
+                let previous = self.inner.with(h, |map| map.remove_hashed(h, key));
                 existed = previous.is_some();
                 previous.map(|value| (key.clone(), value))
             },
@@ -289,7 +312,7 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let previous = self.inner.write().remove_hashed(h, key);
+                let previous = self.inner.with(h, |map| map.remove_hashed(h, key));
                 returned = previous.clone();
                 previous.map(|value| (key.clone(), value))
             },
@@ -326,17 +349,18 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let mut map = self.inner.write();
-                if let Some(slot) = map.get_hashed_mut(h, &key) {
-                    let prior = slot.clone();
-                    f(slot);
-                    (key, Some(prior))
-                } else {
-                    let mut value = default;
-                    f(&mut value);
-                    map.insert_hashed(h, key.clone(), value);
-                    (key, None)
-                }
+                self.inner.with(h, |map| {
+                    if let Some(slot) = map.get_hashed_mut(h, &key) {
+                        let prior = slot.clone();
+                        f(slot);
+                        (key, Some(prior))
+                    } else {
+                        let mut value = default;
+                        f(&mut value);
+                        map.insert_hashed(h, key.clone(), value);
+                        (key, None)
+                    }
+                })
             },
             |sink, (key, prior)| {
                 sink.entries.push((h, key, prior));
@@ -349,51 +373,69 @@ where
     /// genesis state) and in tests. Not linearized with respect to running
     /// transactions.
     pub fn peek(&self, key: &K) -> Option<V> {
-        self.inner.read().get_hashed(fnv1a_of(key), key).cloned()
+        let h = fnv1a_of(key);
+        self.inner.with(h, |map| map.get_hashed(h, key).cloned())
     }
 
     /// Non-transactional insert used only during setup.
     pub fn seed(&self, key: K, value: V) {
         let h = fnv1a_of(&key);
-        self.inner.write().insert_hashed(h, key, value);
+        self.inner.with(h, |map| {
+            map.insert_hashed(h, key, value);
+        });
     }
 
     /// Non-transactional removal, the counterpart of [`seed`](Self::seed):
     /// used during setup and when a finalized multi-version overlay
     /// flattens a tombstone into the base map.
     pub fn seed_remove(&self, key: &K) {
-        self.inner.write().remove_hashed(fnv1a_of(key), key);
+        let h = fnv1a_of(key);
+        self.inner.with(h, |map| {
+            map.remove_hashed(h, key);
+        });
     }
 
     /// Number of bindings (non-transactional; setup/tests only).
     pub fn snapshot_len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.len()
     }
 
     /// A point-in-time copy of the whole map (non-transactional; used for
-    /// state commitment and world cloning).
+    /// state commitment and world cloning). Consistent only when callers
+    /// quiesce transactions first, which the world's snapshot path does.
     pub fn snapshot(&self) -> Vec<(K, V)> {
-        self.inner
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        self.inner.fold(Vec::new(), |mut acc, map| {
+            acc.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+            acc
+        })
     }
 
     /// Replaces the entire contents (non-transactional; used to restore a
     /// world snapshot before validation).
     pub fn restore(&self, entries: impl IntoIterator<Item = (K, V)>) {
-        let mut map = self.inner.write();
-        map.clear();
+        self.inner.clear();
         for (key, value) in entries {
             let h = fnv1a_of(&key);
-            map.insert_hashed(h, key, value);
+            self.inner.with(h, |map| {
+                map.insert_hashed(h, key, value);
+            });
         }
     }
 
     /// Removes every binding (non-transactional).
     pub fn clear(&self) {
-        self.inner.write().clear();
+        self.inner.clear();
+    }
+
+    /// Debug-only test hook: performs a raw backing-store read **without**
+    /// acquiring the abstract lock, so tests can prove
+    /// [`Transaction::debug_assert_held`] refuses unlicensed raw access.
+    #[cfg(debug_assertions)]
+    #[doc(hidden)]
+    pub fn debug_raw_get_unlocked(&self, txn: &Transaction, key: &K) -> Option<V> {
+        let h = fnv1a_of(key);
+        txn.debug_assert_held(self.space.lock_for_hashed(h));
+        self.inner.with(h, |map| map.get_hashed(h, key).cloned())
     }
 }
 
@@ -699,5 +741,19 @@ mod tests {
                 prop_assert_eq!(after, before);
             }
         }
+    }
+
+    /// The raw store carries no lock of its own; the debug assertion is
+    /// what stands between a buggy collection and a silent race. Prove it
+    /// fires on a raw access made without acquiring the abstract lock.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "without holding abstract lock")]
+    fn raw_access_without_abstract_lock_panics_in_debug() {
+        let stm = Stm::new();
+        let m: BoostedMap<u32, u32> = BoostedMap::new("t.unlocked");
+        m.seed(1, 10);
+        let txn = stm.begin();
+        let _ = m.debug_raw_get_unlocked(&txn, &1);
     }
 }

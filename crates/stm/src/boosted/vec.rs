@@ -3,7 +3,7 @@
 use crate::error::StmError;
 use crate::lock::{LockId, LockMode, LockSpace};
 use crate::txn::{Transaction, UndoSink};
-use parking_lot::RwLock;
+use cc_primitives::fx::RawSlot;
 use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
@@ -16,6 +16,14 @@ use std::sync::Arc;
 /// * `push`/`pop` lock a dedicated *length* lock exclusively (they do not
 ///   commute with each other), while `len` takes it in shared mode so
 ///   concurrent length reads commute.
+///
+/// The backing store is a latched [`RawSlot<Vec<T>>`] — no reader-writer
+/// lock. The abstract locks serialize conflicting element/length
+/// operations; the word-sized latch protects the `Vec`'s single shared
+/// allocation, which even disjoint abstract locks share (a `push`'s
+/// reallocation would otherwise race an element read under a different
+/// index lock). Debug builds prove the abstract lock is held before every
+/// raw access.
 ///
 /// # Example
 ///
@@ -35,7 +43,7 @@ pub struct BoostedVec<T> {
     name: String,
     space: LockSpace,
     length_lock: LockId,
-    inner: Arc<RwLock<Vec<T>>>,
+    inner: Arc<RawSlot<Vec<T>>>,
 }
 
 /// One typed inverse entry of a [`BoostedVec`] mutation.
@@ -50,15 +58,16 @@ enum VecUndoEntry<T> {
 
 /// The typed undo sink of one [`BoostedVec`].
 struct VecUndo<T> {
-    target: Arc<RwLock<Vec<T>>>,
+    target: Arc<RawSlot<Vec<T>>>,
     entries: Vec<VecUndoEntry<T>>,
 }
 
 impl<T: Send + Sync + 'static> UndoSink for VecUndo<T> {
     fn undo_last(&mut self) {
         if let Some(entry) = self.entries.pop() {
-            let mut v = self.target.write();
-            match entry {
+            // Inverses replay while the aborting transaction still holds
+            // the element/length abstract locks it mutated under.
+            self.target.with(|v| match entry {
                 VecUndoEntry::Set(i, prior) => {
                     if let Some(slot) = v.get_mut(i) {
                         *slot = prior;
@@ -70,8 +79,11 @@ impl<T: Send + Sync + 'static> UndoSink for VecUndo<T> {
                     }
                 }
                 VecUndoEntry::Repush(value) => v.push(value),
-            }
+            });
         }
+    }
+    fn reset(&mut self) {
+        self.entries.clear();
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -93,7 +105,7 @@ impl<T: fmt::Debug> fmt::Debug for BoostedVec<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BoostedVec")
             .field("name", &self.name)
-            .field("len", &self.inner.read().len())
+            .field("len", &self.inner.with(|v| v.len()))
             .finish()
     }
 }
@@ -110,7 +122,7 @@ where
             name: name.to_string(),
             space,
             length_lock: space.whole(),
-            inner: Arc::new(RwLock::new(Vec::new())),
+            inner: Arc::new(RawSlot::new(Vec::new())),
         }
     }
 
@@ -153,7 +165,8 @@ where
     /// Propagates lock-acquisition failures.
     pub fn len(&self, txn: &Transaction) -> Result<usize, StmError> {
         txn.acquire(self.length_lock, LockMode::Shared)?;
-        Ok(self.inner.read().len())
+        txn.debug_assert_held(self.length_lock);
+        Ok(self.inner.with(|v| v.len()))
     }
 
     /// Transactionally reports whether the vector is empty.
@@ -172,8 +185,10 @@ where
     ///
     /// Propagates lock-acquisition failures.
     pub fn get(&self, txn: &Transaction, i: usize) -> Result<Option<T>, StmError> {
-        txn.acquire(self.element_lock(i), LockMode::Shared)?;
-        Ok(self.inner.read().get(i).cloned())
+        let lock = self.element_lock(i);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self.inner.with(|v| v.get(i).cloned()))
     }
 
     /// Transactionally reads index `i` **by reference**: `f` observes the
@@ -181,7 +196,7 @@ where
     /// returns is materialized — no `T: Clone` per read. Same shared-mode
     /// locking as [`BoostedVec::get`].
     ///
-    /// `f` runs under the vector's storage lock; it must not touch the
+    /// `f` runs under the slot's latch; it must not touch the
     /// transaction or this vector.
     ///
     /// # Errors
@@ -193,8 +208,10 @@ where
         i: usize,
         f: impl FnOnce(Option<&T>) -> R,
     ) -> Result<R, StmError> {
-        txn.acquire(self.element_lock(i), LockMode::Shared)?;
-        Ok(f(self.inner.read().get(i)))
+        let lock = self.element_lock(i);
+        txn.acquire(lock, LockMode::Shared)?;
+        txn.debug_assert_held(lock);
+        Ok(self.inner.with(|v| f(v.get(i))))
     }
 
     /// Transactionally overwrites index `i`. Returns `false` (and does
@@ -212,11 +229,9 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let mut v = self.inner.write();
-                let previous = match v.get_mut(i) {
-                    Some(slot) => Some(std::mem::replace(slot, value)),
-                    None => None,
-                };
+                let previous = self
+                    .inner
+                    .with(|v| v.get_mut(i).map(|slot| std::mem::replace(slot, value)));
                 in_bounds = previous.is_some();
                 previous
             },
@@ -251,8 +266,7 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let mut v = self.inner.write();
-                match v.get_mut(i) {
+                self.inner.with(|v| match v.get_mut(i) {
                     Some(slot) => {
                         let prior = slot.clone();
                         f(slot);
@@ -260,7 +274,7 @@ where
                         Some(prior)
                     }
                     None => None,
-                }
+                })
             },
             |sink, prior| match prior {
                 Some(prior) => {
@@ -281,13 +295,14 @@ where
     /// Propagates lock-acquisition failures.
     pub fn push(&self, txn: &Transaction, value: T) -> Result<usize, StmError> {
         txn.acquire(self.length_lock, LockMode::Exclusive)?;
-        let index = self.inner.read().len();
+        txn.debug_assert_held(self.length_lock);
+        let index = self.inner.with(|v| v.len());
         txn.acquire_and_log(
             self.element_lock(index),
             LockMode::Exclusive,
             self.undo_token(),
             self.undo_init(),
-            || self.inner.write().push(value),
+            || self.inner.with(|v| v.push(value)),
             |sink, ()| {
                 sink.entries.push(VecUndoEntry::Unpush(index));
                 true
@@ -304,12 +319,10 @@ where
     /// Propagates lock-acquisition failures.
     pub fn pop(&self, txn: &Transaction) -> Result<Option<T>, StmError> {
         txn.acquire(self.length_lock, LockMode::Exclusive)?;
-        let last_index = {
-            let v = self.inner.read();
-            if v.is_empty() {
-                return Ok(None);
-            }
-            v.len() - 1
+        txn.debug_assert_held(self.length_lock);
+        let last_index = match self.inner.with(|v| v.len()) {
+            0 => return Ok(None),
+            len => len - 1,
         };
         let mut popped = None;
         txn.acquire_and_log(
@@ -318,7 +331,7 @@ where
             self.undo_token(),
             self.undo_init(),
             || {
-                let value = self.inner.write().pop();
+                let value = self.inner.with(|v| v.pop());
                 popped = value.clone();
                 value
             },
@@ -335,29 +348,31 @@ where
 
     /// Non-transactional element read (setup/tests only).
     pub fn peek(&self, i: usize) -> Option<T> {
-        self.inner.read().get(i).cloned()
+        self.inner.with(|v| v.get(i).cloned())
     }
 
     /// Non-transactional length (setup/tests only).
     pub fn snapshot_len(&self) -> usize {
-        self.inner.read().len()
+        self.inner.with(|v| v.len())
     }
 
     /// Non-transactional append used while building initial state.
     pub fn seed_push(&self, value: T) {
-        self.inner.write().push(value);
+        self.inner.with(|v| v.push(value));
     }
 
     /// Point-in-time copy of the vector contents.
     pub fn snapshot(&self) -> Vec<T> {
-        self.inner.read().clone()
+        self.inner.with(|v| v.clone())
     }
 
     /// Replaces the contents (snapshot restore / setup only).
     pub fn restore(&self, values: impl IntoIterator<Item = T>) {
-        let mut v = self.inner.write();
-        v.clear();
-        v.extend(values);
+        let values: Vec<T> = values.into_iter().collect();
+        self.inner.with(|v| {
+            v.clear();
+            v.extend(values);
+        });
     }
 }
 

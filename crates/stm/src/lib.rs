@@ -71,4 +71,4 @@ pub use lock::{LockId, LockMode, LockSpace};
 pub use manager::LockManager;
 pub use profile::{CommitProfile, LockProfile, ProfileEntry, TraceEntry};
 pub use retry::RetryPolicy;
-pub use txn::{Savepoint, Stm, Transaction, TxnId, TxnKind, UndoSink};
+pub use txn::{PooledTxn, Savepoint, Stm, Transaction, TxnId, TxnKind, TxnScope, UndoSink};

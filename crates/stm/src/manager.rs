@@ -275,6 +275,11 @@ pub struct LockManager {
     mask: u64,
     registry: Mutex<WaitRegistry>,
     stats: StatCounters,
+    /// Per-block serial-order counter: every commit claims the next value
+    /// with one `fetch_add` (no mutex, no shared `Vec`), and the claimed
+    /// value is published as [`crate::CommitProfile::sequence`]. Reset by
+    /// [`LockManager::reset_counters`] at block boundaries.
+    commit_seq: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -306,7 +311,14 @@ impl LockManager {
             mask: (count - 1) as u64,
             registry: Mutex::new(WaitRegistry::default()),
             stats: StatCounters::default(),
+            commit_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Claims the next commit-sequence number. Called once per committing
+    /// transaction; the returned values order commits within the block.
+    pub(crate) fn next_commit_seq(&self) -> u64 {
+        self.commit_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Number of stripes the lock table is split into.
@@ -474,6 +486,7 @@ impl LockManager {
     /// when it starts assembling a new block (paper §4: "When a miner
     /// starts a block, it sets these counters to zero").
     pub fn reset_counters(&self) {
+        self.commit_seq.store(0, Ordering::Relaxed);
         for shard in self.shards.iter() {
             let mut state = shard.locks.lock();
             state.retain(|_, entry| !entry.is_idle());

@@ -97,6 +97,13 @@ pub struct CommitProfile {
     pub txn: TxnId,
     /// The registered lock profile.
     pub profile: LockProfile,
+    /// Position of this commit in the block's serial order: the value of
+    /// the manager's atomic commit counter claimed by this commit (one
+    /// `fetch_add`, reset at each `begin_block`). Replaces any
+    /// mutex-guarded capture of the observed commit order — readers index
+    /// preallocated slots by `sequence` instead of pushing to a shared
+    /// `Vec`.
+    pub sequence: u64,
 }
 
 /// One entry of a validator-side trace: a lock the replayed transaction

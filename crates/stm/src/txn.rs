@@ -59,6 +59,10 @@ pub enum TxnKind {
 pub trait UndoSink: Send + 'static {
     /// Reverses this sink's most recently recorded entry.
     fn undo_last(&mut self);
+    /// Discards all recorded entries while keeping the sink's allocation,
+    /// so a recycled transaction arena reuses the sink (and its capacity)
+    /// instead of re-boxing one per collection per transaction.
+    fn reset(&mut self);
     /// Downcast support so a collection can push typed entries into its
     /// own sink.
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -76,6 +80,9 @@ impl UndoSink for ClosureSink {
         if let Some(op) = self.ops.pop() {
             op();
         }
+    }
+    fn reset(&mut self) {
+        self.ops.clear();
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
@@ -112,6 +119,20 @@ impl UndoLog {
         self.sinks.clear();
         self.index.clear();
         self.last = None;
+    }
+
+    /// Empties the log while **keeping** the typed sinks, their token
+    /// index and all their capacity. Used by the commit path and by
+    /// recycled transaction arenas: within a block the same collections
+    /// are touched over and over, and a retained sink's token stays valid
+    /// because the sink's own `Arc` on the backing storage keeps that
+    /// address from ever being reused by a different collection.
+    fn reset(&mut self) {
+        self.order.clear();
+        self.last = None;
+        for sink in self.sinks.iter_mut() {
+            sink.reset();
+        }
     }
 
     /// Appends one entry to the sink identified by `token`, creating the
@@ -198,7 +219,38 @@ struct TxnInner {
     replaying: bool,
 }
 
+impl Default for TxnInner {
+    fn default() -> Self {
+        TxnInner {
+            undo: UndoLog::default(),
+            held: InlineVec::new(),
+            held_index: FxHashMap::default(),
+            last_held: None,
+            trace: Vec::new(),
+            frames: InlineVec::new(),
+            closed: false,
+            replaying: false,
+        }
+    }
+}
+
 impl TxnInner {
+    /// Returns the arena to the pristine post-construction state while
+    /// keeping every allocation: the undo log's typed sinks (and their
+    /// entry capacity), the held set's spill, the index maps' buckets and
+    /// the trace buffer all survive into the next transaction. This is
+    /// what makes a pooled begin ([`TxnScope::begin`]) allocation-free.
+    fn recycle(&mut self) {
+        self.undo.reset();
+        self.held.clear();
+        self.held_index.clear();
+        self.last_held = None;
+        self.trace.clear();
+        self.frames.clear();
+        self.closed = false;
+        self.replaying = false;
+    }
+
     /// Position of `lock` in the held set, if held. Verifies indexed hits,
     /// so stale `held_index` entries (left by nested aborts) are treated
     /// as misses.
@@ -307,18 +359,41 @@ impl Transaction {
             id,
             kind,
             manager,
-            inner: RefCell::new(TxnInner {
-                undo: UndoLog::default(),
-                held: InlineVec::new(),
-                held_index: FxHashMap::default(),
-                last_held: None,
-                trace: Vec::new(),
-                frames: InlineVec::new(),
-                closed: false,
-                replaying: false,
-            }),
+            inner: RefCell::new(TxnInner::default()),
         }
     }
+
+    /// Debug-only proof obligation for raw backing-store access: panics
+    /// unless this transaction currently holds `lock` (in any mode).
+    ///
+    /// The boosted collections' backing stores carry no reader-writer
+    /// lock; their safety argument is that the abstract lock serializing
+    /// the operation is held for the duration of the raw access. Every
+    /// transactional read path calls this immediately before touching the
+    /// raw store, so a collection that forgot to acquire fails loudly in
+    /// debug/test builds instead of racing silently. (Mutations go through
+    /// [`Transaction::acquire_and_log`], which performs the same check
+    /// internally.) Replay transactions are exempt: they take no locks by
+    /// design — the published fork-join schedule already orders
+    /// conflicting replays.
+    ///
+    /// Compiled to nothing in release builds.
+    #[cfg(debug_assertions)]
+    pub fn debug_assert_held(&self, lock: LockId) {
+        if self.kind == TxnKind::Replay {
+            return;
+        }
+        let inner = self.inner.borrow();
+        assert!(
+            inner.held_pos(lock).is_some(),
+            "raw backing-store access without holding abstract lock {lock:?}"
+        );
+    }
+
+    /// Release-build no-op twin of the debug assertion.
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub fn debug_assert_held(&self, _lock: LockId) {}
 
     /// The runtime id of this transaction attempt.
     pub fn id(&self) -> TxnId {
@@ -437,6 +512,12 @@ impl Transaction {
                     self.acquire_slow(lock, mode)?;
                     inner = self.inner.borrow_mut();
                 }
+                // Same proof obligation as `debug_assert_held`: the raw
+                // mutation below is licensed by the abstract lock.
+                debug_assert!(
+                    inner.held_pos(lock).is_some(),
+                    "raw backing-store mutation without holding abstract lock {lock:?}"
+                );
             }
         }
         if inner.replaying {
@@ -620,13 +701,17 @@ impl Transaction {
         // — the entry vector below is the commit path's only allocation,
         // and the manager writes release counters into it in place.
         let mut entries: Vec<ProfileEntry>;
+        let sequence;
         {
             let mut inner = self.inner.borrow_mut();
             if inner.closed {
                 return Err(StmError::TransactionClosed);
             }
             inner.closed = true;
-            inner.undo.clear();
+            // Keep the typed sinks (entries discarded in place): a pooled
+            // transaction reuses them on its next life, an unpooled one
+            // drops them moments later.
+            inner.undo.reset();
             entries = Vec::with_capacity(inner.held.len());
             for &(lock, mode) in inner.held.iter() {
                 entries.push(ProfileEntry {
@@ -638,6 +723,10 @@ impl Transaction {
             inner.held.clear();
             inner.held_index.clear();
             inner.last_held = None;
+            // Claim the serial-order slot while the locks are still held:
+            // for two conflicting transactions, sequence order then agrees
+            // with the per-lock use-counter order.
+            sequence = self.manager.next_commit_seq();
         }
         if self.kind == TxnKind::Speculative {
             self.manager.release_commit_entries(self.id, &mut entries);
@@ -645,6 +734,7 @@ impl Transaction {
         Ok(CommitProfile {
             txn: self.id,
             profile: LockProfile::new(entries),
+            sequence,
         })
     }
 
@@ -781,10 +871,26 @@ impl Stm {
         &self.manager
     }
 
-    /// Resets per-block lock state (use counters). Call when starting a new
-    /// block.
-    pub fn begin_block(&self) {
+    /// Resets per-block lock state (use counters and the commit-sequence
+    /// counter) and returns a fresh [`TxnScope`] whose recycled arenas
+    /// amortize per-transaction setup across the block. Call when starting
+    /// a new block; callers that manage transactions themselves may simply
+    /// drop the returned scope.
+    pub fn begin_block(&self) -> TxnScope {
         self.manager.reset_counters();
+        self.txn_scope()
+    }
+
+    /// Creates a transaction-arena pool **without** resetting per-block
+    /// counters. Each worker thread participating in a block takes its own
+    /// scope (the pool is deliberately single-threaded — like
+    /// [`Transaction`] itself, a scope is `Send` but not `Sync`), while the
+    /// block driver calls [`Stm::begin_block`] exactly once.
+    pub fn txn_scope(&self) -> TxnScope {
+        TxnScope {
+            stm: self.clone(),
+            free: RefCell::new(Vec::new()),
+        }
     }
 
     /// Lock-manager statistics (acquisitions, waits, deadlocks).
@@ -845,11 +951,138 @@ impl Stm {
     }
 }
 
+/// A per-worker pool of recycled transaction arenas for one block.
+///
+/// [`Stm::begin`] pays a fixed setup cost per transaction: initializing
+/// ~600 bytes of `TxnInner` (inline held set, undo log, index maps), an
+/// `Arc<LockManager>` refcount round-trip, and — across the transaction's
+/// life — one box per touched collection's undo sink. At block scale that
+/// fixed cost *is* the throughput. A scope recycles whole boxed
+/// [`Transaction`]s instead: [`TxnScope::begin`] pops a finished arena,
+/// stamps a fresh [`TxnId`], and hands it back with every allocation (held
+/// spill, sink boxes and their entry capacity, trace buffer, index
+/// buckets) still warm. [`TxnInner::recycle`] restores the pristine
+/// logical state, and the fresh-vs-pooled property test in
+/// `boosted::tests` pins that no state leaks between lives.
+///
+/// Obtain one scope per worker from [`Stm::begin_block`] (block driver) or
+/// [`Stm::txn_scope`] (additional workers). Like `Transaction`, a scope is
+/// `Send` but not `Sync` — its free list is an unsynchronized `RefCell`.
+#[derive(Debug)]
+pub struct TxnScope {
+    stm: Stm,
+    // Boxed on purpose (not what clippy::vec_box assumes): pool↔guard
+    // moves must be one pointer, not a ~600-byte `Transaction` memcpy.
+    #[allow(clippy::vec_box)]
+    free: RefCell<Vec<Box<Transaction>>>,
+}
+
+impl TxnScope {
+    /// Begins a speculative transaction, reusing a recycled arena when one
+    /// is available. Dropping the returned handle returns the arena to
+    /// this scope (aborting first if the transaction is still open, same
+    /// as [`Transaction`]'s own drop behaviour).
+    pub fn begin(&self) -> PooledTxn<'_> {
+        let id = TxnId(self.stm.next_id.fetch_add(1, Ordering::Relaxed));
+        let txn = match self.free.borrow_mut().pop() {
+            // The arena was recycled on its way into the free list; only
+            // the identity needs stamping.
+            Some(mut txn) => {
+                txn.id = id;
+                txn
+            }
+            None => Box::new(Transaction::new(
+                id,
+                TxnKind::Speculative,
+                Arc::clone(&self.stm.manager),
+            )),
+        };
+        PooledTxn {
+            txn: Some(txn),
+            scope: self,
+        }
+    }
+
+    /// Runs `body` as a pooled speculative transaction, retrying on
+    /// deadlock aborts exactly like [`Stm::run`] — every attempt
+    /// (including retries) draws from and returns to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the body's terminal error, or
+    /// [`StmError::RetriesExhausted`] if the retry budget runs out.
+    pub fn run<R>(
+        &self,
+        mut body: impl FnMut(&Transaction) -> Result<R, StmError>,
+    ) -> Result<(R, CommitProfile), StmError> {
+        let retry = self.stm.retry;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let txn = self.begin();
+            match body(&txn) {
+                Ok(value) => {
+                    let profile = txn.commit()?;
+                    return Ok((value, profile));
+                }
+                Err(err) => {
+                    let _ = txn.abort();
+                    if err.is_retryable() && attempt < retry.max_attempts {
+                        retry.backoff(attempt);
+                        continue;
+                    }
+                    if err.is_retryable() {
+                        return Err(StmError::RetriesExhausted { attempts: attempt });
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// Number of idle arenas currently in the pool (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.free.borrow().len()
+    }
+
+    fn reclaim(&self, mut txn: Box<Transaction>) {
+        // An arena dropped while still open aborts first (releasing its
+        // locks and replaying its undo log), mirroring Transaction::drop.
+        if !txn.is_closed() {
+            let _ = txn.abort();
+        }
+        txn.inner.get_mut().recycle();
+        self.free.borrow_mut().push(txn);
+    }
+}
+
+/// A pooled transaction handle: derefs to [`Transaction`], returns its
+/// arena to the owning [`TxnScope`] on drop.
+#[derive(Debug)]
+pub struct PooledTxn<'scope> {
+    txn: Option<Box<Transaction>>,
+    scope: &'scope TxnScope,
+}
+
+impl std::ops::Deref for PooledTxn<'_> {
+    type Target = Transaction;
+    fn deref(&self) -> &Transaction {
+        self.txn.as_deref().expect("arena present until drop")
+    }
+}
+
+impl Drop for PooledTxn<'_> {
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.scope.reclaim(txn);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lock::LockSpace;
-    use parking_lot::Mutex;
     use std::sync::atomic::AtomicI64;
 
     fn stm() -> Stm {
@@ -884,15 +1117,24 @@ mod tests {
 
     #[test]
     fn undo_runs_most_recent_first() {
+        // Serial-order capture without a mutex: an atomic sequence counter
+        // plus preallocated per-op slots (each undo closure claims the next
+        // sequence number and stamps it into its own slot).
         let stm = stm();
-        let order = Arc::new(Mutex::new(Vec::new()));
+        let seq = Arc::new(AtomicU64::new(0));
+        let slots: Arc<[AtomicU64; 3]> = Arc::new([const { AtomicU64::new(u64::MAX) }; 3]);
         let txn = stm.begin();
         for i in 0..3 {
-            let order = Arc::clone(&order);
-            txn.log_undo(move || order.lock().push(i));
+            let seq = Arc::clone(&seq);
+            let slots = Arc::clone(&slots);
+            txn.log_undo(move || {
+                slots[i].store(seq.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            });
         }
         txn.abort().unwrap();
-        assert_eq!(*order.lock(), vec![2, 1, 0]);
+        let observed: Vec<u64> = slots.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        // Op 2 undone first (sequence 0), op 0 last (sequence 2).
+        assert_eq!(observed, vec![2, 1, 0]);
     }
 
     #[test]

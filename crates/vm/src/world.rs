@@ -14,8 +14,10 @@ use cc_primitives::fx::FxHashMap;
 use cc_primitives::hash::Hash256;
 use cc_stm::{Stm, StmError, Transaction};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An immutable point-in-time view of the deployed-contract registry,
@@ -41,6 +43,27 @@ pub struct World {
     contracts: RwLock<BTreeMap<Address, Arc<dyn Contract>>>,
     /// Frozen lookup table rebuilt on every deploy.
     resolved: RwLock<ContractRegistry>,
+    /// Identity of this world in the per-thread registry cache.
+    world_id: u64,
+    /// Bumped (with `Release`) after each deploy swaps in a new frozen
+    /// snapshot, so [`World::registry`] can detect staleness with one
+    /// atomic load instead of crossing the `resolved` lock.
+    registry_generation: AtomicU64,
+}
+
+/// Source of unique [`World::world_id`] values.
+static NEXT_WORLD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// The last `(world_id, generation, registry)` this thread resolved.
+    ///
+    /// Deploys happen at setup time; during a block the generation never
+    /// moves, so every [`World::registry`] call after the first — one per
+    /// executed transaction — is an atomic load plus an `Arc` clone, with
+    /// **zero** lock crossings. Keyed by `world_id` so tests running many
+    /// worlds on one thread never see each other's snapshots.
+    static REGISTRY_CACHE: RefCell<Option<(u64, u64, ContractRegistry)>> =
+        const { RefCell::new(None) };
 }
 
 impl Default for World {
@@ -67,6 +90,8 @@ impl World {
             gas_schedule: GasSchedule::default(),
             contracts: RwLock::new(BTreeMap::new()),
             resolved: RwLock::new(Arc::new(FxHashMap::default())),
+            world_id: NEXT_WORLD_ID.fetch_add(1, Ordering::Relaxed),
+            registry_generation: AtomicU64::new(0),
         }
     }
 
@@ -112,13 +137,16 @@ impl World {
         );
         contracts.insert(address, contract);
         // Rebuild the frozen lookup snapshot (deploys are rare; lookups
-        // are the hot path).
+        // are the hot path), then publish the new generation. The store
+        // is `Release` so a thread that observes the bumped generation
+        // and misses its cache is guaranteed to read the new snapshot.
         *self.resolved.write() = Arc::new(
             contracts
                 .iter()
                 .map(|(addr, c)| (*addr, Arc::clone(c)))
                 .collect(),
         );
+        self.registry_generation.fetch_add(1, Ordering::Release);
     }
 
     /// Looks up the contract deployed at `address`.
@@ -127,10 +155,24 @@ impl World {
     }
 
     /// The frozen registry snapshot used for contract resolution during
-    /// execution. Cloning the `Arc` is one refcount increment; lookups on
-    /// the snapshot take no lock at all.
+    /// execution. Lookups on the snapshot take no lock at all, and the
+    /// snapshot itself comes from a per-thread `(world, generation)`
+    /// cache: in steady state (no deploy since this thread last asked)
+    /// this is one atomic load and an `Arc` clone — zero lock crossings
+    /// per transaction, however deep its nested calls go.
     pub fn registry(&self) -> ContractRegistry {
-        Arc::clone(&self.resolved.read())
+        let generation = self.registry_generation.load(Ordering::Acquire);
+        REGISTRY_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((id, cached_generation, registry)) = cache.as_ref() {
+                if *id == self.world_id && *cached_generation == generation {
+                    return Arc::clone(registry);
+                }
+            }
+            let fresh = Arc::clone(&self.resolved.read());
+            *cache = Some((self.world_id, generation, Arc::clone(&fresh)));
+            fresh
+        })
     }
 
     /// Addresses of all deployed contracts (sorted).
@@ -511,6 +553,64 @@ mod tests {
         txn.commit().unwrap();
         assert!(receipt.succeeded());
         assert_eq!(receipt.output, ReturnValue::Amount(Wei::new(250)));
+    }
+
+    #[test]
+    fn registry_cache_sees_later_deploys() {
+        let (world, counter_addr) = world_with_counter();
+        // Warm this thread's cache, then deploy another contract.
+        assert_eq!(world.registry().len(), 1);
+        let proxy_addr = Address::from_name("late-proxy");
+        world.deploy(Arc::new(ProxyContract::new(proxy_addr, counter_addr)));
+        // The generation bump invalidates the cached snapshot.
+        let registry = world.registry();
+        assert_eq!(registry.len(), 2);
+        assert!(registry.contains_key(&proxy_addr));
+        // A different world on the same thread gets its own snapshot.
+        let (other, other_addr) = world_with_counter();
+        assert_eq!(other.registry().len(), 1);
+        assert!(other.registry().contains_key(&other_addr));
+        assert_eq!(world.registry().len(), 2);
+    }
+
+    /// With the registry cache warm, executing a transaction — nested
+    /// calls included — crosses zero `RwLock`s: contract resolution is an
+    /// atomic generation check and storage is boosted (raw tables guarded
+    /// by abstract locks). Uses the debug-only acquisition counter the
+    /// `parking_lot` shim exposes.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn steady_state_execution_crosses_zero_rwlocks() {
+        let (world, counter_addr) = world_with_counter();
+        let proxy_addr = Address::from_name("proxy-lockfree");
+        world.deploy(Arc::new(ProxyContract::new(proxy_addr, counter_addr)));
+
+        let run = |i: usize| {
+            let txn = world.stm().begin();
+            let receipt = world
+                .execute(
+                    &txn,
+                    i,
+                    Msg::from_sender(Address::from_index(1)),
+                    proxy_addr,
+                    &CallData::new("proxy_increment", vec![ArgValue::Uint(1)]),
+                    1_000_000,
+                )
+                .unwrap();
+            txn.commit().unwrap();
+            assert!(receipt.succeeded());
+        };
+        // First execution warms the thread-local registry cache (and any
+        // lazily-initialized storage overlays).
+        run(0);
+        let before = parking_lot::rwlock_acquisition_count();
+        run(1);
+        run(2);
+        assert_eq!(
+            parking_lot::rwlock_acquisition_count() - before,
+            0,
+            "steady-state execution must not acquire any RwLock"
+        );
     }
 
     #[test]

@@ -81,14 +81,45 @@ impl<T> RwLock<T> {
     }
 }
 
+// Debug-only, thread-local count of `RwLock` acquisitions (`read` +
+// `write`), mirroring `cc_primitives::fnv::key_hash_count`.
+//
+// This is a **shim-only extension** (the real `parking_lot` has no such
+// counter — see `shims/README.md`): tests assert that hot paths claimed
+// to be RwLock-free really acquire zero reader-writer locks, by reading
+// the counter before and after the operation under test. Compiled out of
+// release builds entirely.
+#[cfg(debug_assertions)]
+thread_local! {
+    static RWLOCK_ACQUISITIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Returns this thread's running count of `RwLock::read`/`RwLock::write`
+/// acquisitions. Debug builds only; see [`RWLOCK_ACQUISITIONS`].
+#[cfg(debug_assertions)]
+pub fn rwlock_acquisition_count() -> u64 {
+    RWLOCK_ACQUISITIONS.with(|c| c.get())
+}
+
+#[cfg(debug_assertions)]
+fn note_rwlock_acquisition() {
+    RWLOCK_ACQUISITIONS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+fn note_rwlock_acquisition() {}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        note_rwlock_acquisition();
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        note_rwlock_acquisition();
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 
