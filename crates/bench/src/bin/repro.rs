@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] \
-//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|perf|all]
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|perf|all]
 //! repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]
 //! ```
 //!
@@ -32,9 +32,12 @@
 //!   conflict sweep: deadlock-victim retries (speculative STM) against
 //!   first-committer-wins validation failures (optimistic MVCC), plus the
 //!   optimistic strategy's validation-free read-only commit count.
+//! * `durability` — per-block commit latency of a durable node under
+//!   each WAL mode (`off` / `buffered` / `fsync`): what group commit
+//!   costs, and proof the `Off` mode stays free.
 //! * `perf` — `micro` + `schedule` + `read-heavy` + `abort-rate` +
-//!   `contention`: the sections the per-PR perf trajectory
-//!   (`BENCH_PR*.json`) and the CI smoke diff track.
+//!   `contention` + `durability`: the sections the per-PR perf
+//!   trajectory (`BENCH_PR*.json`) and the CI smoke diff track.
 //! * `all` (default) — everything above.
 //! * `diff OLD.json NEW.json` — compares two `--json` outputs
 //!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
@@ -63,6 +66,7 @@
 //! code.
 
 use cc_bench::contention::{contention_threads, measure_contention, Backend, ContentionPoint, Mix};
+use cc_bench::durability::{run_durability, DurabilityPoint};
 use cc_bench::json::Json;
 use cc_bench::micro::{run_micro, MicroPoint};
 use cc_bench::schedule::{run_schedule, SchedulePoint};
@@ -811,6 +815,57 @@ fn abort_rate_json(sweeps: &[(Benchmark, Vec<AbortRatePoint>)]) -> Json {
     )
 }
 
+/// The `(blocks, block_size)` shape the durability sweep mines per mode.
+fn durability_shape(quick: bool) -> (u64, u64) {
+    if quick {
+        (3, 16)
+    } else {
+        (8, 32)
+    }
+}
+
+fn print_durability(opts: &Options) -> Vec<DurabilityPoint> {
+    println!(
+        "\n== Durable block commit: WAL cost per sealed block, {} threads ==",
+        opts.threads
+    );
+    let (blocks, block_size) = durability_shape(opts.quick);
+    let points = run_durability(blocks, block_size, opts.threads, opts.repetitions);
+    println!("{:>24} {:>14}", "case", "ms/block");
+    for p in &points {
+        println!("{:>24} {:>14.3}", p.name, p.ms_per_block);
+    }
+    let find = |name: &str| {
+        points
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ms_per_block)
+    };
+    if let (Some(off), Some(fsync)) = (find("block-commit-off"), find("block-commit-fsync")) {
+        println!(
+            "\ngroup commit: one fsync per {block_size}-txn block costs {:.3} ms/block \
+             over the in-memory baseline ({:.3} µs amortized per txn)",
+            fsync - off,
+            (fsync - off) * 1000.0 / block_size as f64
+        );
+    }
+    points
+}
+
+fn durability_json(points: &[DurabilityPoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("name", Json::str(p.name)),
+                    ("ms_per_block", Json::num(p.ms_per_block)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn micro_json(points: &[MicroPoint]) -> Json {
     Json::Array(
         points
@@ -940,6 +995,20 @@ fn extract_metrics(doc: &Json) -> Vec<Metric> {
                     label: format!("contention/{mix}/{backend}/{threads}t (txns/s)"),
                     value,
                     direction: Direction::HigherIsBetter,
+                });
+            }
+        }
+    }
+    if let Some(points) = doc.get("durability").and_then(Json::as_array) {
+        for p in points {
+            if let (Some(name), Some(value)) = (
+                p.get("name").and_then(Json::as_str),
+                p.get("ms_per_block").and_then(Json::as_f64),
+            ) {
+                out.push(Metric {
+                    label: format!("durability/{name} (ms/block)"),
+                    value,
+                    direction: Direction::LowerIsBetter,
                 });
             }
         }
@@ -1110,6 +1179,7 @@ fn main() {
     let mut schedule: Option<Vec<SchedulePoint>> = None;
     let mut read_heavy: Option<Vec<ReadHeavyPoint>> = None;
     let mut abort_rate: Option<Vec<(Benchmark, Vec<AbortRatePoint>)>> = None;
+    let mut durability: Option<Vec<DurabilityPoint>> = None;
 
     match opts.command.as_str() {
         "figure1-blocksize" => {
@@ -1150,12 +1220,16 @@ fn main() {
         "abort-rate" => {
             abort_rate = Some(print_abort_rate(&opts));
         }
+        "durability" => {
+            durability = Some(print_durability(&opts));
+        }
         "perf" => {
             micro = Some(print_micro(&opts));
             schedule = Some(print_schedule(&opts));
             read_heavy = Some(print_read_heavy(&opts));
             abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
+            durability = Some(print_durability(&opts));
         }
         "all" => {
             let bs = print_figure1_blocksize(&opts);
@@ -1170,10 +1244,11 @@ fn main() {
             read_heavy = Some(print_read_heavy(&opts));
             abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
+            durability = Some(print_durability(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|perf|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|perf|all]");
             eprintln!(
                 "       repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]"
             );
@@ -1208,6 +1283,9 @@ fn main() {
         }
         if let Some(points) = &contention {
             sections.push(("contention", contention_json(points)));
+        }
+        if let Some(points) = &durability {
+            sections.push(("durability", durability_json(points)));
         }
         let doc = Json::object(sections);
         match std::fs::write(path, doc.to_pretty()) {

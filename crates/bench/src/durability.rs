@@ -1,0 +1,143 @@
+//! Durability-cost benchmark: what the write-ahead log adds to block
+//! commit latency.
+//!
+//! The same block of counter transactions is mined repeatedly on a
+//! durable node under each [`DurabilityMode`]: `Off` (the in-memory
+//! baseline the strict `stm_micro` CI gate protects), `Buffered` (one
+//! file write per sealed block, no fsync) and `Fsync` (one
+//! `fdatasync` per sealed block — the group-commit cost the WAL design
+//! amortizes across the whole block). `repro durability` prints the
+//! numbers and `repro --json` records them in the `durability` section,
+//! so regressions in the seal path are diffable across PRs.
+
+use crate::Timing;
+use cc_core::engine::{Engine, ExecutionStrategy};
+use cc_core::node::{DurabilityConfig, Node};
+use cc_ledger::wal::DurabilityMode;
+use cc_ledger::Transaction;
+use cc_vm::testing::CounterContract;
+use cc_vm::{Address, ArgValue, CallData, World};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured durability case.
+#[derive(Debug, Clone)]
+pub struct DurabilityPoint {
+    /// Stable case name (the key used by `repro diff`).
+    pub name: &'static str,
+    /// Mean wall-clock cost of mining + persisting one block, in
+    /// milliseconds.
+    pub ms_per_block: f64,
+}
+
+/// Distinguishes concurrent benchmark runs' scratch directories.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "cc-bench-durability-{}-{}-{tag}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    dir
+}
+
+fn counter_world(address: Address) -> World {
+    let world = World::new();
+    world.deploy(Arc::new(CounterContract::new(address)));
+    world
+}
+
+fn block_txs(address: Address, base: u64, n: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| {
+            Transaction::new(
+                base + i,
+                Address::from_index(i),
+                address,
+                CallData::new("increment", vec![ArgValue::Uint(1)]),
+                1_000_000,
+            )
+        })
+        .collect()
+}
+
+/// Mines `blocks` blocks of `block_size` counter transactions on a node
+/// configured with `mode` and returns the mean per-block wall time. Each
+/// repetition uses a fresh node and a fresh scratch directory.
+fn time_mode(
+    engine: &Engine,
+    mode: DurabilityMode,
+    blocks: u64,
+    block_size: u64,
+    repetitions: usize,
+) -> Timing {
+    let address = Address::from_name("bench.durability.counter");
+    let mut samples = Vec::new();
+    // One warm-up repetition plus the measured ones.
+    for rep in 0..repetitions.max(1) + 1 {
+        let dir = scratch_dir("rep");
+        // Snapshots are deliberately out of cadence (interval > blocks):
+        // this case isolates the per-block WAL seal cost.
+        let config = DurabilityConfig::new(&dir, mode).snapshot_interval(blocks + 1);
+        let mut node = Node::builder()
+            .world(counter_world(address))
+            .engine(engine.clone())
+            .durability(config)
+            .build()
+            .expect("durable bench node");
+        let start = Instant::now();
+        for b in 0..blocks {
+            node.mine_and_append(block_txs(address, b * block_size, block_size))
+                .expect("bench block mines");
+        }
+        let elapsed = start.elapsed();
+        drop(node);
+        std::fs::remove_dir_all(&dir).ok();
+        if rep > 0 {
+            samples.push(elapsed / u32::try_from(blocks).expect("block count fits u32"));
+        }
+    }
+    Timing::from_samples(&samples)
+}
+
+/// Runs the durability sweep: per-block commit latency under each mode.
+pub fn run_durability(
+    blocks: u64,
+    block_size: u64,
+    threads: usize,
+    repetitions: usize,
+) -> Vec<DurabilityPoint> {
+    let engine = crate::engine(ExecutionStrategy::SpeculativeStm, threads);
+    [
+        ("block-commit-off", DurabilityMode::Off),
+        ("block-commit-buffered", DurabilityMode::Buffered),
+        ("block-commit-fsync", DurabilityMode::Fsync),
+    ]
+    .into_iter()
+    .map(|(name, mode)| DurabilityPoint {
+        name,
+        ms_per_block: time_mode(&engine, mode, blocks, block_size, repetitions).mean_ms(),
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_sweep_measures_all_three_modes() {
+        let points = run_durability(2, 4, 2, 1);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.ms_per_block > 0.0, "{} measured nothing", p.name);
+        }
+        let mut names: Vec<_> = points.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 3, "case names must be unique for repro diff");
+    }
+}

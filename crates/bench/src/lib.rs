@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod contention;
+pub mod durability;
 pub mod json;
 pub mod micro;
 pub mod schedule;

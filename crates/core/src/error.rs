@@ -36,6 +36,14 @@ pub enum CoreError {
         /// Description of the rejected setting.
         reason: String,
     },
+    /// A durability operation failed: the WAL could not be written, a
+    /// snapshot could not be persisted, or crash recovery found the
+    /// durability directory unusable. Carries the rendered cause (this
+    /// error type is `Clone + Eq`; `std::io::Error` is neither).
+    Durability {
+        /// Description of the failed operation and its cause.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -43,6 +51,13 @@ impl CoreError {
     pub fn rejected(reason: impl Into<String>) -> Self {
         CoreError::BlockRejected {
             reasons: vec![reason.into()],
+        }
+    }
+
+    /// Convenience constructor for a durability failure.
+    pub fn durability(reason: impl std::fmt::Display) -> Self {
+        CoreError::Durability {
+            reason: reason.to_string(),
         }
     }
 }
@@ -59,6 +74,7 @@ impl fmt::Display for CoreError {
             CoreError::MissingSchedule => f.write_str("block carries no schedule metadata"),
             CoreError::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+            CoreError::Durability { reason } => write!(f, "durability failure: {reason}"),
         }
     }
 }
@@ -90,5 +106,8 @@ mod tests {
         }
         .to_string()
         .contains("0 threads"));
+        assert!(CoreError::durability("wal write failed")
+            .to_string()
+            .contains("wal write failed"));
     }
 }

@@ -97,7 +97,7 @@ pub mod validator;
 pub use engine::{Engine, EngineConfig, ExecutionStrategy};
 pub use error::CoreError;
 pub use miner::{MinedBlock, Miner, ParallelMiner, SerialMiner};
-pub use node::{Node, NodeBuilder};
+pub use node::{DurabilityConfig, Node, NodeBuilder};
 pub use schedule::HappensBeforeGraph;
 pub use stats::{MinerStats, ValidationReport};
 pub use validator::{ParallelValidator, SerialValidator, Validator};

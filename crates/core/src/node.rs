@@ -1,12 +1,70 @@
-//! A convenience full node: an [`Engine`], a world and a chain.
+//! A convenience full node: an [`Engine`], a world, a chain — and
+//! optionally a durable ledger (write-ahead log plus periodic snapshots)
+//! that [`Node::recover`] can rebuild the node from after a crash.
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::CoreError;
 use crate::miner::{MinedBlock, Miner};
 use crate::stats::ValidationReport;
 use crate::validator::Validator;
-use cc_ledger::{Block, Blockchain, ChainError, Transaction};
+use cc_ledger::wal::{DurabilityMode, Wal, WAL_FILE};
+use cc_ledger::{Block, Blockchain, ChainError, SnapshotFile, Transaction};
 use cc_vm::World;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Where and how eagerly a node persists its ledger.
+///
+/// With a mode other than [`DurabilityMode::Off`], the node writes every
+/// transaction lifecycle event and every appended block to a write-ahead
+/// log in `dir` (one file write — and in [`DurabilityMode::Fsync`] one
+/// fsync — per block, via group commit), plus a full world snapshot
+/// every `snapshot_interval` blocks, after which the log is reset.
+/// [`Node::recover`] rebuilds a node from that directory.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    dir: PathBuf,
+    mode: DurabilityMode,
+    snapshot_interval: u64,
+}
+
+impl DurabilityConfig {
+    /// Default number of blocks between world snapshots.
+    pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 16;
+
+    /// Configures durability in `dir` with the given mode.
+    pub fn new(dir: impl Into<PathBuf>, mode: DurabilityMode) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            mode,
+            snapshot_interval: Self::DEFAULT_SNAPSHOT_INTERVAL,
+        }
+    }
+
+    /// Sets the snapshot cadence (clamped to at least 1 block).
+    pub fn snapshot_interval(mut self, every: u64) -> Self {
+        self.snapshot_interval = every.max(1);
+        self
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+}
+
+/// Live durability machinery of a node: its config plus the open WAL
+/// (shared with the execution runtimes as their durability sink).
+#[derive(Debug)]
+struct DurabilityState {
+    config: DurabilityConfig,
+    wal: Arc<Wal>,
+}
 
 /// A node that owns a world, a chain and the [`Engine`] that executes
 /// blocks, keeping all three consistent.
@@ -42,8 +100,10 @@ pub struct Node {
     /// Set when a validation rejected a block *after* replaying it: the
     /// world then holds effects of a block that was never appended and
     /// every later result would silently diverge. A stale node refuses
-    /// further work; rebuild it from a trusted state.
+    /// further work; rebuild it with [`Node::recover`] (when durability
+    /// is on) or from a trusted state.
     stale: bool,
+    durability: Option<DurabilityState>,
 }
 
 /// Builder for [`Node`]: a world (deployed contracts, seeded state) plus
@@ -53,6 +113,7 @@ pub struct NodeBuilder {
     world: Option<World>,
     engine: Option<Engine>,
     config: Option<EngineConfig>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl NodeBuilder {
@@ -76,19 +137,33 @@ impl NodeBuilder {
         self
     }
 
+    /// Enables durable operation: a fresh WAL and a genesis snapshot are
+    /// created in the configured directory at build time (pre-existing
+    /// log contents are discarded — use [`Node::recover`] to *resume*
+    /// from a directory instead).
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
+        self
+    }
+
     /// Constructs the node.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if the supplied configuration
-    /// is rejected by [`EngineConfig::build`].
+    /// is rejected by [`EngineConfig::build`], or [`CoreError::Durability`]
+    /// if the durability directory cannot be initialized.
     pub fn build(self) -> Result<Node, CoreError> {
         let engine = match (self.engine, self.config) {
             (Some(engine), _) => engine,
             (None, Some(config)) => config.build()?,
             (None, None) => Engine::default(),
         };
-        Ok(Node::new(self.world.unwrap_or_default(), engine))
+        let mut node = Node::new(self.world.unwrap_or_default(), engine);
+        if let Some(config) = self.durability {
+            node.enable_durability(config)?;
+        }
+        Ok(node)
     }
 }
 
@@ -108,12 +183,98 @@ impl Node {
             chain: Blockchain::with_genesis_state(genesis_root),
             engine,
             stale: false,
+            durability: None,
         }
+    }
+
+    /// Rebuilds a node from a durability directory after a crash (or
+    /// after a rejected validation staled it).
+    ///
+    /// `world` must be the same *initial* world the original node was
+    /// built with (same deployed contracts and seeded state) — contracts
+    /// are native code and cannot be serialized, so recovery is
+    /// deterministic re-execution: the latest valid snapshot anchors the
+    /// chain, every recovered block is replayed serially through the
+    /// engine's validator (any strategy works — blocks carry their
+    /// schedules), the replayed world is compared **bit-for-bit**
+    /// against the snapshot's world bytes at the snapshot height, and
+    /// sealed blocks from the WAL's valid prefix extend the chain past
+    /// it. Torn or corrupt WAL tails are dropped; effects of aborted or
+    /// unsealed transactions never survive because only sealed blocks
+    /// are replayed. The WAL is then reopened (truncating the torn
+    /// tail) and the node resumes durable operation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Durability`] if the directory holds no valid
+    /// snapshot, the supplied world does not match the recorded genesis,
+    /// replay diverges from the recorded commitments, or the WAL cannot
+    /// be reopened.
+    pub fn recover(
+        config: DurabilityConfig,
+        world: World,
+        engine: Engine,
+    ) -> Result<Node, CoreError> {
+        let recovered = cc_ledger::recover(config.dir()).map_err(CoreError::durability)?;
+        let genesis_root = recovered
+            .chain
+            .block(0)
+            .expect("recovered chain has a genesis")
+            .header
+            .state_root;
+        if world.state_root() != genesis_root {
+            return Err(CoreError::durability(
+                "supplied initial world does not match the recovered genesis state root",
+            ));
+        }
+        let check_snapshot = |world: &World| -> Result<(), CoreError> {
+            if world.snapshot().to_bytes() != recovered.snapshot_world_bytes {
+                return Err(CoreError::durability(format!(
+                    "replayed world diverges from snapshot bytes at height {}",
+                    recovered.snapshot_height
+                )));
+            }
+            Ok(())
+        };
+        if recovered.snapshot_height == 0 {
+            check_snapshot(&world)?;
+        }
+        let validator = engine.validator();
+        for block in recovered.chain.iter().skip(1) {
+            validator.validate(&world, block).map_err(|e| {
+                CoreError::durability(format!(
+                    "replay of recovered block {} failed: {e}",
+                    block.header.number
+                ))
+            })?;
+            if block.header.number == recovered.snapshot_height {
+                check_snapshot(&world)?;
+            }
+        }
+        let durability = if config.mode() == DurabilityMode::Off {
+            None
+        } else {
+            let wal = Arc::new(
+                Wal::open_append(config.dir().join(WAL_FILE), config.mode())
+                    .map_err(CoreError::durability)?,
+            );
+            world.stm().lock_manager().attach_durability(wal.clone());
+            world.mvcc().attach_durability(wal.clone());
+            Some(DurabilityState { config, wal })
+        };
+        Ok(Node {
+            world,
+            chain: recovered.chain,
+            engine,
+            stale: false,
+            durability,
+        })
     }
 
     /// Whether this node's world has been corrupted by a rejected
     /// validation (see [`Node::validate_and_append`]). A stale node
-    /// refuses to mine or validate; rebuild it from a trusted state.
+    /// refuses to mine or validate; rebuild it with [`Node::recover`]
+    /// from its durability directory, or from a trusted state.
     pub fn is_stale(&self) -> bool {
         self.stale
     }
@@ -121,8 +282,66 @@ impl Node {
     fn ensure_fresh(&self) -> Result<(), CoreError> {
         if self.stale {
             return Err(CoreError::rejected(
-                "node world is stale after a rejected validation; rebuild the node from a trusted state",
+                "node world is stale after a rejected validation; rebuild it with Node::recover from its durability directory, or from a trusted state",
             ));
+        }
+        Ok(())
+    }
+
+    fn enable_durability(&mut self, config: DurabilityConfig) -> Result<(), CoreError> {
+        if config.mode() == DurabilityMode::Off {
+            return Ok(());
+        }
+        std::fs::create_dir_all(config.dir()).map_err(CoreError::durability)?;
+        let wal = Arc::new(
+            Wal::create(config.dir().join(WAL_FILE), config.mode())
+                .map_err(CoreError::durability)?,
+        );
+        self.world
+            .stm()
+            .lock_manager()
+            .attach_durability(wal.clone());
+        self.world.mvcc().attach_durability(wal.clone());
+        self.durability = Some(DurabilityState { config, wal });
+        // The genesis snapshot: recovery always has an anchor, even if
+        // the node crashes before the first periodic snapshot.
+        self.write_snapshot()
+    }
+
+    /// Writes a world snapshot at the current head and resets the WAL
+    /// (its records are now redundant). No-op without durability.
+    fn write_snapshot(&self) -> Result<(), CoreError> {
+        let Some(state) = &self.durability else {
+            return Ok(());
+        };
+        let head = self.chain.head();
+        let snapshot = SnapshotFile {
+            height: head.header.number,
+            block_hash: head.hash(),
+            state_root: head.header.state_root,
+            blocks: self.chain.iter().cloned().collect(),
+            world_bytes: self.world.snapshot().to_bytes(),
+        };
+        snapshot
+            .write_to(state.config.dir())
+            .map_err(CoreError::durability)?;
+        state.wal.reset().map_err(CoreError::durability)
+    }
+
+    /// Seals `block` into the WAL (the group-commit point) and takes a
+    /// periodic snapshot when the configured interval elapses. No-op
+    /// without durability.
+    fn persist_block(&self, block: &Block) -> Result<(), CoreError> {
+        let Some(state) = &self.durability else {
+            return Ok(());
+        };
+        state.wal.seal_block(block).map_err(CoreError::durability)?;
+        if block
+            .header
+            .number
+            .is_multiple_of(state.config.snapshot_interval)
+        {
+            self.write_snapshot()?;
         }
         Ok(())
     }
@@ -176,6 +395,7 @@ impl Node {
         self.chain
             .append(mined.block.clone())
             .map_err(|e: ChainError| CoreError::rejected(e.to_string()))?;
+        self.persist_block(&mined.block)?;
         Ok(mined)
     }
 
@@ -229,6 +449,7 @@ impl Node {
         self.chain
             .append(block.clone())
             .map_err(|e| CoreError::rejected(e.to_string()))?;
+        self.persist_block(block)?;
         Ok(report)
     }
 }
@@ -338,6 +559,113 @@ mod tests {
         assert!(!fresh.is_stale());
         fresh.validate_and_append(&mined.block).unwrap();
         fresh.validate_and_append(&second.block).unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cc-node-test-{}-{tag}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn durable_node_recovers_to_identical_state() {
+        let dir = temp_dir("recover");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Fsync).snapshot_interval(2);
+        let mut node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(config.clone())
+            .build()
+            .unwrap();
+        for block_number in 0..3u64 {
+            node.mine_and_append(block_txs(block_number * 100, 8))
+                .unwrap();
+        }
+        let head_hash = node.chain().head_hash();
+        let world_bytes = node.world().snapshot().to_bytes();
+        drop(node);
+
+        let engine = EngineConfig::new().threads(2).build().unwrap();
+        let recovered = Node::recover(config, fresh_world(), engine).unwrap();
+        assert_eq!(recovered.chain().head_hash(), head_hash);
+        assert_eq!(recovered.chain().len(), 4);
+        assert_eq!(recovered.world().snapshot().to_bytes(), world_bytes);
+
+        // The recovered node keeps working durably.
+        let mut recovered = recovered;
+        recovered.mine_and_append(block_txs(1000, 4)).unwrap();
+        assert_eq!(recovered.chain().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_is_the_exit_from_a_staled_node() {
+        let dir = temp_dir("stale-recover");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Buffered);
+        let mut miner_node = engine_node(2);
+        let mut validator_node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(config.clone())
+            .build()
+            .unwrap();
+
+        let first = miner_node.mine_and_append(block_txs(0, 6)).unwrap();
+        validator_node.validate_and_append(&first.block).unwrap();
+
+        let second = miner_node.mine_and_append(block_txs(100, 6)).unwrap();
+        let mut forged = second.block.clone();
+        forged.header.state_root = cc_primitives::sha256(b"forged");
+        assert!(validator_node.validate_and_append(&forged).is_err());
+        assert!(validator_node.is_stale());
+        let err = validator_node
+            .mine_and_append(block_txs(200, 2))
+            .unwrap_err();
+        assert!(err.to_string().contains("Node::recover"), "got: {err}");
+        drop(validator_node);
+
+        // Recovery rebuilds the pre-forgery state; the honest block then
+        // validates cleanly.
+        let engine = EngineConfig::new().threads(2).build().unwrap();
+        let mut recovered = Node::recover(config, fresh_world(), engine).unwrap();
+        assert_eq!(recovered.chain().head_hash(), first.block.hash());
+        recovered.validate_and_append(&second.block).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durability_off_creates_nothing() {
+        let dir = temp_dir("off");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(DurabilityConfig::new(&dir, DurabilityMode::Off))
+            .build()
+            .unwrap();
+        node.mine_and_append(block_txs(0, 4)).unwrap();
+        assert!(!dir.exists(), "Off mode must not touch the filesystem");
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_initial_world() {
+        let dir = temp_dir("wrong-world");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Buffered);
+        let mut node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(config.clone())
+            .build()
+            .unwrap();
+        node.mine_and_append(block_txs(0, 4)).unwrap();
+        drop(node);
+
+        let err = Node::recover(config, World::new(), Engine::default()).unwrap_err();
+        assert!(err.to_string().contains("genesis"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

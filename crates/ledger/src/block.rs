@@ -2,10 +2,65 @@
 
 use crate::schedule_meta::ScheduleMetadata;
 use crate::tx::{transactions_root, Transaction};
-use cc_primitives::codec::Encoder;
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
+use cc_primitives::fnv::fnv1a;
 use cc_primitives::hash::{sha256, Hash256};
 use cc_vm::Receipt;
 use std::fmt;
+
+/// Why a serialized block was rejected on deserialization.
+///
+/// Corruption on disk or on the wire must surface as a typed error, never
+/// a panic: the WAL recovery path feeds arbitrary (possibly torn) bytes
+/// through [`Block::from_checked_bytes`] and decides what to do from the
+/// variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockCodecError {
+    /// The FNV-64 checksum over the payload did not match: the bytes were
+    /// corrupted after serialization.
+    ChecksumMismatch {
+        /// Checksum stored alongside the payload.
+        stored: u64,
+        /// Checksum recomputed over the payload actually read.
+        actual: u64,
+    },
+    /// The payload was truncated or structurally malformed.
+    Decode(DecodeError),
+    /// The bytes decoded cleanly but the header commitments do not match
+    /// the body (`Block::is_well_formed` failed) — a forged or internally
+    /// inconsistent block.
+    Inconsistent,
+}
+
+impl fmt::Display for BlockCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockCodecError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "block checksum mismatch: stored {stored:#018x}, actual {actual:#018x}"
+            ),
+            BlockCodecError::Decode(e) => write!(f, "block decode failed: {e}"),
+            BlockCodecError::Inconsistent => {
+                f.write_str("decoded block fails structural well-formedness checks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlockCodecError {}
+
+impl From<DecodeError> for BlockCodecError {
+    fn from(e: DecodeError) -> Self {
+        BlockCodecError::Decode(e)
+    }
+}
+
+fn get_hash(dec: &mut Decoder<'_>) -> Result<Hash256, DecodeError> {
+    let raw = dec.get_raw(32)?;
+    let mut bytes = [0u8; 32];
+    bytes.copy_from_slice(raw);
+    Ok(Hash256(bytes))
+}
 
 /// The header of a block: everything another node needs to decide whether
 /// to accept the block, given the transactions and receipts.
@@ -32,6 +87,12 @@ impl BlockHeader {
     /// The hash of this header (which is "the block hash").
     pub fn hash(&self) -> Hash256 {
         let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        sha256(enc.as_slice())
+    }
+
+    /// Canonical encoding (the same bytes [`BlockHeader::hash`] hashes).
+    pub fn encode(&self, enc: &mut Encoder) {
         enc.put_raw(self.parent_hash.as_bytes());
         enc.put_u64(self.number);
         enc.put_raw(self.tx_root.as_bytes());
@@ -39,7 +100,23 @@ impl BlockHeader {
         enc.put_raw(self.receipts_root.as_bytes());
         enc.put_raw(self.schedule_digest.as_bytes());
         enc.put_u64(self.gas_used);
-        sha256(enc.as_slice())
+    }
+
+    /// Decodes a header written by [`BlockHeader::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<BlockHeader, DecodeError> {
+        Ok(BlockHeader {
+            parent_hash: get_hash(dec)?,
+            number: dec.get_u64()?,
+            tx_root: get_hash(dec)?,
+            state_root: get_hash(dec)?,
+            receipts_root: get_hash(dec)?,
+            schedule_digest: get_hash(dec)?,
+            gas_used: dec.get_u64()?,
+        })
     }
 }
 
@@ -122,6 +199,104 @@ impl Block {
                 .as_ref()
                 .map(|s| s.len() == self.transactions.len())
                 .unwrap_or(true)
+    }
+
+    /// Canonical encoding of the full block (header + body).
+    pub fn encode(&self, enc: &mut Encoder) {
+        self.header.encode(enc);
+        enc.put_u64(self.transactions.len() as u64);
+        for tx in &self.transactions {
+            tx.encode(enc);
+        }
+        enc.put_u64(self.receipts.len() as u64);
+        for receipt in &self.receipts {
+            receipt.encode(enc);
+        }
+        match &self.schedule {
+            None => enc.put_u8(0),
+            Some(schedule) => {
+                enc.put_u8(1);
+                schedule.encode(enc);
+            }
+        }
+    }
+
+    /// Decodes a block written by [`Block::encode`]. Performs no
+    /// consistency checks — see [`Block::from_checked_bytes`] for the
+    /// checksummed, validated path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Block, DecodeError> {
+        let header = BlockHeader::decode(dec)?;
+        let n = dec.get_u64()? as usize;
+        let mut transactions = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            transactions.push(Transaction::decode(dec)?);
+        }
+        let n = dec.get_u64()? as usize;
+        let mut receipts = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            receipts.push(Receipt::decode(dec)?);
+        }
+        let schedule = match dec.get_u8()? {
+            0 => None,
+            1 => Some(ScheduleMetadata::decode(dec)?),
+            _ => {
+                return Err(DecodeError {
+                    context: "unknown schedule-presence tag",
+                })
+            }
+        };
+        Ok(Block {
+            header,
+            transactions,
+            receipts,
+            schedule,
+        })
+    }
+
+    /// Serializes the block with a leading FNV-64 checksum over the
+    /// payload, the form used in the write-ahead log and snapshot files.
+    pub fn to_checked_bytes(&self) -> Vec<u8> {
+        let mut payload = Encoder::new();
+        self.encode(&mut payload);
+        let payload = payload.into_bytes();
+        let mut enc = Encoder::with_capacity(payload.len() + 8);
+        enc.put_u64(fnv1a(&payload));
+        enc.put_raw(&payload);
+        enc.into_bytes()
+    }
+
+    /// Deserializes a block written by [`Block::to_checked_bytes`],
+    /// rejecting corruption with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockCodecError::ChecksumMismatch`] when the payload bytes were
+    /// altered, [`BlockCodecError::Decode`] on truncation or garbage, and
+    /// [`BlockCodecError::Inconsistent`] when the block decodes but its
+    /// header commitments do not match its body.
+    pub fn from_checked_bytes(bytes: &[u8]) -> Result<Block, BlockCodecError> {
+        let mut dec = Decoder::new(bytes);
+        let stored = dec.get_u64()?;
+        let payload = dec.get_raw(dec.remaining())?;
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(BlockCodecError::ChecksumMismatch { stored, actual });
+        }
+        let mut dec = Decoder::new(payload);
+        let block = Block::decode(&mut dec)?;
+        if !dec.is_empty() {
+            return Err(BlockCodecError::Decode(DecodeError {
+                context: "trailing bytes after block",
+            }));
+        }
+        if !block.is_well_formed() {
+            return Err(BlockCodecError::Inconsistent);
+        }
+        Ok(block)
     }
 }
 
@@ -236,6 +411,62 @@ mod tests {
         );
         assert_eq!(a.hash(), a.hash());
         assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn checked_bytes_roundtrip() {
+        for schedule in [None, Some(ScheduleMetadata::sequential(2))] {
+            let block = Block::build(
+                Hash256::ZERO,
+                1,
+                vec![tx(0), tx(1)],
+                vec![receipt(0), receipt(1)],
+                Hash256::ZERO,
+                schedule,
+            );
+            let bytes = block.to_checked_bytes();
+            let decoded = Block::from_checked_bytes(&bytes).unwrap();
+            assert_eq!(decoded, block);
+            assert_eq!(decoded.hash(), block.hash());
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected_not_panicking() {
+        let block = Block::build(
+            Hash256::ZERO,
+            1,
+            vec![tx(0)],
+            vec![receipt(0)],
+            Hash256::ZERO,
+            None,
+        );
+        let good = block.to_checked_bytes();
+
+        // Flip one byte anywhere in the payload: checksum must catch it.
+        for i in 8..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(matches!(
+                Block::from_checked_bytes(&bad),
+                Err(BlockCodecError::ChecksumMismatch { .. })
+            ));
+        }
+
+        // Truncation anywhere is a decode error (or checksum mismatch once
+        // the payload shrank), never a panic.
+        for len in 0..good.len() {
+            assert!(Block::from_checked_bytes(&good[..len]).is_err());
+        }
+
+        // A well-checksummed but internally inconsistent block is rejected
+        // by the structural check.
+        let mut forged = block.clone();
+        forged.header.gas_used += 1;
+        assert_eq!(
+            Block::from_checked_bytes(&forged.to_checked_bytes()),
+            Err(BlockCodecError::Inconsistent)
+        );
     }
 
     #[test]

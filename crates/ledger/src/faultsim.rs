@@ -1,0 +1,97 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! A "crash" in this model is the on-disk aftermath of killing the
+//! process at an arbitrary instant: the WAL holds some prefix of the
+//! bytes the node had written, possibly cut mid-frame, possibly with a
+//! corrupted tail (a sector the disk half-wrote). These helpers
+//! manufacture exactly those aftermaths from a healthy log so tests can
+//! assert the recovery invariant: *the recovered chain is bit-identical
+//! to the longest sealed prefix that survived intact*.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Truncates the file at `path` to `len` bytes, simulating a crash
+/// after exactly `len` bytes reached the disk. A `len` at or beyond the
+/// file size is a no-op (the crash happened after the write finished).
+///
+/// # Errors
+///
+/// Any I/O error reading or truncating the file.
+pub fn kill_at(path: &Path, len: u64) -> io::Result<()> {
+    let actual = file_len(path)?;
+    if len < actual {
+        let file = fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+    }
+    Ok(())
+}
+
+/// Flips one bit of the byte at `offset`, simulating a torn sector or
+/// bit rot. An offset at or beyond the file size is a no-op.
+///
+/// # Errors
+///
+/// Any I/O error reading or writing the file.
+pub fn corrupt_at(path: &Path, offset: u64) -> io::Result<()> {
+    let mut bytes = fs::read(path)?;
+    if let Some(byte) = bytes.get_mut(offset as usize) {
+        *byte ^= 0x40;
+        fs::write(path, &bytes)?;
+    }
+    Ok(())
+}
+
+/// Current length of the file in bytes (0 if it does not exist).
+///
+/// # Errors
+///
+/// Any I/O error other than the file not existing.
+pub fn file_len(path: &Path) -> io::Result<u64> {
+    match fs::metadata(path) {
+        Ok(meta) => Ok(meta.len()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str, contents: &[u8]) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cc-faultsim-test-{}-{tag}", std::process::id()));
+        fs::write(&p, contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn kill_truncates_and_is_noop_past_eof() {
+        let path = temp_file("kill", &[1, 2, 3, 4, 5]);
+        kill_at(&path, 99).unwrap();
+        assert_eq!(file_len(&path).unwrap(), 5);
+        kill_at(&path, 2).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), vec![1, 2]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_flips_one_bit() {
+        let path = temp_file("corrupt", &[0u8; 4]);
+        corrupt_at(&path, 2).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), vec![0, 0, 0x40, 0]);
+        corrupt_at(&path, 100).unwrap(); // no-op
+        assert_eq!(file_len(&path).unwrap(), 4);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_has_zero_len() {
+        let mut p = std::env::temp_dir();
+        p.push("cc-faultsim-test-definitely-missing");
+        assert_eq!(file_len(&p).unwrap(), 0);
+    }
+}

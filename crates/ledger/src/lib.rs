@@ -43,10 +43,17 @@
 
 pub mod block;
 pub mod chain;
+pub mod faultsim;
+pub mod recovery;
 pub mod schedule_meta;
+pub mod snapshot;
 pub mod tx;
+pub mod wal;
 
-pub use block::{Block, BlockHeader};
+pub use block::{Block, BlockCodecError, BlockHeader};
 pub use chain::{Blockchain, ChainError};
+pub use recovery::{recover, RecoveredLedger, RecoveryError};
 pub use schedule_meta::{ProfileRecord, ScheduleMetadata};
+pub use snapshot::{load_latest, SnapshotError, SnapshotFile};
 pub use tx::{Transaction, TxId};
+pub use wal::{DurabilityMode, Wal, WalRecord, WalScan, WAL_FILE};

@@ -1,0 +1,364 @@
+//! Durable world snapshots.
+//!
+//! A snapshot file freezes the full recoverable state at one block height:
+//! the chain up to and including that block (every block's checksummed
+//! bytes) and the canonical world-state bytes
+//! (`cc_vm::WorldSnapshot::to_bytes`). Files are named
+//! `snapshot-<height>.snap`, written to a temporary name and atomically
+//! renamed into place, and guarded by a whole-file FNV-64 checksum —
+//! [`load_latest`] skips any file that fails its checksum or decode and
+//! falls back to the next-highest height.
+//!
+//! Writing a snapshot is the WAL's garbage-collection point: once
+//! `snapshot-<h>.snap` is durable, every WAL record at height ≤ `h` is
+//! redundant and the log is reset. A crash between the rename and the
+//! reset is benign — recovery skips sealed blocks at or below the
+//! snapshot height.
+
+use crate::block::{Block, BlockCodecError};
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
+use cc_primitives::fnv::fnv1a;
+use cc_primitives::hash::Hash256;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A decoded snapshot: everything needed to rebuild a node at `height`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotFile {
+    /// Block number of the chain head this snapshot captures.
+    pub height: u64,
+    /// Hash of that head block.
+    pub block_hash: Hash256,
+    /// State root after executing the chain through `height`.
+    pub state_root: Hash256,
+    /// The full chain, genesis first, through `height`.
+    pub blocks: Vec<Block>,
+    /// Canonical `WorldSnapshot::to_bytes` of the world at `height`;
+    /// recovery compares a replayed world against these bytes
+    /// bit-for-bit.
+    pub world_bytes: Vec<u8>,
+}
+
+/// Why a snapshot file was rejected.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The whole-file checksum did not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        actual: u64,
+    },
+    /// The payload failed structural decoding.
+    Decode(DecodeError),
+    /// One of the embedded blocks failed its own checksum or decode.
+    Block(BlockCodecError),
+    /// The decoded fields disagree with each other (e.g. the recorded
+    /// head hash is not the hash of the last block).
+    Inconsistent,
+    /// The file could not be read or written.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::ChecksumMismatch { stored, actual } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, actual {actual:#018x}"
+            ),
+            SnapshotError::Decode(e) => write!(f, "snapshot decode failed: {e}"),
+            SnapshotError::Block(e) => write!(f, "snapshot block rejected: {e}"),
+            SnapshotError::Inconsistent => f.write_str("snapshot fields are mutually inconsistent"),
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Decode(e) => Some(e),
+            SnapshotError::Block(e) => Some(e),
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<BlockCodecError> for SnapshotError {
+    fn from(e: BlockCodecError) -> Self {
+        SnapshotError::Block(e)
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl SnapshotFile {
+    /// File name for a snapshot at `height`.
+    pub fn file_name(height: u64) -> String {
+        format!("snapshot-{height}.snap")
+    }
+
+    /// Serializes the snapshot as `[checksum: u64][payload]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Encoder::new();
+        payload.put_u64(self.height);
+        payload.put_raw(self.block_hash.as_bytes());
+        payload.put_raw(self.state_root.as_bytes());
+        payload.put_u64(self.blocks.len() as u64);
+        for block in &self.blocks {
+            payload.put_bytes(&block.to_checked_bytes());
+        }
+        payload.put_bytes(&self.world_bytes);
+        let payload = payload.into_bytes();
+        let mut out = Encoder::with_capacity(payload.len() + 8);
+        out.put_u64(fnv1a(&payload));
+        out.put_raw(&payload);
+        out.into_bytes()
+    }
+
+    /// Parses and validates bytes written by [`SnapshotFile::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on checksum mismatch, decode failure, a rejected
+    /// embedded block, or mutually inconsistent fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotFile, SnapshotError> {
+        let mut dec = Decoder::new(bytes);
+        let stored = dec.get_u64()?;
+        let payload = dec.get_raw(dec.remaining())?;
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(SnapshotError::ChecksumMismatch { stored, actual });
+        }
+        let mut dec = Decoder::new(payload);
+        let height = dec.get_u64()?;
+        let mut block_hash = [0u8; 32];
+        block_hash.copy_from_slice(dec.get_raw(32)?);
+        let mut state_root = [0u8; 32];
+        state_root.copy_from_slice(dec.get_raw(32)?);
+        let count = dec.get_u64()? as usize;
+        let mut blocks = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let raw = dec.get_bytes()?;
+            blocks.push(Block::from_checked_bytes(&raw)?);
+        }
+        let world_bytes = dec.get_bytes()?;
+        if !dec.is_empty() {
+            return Err(SnapshotError::Decode(DecodeError {
+                context: "trailing bytes after snapshot",
+            }));
+        }
+        let snapshot = SnapshotFile {
+            height,
+            block_hash: Hash256(block_hash),
+            state_root: Hash256(state_root),
+            blocks,
+            world_bytes,
+        };
+        if !snapshot.is_consistent() {
+            return Err(SnapshotError::Inconsistent);
+        }
+        Ok(snapshot)
+    }
+
+    /// Whether the recorded height, head hash and state root agree with
+    /// the embedded chain.
+    fn is_consistent(&self) -> bool {
+        let Some(head) = self.blocks.last() else {
+            return false;
+        };
+        head.header.number == self.height
+            && head.hash() == self.block_hash
+            && head.header.state_root == self.state_root
+            && self.blocks.first().map(|g| g.header.number) == Some(0)
+    }
+
+    /// Writes the snapshot into `dir` as `snapshot-<height>.snap`,
+    /// atomically (temporary file + rename), fsyncing the file before the
+    /// rename.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing, syncing or renaming.
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf, SnapshotError> {
+        let final_path = dir.join(Self::file_name(self.height));
+        let tmp_path = dir.join(format!(".{}.tmp", Self::file_name(self.height)));
+        let bytes = self.to_bytes();
+        {
+            let mut file = fs::File::create(&tmp_path)?;
+            use std::io::Write;
+            file.write_all(&bytes)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(final_path)
+    }
+
+    /// Loads and validates one snapshot file.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on I/O failure or any validation failure from
+    /// [`SnapshotFile::from_bytes`].
+    pub fn load(path: &Path) -> Result<SnapshotFile, SnapshotError> {
+        let bytes = fs::read(path)?;
+        SnapshotFile::from_bytes(&bytes)
+    }
+}
+
+/// Finds and loads the highest-height **valid** snapshot in `dir`.
+/// Corrupt or undecodable snapshot files are skipped, not fatal — the
+/// next-highest valid snapshot wins. Returns `Ok(None)` when the
+/// directory holds no valid snapshot.
+///
+/// # Errors
+///
+/// Only directory-listing I/O errors; per-file corruption is skipped.
+pub fn load_latest(dir: &Path) -> io::Result<Option<SnapshotFile>> {
+    let mut heights: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(height) = name
+            .strip_prefix("snapshot-")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+            .and_then(|h| h.parse::<u64>().ok())
+        {
+            heights.push(height);
+        }
+    }
+    heights.sort_unstable();
+    for height in heights.into_iter().rev() {
+        let path = dir.join(SnapshotFile::file_name(height));
+        if let Ok(snapshot) = SnapshotFile::load(&path) {
+            return Ok(Some(snapshot));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+    use cc_vm::{Address, ArgValue, CallData};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cc-snap-test-{}-{tag}", std::process::id()));
+        fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn chain_of(len: u64) -> Vec<Block> {
+        let mut blocks = vec![Block::build(
+            Hash256::ZERO,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Hash256::ZERO,
+            None,
+        )];
+        for n in 1..len {
+            let tx = Transaction::new(
+                n,
+                Address::from_index(n),
+                Address::from_name("Ballot"),
+                CallData::new("vote", vec![ArgValue::Uint(0)]),
+                100_000,
+            );
+            let parent = blocks.last().unwrap().hash();
+            blocks.push(Block::build(
+                parent,
+                n,
+                vec![tx],
+                Vec::new(),
+                Hash256::ZERO,
+                None,
+            ));
+        }
+        blocks
+    }
+
+    fn sample(len: u64) -> SnapshotFile {
+        let blocks = chain_of(len);
+        let head = blocks.last().unwrap();
+        SnapshotFile {
+            height: head.header.number,
+            block_hash: head.hash(),
+            state_root: head.header.state_root,
+            blocks,
+            world_bytes: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let snap = sample(3);
+        let decoded = SnapshotFile::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_fatal() {
+        let snap = sample(2);
+        let bytes = snap.to_bytes();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                SnapshotFile::from_bytes(&corrupt).is_err(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_fields_are_rejected() {
+        let mut snap = sample(2);
+        snap.height += 1; // no longer the head's number
+        let bytes = snap.to_bytes(); // checksum over the *lying* payload
+        assert!(matches!(
+            SnapshotFile::from_bytes(&bytes),
+            Err(SnapshotError::Inconsistent)
+        ));
+    }
+
+    #[test]
+    fn load_latest_picks_highest_valid_and_skips_corrupt() {
+        let dir = temp_dir("latest");
+        sample(2).write_to(&dir).unwrap();
+        let high = sample(4);
+        let path = high.write_to(&dir).unwrap();
+        // Corrupt the highest snapshot: loader must fall back to height 1.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        let loaded = load_latest(&dir).unwrap().expect("fallback snapshot");
+        assert_eq!(loaded.height, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_latest_empty_dir_is_none() {
+        let dir = temp_dir("empty");
+        assert!(load_latest(&dir).unwrap().is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

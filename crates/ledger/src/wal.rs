@@ -1,0 +1,565 @@
+//! The checksummed, length-prefixed write-ahead log.
+//!
+//! Every record is framed as `[len: u32][checksum: u64][payload]` (all
+//! little-endian), where `checksum = fnv1a(payload)`. The log carries five
+//! record kinds — transaction begin/op/commit/abort plus **block seal** —
+//! and is written with **group commit**: transaction records accumulate in
+//! an in-memory buffer (the sink calls arrive from concurrent miner
+//! workers) and reach the file in a single `write` when a block seals, so
+//! one fsync amortizes across the whole block.
+//!
+//! Recovery semantics are *prefix* semantics: [`scan`] walks frames from
+//! the start and stops at the first torn, truncated or corrupt frame.
+//! Everything before that point is the valid prefix; everything after —
+//! even well-formed frames beyond a corrupt one — is dropped. Because
+//! only **sealed blocks** are replayed, a crash mid-block loses at most
+//! the unsealed block being built, and an aborted transaction's effects
+//! can never survive (they are simply never part of a sealed block).
+
+use crate::block::{Block, BlockCodecError};
+use cc_primitives::codec::{DecodeError, Decoder};
+use cc_primitives::durability::{DurabilitySink, FootprintRecord};
+use cc_primitives::fnv::fnv1a;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Default file name of the write-ahead log inside a durability directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// How aggressively committed state is pushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// No write-ahead log at all: the world lives only in RAM (the
+    /// pre-durability behaviour, and the zero-cost baseline the strict
+    /// stm_micro CI gate protects).
+    #[default]
+    Off,
+    /// Records are written to the OS at every block seal but not fsynced;
+    /// a process crash loses nothing, a machine crash may lose the tail.
+    Buffered,
+    /// Every block seal ends with `fdatasync`: a machine crash loses at
+    /// most the block being built.
+    Fsync,
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DurabilityMode::Off => "off",
+            DurabilityMode::Buffered => "buffered",
+            DurabilityMode::Fsync => "fsync",
+        })
+    }
+}
+
+/// Record tags (first payload byte).
+const TAG_TXN_BEGIN: u8 = 1;
+const TAG_TXN_OP: u8 = 2;
+const TAG_TXN_COMMIT: u8 = 3;
+const TAG_TXN_ABORT: u8 = 4;
+const TAG_BLOCK_SEAL: u8 = 5;
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A transaction began execution.
+    TxnBegin {
+        /// Runtime transaction id (STM txn id or MVCC begin timestamp).
+        txn_id: u64,
+    },
+    /// One entry of a committing transaction's lock footprint.
+    TxnOp {
+        /// The owning transaction.
+        txn_id: u64,
+        /// Abstract lock-space fingerprint.
+        space: u64,
+        /// Key fingerprint within the space.
+        key: u64,
+        /// Access-mode byte (`cc_stm::LockMode::to_byte`).
+        mode: u8,
+    },
+    /// The transaction committed; its op records precede this one.
+    TxnCommit {
+        /// The committing transaction.
+        txn_id: u64,
+    },
+    /// The transaction aborted; none of its effects survive.
+    TxnAbort {
+        /// The aborting transaction.
+        txn_id: u64,
+    },
+    /// A block was appended to the chain. The only record kind recovery
+    /// replays.
+    BlockSeal(Box<Block>),
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+    let mut dec = Decoder::new(payload);
+    let record = match dec.get_u8()? {
+        TAG_TXN_BEGIN => WalRecord::TxnBegin {
+            txn_id: dec.get_u64()?,
+        },
+        TAG_TXN_OP => WalRecord::TxnOp {
+            txn_id: dec.get_u64()?,
+            space: dec.get_u64()?,
+            key: dec.get_u64()?,
+            mode: dec.get_u8()?,
+        },
+        TAG_TXN_COMMIT => WalRecord::TxnCommit {
+            txn_id: dec.get_u64()?,
+        },
+        TAG_TXN_ABORT => WalRecord::TxnAbort {
+            txn_id: dec.get_u64()?,
+        },
+        TAG_BLOCK_SEAL => {
+            let bytes = dec.get_bytes()?;
+            let block = Block::from_checked_bytes(&bytes).map_err(|e| match e {
+                BlockCodecError::Decode(inner) => inner,
+                _ => DecodeError {
+                    context: "sealed block rejected",
+                },
+            })?;
+            WalRecord::BlockSeal(Box::new(block))
+        }
+        _ => {
+            return Err(DecodeError {
+                context: "unknown WAL record tag",
+            })
+        }
+    };
+    if !dec.is_empty() {
+        return Err(DecodeError {
+            context: "trailing bytes in WAL record",
+        });
+    }
+    Ok(record)
+}
+
+/// Appends one framed record to `buf`.
+fn push_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct WalInner {
+    file: File,
+    /// Records framed but not yet written to the file (group commit).
+    pending: Vec<u8>,
+    /// Bytes handed to the OS so far (the file length, absent a crash
+    /// mid-write).
+    written: u64,
+}
+
+/// The write-ahead log: a [`DurabilitySink`] whose records reach the file
+/// once per sealed block.
+pub struct Wal {
+    path: PathBuf,
+    mode: DurabilityMode,
+    inner: Mutex<WalInner>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("wal mutex");
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("mode", &self.mode)
+            .field("pending", &inner.pending.len())
+            .field("written", &inner.written)
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Creates (or truncates) a log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn create(path: impl Into<PathBuf>, mode: DurabilityMode) -> io::Result<Wal> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(Wal {
+            path,
+            mode,
+            inner: Mutex::new(WalInner {
+                file,
+                pending: Vec::new(),
+                written: 0,
+            }),
+        })
+    }
+
+    /// Opens an existing log for appending: scans it, truncates any torn
+    /// or corrupt tail, and positions writes after the valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening, scanning or truncating the file.
+    pub fn open_append(path: impl Into<PathBuf>, mode: DurabilityMode) -> io::Result<Wal> {
+        let path = path.into();
+        let scanned = scan(&path)?;
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(scanned.valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(scanned.valid_len))?;
+        Ok(Wal {
+            path,
+            mode,
+            inner: Mutex::new(WalInner {
+                file,
+                pending: Vec::new(),
+                written: scanned.valid_len,
+            }),
+        })
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Bytes buffered but not yet written (diagnostics/tests).
+    pub fn pending_len(&self) -> usize {
+        self.inner.lock().expect("wal mutex").pending.len()
+    }
+
+    /// Bytes written to the OS so far (diagnostics/tests).
+    pub fn written_len(&self) -> u64 {
+        self.inner.lock().expect("wal mutex").written
+    }
+
+    fn append_payload(&self, payload: &[u8]) {
+        let mut inner = self.inner.lock().expect("wal mutex");
+        push_frame(&mut inner.pending, payload);
+    }
+
+    /// Seals a block: appends the seal record and flushes every buffered
+    /// record in one write (plus one `fdatasync` in
+    /// [`DurabilityMode::Fsync`]). This is the group-commit point.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing or syncing the file.
+    pub fn seal_block(&self, block: &Block) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.push(TAG_BLOCK_SEAL);
+        let bytes = block.to_checked_bytes();
+        push_u64(&mut payload, bytes.len() as u64);
+        payload.extend_from_slice(&bytes);
+
+        let mut inner = self.inner.lock().expect("wal mutex");
+        push_frame(&mut inner.pending, &payload);
+        let pending = std::mem::take(&mut inner.pending);
+        inner.file.write_all(&pending)?;
+        inner.written += pending.len() as u64;
+        if self.mode == DurabilityMode::Fsync {
+            inner.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Discards all log contents (called right after a snapshot is
+    /// durably written: everything up to the snapshot height is now
+    /// recoverable from the snapshot alone — the WAL's GC policy).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error truncating the file.
+    pub fn reset(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("wal mutex");
+        inner.pending.clear();
+        inner.file.set_len(0)?;
+        inner.file.seek(SeekFrom::Start(0))?;
+        inner.written = 0;
+        if self.mode == DurabilityMode::Fsync {
+            inner.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+impl DurabilitySink for Wal {
+    fn txn_begin(&self, txn_id: u64) {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(TAG_TXN_BEGIN);
+        push_u64(&mut payload, txn_id);
+        self.append_payload(&payload);
+    }
+
+    fn txn_commit(&self, txn_id: u64, footprint: &[FootprintRecord]) {
+        // One op record per footprint entry, then the commit record, all
+        // framed into the pending buffer under a single lock acquisition.
+        let mut inner = self.inner.lock().expect("wal mutex");
+        let mut payload = Vec::with_capacity(26);
+        for op in footprint {
+            payload.clear();
+            payload.push(TAG_TXN_OP);
+            push_u64(&mut payload, txn_id);
+            push_u64(&mut payload, op.space);
+            push_u64(&mut payload, op.key);
+            payload.push(op.mode);
+            push_frame(&mut inner.pending, &payload);
+        }
+        payload.clear();
+        payload.push(TAG_TXN_COMMIT);
+        push_u64(&mut payload, txn_id);
+        push_frame(&mut inner.pending, &payload);
+    }
+
+    fn txn_abort(&self, txn_id: u64) {
+        let mut payload = Vec::with_capacity(9);
+        payload.push(TAG_TXN_ABORT);
+        push_u64(&mut payload, txn_id);
+        self.append_payload(&payload);
+    }
+}
+
+/// The result of scanning a log file: the decoded records of the valid
+/// prefix and where that prefix ends.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Records of the valid prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_len: u64,
+    /// Total file length as read.
+    pub total_len: u64,
+}
+
+impl WalScan {
+    /// Whether the file carried a torn or corrupt tail past the valid
+    /// prefix.
+    pub fn torn(&self) -> bool {
+        self.valid_len < self.total_len
+    }
+
+    /// The sealed blocks of the valid prefix, in log order.
+    pub fn sealed_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.records.iter().filter_map(|r| match r {
+            WalRecord::BlockSeal(block) => Some(block.as_ref()),
+            _ => None,
+        })
+    }
+}
+
+/// Scans the log at `path`, decoding records until the first torn,
+/// truncated or corrupt frame. A missing file is an empty (not an
+/// errored) log, so a node can recover from a directory whose WAL was
+/// never created.
+///
+/// # Errors
+///
+/// Any I/O error reading the file.
+pub fn scan(path: &Path) -> io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let total_len = bytes.len() as u64;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < 12 {
+            break; // torn frame header (or clean EOF at rest.is_empty())
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let stored = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let Some(payload) = rest.get(12..12 + len) else {
+            break; // torn payload
+        };
+        if fnv1a(payload) != stored {
+            break; // corrupt payload
+        }
+        let Ok(record) = decode_record(payload) else {
+            break; // checksummed garbage (e.g. written by a newer version)
+        };
+        records.push(record);
+        offset += 12 + len;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: offset as u64,
+        total_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tx::Transaction;
+    use cc_primitives::hash::Hash256;
+    use cc_vm::{Address, ArgValue, CallData};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cc-wal-test-{}-{tag}.log", std::process::id()));
+        p
+    }
+
+    fn sample_block(number: u64, parent: Hash256) -> Block {
+        let tx = Transaction::new(
+            number,
+            Address::from_index(number),
+            Address::from_name("Ballot"),
+            CallData::new("vote", vec![ArgValue::Uint(0)]),
+            100_000,
+        );
+        Block::build(parent, number, vec![tx], Vec::new(), Hash256::ZERO, None)
+    }
+
+    #[test]
+    fn group_commit_buffers_until_seal() {
+        let path = temp_path("group-commit");
+        let wal = Wal::create(&path, DurabilityMode::Buffered).unwrap();
+        wal.txn_begin(1);
+        wal.txn_commit(
+            1,
+            &[FootprintRecord {
+                space: 7,
+                key: 9,
+                mode: 2,
+            }],
+        );
+        wal.txn_abort(2);
+        assert!(wal.pending_len() > 0, "records buffer in memory");
+        assert_eq!(wal.written_len(), 0, "nothing on disk before the seal");
+
+        let block = sample_block(1, Hash256::ZERO);
+        wal.seal_block(&block).unwrap();
+        assert_eq!(wal.pending_len(), 0);
+        assert!(wal.written_len() > 0);
+
+        let scanned = scan(&path).unwrap();
+        assert!(!scanned.torn());
+        assert_eq!(
+            scanned.records,
+            vec![
+                WalRecord::TxnBegin { txn_id: 1 },
+                WalRecord::TxnOp {
+                    txn_id: 1,
+                    space: 7,
+                    key: 9,
+                    mode: 2
+                },
+                WalRecord::TxnCommit { txn_id: 1 },
+                WalRecord::TxnAbort { txn_id: 2 },
+                WalRecord::BlockSeal(Box::new(block)),
+            ]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_stops_at_torn_and_corrupt_tails() {
+        let path = temp_path("torn");
+        let wal = Wal::create(&path, DurabilityMode::Fsync).unwrap();
+        let b1 = sample_block(1, Hash256::ZERO);
+        wal.seal_block(&b1).unwrap();
+        let cut = wal.written_len();
+        let b2 = sample_block(2, b1.hash());
+        wal.seal_block(&b2).unwrap();
+        drop(wal);
+
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncate mid-second-frame: only block 1 survives.
+        for offset in [cut + 1, cut + 11, full.len() as u64 - 1] {
+            std::fs::write(&path, &full[..offset as usize]).unwrap();
+            let scanned = scan(&path).unwrap();
+            assert!(scanned.torn());
+            assert_eq!(scanned.valid_len, cut);
+            assert_eq!(scanned.sealed_blocks().count(), 1);
+        }
+
+        // Corrupt a payload byte of the second frame: same outcome.
+        let mut corrupt = full.clone();
+        let idx = cut as usize + 13;
+        corrupt[idx] ^= 0xff;
+        std::fs::write(&path, &corrupt).unwrap();
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.valid_len, cut);
+
+        // Corruption in the *first* frame drops everything, including the
+        // still-intact second frame: prefix semantics.
+        let mut corrupt = full.clone();
+        corrupt[13] ^= 0xff;
+        std::fs::write(&path, &corrupt).unwrap();
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.valid_len, 0);
+        assert_eq!(scanned.records.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_truncates_torn_tail_and_continues() {
+        let path = temp_path("append");
+        let wal = Wal::create(&path, DurabilityMode::Buffered).unwrap();
+        let b1 = sample_block(1, Hash256::ZERO);
+        wal.seal_block(&b1).unwrap();
+        let cut = wal.written_len();
+        let b2 = sample_block(2, b1.hash());
+        wal.seal_block(&b2).unwrap();
+        drop(wal);
+
+        // Simulate a crash mid-write of block 2's frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..cut as usize + 5]).unwrap();
+
+        let wal = Wal::open_append(&path, DurabilityMode::Buffered).unwrap();
+        assert_eq!(wal.written_len(), cut, "torn tail truncated");
+        wal.seal_block(&b2).unwrap();
+        drop(wal);
+
+        let scanned = scan(&path).unwrap();
+        assert!(!scanned.torn());
+        let sealed: Vec<u64> = scanned.sealed_blocks().map(|b| b.header.number).collect();
+        assert_eq!(sealed, vec![1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let path = temp_path("missing-never-created");
+        std::fs::remove_file(&path).ok();
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.total_len, 0);
+        assert!(!scanned.torn());
+        assert!(scanned.records.is_empty());
+    }
+
+    #[test]
+    fn reset_discards_everything() {
+        let path = temp_path("reset");
+        let wal = Wal::create(&path, DurabilityMode::Buffered).unwrap();
+        wal.seal_block(&sample_block(1, Hash256::ZERO)).unwrap();
+        wal.txn_begin(42);
+        wal.reset().unwrap();
+        assert_eq!(wal.written_len(), 0);
+        assert_eq!(wal.pending_len(), 0);
+        let scanned = scan(&path).unwrap();
+        assert!(scanned.records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -20,6 +20,7 @@
 use crate::error::MvccError;
 use crate::runtime::MvccRuntime;
 use crate::store::MvccCollection;
+use cc_primitives::durability::FootprintRecord;
 use cc_primitives::fx::FxHashMap;
 use cc_primitives::ts::Timestamp;
 use cc_stm::{LockId, LockMode};
@@ -277,6 +278,25 @@ impl<'rt> MvccTxn<'rt> {
             }
         };
         self.runtime.oracle().finish(self.begin_ts);
+        if let Some(sink) = self.runtime.durability() {
+            match &result {
+                Ok(commit) => {
+                    let footprint: Vec<FootprintRecord> = commit
+                        .footprint
+                        .iter()
+                        .map(|&(lock, mode)| FootprintRecord {
+                            space: lock.space(),
+                            key: lock.key(),
+                            mode: mode.to_byte(),
+                        })
+                        .collect();
+                    sink.txn_commit(self.begin_ts.raw(), &footprint);
+                }
+                // A validation conflict closes the transaction without any
+                // of its effects becoming visible — durably an abort.
+                Err(_) => sink.txn_abort(self.begin_ts.raw()),
+            }
+        }
         result
     }
 
@@ -295,6 +315,9 @@ impl<'rt> MvccTxn<'rt> {
             inner.closed = true;
         }
         self.runtime.oracle().finish(self.begin_ts);
+        if let Some(sink) = self.runtime.durability() {
+            sink.txn_abort(self.begin_ts.raw());
+        }
         Ok(())
     }
 }

@@ -1,0 +1,122 @@
+//! The durability seam between the execution runtimes and the ledger's
+//! write-ahead log.
+//!
+//! The STM and MVCC commit paths live *below* `cc_ledger` in the crate
+//! graph, so they cannot name the WAL directly. Instead they emit
+//! transaction lifecycle events through the [`DurabilitySink`] trait
+//! defined here; `cc_ledger::wal::Wal` implements it, and `cc_core::Node`
+//! attaches the sink when durability is enabled.
+//!
+//! The API is deliberately `u64`-flavoured: transaction ids and abstract
+//! lock fingerprints are already plain integers on the hot path, and
+//! keeping the trait free of higher-level types avoids dependency cycles
+//! and keeps the disabled path to a single atomic load plus a branch.
+
+use std::sync::{Arc, OnceLock};
+
+/// One entry of a transaction's lock/operation footprint, as recorded in
+/// the write-ahead log: the abstract lock's space and key fingerprints
+/// plus the strongest access mode used (`cc_stm::LockMode::to_byte`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintRecord {
+    /// Raw lock-space fingerprint (`LockSpace::raw`).
+    pub space: u64,
+    /// Raw key fingerprint within the space.
+    pub key: u64,
+    /// Access mode byte (`LockMode::to_byte`).
+    pub mode: u8,
+}
+
+/// Receiver for transaction lifecycle events emitted by the execution
+/// runtimes.
+///
+/// Implementations must be thread-safe: miners commit from worker
+/// threads concurrently. The WAL implementation buffers records in
+/// memory and flushes once per sealed block (group commit), so these
+/// calls must stay cheap.
+pub trait DurabilitySink: Send + Sync {
+    /// A transaction began execution.
+    fn txn_begin(&self, txn_id: u64);
+
+    /// A transaction committed, touching the given lock footprint.
+    fn txn_commit(&self, txn_id: u64, footprint: &[FootprintRecord]);
+
+    /// A transaction aborted; none of its effects survive.
+    fn txn_abort(&self, txn_id: u64);
+}
+
+/// A write-once, lock-free holder for an optional [`DurabilitySink`].
+///
+/// Both runtimes embed one of these. When no sink is attached the cost
+/// per commit is a single `Acquire` load and an untaken branch, which is
+/// what keeps `Durability::Off` inside the strict stm_micro CI gate.
+#[derive(Default)]
+pub struct SinkSlot {
+    slot: OnceLock<Arc<dyn DurabilitySink>>,
+}
+
+impl SinkSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a sink. Returns `false` if a sink was already attached
+    /// (the original wins; re-attachment is a caller bug, not a panic).
+    pub fn attach(&self, sink: Arc<dyn DurabilitySink>) -> bool {
+        self.slot.set(sink).is_ok()
+    }
+
+    /// Returns the attached sink, if any.
+    #[inline]
+    pub fn get(&self) -> Option<&Arc<dyn DurabilitySink>> {
+        self.slot.get()
+    }
+
+    /// Whether a sink has been attached.
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        self.slot.get().is_some()
+    }
+}
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkSlot")
+            .field("attached", &self.is_attached())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counting {
+        commits: AtomicU64,
+    }
+
+    impl DurabilitySink for Counting {
+        fn txn_begin(&self, _txn_id: u64) {}
+        fn txn_commit(&self, _txn_id: u64, _footprint: &[FootprintRecord]) {
+            self.commits.fetch_add(1, Ordering::Relaxed);
+        }
+        fn txn_abort(&self, _txn_id: u64) {}
+    }
+
+    #[test]
+    fn slot_attaches_once() {
+        let slot = SinkSlot::new();
+        assert!(!slot.is_attached());
+        assert!(slot.get().is_none());
+
+        let first = Arc::new(Counting::default());
+        assert!(slot.attach(first.clone()));
+        assert!(!slot.attach(Arc::new(Counting::default())));
+
+        slot.get().unwrap().txn_commit(7, &[]);
+        assert_eq!(first.commits.load(Ordering::Relaxed), 1);
+    }
+}

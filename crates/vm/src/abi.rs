@@ -244,6 +244,35 @@ impl ReturnValue {
             }
         }
     }
+
+    /// Decodes a value previously written by [`ReturnValue::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<ReturnValue, DecodeError> {
+        match dec.get_u8()? {
+            0 => Ok(ReturnValue::Unit),
+            1 => Ok(ReturnValue::Uint(dec.get_u128()?)),
+            2 => Ok(ReturnValue::Bool(dec.get_bool()?)),
+            3 => {
+                let raw = dec.get_raw(20)?;
+                let mut bytes = [0u8; 20];
+                bytes.copy_from_slice(raw);
+                Ok(ReturnValue::Addr(Address(bytes)))
+            }
+            4 => {
+                let raw = dec.get_raw(32)?;
+                let mut bytes = [0u8; 32];
+                bytes.copy_from_slice(raw);
+                Ok(ReturnValue::Bytes32(bytes))
+            }
+            5 => Ok(ReturnValue::Amount(Wei::new(dec.get_u128()?))),
+            _ => Err(DecodeError {
+                context: "unknown ReturnValue tag",
+            }),
+        }
+    }
 }
 
 /// A call descriptor: the function to invoke and its arguments.
@@ -414,6 +443,31 @@ mod tests {
                 assert_ne!(encodings[i], encodings[j]);
             }
         }
+    }
+
+    #[test]
+    fn return_value_encode_decode_roundtrip() {
+        let variants = [
+            ReturnValue::Unit,
+            ReturnValue::Uint(77),
+            ReturnValue::Bool(false),
+            ReturnValue::Addr(Address::from_index(9)),
+            ReturnValue::Bytes32([3; 32]),
+            ReturnValue::Amount(Wei::new(1_000)),
+        ];
+        for v in variants {
+            let mut enc = Encoder::new();
+            v.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(ReturnValue::decode(&mut dec).unwrap(), v);
+            assert!(dec.is_empty());
+        }
+
+        let mut enc = Encoder::new();
+        enc.put_u8(99);
+        let bytes = enc.into_bytes();
+        assert!(ReturnValue::decode(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

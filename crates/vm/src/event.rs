@@ -2,6 +2,7 @@
 
 use crate::abi::ArgValue;
 use crate::address::Address;
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
 use std::fmt;
 
 /// An event emitted during contract execution.
@@ -29,6 +30,41 @@ impl Event {
             data,
         }
     }
+
+    /// Canonical encoding. This is the exact byte layout receipts have
+    /// always hashed inline, so receipt roots are unchanged by routing
+    /// through this method.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_raw(self.contract.as_bytes());
+        enc.put_str(&self.name);
+        enc.put_u64(self.data.len() as u64);
+        for arg in &self.data {
+            arg.encode(enc);
+        }
+    }
+
+    /// Decodes an event written by [`Event::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Event, DecodeError> {
+        let raw = dec.get_raw(20)?;
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(raw);
+        let contract = Address(bytes);
+        let name = dec.get_string()?;
+        let n = dec.get_u64()? as usize;
+        let mut data = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            data.push(ArgValue::decode(dec)?);
+        }
+        Ok(Event {
+            contract,
+            name,
+            data,
+        })
+    }
 }
 
 impl fmt::Display for Event {
@@ -53,5 +89,24 @@ mod tests {
         assert_eq!(e.name, "Voted");
         assert_eq!(e.data.len(), 1);
         assert!(format!("{e}").contains("Voted"));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let e = Event::new(
+            Address::from_index(3),
+            "HighestBidIncreased",
+            vec![
+                ArgValue::Addr(Address::from_index(4)),
+                ArgValue::Uint(999),
+                ArgValue::Str("note".into()),
+            ],
+        );
+        let mut enc = Encoder::new();
+        e.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Event::decode(&mut dec).unwrap(), e);
+        assert!(dec.is_empty());
     }
 }

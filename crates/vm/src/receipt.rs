@@ -3,7 +3,7 @@
 use crate::abi::ReturnValue;
 use crate::error::VmError;
 use crate::event::Event;
-use cc_primitives::codec::Encoder;
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
 use std::fmt;
 
 /// The outcome of executing one transaction's contract call.
@@ -102,13 +102,46 @@ impl Receipt {
         self.output.encode(enc);
         enc.put_u64(self.events.len() as u64);
         for event in &self.events {
-            enc.put_raw(event.contract.as_bytes());
-            enc.put_str(&event.name);
-            enc.put_u64(event.data.len() as u64);
-            for arg in &event.data {
-                arg.encode(enc);
-            }
+            event.encode(enc);
         }
+    }
+
+    /// Decodes a receipt written by [`Receipt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Receipt, DecodeError> {
+        let tx_index = dec.get_u64()? as usize;
+        let status = match dec.get_u8()? {
+            0 => ExecutionStatus::Succeeded,
+            1 => ExecutionStatus::Reverted {
+                reason: dec.get_string()?,
+            },
+            2 => ExecutionStatus::OutOfGas,
+            3 => ExecutionStatus::Invalid {
+                reason: dec.get_string()?,
+            },
+            _ => {
+                return Err(DecodeError {
+                    context: "unknown ExecutionStatus discriminant",
+                })
+            }
+        };
+        let gas_used = dec.get_u64()?;
+        let output = ReturnValue::decode(dec)?;
+        let n = dec.get_u64()? as usize;
+        let mut events = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            events.push(Event::decode(dec)?);
+        }
+        Ok(Receipt {
+            tx_index,
+            status,
+            gas_used,
+            output,
+            events,
+        })
     }
 }
 
@@ -178,6 +211,38 @@ mod tests {
                 assert_ne!(encodings[i], encodings[j]);
             }
         }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_statuses() {
+        let variants = [
+            ExecutionStatus::Succeeded,
+            ExecutionStatus::Reverted {
+                reason: "double vote".into(),
+            },
+            ExecutionStatus::OutOfGas,
+            ExecutionStatus::Invalid {
+                reason: "unknown fn".into(),
+            },
+        ];
+        for v in variants {
+            let r = receipt(v);
+            let mut enc = Encoder::new();
+            r.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(Receipt::decode(&mut dec).unwrap(), r);
+            assert!(dec.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_status() {
+        let mut enc = Encoder::new();
+        enc.put_u64(0);
+        enc.put_u8(9);
+        let bytes = enc.into_bytes();
+        assert!(Receipt::decode(&mut Decoder::new(&bytes)).is_err());
     }
 
     #[test]

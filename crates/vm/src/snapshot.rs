@@ -9,7 +9,7 @@
 
 use crate::address::Address;
 use crate::value::Wei;
-use cc_primitives::codec::Encoder;
+use cc_primitives::codec::{DecodeError, Decoder, Encoder};
 use cc_primitives::hash::{Hash256, Sha256};
 
 /// Conversion into canonical bytes for state commitment.
@@ -129,13 +129,32 @@ impl FieldSnapshot {
         )
     }
 
-    fn encode(&self, enc: &mut Encoder) {
+    /// Canonical encoding, used both for contract digests and for
+    /// serializing snapshot files.
+    pub fn encode(&self, enc: &mut Encoder) {
         enc.put_str(&self.name);
         enc.put_u64(self.entries.len() as u64);
         for (k, v) in &self.entries {
             enc.put_bytes(k);
             enc.put_bytes(v);
         }
+    }
+
+    /// Decodes a field snapshot written by [`FieldSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<FieldSnapshot, DecodeError> {
+        let name = dec.get_string()?;
+        let n = dec.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let k = dec.get_bytes()?;
+            let v = dec.get_bytes()?;
+            entries.push((k, v));
+        }
+        Ok(FieldSnapshot { name, entries })
     }
 }
 
@@ -163,13 +182,41 @@ impl ContractSnapshot {
     /// Canonical digest of this contract's state.
     pub fn digest(&self) -> Hash256 {
         let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        cc_primitives::sha256(enc.as_slice())
+    }
+
+    /// Canonical encoding; the digest hashes exactly these bytes.
+    pub fn encode(&self, enc: &mut Encoder) {
         enc.put_str(&self.kind);
         enc.put_raw(self.address.as_bytes());
         enc.put_u64(self.fields.len() as u64);
         for field in &self.fields {
-            field.encode(&mut enc);
+            field.encode(enc);
         }
-        cc_primitives::sha256(enc.as_slice())
+    }
+
+    /// Decodes a contract snapshot written by [`ContractSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<ContractSnapshot, DecodeError> {
+        let kind = dec.get_string()?;
+        let raw = dec.get_raw(20)?;
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(raw);
+        let address = Address(bytes);
+        let n = dec.get_u64()? as usize;
+        let mut fields = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            fields.push(FieldSnapshot::decode(dec)?);
+        }
+        Ok(ContractSnapshot {
+            kind,
+            address,
+            fields,
+        })
     }
 }
 
@@ -195,6 +242,37 @@ impl WorldSnapshot {
             hasher.update(contract.digest().as_bytes());
         }
         hasher.finalize()
+    }
+
+    /// Serializes the full snapshot to canonical bytes. Recovery compares
+    /// these bytes bit-for-bit against a re-executed world, so the
+    /// encoding must stay deterministic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Canonical encoding of the snapshot.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.contracts.len() as u64);
+        for contract in &self.contracts {
+            contract.encode(enc);
+        }
+    }
+
+    /// Decodes a world snapshot written by [`WorldSnapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<WorldSnapshot, DecodeError> {
+        let n = dec.get_u64()? as usize;
+        let mut contracts = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            contracts.push(ContractSnapshot::decode(dec)?);
+        }
+        Ok(WorldSnapshot { contracts })
     }
 }
 
@@ -251,6 +329,28 @@ mod tests {
             vec![FieldSnapshot::from_typed("m", vec![(1u64, 2u64)])],
         )]);
         assert_ne!(base.state_root(), changed.state_root());
+    }
+
+    #[test]
+    fn world_snapshot_roundtrip() {
+        let w = WorldSnapshot::new(vec![
+            ContractSnapshot::new(
+                "Ballot",
+                Address::from_index(2),
+                vec![
+                    FieldSnapshot::from_typed("votes", vec![(1u64, 5u64)]),
+                    FieldSnapshot::scalar("chair", &7u64),
+                ],
+            ),
+            ContractSnapshot::new("Auction", Address::from_index(1), vec![]),
+        ]);
+        let bytes = w.to_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let decoded = WorldSnapshot::decode(&mut dec).unwrap();
+        assert!(dec.is_empty());
+        assert_eq!(decoded, w);
+        assert_eq!(decoded.state_root(), w.state_root());
+        assert_eq!(decoded.to_bytes(), bytes);
     }
 
     #[test]

@@ -166,6 +166,43 @@ fn dropping_a_transaction_breaks_structural_checks() {
 }
 
 #[test]
+fn corrupted_serialized_block_is_rejected_with_a_typed_error() {
+    use cc_ledger::BlockCodecError;
+
+    let (_, mined) = mined_reference(Benchmark::Ballot, 0.3);
+    let bytes = mined.block.to_checked_bytes();
+
+    // The honest bytes round-trip.
+    let decoded = Block::from_checked_bytes(&bytes).expect("honest bytes decode");
+    assert_eq!(decoded.hash(), mined.block.hash());
+
+    // Every single-byte corruption of the wire form is caught by the
+    // FNV-64 checksum (typed error, no panic) — this is what protects a
+    // block read back from the WAL or a snapshot file.
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x20;
+        let err =
+            Block::from_checked_bytes(&corrupt).expect_err("corrupted wire bytes must be rejected");
+        if i >= 8 {
+            // Payload flips must specifically fail the checksum.
+            assert!(
+                matches!(err, BlockCodecError::ChecksumMismatch { .. }),
+                "byte {i}: got {err}"
+            );
+        }
+    }
+
+    // A forged-but-rechecksummed block that violates its own commitments
+    // is still rejected, by the structural check behind the checksum.
+    let mut forged = mined.block.clone();
+    forged.header.gas_used += 1;
+    let err = Block::from_checked_bytes(&forged.to_checked_bytes())
+        .expect_err("inconsistent block must be rejected");
+    assert!(matches!(err, BlockCodecError::Inconsistent), "got: {err}");
+}
+
+#[test]
 fn smuggling_in_an_extra_transaction_is_rejected() {
     let (w, mined) = mined_reference(Benchmark::Ballot, 0.1);
     let mut block = mined.block.clone();
