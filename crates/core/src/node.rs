@@ -97,9 +97,11 @@ pub struct Node {
     world: World,
     chain: Blockchain,
     engine: Engine,
-    /// Set when a validation rejected a block *after* replaying it: the
-    /// world then holds effects of a block that was never appended and
-    /// every later result would silently diverge. A stale node refuses
+    /// Set when the in-memory state can no longer be trusted to match
+    /// what the node has promised: a validation rejected a block *after*
+    /// replaying it (the world holds effects of a block that was never
+    /// appended), or persisting an appended block failed (the in-memory
+    /// chain is ahead of what the WAL can recover). A stale node refuses
     /// further work; rebuild it with [`Node::recover`] (when durability
     /// is on) or from a trusted state.
     stale: bool,
@@ -271,10 +273,12 @@ impl Node {
         })
     }
 
-    /// Whether this node's world has been corrupted by a rejected
-    /// validation (see [`Node::validate_and_append`]). A stale node
-    /// refuses to mine or validate; rebuild it with [`Node::recover`]
-    /// from its durability directory, or from a trusted state.
+    /// Whether this node's state has been corrupted by a rejected
+    /// validation (see [`Node::validate_and_append`]) or by a failed
+    /// block persistence (the in-memory chain advanced past what the
+    /// WAL can recover). A stale node refuses to mine or validate;
+    /// rebuild it with [`Node::recover`] from its durability directory,
+    /// or from a trusted state.
     pub fn is_stale(&self) -> bool {
         self.stale
     }
@@ -282,7 +286,7 @@ impl Node {
     fn ensure_fresh(&self) -> Result<(), CoreError> {
         if self.stale {
             return Err(CoreError::rejected(
-                "node world is stale after a rejected validation; rebuild it with Node::recover from its durability directory, or from a trusted state",
+                "node state is stale after a rejected validation or a failed persistence; rebuild it with Node::recover from its durability directory, or from a trusted state",
             ));
         }
         Ok(())
@@ -331,7 +335,21 @@ impl Node {
     /// Seals `block` into the WAL (the group-commit point) and takes a
     /// periodic snapshot when the configured interval elapses. No-op
     /// without durability.
-    fn persist_block(&self, block: &Block) -> Result<(), CoreError> {
+    ///
+    /// The block is already on the in-memory chain when this runs, so a
+    /// persistence failure means durable state has fallen behind what
+    /// the node would keep serving: the node marks itself stale rather
+    /// than letting the two silently diverge (a later crash would
+    /// recover a shorter chain than the one the node advertised).
+    fn persist_block(&mut self, block: &Block) -> Result<(), CoreError> {
+        if let Err(e) = self.persist_block_inner(block) {
+            self.stale = true;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn persist_block_inner(&self, block: &Block) -> Result<(), CoreError> {
         let Some(state) = &self.durability else {
             return Ok(());
         };
@@ -633,6 +651,61 @@ mod tests {
         assert_eq!(recovered.chain().head_hash(), first.block.hash());
         recovered.validate_and_append(&second.block).unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_resumes_from_snapshot_when_wal_is_missing() {
+        let dir = temp_dir("missing-wal");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Fsync);
+        let mut node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(config.clone())
+            .build()
+            .unwrap();
+        node.mine_and_append(block_txs(0, 4)).unwrap();
+        drop(node);
+
+        // A snapshot without a wal.log is a legal directory state (the
+        // log was reset and the file later removed); recovery resumes
+        // from the snapshot alone and recreates the log.
+        std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+        let engine = EngineConfig::new().threads(2).build().unwrap();
+        let mut recovered = Node::recover(config, fresh_world(), engine).unwrap();
+        assert_eq!(
+            recovered.chain().len(),
+            1,
+            "only the genesis snapshot survived"
+        );
+        recovered.mine_and_append(block_txs(0, 4)).unwrap();
+        assert_eq!(recovered.chain().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_persistence_stales_the_node() {
+        let dir = temp_dir("persist-fail");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Buffered).snapshot_interval(1);
+        let mut node = Node::builder()
+            .world(fresh_world())
+            .config(EngineConfig::new().threads(2))
+            .durability(config)
+            .build()
+            .unwrap();
+        // Yank the durability directory out from under the node: the
+        // WAL seal still reaches the (unlinked) open file, but the
+        // snapshot due at interval 1 cannot be written.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let err = node.mine_and_append(block_txs(0, 4)).unwrap_err();
+        assert!(err.to_string().contains("durability"), "got: {err}");
+        assert!(node.is_stale(), "failed persistence must stale the node");
+
+        // The in-memory chain is ahead of durable state; the node fails
+        // fast instead of serving blocks a crash would forget.
+        let err = node.mine_and_append(block_txs(100, 2)).unwrap_err();
+        assert!(err.to_string().contains("stale"), "got: {err}");
     }
 
     #[test]

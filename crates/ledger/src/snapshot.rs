@@ -4,8 +4,9 @@
 //! the chain up to and including that block (every block's checksummed
 //! bytes) and the canonical world-state bytes
 //! (`cc_vm::WorldSnapshot::to_bytes`). Files are named
-//! `snapshot-<height>.snap`, written to a temporary name and atomically
-//! renamed into place, and guarded by a whole-file FNV-64 checksum —
+//! `snapshot-<height>.snap`, written to a temporary name, atomically
+//! renamed into place (with a directory fsync so the rename itself is
+//! durable), and guarded by a whole-file FNV-64 checksum —
 //! [`load_latest`] skips any file that fails its checksum or decode and
 //! falls back to the next-highest height.
 //!
@@ -187,8 +188,16 @@ impl SnapshotFile {
     }
 
     /// Writes the snapshot into `dir` as `snapshot-<height>.snap`,
-    /// atomically (temporary file + rename), fsyncing the file before the
-    /// rename.
+    /// atomically (temporary file + rename), fsyncing the file before
+    /// the rename and the directory after it.
+    ///
+    /// The directory fsync is what makes the rename itself durable: the
+    /// caller's next step is to truncate the WAL (the snapshot is the
+    /// log's GC point), and without it a machine crash could persist the
+    /// truncation while the rename's directory entry is lost — recovery
+    /// would then anchor on an older snapshot with an empty log, losing
+    /// sealed blocks. Returning from this method therefore guarantees the
+    /// snapshot is durably visible under its final name.
     ///
     /// # Errors
     ///
@@ -204,6 +213,7 @@ impl SnapshotFile {
             file.sync_data()?;
         }
         fs::rename(&tmp_path, &final_path)?;
+        fs::File::open(dir)?.sync_all()?;
         Ok(final_path)
     }
 

@@ -148,6 +148,16 @@ fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Fsyncs the directory holding `path`, making its directory entries
+/// (file creations and renames) durable. A path with no parent component
+/// (a bare file name in the working directory) is a no-op.
+pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => File::open(dir)?.sync_all(),
+        _ => Ok(()),
+    }
+}
+
 struct WalInner {
     file: File,
     /// Records framed but not yet written to the file (group commit).
@@ -180,9 +190,14 @@ impl std::fmt::Debug for Wal {
 impl Wal {
     /// Creates (or truncates) a log at `path`.
     ///
+    /// In [`DurabilityMode::Fsync`] the parent directory is fsynced so
+    /// the log's directory entry is durable before any record is — a
+    /// machine crash must not surface a directory where a snapshot
+    /// rename is visible but the log it licensed truncating is not.
+    ///
     /// # Errors
     ///
-    /// Any I/O error opening the file.
+    /// Any I/O error opening the file or syncing the directory.
     pub fn create(path: impl Into<PathBuf>, mode: DurabilityMode) -> io::Result<Wal> {
         let path = path.into();
         let file = OpenOptions::new()
@@ -190,6 +205,9 @@ impl Wal {
             .write(true)
             .truncate(true)
             .open(&path)?;
+        if mode == DurabilityMode::Fsync {
+            sync_parent_dir(&path)?;
+        }
         Ok(Wal {
             path,
             mode,
@@ -202,7 +220,10 @@ impl Wal {
     }
 
     /// Opens an existing log for appending: scans it, truncates any torn
-    /// or corrupt tail, and positions writes after the valid prefix.
+    /// or corrupt tail, and positions writes after the valid prefix. A
+    /// missing file starts as an empty log — the same semantics as
+    /// [`scan`] — so a node can resume from a directory whose WAL was
+    /// reset or never created.
     ///
     /// # Errors
     ///
@@ -210,7 +231,13 @@ impl Wal {
     pub fn open_append(path: impl Into<PathBuf>, mode: DurabilityMode) -> io::Result<Wal> {
         let path = path.into();
         let scanned = scan(&path)?;
-        let file = OpenOptions::new().write(true).open(&path)?;
+        // `truncate(false)`: the valid prefix must survive the open —
+        // only the torn tail is cut, by the `set_len` below.
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
         file.set_len(scanned.valid_len)?;
         let mut file = file;
         file.seek(SeekFrom::Start(scanned.valid_len))?;
@@ -264,11 +291,20 @@ impl Wal {
         push_u64(&mut payload, bytes.len() as u64);
         payload.extend_from_slice(&bytes);
 
-        let mut inner = self.inner.lock().expect("wal mutex");
+        let inner = &mut *self.inner.lock().expect("wal mutex");
         push_frame(&mut inner.pending, &payload);
-        let pending = std::mem::take(&mut inner.pending);
-        inner.file.write_all(&pending)?;
-        inner.written += pending.len() as u64;
+        // Drain `pending` only once the write has fully succeeded: on an
+        // I/O error every buffered frame — including this seal — stays
+        // queued for a retry, and the file is rolled back to the last
+        // known-good length so a partial write can never sit between the
+        // valid prefix and a later successful seal.
+        if let Err(e) = inner.file.write_all(&inner.pending) {
+            let _ = inner.file.set_len(inner.written);
+            let _ = inner.file.seek(SeekFrom::Start(inner.written));
+            return Err(e);
+        }
+        inner.written += inner.pending.len() as u64;
+        inner.pending.clear();
         if self.mode == DurabilityMode::Fsync {
             inner.file.sync_data()?;
         }
@@ -536,6 +572,24 @@ mod tests {
         assert!(!scanned.torn());
         let sealed: Vec<u64> = scanned.sealed_blocks().map(|b| b.header.number).collect();
         assert_eq!(sealed, vec![1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_append_starts_empty_on_missing_file() {
+        // A directory can hold a valid snapshot but no wal.log (the WAL
+        // was reset and the file later removed, or never created);
+        // reopening must start an empty log, matching scan()'s semantics.
+        let path = temp_path("open-append-missing");
+        std::fs::remove_file(&path).ok();
+        let wal = Wal::open_append(&path, DurabilityMode::Buffered).unwrap();
+        assert_eq!(wal.written_len(), 0);
+        let block = sample_block(1, Hash256::ZERO);
+        wal.seal_block(&block).unwrap();
+        drop(wal);
+
+        let scanned = scan(&path).unwrap();
+        assert_eq!(scanned.sealed_blocks().count(), 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -2,6 +2,16 @@
 //! caught either by structural well-formedness checks or by the
 //! validator's replay checks (paper §4–5: "A miner who publishes an
 //! incorrect schedule will be detected and its block rejected").
+//!
+//! Two distinct integrity layers are exercised here, and they defend
+//! against different things. **Adversarial** integrity — a miner lying
+//! about schedules, receipts or state — rests entirely on the SHA-256
+//! commitments in the header and on deterministic replay; an adversary
+//! cannot recompute those without doing the honest work. The FNV-64
+//! checksums on the wire forms (framed WAL records, snapshot files,
+//! `Block::to_checked_bytes`) are **corruption detection** only: they
+//! catch torn writes and bit rot, but anyone who can rewrite the bytes
+//! can trivially recompute them.
 
 use cc_core::error::CoreError;
 use cc_core::miner::MinedBlock;
@@ -178,7 +188,10 @@ fn corrupted_serialized_block_is_rejected_with_a_typed_error() {
 
     // Every single-byte corruption of the wire form is caught by the
     // FNV-64 checksum (typed error, no panic) — this is what protects a
-    // block read back from the WAL or a snapshot file.
+    // block read back from the WAL or a snapshot file against *disk
+    // corruption*. It is not a tamper-proofing mechanism: an adversary
+    // rewriting the file recomputes the checksum for free, and is
+    // instead caught by the SHA-256 commitment checks below.
     for i in 0..bytes.len() {
         let mut corrupt = bytes.clone();
         corrupt[i] ^= 0x20;
