@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] \
-//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|perf|all]
+//!       [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|pipeline|perf|all]
 //! repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]
 //! ```
 //!
@@ -35,9 +35,16 @@
 //! * `durability` — per-block commit latency of a durable node under
 //!   each WAL mode (`off` / `buffered` / `fsync`): what group commit
 //!   costs, and proof the `Off` mode stays free.
+//! * `pipeline` — ingestion-to-commit throughput from a prefilled
+//!   mempool: durability `off/buffered/fsync` × production `seq/pipe`
+//!   (sequential `mine_pending` loop vs. the pipelined producer that
+//!   overlaps each block's WAL seal/fsync with mining the next). Also
+//!   verifies the pipeline's persist-failure path end to end (WAL fault
+//!   injection → stale + rollback → recovery) and exits non-zero if any
+//!   of those invariants break, which is what the CI smoke step runs.
 //! * `perf` — `micro` + `schedule` + `read-heavy` + `abort-rate` +
-//!   `contention` + `durability`: the sections the per-PR perf
-//!   trajectory (`BENCH_PR*.json`) and the CI smoke diff track.
+//!   `contention` + `durability` + `pipeline`: the sections the per-PR
+//!   perf trajectory (`BENCH_PR*.json`) and the CI smoke diff track.
 //! * `all` (default) — everything above.
 //! * `diff OLD.json NEW.json` — compares two `--json` outputs
 //!   per-benchmark and flags deltas beyond `--tolerance` (default 25%);
@@ -69,6 +76,7 @@ use cc_bench::contention::{contention_threads, measure_contention, Backend, Cont
 use cc_bench::durability::{run_durability, DurabilityPoint};
 use cc_bench::json::Json;
 use cc_bench::micro::{run_micro, MicroPoint};
+use cc_bench::pipeline::{run_pipeline, verify_failure_path, PipelinePoint};
 use cc_bench::schedule::{run_schedule, SchedulePoint};
 use cc_bench::{
     average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_abort_rate,
@@ -852,6 +860,74 @@ fn print_durability(opts: &Options) -> Vec<DurabilityPoint> {
     points
 }
 
+/// The `(blocks, block_size)` shape each pipeline case drains. Blocks
+/// are deliberately small: mining an 8-transaction block still takes
+/// longer than one fdatasync (so the overlap can hide the sync fully)
+/// but the sync is a measurable fraction of per-block cost, instead of
+/// noise under tens of milliseconds of mining. Many blocks per run
+/// amortize pipeline spin-up and give the overlap many samples.
+fn pipeline_shape(quick: bool) -> (u64, u64) {
+    if quick {
+        (4, 8)
+    } else {
+        (16, 8)
+    }
+}
+
+fn print_pipeline(opts: &Options) -> Vec<PipelinePoint> {
+    println!(
+        "\n== Ingestion → commit: sequential vs. pipelined production, {} threads ==",
+        opts.threads
+    );
+    let (blocks, block_size) = pipeline_shape(opts.quick);
+    let points = run_pipeline(blocks, block_size, opts.threads, opts.repetitions);
+    println!("{:>22} {:>14} {:>14}", "case", "ms/block", "txns/s");
+    for p in &points {
+        println!(
+            "{:>22} {:>14.3} {:>14.0}",
+            p.name, p.ms_per_block, p.txns_per_sec
+        );
+    }
+    let find = |name: &str| {
+        points
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ms_per_block)
+    };
+    if let (Some(seq), Some(pipe)) = (find("ingest-fsync-seq"), find("ingest-fsync-pipe")) {
+        println!(
+            "\npipelining under fsync: {seq:.3} ms/block sequential vs {pipe:.3} ms/block \
+             pipelined ({:.1}% of the per-block fsync hidden behind mining)",
+            (1.0 - pipe / seq) * 100.0
+        );
+    }
+    print!("\npersist-failure path (WAL fault injection → stale + rollback → recovery): ");
+    match verify_failure_path(opts.threads) {
+        Ok(()) => println!("ok"),
+        Err(reason) => {
+            println!("FAILED");
+            eprintln!("pipeline failure-path invariant violated: {reason}");
+            std::process::exit(1);
+        }
+    }
+    points
+}
+
+fn pipeline_json(points: &[PipelinePoint]) -> Json {
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                Json::object([
+                    ("name", Json::str(p.name)),
+                    ("txns_per_sec", Json::num(p.txns_per_sec)),
+                    ("ms_per_block", Json::num(p.ms_per_block)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn durability_json(points: &[DurabilityPoint]) -> Json {
     Json::Array(
         points
@@ -1007,6 +1083,27 @@ fn extract_metrics(doc: &Json) -> Vec<Metric> {
             ) {
                 out.push(Metric {
                     label: format!("durability/{name} (ms/block)"),
+                    value,
+                    direction: Direction::LowerIsBetter,
+                });
+            }
+        }
+    }
+    if let Some(points) = doc.get("pipeline").and_then(Json::as_array) {
+        for p in points {
+            let Some(name) = p.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            if let Some(value) = p.get("txns_per_sec").and_then(Json::as_f64) {
+                out.push(Metric {
+                    label: format!("pipeline/{name} (txns/s)"),
+                    value,
+                    direction: Direction::HigherIsBetter,
+                });
+            }
+            if let Some(value) = p.get("ms_per_block").and_then(Json::as_f64) {
+                out.push(Metric {
+                    label: format!("pipeline/{name} (ms/block)"),
                     value,
                     direction: Direction::LowerIsBetter,
                 });
@@ -1180,6 +1277,7 @@ fn main() {
     let mut read_heavy: Option<Vec<ReadHeavyPoint>> = None;
     let mut abort_rate: Option<Vec<(Benchmark, Vec<AbortRatePoint>)>> = None;
     let mut durability: Option<Vec<DurabilityPoint>> = None;
+    let mut pipeline: Option<Vec<PipelinePoint>> = None;
 
     match opts.command.as_str() {
         "figure1-blocksize" => {
@@ -1223,6 +1321,9 @@ fn main() {
         "durability" => {
             durability = Some(print_durability(&opts));
         }
+        "pipeline" => {
+            pipeline = Some(print_pipeline(&opts));
+        }
         "perf" => {
             micro = Some(print_micro(&opts));
             schedule = Some(print_schedule(&opts));
@@ -1230,6 +1331,7 @@ fn main() {
             abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
             durability = Some(print_durability(&opts));
+            pipeline = Some(print_pipeline(&opts));
         }
         "all" => {
             let bs = print_figure1_blocksize(&opts);
@@ -1245,10 +1347,11 @@ fn main() {
             abort_rate = Some(print_abort_rate(&opts));
             contention = Some(print_contention(&opts));
             durability = Some(print_durability(&opts));
+            pipeline = Some(print_pipeline(&opts));
         }
         other => {
             eprintln!("unknown command `{other}`");
-            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|perf|all]");
+            eprintln!("usage: repro [--threads N] [--reps R] [--quick] [--strategy NAME] [--json PATH] [figure1-blocksize|figure1-conflict|table1|appendix-b|ablation|contention|micro|schedule|read-heavy|abort-rate|durability|pipeline|perf|all]");
             eprintln!(
                 "       repro diff OLD.json NEW.json [--tolerance PCT] [--strict] [--section NAME]"
             );
@@ -1286,6 +1389,9 @@ fn main() {
         }
         if let Some(points) = &durability {
             sections.push(("durability", durability_json(points)));
+        }
+        if let Some(points) = &pipeline {
+            sections.push(("pipeline", pipeline_json(points)));
         }
         let doc = Json::object(sections);
         match std::fs::write(path, doc.to_pretty()) {

@@ -15,6 +15,7 @@ pub mod contention;
 pub mod durability;
 pub mod json;
 pub mod micro;
+pub mod pipeline;
 pub mod schedule;
 
 use cc_core::engine::{Engine, EngineConfig, ExecutionStrategy};

@@ -1,5 +1,6 @@
 //! Errors produced by mining and validation.
 
+use cc_mempool::MempoolError;
 use cc_stm::StmError;
 use std::fmt;
 
@@ -44,6 +45,9 @@ pub enum CoreError {
         /// Description of the failed operation and its cause.
         reason: String,
     },
+    /// A submission was turned away by the node's mempool (nonce already
+    /// consumed, replacement or admission underpriced).
+    Mempool(MempoolError),
 }
 
 impl CoreError {
@@ -75,7 +79,14 @@ impl fmt::Display for CoreError {
             CoreError::MalformedSchedule { reason } => write!(f, "malformed schedule: {reason}"),
             CoreError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
             CoreError::Durability { reason } => write!(f, "durability failure: {reason}"),
+            CoreError::Mempool(err) => write!(f, "mempool rejected transaction: {err}"),
         }
+    }
+}
+
+impl From<MempoolError> for CoreError {
+    fn from(err: MempoolError) -> Self {
+        CoreError::Mempool(err)
     }
 }
 

@@ -97,6 +97,7 @@ pub mod validator;
 pub use engine::{Engine, EngineConfig, ExecutionStrategy};
 pub use error::CoreError;
 pub use miner::{MinedBlock, Miner, ParallelMiner, SerialMiner};
+pub use node::pipeline::{PipelineConfig, PipelineReport};
 pub use node::{DurabilityConfig, Node, NodeBuilder};
 pub use schedule::HappensBeforeGraph;
 pub use stats::{MinerStats, ValidationReport};

@@ -1,6 +1,9 @@
-//! A convenience full node: an [`Engine`], a world, a chain — and
+//! A convenience full node: an [`Engine`], a world, a chain, a mempool
+//! front door ([`Node::submit`] / [`Node::mine_pending`]) — and
 //! optionally a durable ledger (write-ahead log plus periodic snapshots)
 //! that [`Node::recover`] can rebuild the node from after a crash.
+
+pub mod pipeline;
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::CoreError;
@@ -9,6 +12,7 @@ use crate::stats::ValidationReport;
 use crate::validator::Validator;
 use cc_ledger::wal::{DurabilityMode, Wal, WAL_FILE};
 use cc_ledger::{Block, Blockchain, ChainError, SnapshotFile, Transaction};
+use cc_mempool::{Mempool, MempoolConfig, SubmitOutcome};
 use cc_vm::World;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -106,6 +110,7 @@ pub struct Node {
     /// is on) or from a trusted state.
     stale: bool,
     durability: Option<DurabilityState>,
+    mempool: Mempool,
 }
 
 /// Builder for [`Node`]: a world (deployed contracts, seeded state) plus
@@ -116,6 +121,7 @@ pub struct NodeBuilder {
     engine: Option<Engine>,
     config: Option<EngineConfig>,
     durability: Option<DurabilityConfig>,
+    mempool: Option<MempoolConfig>,
 }
 
 impl NodeBuilder {
@@ -148,6 +154,13 @@ impl NodeBuilder {
         self
     }
 
+    /// Sizes the node's mempool (capacity and shard count). Defaults to
+    /// [`MempoolConfig::default`].
+    pub fn mempool(mut self, config: MempoolConfig) -> Self {
+        self.mempool = Some(config);
+        self
+    }
+
     /// Constructs the node.
     ///
     /// # Errors
@@ -162,6 +175,9 @@ impl NodeBuilder {
             (None, None) => Engine::default(),
         };
         let mut node = Node::new(self.world.unwrap_or_default(), engine);
+        if let Some(config) = self.mempool {
+            node.mempool = Mempool::new(config);
+        }
         if let Some(config) = self.durability {
             node.enable_durability(config)?;
         }
@@ -186,6 +202,7 @@ impl Node {
             engine,
             stale: false,
             durability: None,
+            mempool: Mempool::default(),
         }
     }
 
@@ -242,6 +259,10 @@ impl Node {
             check_snapshot(&world)?;
         }
         let validator = engine.validator();
+        // The rebuilt chain also seeds the fresh mempool's per-sender
+        // nonce boundaries: post-recovery submissions resume where the
+        // chain left off instead of parking behind already-mined nonces.
+        let mempool = Mempool::default();
         for block in recovered.chain.iter().skip(1) {
             validator.validate(&world, block).map_err(|e| {
                 CoreError::durability(format!(
@@ -251,6 +272,9 @@ impl Node {
             })?;
             if block.header.number == recovered.snapshot_height {
                 check_snapshot(&world)?;
+            }
+            for tx in &block.transactions {
+                mempool.observe_consumed(tx.sender, tx.nonce + 1);
             }
         }
         let durability = if config.mode() == DurabilityMode::Off {
@@ -270,6 +294,7 @@ impl Node {
             engine,
             stale: false,
             durability,
+            mempool,
         })
     }
 
@@ -379,8 +404,68 @@ impl Node {
         &self.engine
     }
 
+    /// The node's pending-transaction pool. Inspect occupancy with
+    /// [`cc_mempool::Mempool::stats`]; feed it with [`Node::submit`].
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
+    }
+
+    /// The node's open write-ahead log, when durability is on. Exposed
+    /// for diagnostics and fault injection
+    /// ([`cc_ledger::wal::Wal::inject_seal_failures`]) — production
+    /// callers never need it.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.durability.as_ref().map(|state| &state.wal)
+    }
+
+    /// Submits a transaction to the node's mempool — the traffic-serving
+    /// front door. The transaction becomes eligible for the next
+    /// [`Node::mine_pending`] (or pipeline) block once all the sender's
+    /// earlier nonces are pending or mined; see [`cc_mempool`] for the
+    /// admission, replacement and eviction policies.
+    ///
+    /// Submission is lock-cheap (one shard mutex) and does not touch the
+    /// chain, so it can run concurrently with block production.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mempool`] when the pool rejects the transaction, or
+    /// [`CoreError::BlockRejected`] with a "stale" reason when the node
+    /// has been staled by an earlier failure.
+    pub fn submit(&self, tx: Transaction) -> Result<SubmitOutcome, CoreError> {
+        self.ensure_fresh()?;
+        Ok(self.mempool.submit(tx)?)
+    }
+
+    /// Assembles the highest-priority ready transactions from the mempool
+    /// into a gas-budgeted batch (see [`cc_mempool::Mempool::build_block`])
+    /// and mines them as the next block via [`Node::mine_and_append`].
+    /// An empty pool yields an empty block.
+    ///
+    /// This is the *sequential* production path — assembly, mining,
+    /// validation bookkeeping and the WAL seal/fsync all run on this
+    /// call. [`Node::run_pipeline`](pipeline) overlaps those stages
+    /// across consecutive blocks instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Node::mine_and_append`]. Drained transactions are *not*
+    /// returned to the pool on error; a failure that matters here stales
+    /// the node, and [`Node::recover`] rebuilds from the durable prefix.
+    pub fn mine_pending(&mut self, gas_limit: u64) -> Result<MinedBlock, CoreError> {
+        self.ensure_fresh()?;
+        let batch = self.mempool.build_block(gas_limit);
+        self.mine_and_append(batch)
+    }
+
     /// Mines a block of `transactions` with the node's engine on top of
     /// the current head and appends it to the chain.
+    ///
+    /// This is the raw, batch-at-a-time door used by the validator
+    /// examples and benchmarks; a node serving client traffic takes
+    /// [`Node::submit`] + [`Node::mine_pending`] (or the
+    /// [pipeline](crate::node::pipeline)) instead, letting the mempool
+    /// pick the batch by fee priority.
     ///
     /// # Errors
     ///

@@ -171,6 +171,19 @@ impl Blockchain {
     pub fn total_transactions(&self) -> usize {
         self.blocks.iter().map(Block::len).sum()
     }
+
+    /// Discards every block above height `number`, making `number` the
+    /// new head. A no-op when `number` is at or past the current head.
+    /// Genesis can never be discarded.
+    ///
+    /// This is the pipelined node's failure path: when persisting block
+    /// N fails after blocks N.. were already appended in memory, the
+    /// chain is rolled back to the durable prefix so the node never
+    /// advertises blocks a crash would forget.
+    pub fn truncate_to(&mut self, number: u64) {
+        let keep = (number as usize).saturating_add(1).max(1);
+        self.blocks.truncate(keep);
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +288,25 @@ mod tests {
         let root = cc_primitives::sha256(b"initial state");
         let chain = Blockchain::with_genesis_state(root);
         assert_eq!(chain.head().header.state_root, root);
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_to_a_prefix() {
+        let mut chain = Blockchain::new();
+        for _ in 0..4 {
+            let block = next_block(&chain, 1);
+            chain.append(block).unwrap();
+        }
+        assert_eq!(chain.len(), 5);
+        chain.truncate_to(9); // past the head: no-op
+        assert_eq!(chain.len(), 5);
+        chain.truncate_to(2);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.head().header.number, 2);
+        assert!(chain.verify_structure());
+        chain.truncate_to(0); // genesis survives
+        assert_eq!(chain.len(), 1);
+        assert!(chain.verify_structure());
     }
 
     #[test]

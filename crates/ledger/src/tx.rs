@@ -28,10 +28,16 @@ pub struct Transaction {
     pub call: CallData,
     /// Maximum gas the sender is willing to pay for.
     pub gas_limit: u64,
+    /// Fee the sender bids for inclusion priority. The mempool orders
+    /// admission, replacement and block assembly by this field (higher
+    /// wins); it is part of the canonical encoding and the transaction
+    /// hash, so it cannot be altered in flight.
+    pub priority_fee: u64,
 }
 
 impl Transaction {
-    /// Creates a transaction carrying no currency.
+    /// Creates a transaction carrying no currency and bidding no priority
+    /// fee (use [`Transaction::priority_fee`] to set one).
     pub fn new(nonce: u64, sender: Address, to: Address, call: CallData, gas_limit: u64) -> Self {
         Transaction {
             nonce,
@@ -40,6 +46,7 @@ impl Transaction {
             value: Wei::ZERO,
             call,
             gas_limit,
+            priority_fee: 0,
         }
     }
 
@@ -59,7 +66,14 @@ impl Transaction {
             value,
             call,
             gas_limit,
+            priority_fee: 0,
         }
+    }
+
+    /// Sets the inclusion-priority fee (builder style).
+    pub fn priority_fee(mut self, fee: u64) -> Self {
+        self.priority_fee = fee;
+        self
     }
 
     /// The `msg` context this transaction executes under.
@@ -78,6 +92,7 @@ impl Transaction {
         enc.put_u128(self.value.amount());
         self.call.encode(enc);
         enc.put_u64(self.gas_limit);
+        enc.put_u64(self.priority_fee);
     }
 
     /// Decodes a transaction written by [`Transaction::encode`].
@@ -94,6 +109,7 @@ impl Transaction {
         let value = Wei::new(dec.get_u128()?);
         let call = CallData::decode(dec)?;
         let gas_limit = dec.get_u64()?;
+        let priority_fee = dec.get_u64()?;
         Ok(Transaction {
             nonce,
             sender: Address(sender),
@@ -101,6 +117,7 @@ impl Transaction {
             value,
             call,
             gas_limit,
+            priority_fee,
         })
     }
 
@@ -147,18 +164,30 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let tx = sample(7);
+        let tx = sample(7).priority_fee(42);
         let mut enc = Encoder::new();
         tx.encode(&mut enc);
         let bytes = enc.into_bytes();
         let decoded = Transaction::decode(&mut Decoder::new(&bytes)).unwrap();
         assert_eq!(decoded, tx);
+        assert_eq!(decoded.priority_fee, 42);
     }
 
     #[test]
     fn hash_depends_on_contents() {
         assert_ne!(sample(1).hash(), sample(2).hash());
         assert_eq!(sample(1).hash(), sample(1).hash());
+    }
+
+    #[test]
+    fn hash_depends_on_priority_fee() {
+        // The fee is part of the commitment: a relayer bumping (or
+        // stripping) it yields a different transaction.
+        assert_ne!(sample(1).hash(), sample(1).priority_fee(1).hash());
+        assert_eq!(
+            sample(1).priority_fee(9).hash(),
+            sample(1).priority_fee(9).hash()
+        );
     }
 
     #[test]

@@ -158,10 +158,17 @@ pub(crate) fn sync_parent_dir(path: &Path) -> io::Result<()> {
     }
 }
 
-struct WalInner {
-    file: File,
+struct WalBuffer {
     /// Records framed but not yet written to the file (group commit).
     pending: Vec<u8>,
+    /// Fault injection (see [`Wal::inject_seal_failures`]): `Some(n)`
+    /// means the next `n` seals succeed and every seal after that fails
+    /// with an injected I/O error, as if the disk went away.
+    seals_until_failure: Option<u64>,
+}
+
+struct WalIo {
+    file: File,
     /// Bytes handed to the OS so far (the file length, absent a crash
     /// mid-write).
     written: u64,
@@ -169,20 +176,29 @@ struct WalInner {
 
 /// The write-ahead log: a [`DurabilitySink`] whose records reach the file
 /// once per sealed block.
+///
+/// Record emission and file I/O are guarded by *separate* mutexes so a
+/// seal's write/fsync never blocks miner workers framing the next
+/// block's records: `buffer` covers the group-commit byte buffer (the
+/// hot path every committing transaction takes), `io` covers the file
+/// and its length (held across the seal's `write` + `fdatasync`). Lock
+/// order is `io` before `buffer` wherever both are held.
 pub struct Wal {
     path: PathBuf,
     mode: DurabilityMode,
-    inner: Mutex<WalInner>,
+    buffer: Mutex<WalBuffer>,
+    io: Mutex<WalIo>,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("wal mutex");
+        let io = self.io.lock().expect("wal io mutex");
+        let buffer = self.buffer.lock().expect("wal buffer mutex");
         f.debug_struct("Wal")
             .field("path", &self.path)
             .field("mode", &self.mode)
-            .field("pending", &inner.pending.len())
-            .field("written", &inner.written)
+            .field("pending", &buffer.pending.len())
+            .field("written", &io.written)
             .finish()
     }
 }
@@ -211,11 +227,11 @@ impl Wal {
         Ok(Wal {
             path,
             mode,
-            inner: Mutex::new(WalInner {
-                file,
+            buffer: Mutex::new(WalBuffer {
                 pending: Vec::new(),
-                written: 0,
+                seals_until_failure: None,
             }),
+            io: Mutex::new(WalIo { file, written: 0 }),
         })
     }
 
@@ -244,9 +260,12 @@ impl Wal {
         Ok(Wal {
             path,
             mode,
-            inner: Mutex::new(WalInner {
-                file,
+            buffer: Mutex::new(WalBuffer {
                 pending: Vec::new(),
+                seals_until_failure: None,
+            }),
+            io: Mutex::new(WalIo {
+                file,
                 written: scanned.valid_len,
             }),
         })
@@ -264,22 +283,42 @@ impl Wal {
 
     /// Bytes buffered but not yet written (diagnostics/tests).
     pub fn pending_len(&self) -> usize {
-        self.inner.lock().expect("wal mutex").pending.len()
+        self.buffer.lock().expect("wal buffer mutex").pending.len()
     }
 
     /// Bytes written to the OS so far (diagnostics/tests).
     pub fn written_len(&self) -> u64 {
-        self.inner.lock().expect("wal mutex").written
+        self.io.lock().expect("wal io mutex").written
+    }
+
+    /// Fault injection (the [`crate::faultsim`] companion for *live* I/O
+    /// failures): the next `after` calls to [`Wal::seal_block`] succeed,
+    /// and every call after that fails with an injected I/O error —
+    /// deterministically simulating a disk that goes away mid-run, where
+    /// [`crate::faultsim::kill_at`] simulates the on-disk aftermath of a
+    /// crash. Buffered records are kept and the file is untouched, exactly
+    /// like a real failed seal.
+    pub fn inject_seal_failures(&self, after: u64) {
+        self.buffer
+            .lock()
+            .expect("wal buffer mutex")
+            .seals_until_failure = Some(after);
     }
 
     fn append_payload(&self, payload: &[u8]) {
-        let mut inner = self.inner.lock().expect("wal mutex");
-        push_frame(&mut inner.pending, payload);
+        let mut buffer = self.buffer.lock().expect("wal buffer mutex");
+        push_frame(&mut buffer.pending, payload);
     }
 
     /// Seals a block: appends the seal record and flushes every buffered
     /// record in one write (plus one `fdatasync` in
     /// [`DurabilityMode::Fsync`]). This is the group-commit point.
+    ///
+    /// The buffer lock is held only long enough to take the batch, so
+    /// record emission — miner workers committing the *next* block's
+    /// transactions — proceeds while this seal's write and fsync run.
+    /// Without that split, pipelined production stalls on every commit
+    /// for the length of the fsync it was meant to overlap.
     ///
     /// # Errors
     ///
@@ -291,22 +330,37 @@ impl Wal {
         push_u64(&mut payload, bytes.len() as u64);
         payload.extend_from_slice(&bytes);
 
-        let inner = &mut *self.inner.lock().expect("wal mutex");
-        push_frame(&mut inner.pending, &payload);
-        // Drain `pending` only once the write has fully succeeded: on an
-        // I/O error every buffered frame — including this seal — stays
-        // queued for a retry, and the file is rolled back to the last
-        // known-good length so a partial write can never sit between the
-        // valid prefix and a later successful seal.
-        if let Err(e) = inner.file.write_all(&inner.pending) {
-            let _ = inner.file.set_len(inner.written);
-            let _ = inner.file.seek(SeekFrom::Start(inner.written));
+        // The io lock is taken *before* the batch so concurrent sealers
+        // cannot take batches in one order and write them in another.
+        let io = &mut *self.io.lock().expect("wal io mutex");
+        let batch = {
+            let mut buffer = self.buffer.lock().expect("wal buffer mutex");
+            if let Some(remaining) = &mut buffer.seals_until_failure {
+                if *remaining == 0 {
+                    return Err(io::Error::other("injected seal failure (faultsim)"));
+                }
+                *remaining -= 1;
+            }
+            push_frame(&mut buffer.pending, &payload);
+            std::mem::take(&mut buffer.pending)
+        };
+        // Drain the batch only once the write has fully succeeded: on an
+        // I/O error every buffered frame — including this seal — goes
+        // back in the queue for a retry, *ahead of* any records framed
+        // while the write was in flight, and the file is rolled back to
+        // the last known-good length so a partial write can never sit
+        // between the valid prefix and a later successful seal.
+        if let Err(e) = io.file.write_all(&batch) {
+            let _ = io.file.set_len(io.written);
+            let _ = io.file.seek(SeekFrom::Start(io.written));
+            let mut buffer = self.buffer.lock().expect("wal buffer mutex");
+            let newer = std::mem::replace(&mut buffer.pending, batch);
+            buffer.pending.extend_from_slice(&newer);
             return Err(e);
         }
-        inner.written += inner.pending.len() as u64;
-        inner.pending.clear();
+        io.written += batch.len() as u64;
         if self.mode == DurabilityMode::Fsync {
-            inner.file.sync_data()?;
+            io.file.sync_data()?;
         }
         Ok(())
     }
@@ -319,13 +373,17 @@ impl Wal {
     ///
     /// Any I/O error truncating the file.
     pub fn reset(&self) -> io::Result<()> {
-        let mut inner = self.inner.lock().expect("wal mutex");
-        inner.pending.clear();
-        inner.file.set_len(0)?;
-        inner.file.seek(SeekFrom::Start(0))?;
-        inner.written = 0;
+        let mut io = self.io.lock().expect("wal io mutex");
+        self.buffer
+            .lock()
+            .expect("wal buffer mutex")
+            .pending
+            .clear();
+        io.file.set_len(0)?;
+        io.file.seek(SeekFrom::Start(0))?;
+        io.written = 0;
         if self.mode == DurabilityMode::Fsync {
-            inner.file.sync_data()?;
+            io.file.sync_data()?;
         }
         Ok(())
     }
@@ -342,7 +400,7 @@ impl DurabilitySink for Wal {
     fn txn_commit(&self, txn_id: u64, footprint: &[FootprintRecord]) {
         // One op record per footprint entry, then the commit record, all
         // framed into the pending buffer under a single lock acquisition.
-        let mut inner = self.inner.lock().expect("wal mutex");
+        let mut buffer = self.buffer.lock().expect("wal buffer mutex");
         let mut payload = Vec::with_capacity(26);
         for op in footprint {
             payload.clear();
@@ -351,12 +409,12 @@ impl DurabilitySink for Wal {
             push_u64(&mut payload, op.space);
             push_u64(&mut payload, op.key);
             payload.push(op.mode);
-            push_frame(&mut inner.pending, &payload);
+            push_frame(&mut buffer.pending, &payload);
         }
         payload.clear();
         payload.push(TAG_TXN_COMMIT);
         push_u64(&mut payload, txn_id);
-        push_frame(&mut inner.pending, &payload);
+        push_frame(&mut buffer.pending, &payload);
     }
 
     fn txn_abort(&self, txn_id: u64) {

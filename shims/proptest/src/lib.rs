@@ -267,6 +267,18 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`: {}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a property.
@@ -278,6 +290,17 @@ macro_rules! prop_assert_ne {
         if left == right {
             return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
                 "assertion failed: `left != right`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`: {}\n  both: `{:?}`",
+                format!($($fmt)+),
                 left
             )));
         }

@@ -1,0 +1,379 @@
+//! Property tests pitting `cc_mempool::Mempool` against a naive
+//! reference model.
+//!
+//! The model re-implements the documented admission policy with the
+//! dumbest possible data structures — one `BTreeMap` of pending
+//! transactions per sender plus the sender's next expected nonce — and
+//! no sharding, heaps, or ready/gapped split. A sender's *ready* run is
+//! simply the longest contiguous nonce run starting at `next`;
+//! everything else pending is *gapped*. Each generated operation
+//! sequence is applied to both the model and a single-shard pool
+//! (single-shard so the global eviction order is exact), and every
+//! observable — submit outcomes, errors, occupancy stats, and the
+//! transactions drained by `build_block` — must match.
+//!
+//! Targeted properties then pin the three behaviors the model
+//! equivalence could in principle mask: nonce-gap promotion under
+//! arbitrary arrival orders, lowest-fee-first capacity eviction, and
+//! replace-by-`(sender, nonce)` fee monotonicity.
+
+use cc_ledger::Transaction;
+use cc_mempool::{Mempool, MempoolConfig, MempoolError, SubmitOutcome};
+use cc_vm::{Address, ArgValue, CallData};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Gas unit used throughout; budgets and costs are small multiples.
+const GAS: u64 = 100_000;
+
+/// Deterministic gas cost per (sender, nonce): 1–3 units, so block
+/// budgets exercise the "sender's head doesn't fit" drop path.
+fn gas_units(sender: u64, nonce: u64) -> u64 {
+    (sender + nonce) % 3 + 1
+}
+
+fn tx(sender: u64, nonce: u64, fee: u64) -> Transaction {
+    Transaction::new(
+        nonce,
+        Address::from_index(sender),
+        Address::from_name("mempool.model.counter"),
+        CallData::new("increment", vec![ArgValue::Uint(1)]),
+        gas_units(sender, nonce) * GAS,
+    )
+    .priority_fee(fee)
+}
+
+/// One pending transaction in the model.
+#[derive(Debug, Clone)]
+struct ModelTx {
+    fee: u64,
+    seq: u64,
+    gas: u64,
+    tx: Transaction,
+}
+
+impl ModelTx {
+    /// Same priority key as the pool: higher fee wins, earlier arrival
+    /// breaks ties.
+    fn priority(&self) -> (u64, std::cmp::Reverse<u64>) {
+        (self.fee, std::cmp::Reverse(self.seq))
+    }
+}
+
+/// Naive single-shard reference model of the documented policy.
+#[derive(Debug, Default)]
+struct Model {
+    capacity: usize,
+    next: HashMap<u64, u64>,
+    pending: HashMap<u64, BTreeMap<u64, ModelTx>>,
+    seq: u64,
+    evicted: u64,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            capacity,
+            ..Model::default()
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.pending.values().map(BTreeMap::len).sum()
+    }
+
+    /// Length of the sender's contiguous ready run starting at `next`.
+    fn ready_run(&self, sender: u64) -> usize {
+        let next = self.next.get(&sender).copied().unwrap_or(0);
+        let Some(txs) = self.pending.get(&sender) else {
+            return 0;
+        };
+        (0..).take_while(|i| txs.contains_key(&(next + i))).count()
+    }
+
+    fn ready_total(&self) -> usize {
+        self.pending.keys().map(|&s| self.ready_run(s)).sum()
+    }
+
+    /// The globally cheapest evictable transaction: the minimum-priority
+    /// sender tail (each sender's highest pending nonce — evicting any
+    /// lower nonce would punch a hole in its ready run).
+    fn cheapest_tail(&self) -> Option<(u64, u64)> {
+        self.pending
+            .iter()
+            .filter_map(|(&sender, txs)| txs.last_key_value().map(|(&nonce, t)| (sender, nonce, t)))
+            .min_by_key(|(_, _, t)| t.priority())
+            .map(|(sender, nonce, _)| (sender, nonce))
+    }
+
+    fn submit(&mut self, sender: u64, nonce: u64, fee: u64) -> Result<SubmitOutcome, MempoolError> {
+        let next = self.next.get(&sender).copied().unwrap_or(0);
+        if nonce < next {
+            return Err(MempoolError::NonceTooLow {
+                got: nonce,
+                expected: next,
+            });
+        }
+        if let Some(existing) = self.pending.get(&sender).and_then(|txs| txs.get(&nonce)) {
+            if fee <= existing.fee {
+                return Err(MempoolError::ReplacementUnderpriced {
+                    existing_fee: existing.fee,
+                });
+            }
+            let seq = self.seq;
+            self.seq += 1;
+            self.pending.get_mut(&sender).unwrap().insert(
+                nonce,
+                ModelTx {
+                    fee,
+                    seq,
+                    gas: gas_units(sender, nonce) * GAS,
+                    tx: tx(sender, nonce, fee),
+                },
+            );
+            return Ok(SubmitOutcome::Replaced);
+        }
+        if self.len() >= self.capacity {
+            let (victim, victim_nonce) = self.cheapest_tail().expect("full model has a tail");
+            let fee_floor = self.pending[&victim][&victim_nonce].fee;
+            if fee <= fee_floor {
+                return Err(MempoolError::Underpriced { fee_floor });
+            }
+            self.pending.get_mut(&victim).unwrap().remove(&victim_nonce);
+            self.evicted += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let ready_before = self.ready_run(sender);
+        let ready_end = self.next.get(&sender).copied().unwrap_or(0) + ready_before as u64;
+        self.pending.entry(sender).or_default().insert(
+            nonce,
+            ModelTx {
+                fee,
+                seq,
+                gas: gas_units(sender, nonce) * GAS,
+                tx: tx(sender, nonce, fee),
+            },
+        );
+        if nonce == ready_end {
+            let promoted = self.ready_run(sender) - ready_before - 1;
+            Ok(SubmitOutcome::Ready { promoted })
+        } else {
+            Ok(SubmitOutcome::Queued)
+        }
+    }
+
+    /// Mirrors `Mempool::build_block`: repeatedly take the best-priority
+    /// ready head across senders; a sender whose head doesn't fit the
+    /// remaining gas contributes nothing further to this block.
+    fn build_block(&mut self, gas_limit: u64) -> Vec<Transaction> {
+        let mut dropped: HashSet<u64> = HashSet::new();
+        let mut remaining = gas_limit;
+        let mut batch = Vec::new();
+        loop {
+            let head = self
+                .pending
+                .keys()
+                .copied()
+                .filter(|s| !dropped.contains(s) && self.ready_run(*s) > 0)
+                .map(|s| {
+                    let next = self.next.get(&s).copied().unwrap_or(0);
+                    (s, next)
+                })
+                .max_by_key(|&(s, next)| self.pending[&s][&next].priority());
+            let Some((sender, next)) = head else { break };
+            if self.pending[&sender][&next].gas > remaining {
+                dropped.insert(sender);
+                continue;
+            }
+            let taken = self
+                .pending
+                .get_mut(&sender)
+                .unwrap()
+                .remove(&next)
+                .unwrap();
+            self.next.insert(sender, next + 1);
+            remaining -= taken.gas;
+            batch.push(taken.tx);
+            if remaining == 0 {
+                break;
+            }
+        }
+        batch
+    }
+}
+
+/// One generated op: `kind < 6` submits, otherwise assembles a block.
+type Op = (u64, u64, u64, u8, u64);
+
+fn apply_ops(capacity: usize, ops: &[Op]) -> Result<(), TestCaseError> {
+    let pool = Mempool::new(MempoolConfig::single_shard(capacity));
+    let mut model = Model::new(capacity);
+    for &(sender, nonce, fee, kind, budget) in ops {
+        if kind < 6 {
+            let got = pool.submit(tx(sender, nonce, fee));
+            let want = model.submit(sender, nonce, fee);
+            prop_assert_eq!(
+                &got,
+                &want,
+                "submit(sender={}, nonce={}, fee={}) diverged",
+                sender,
+                nonce,
+                fee
+            );
+        } else {
+            let got = pool.build_block(budget * GAS);
+            let want = model.build_block(budget * GAS);
+            prop_assert_eq!(got, want, "build_block({} gas units) diverged", budget);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(pool.len(), model.len());
+        prop_assert_eq!(stats.ready, model.ready_total(), "ready count diverged");
+        prop_assert_eq!(
+            stats.pending() - stats.ready,
+            model.len() - model.ready_total()
+        );
+        prop_assert_eq!(stats.evicted, model.evicted, "eviction count diverged");
+    }
+    // Drain everything that can ever become ready and check the tail end.
+    let got = pool.build_block(u64::MAX);
+    let want = model.build_block(u64::MAX);
+    prop_assert_eq!(got, want, "final drain diverged");
+    prop_assert_eq!(pool.len(), model.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pool and the naive model agree on every observable across
+    /// arbitrary interleavings of submissions (fresh, gapped, stale,
+    /// replacement, over-capacity) and block assemblies.
+    #[test]
+    fn pool_matches_reference_model(
+        capacity in 1usize..12,
+        ops in proptest::collection::vec(
+            (0u64..5, 0u64..8, 0u64..6, 0u8..8, 0u64..6),
+            1..60,
+        ),
+    ) {
+        apply_ops(capacity, &ops)?;
+    }
+
+    /// Nonce-gap promotion: a sender's nonces submitted in an arbitrary
+    /// order all end up ready once the run is complete, and drain in
+    /// exact nonce order regardless of fees.
+    #[test]
+    fn gapped_nonces_promote_once_the_run_completes(
+        count in 1u64..10,
+        shuffle_seed in 0u64..1_000,
+        fee_seed in 0u64..1_000,
+    ) {
+        let pool = Mempool::new(MempoolConfig::single_shard(64));
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let mut fees = StdRng::seed_from_u64(fee_seed);
+        let mut order: Vec<u64> = (0..count).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i as u64 + 1) as usize);
+        }
+        let mut submitted = 0;
+        for &nonce in &order {
+            let outcome = pool.submit(tx(0, nonce, fees.gen_range(0..100))).unwrap();
+            submitted += 1;
+            // Everything submitted so far is ready iff the nonces seen so
+            // far are exactly 0..submitted — i.e. no hole remains.
+            let complete = order[..submitted].iter().copied().max().unwrap() + 1 == submitted as u64;
+            prop_assert_eq!(pool.stats().ready == submitted, complete);
+            match outcome {
+                SubmitOutcome::Ready { .. } | SubmitOutcome::Queued => {}
+                other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
+        }
+        prop_assert_eq!(pool.stats().ready, count as usize, "complete run must be fully ready");
+        prop_assert_eq!(pool.stats().gapped, 0);
+        let drained: Vec<u64> = pool.build_block(u64::MAX).into_iter().map(|t| t.nonce).collect();
+        let expected: Vec<u64> = (0..count).collect();
+        prop_assert_eq!(drained, expected, "a sender drains in nonce order, fees notwithstanding");
+    }
+
+    /// Capacity eviction order: with distinct fees and one tx per
+    /// sender, a full pool always evicts the cheapest pending tx, so the
+    /// survivors are exactly the top-`capacity` fees ever accepted.
+    #[test]
+    fn full_pool_keeps_exactly_the_highest_fees(
+        capacity in 1usize..10,
+        extra in 1usize..10,
+        shuffle_seed in 0u64..1_000,
+    ) {
+        let pool = Mempool::new(MempoolConfig::single_shard(capacity));
+        let total = capacity + extra;
+        // Distinct fees 10, 20, .. so floors are unambiguous; submission
+        // order is a random permutation.
+        let mut fees: Vec<u64> = (1..=total as u64).map(|f| f * 10).collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..fees.len()).rev() {
+            fees.swap(i, rng.gen_range(0..i as u64 + 1) as usize);
+        }
+        let mut accepted: Vec<u64> = Vec::new();
+        for (sender, &fee) in fees.iter().enumerate() {
+            match pool.submit(tx(sender as u64, 0, fee)) {
+                Ok(_) => {
+                    accepted.push(fee);
+                    if accepted.len() > capacity {
+                        // Room was made by evicting the cheapest survivor.
+                        accepted.sort_unstable();
+                        accepted.remove(0);
+                    }
+                }
+                Err(MempoolError::Underpriced { fee_floor }) => {
+                    let cheapest = accepted.iter().copied().min().unwrap();
+                    prop_assert_eq!(fee_floor, cheapest, "floor must be the cheapest pending fee");
+                    prop_assert!(fee <= fee_floor, "outbidding fee {} was rejected at floor {}", fee, fee_floor);
+                }
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+            prop_assert!(pool.len() <= capacity, "pool exceeded capacity");
+        }
+        let mut survivors: Vec<u64> =
+            pool.build_block(u64::MAX).into_iter().map(|t| t.priority_fee).collect();
+        survivors.sort_unstable();
+        accepted.sort_unstable();
+        prop_assert_eq!(survivors, accepted, "survivors must be the highest fees ever accepted");
+    }
+
+    /// Replace-by-nonce monotonicity: repeated submissions to one
+    /// `(sender, nonce)` slot succeed exactly when they strictly raise
+    /// the fee, the slot never duplicates, and the winner is the maximum.
+    #[test]
+    fn replacement_fees_are_strictly_monotonic(
+        fees in proptest::collection::vec(0u64..50, 1..20),
+    ) {
+        let pool = Mempool::new(MempoolConfig::single_shard(16));
+        let mut best: Option<u64> = None;
+        for &fee in &fees {
+            let result = pool.submit(tx(7, 0, fee));
+            match best {
+                None => {
+                    prop_assert_eq!(result, Ok(SubmitOutcome::Ready { promoted: 0 }));
+                    best = Some(fee);
+                }
+                Some(current) if fee > current => {
+                    prop_assert_eq!(result, Ok(SubmitOutcome::Replaced));
+                    best = Some(fee);
+                }
+                Some(current) => {
+                    prop_assert_eq!(
+                        result,
+                        Err(MempoolError::ReplacementUnderpriced { existing_fee: current })
+                    );
+                }
+            }
+            prop_assert_eq!(pool.len(), 1, "the slot must never duplicate");
+        }
+        let batch = pool.build_block(u64::MAX);
+        prop_assert_eq!(batch.len(), 1);
+        prop_assert_eq!(batch[0].priority_fee, best.unwrap(), "the highest bid wins the slot");
+    }
+}

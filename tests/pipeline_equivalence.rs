@@ -1,0 +1,314 @@
+//! Pipelined block production must be *invisible* in the chain: for the
+//! same submitted traffic, [`Node::run_pipeline`] (mining block N+1
+//! while block N's WAL seal/fsync runs on the durability stage) has to
+//! produce byte-for-byte the same blocks as a sequential
+//! `mine_pending` loop — under both execution strategies, with and
+//! without durability, and across persist failures and machine crashes
+//! mid-pipeline.
+//!
+//! Engines here run one worker so mining itself is deterministic:
+//! with more workers the published schedule and conflicting receipts
+//! legitimately vary run-to-run (serializability, not byte equality,
+//! is their contract — see `serializability.rs`). What is under test
+//! is that *pipelining* changes nothing the miner produced.
+
+use cc_core::engine::Engine;
+use cc_core::node::{DurabilityConfig, Node};
+use cc_core::PipelineConfig;
+use cc_integration_tests::{counter_world, engine, increment_tx, optimistic_engine};
+use cc_ledger::faultsim::{file_len, kill_at};
+use cc_ledger::wal::{DurabilityMode, WAL_FILE};
+use cc_ledger::{Block, Transaction};
+use cc_mempool::MempoolConfig;
+use cc_primitives::codec::Encoder;
+use std::fs;
+use std::path::PathBuf;
+
+const SENDERS: u64 = 6;
+const NONCES: u64 = 4;
+const TX_GAS: u64 = 1_000_000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cc-pipeline-equiv-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// Deterministic traffic with cross-sender fee variety and nonce gaps:
+/// odd senders submit their nonces in descending order, so their early
+/// transactions park gapped and promote when nonce 0 lands.
+fn traffic() -> Vec<Transaction> {
+    let mut txs = Vec::new();
+    for slot in 0..NONCES {
+        for sender in 0..SENDERS {
+            let nonce = if sender % 2 == 1 {
+                NONCES - 1 - slot
+            } else {
+                slot
+            };
+            let fee = (sender * 7 + nonce * 3) % 11;
+            txs.push(increment_tx(nonce, sender, 1).priority_fee(fee));
+        }
+    }
+    txs
+}
+
+fn durable_node(engine: &Engine, dir: &PathBuf) -> Node {
+    // A huge snapshot interval keeps every block in the WAL so crash
+    // cuts exercise log replay over the pipelined record stream.
+    let config = DurabilityConfig::new(dir, DurabilityMode::Fsync).snapshot_interval(1_000_000);
+    Node::builder()
+        .world(counter_world())
+        .engine(engine.clone())
+        .mempool(MempoolConfig::single_shard(256))
+        .durability(config)
+        .build()
+        .expect("durable node")
+}
+
+fn submit_all(node: &Node, txs: &[Transaction]) {
+    for tx in txs {
+        node.submit(tx.clone()).expect("traffic admitted");
+    }
+}
+
+fn encode_block(block: &Block) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    block.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Every block of `node`'s chain, canonically encoded.
+fn chain_bytes(node: &Node) -> Vec<Vec<u8>> {
+    node.chain().iter().map(encode_block).collect()
+}
+
+/// Drains the pool sequentially: assemble, mine, seal, fsync, repeat.
+/// Loops on the *ready* count (not emptiness) so a nonce stuck behind a
+/// gap fails the final assertion instead of hanging the test.
+fn drain_sequentially(node: &mut Node, gas_limit: u64) {
+    while node.mempool().stats().ready > 0 {
+        node.mine_pending(gas_limit)
+            .expect("sequential block mines");
+    }
+    assert!(node.mempool().is_empty(), "traffic must drain completely");
+}
+
+/// The core equivalence check for one engine: a pipelined node and a
+/// sequential node fed identical traffic must end with byte-identical
+/// chains and worlds.
+fn assert_pipelined_matches_sequential(tag: &str, engine: &Engine, gas_limit: u64) {
+    let seq_dir = temp_dir(&format!("{tag}-seq"));
+    let pipe_dir = temp_dir(&format!("{tag}-pipe"));
+    let txs = traffic();
+
+    let mut seq = durable_node(engine, &seq_dir);
+    submit_all(&seq, &txs);
+    drain_sequentially(&mut seq, gas_limit);
+
+    let mut pipe = durable_node(engine, &pipe_dir);
+    submit_all(&pipe, &txs);
+    let report = pipe
+        .run_pipeline(&PipelineConfig::new(gas_limit))
+        .expect("pipelined production succeeds");
+    assert!(pipe.mempool().is_empty(), "pipeline must drain the pool");
+    assert_eq!(
+        report.blocks + 1,
+        seq.chain().len() as u64,
+        "pipeline must produce as many blocks as the sequential drain"
+    );
+
+    assert_eq!(
+        chain_bytes(&seq),
+        chain_bytes(&pipe),
+        "pipelined chain diverged from sequential ({tag})"
+    );
+    assert_eq!(
+        seq.world().snapshot().to_bytes(),
+        pipe.world().snapshot().to_bytes(),
+        "pipelined world diverged from sequential ({tag})"
+    );
+
+    // The durable artifacts agree too: recovering the pipelined
+    // directory rebuilds the same chain.
+    drop(pipe);
+    let recovered = Node::recover(
+        DurabilityConfig::new(&pipe_dir, DurabilityMode::Fsync),
+        counter_world(),
+        engine.clone(),
+    )
+    .expect("pipelined directory recovers");
+    assert_eq!(chain_bytes(&seq), chain_bytes(&recovered));
+
+    fs::remove_dir_all(&seq_dir).ok();
+    fs::remove_dir_all(&pipe_dir).ok();
+}
+
+#[test]
+fn pipelined_chain_is_byte_identical_speculative_stm() {
+    assert_pipelined_matches_sequential("stm", &engine(1), 8 * TX_GAS);
+}
+
+#[test]
+fn pipelined_chain_is_byte_identical_optimistic_mvcc() {
+    assert_pipelined_matches_sequential("mvcc", &optimistic_engine(1), 8 * TX_GAS);
+}
+
+/// Without durability `run_pipeline` falls back to a plain loop; the
+/// equivalence must hold there as well.
+#[test]
+fn pipelined_chain_matches_without_durability() {
+    for (tag, eng) in [("stm", engine(1)), ("mvcc", optimistic_engine(1))] {
+        let txs = traffic();
+        let build = || {
+            Node::builder()
+                .world(counter_world())
+                .engine(eng.clone())
+                .mempool(MempoolConfig::single_shard(256))
+                .build()
+                .expect("in-memory node")
+        };
+        let mut seq = build();
+        submit_all(&seq, &txs);
+        drain_sequentially(&mut seq, 8 * TX_GAS);
+        let mut pipe = build();
+        submit_all(&pipe, &txs);
+        pipe.run_pipeline(&PipelineConfig::new(8 * TX_GAS))
+            .expect("fallback pipeline succeeds");
+        assert_eq!(chain_bytes(&seq), chain_bytes(&pipe), "{tag}");
+    }
+}
+
+/// A persist failure mid-pipeline stales the node and rolls the chain
+/// back to the durable prefix — which is byte-identical to the
+/// sequential chain's prefix — and after recovery, resubmitting the
+/// unpersisted remainder reproduces the sequential chain exactly.
+#[test]
+fn persist_failure_mid_pipeline_rolls_back_to_the_sequential_prefix() {
+    for (tag, eng) in [("stm", engine(1)), ("mvcc", optimistic_engine(1))] {
+        let gas_limit = 6 * TX_GAS; // 24 txs → 4 blocks; block 3's seal fails
+        let seq_dir = temp_dir(&format!("fail-{tag}-seq"));
+        let pipe_dir = temp_dir(&format!("fail-{tag}-pipe"));
+        let txs = traffic();
+
+        let mut seq = durable_node(&eng, &seq_dir);
+        submit_all(&seq, &txs);
+        drain_sequentially(&mut seq, gas_limit);
+        let seq_chain = chain_bytes(&seq);
+        assert_eq!(seq_chain.len(), 5, "genesis plus four mined blocks");
+
+        let mut pipe = durable_node(&eng, &pipe_dir);
+        submit_all(&pipe, &txs);
+        pipe.wal()
+            .expect("durable node has a WAL")
+            .inject_seal_failures(2);
+        let err = pipe
+            .run_pipeline(&PipelineConfig::new(gas_limit))
+            .expect_err("injected seal failure must surface");
+        assert!(
+            err.to_string().contains("sealing block 3"),
+            "{tag}: unexpected failure: {err}"
+        );
+        assert!(
+            pipe.is_stale(),
+            "{tag}: persist failure must stale the node"
+        );
+        assert_eq!(
+            chain_bytes(&pipe),
+            seq_chain[..3].to_vec(),
+            "{tag}: rolled-back chain must be the sequential durable prefix"
+        );
+        drop(pipe);
+
+        // Recovery lands on the same prefix; feeding it the traffic that
+        // never persisted reproduces the sequential chain byte for byte.
+        let mut recovered = Node::recover(
+            DurabilityConfig::new(&pipe_dir, DurabilityMode::Fsync),
+            counter_world(),
+            eng.clone(),
+        )
+        .expect("recovery after injected failure");
+        assert_eq!(chain_bytes(&recovered), seq_chain[..3].to_vec(), "{tag}");
+        let persisted: Vec<Vec<u8>> = seq
+            .chain()
+            .iter()
+            .take(3)
+            .flat_map(|b| b.transactions.iter().map(encode_tx))
+            .collect();
+        for tx in txs.iter().filter(|t| !persisted.contains(&encode_tx(t))) {
+            recovered.submit(tx.clone()).expect("remainder admitted");
+        }
+        drain_sequentially(&mut recovered, gas_limit);
+        assert_eq!(
+            chain_bytes(&recovered),
+            seq_chain,
+            "{tag}: catch-up after recovery must converge on the sequential chain"
+        );
+
+        fs::remove_dir_all(&seq_dir).ok();
+        fs::remove_dir_all(&pipe_dir).ok();
+    }
+}
+
+fn encode_tx(tx: &Transaction) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    tx.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Machine-crash fault injection (`cc_ledger::faultsim`) over a WAL
+/// written *by the pipeline*: however the overlapped seals interleaved
+/// the log, cutting it anywhere recovers a byte-identical prefix of the
+/// sequential chain.
+#[test]
+fn crash_cuts_over_a_pipelined_wal_recover_sequential_prefixes() {
+    let eng = engine(1);
+    let gas_limit = 6 * TX_GAS;
+    let seq_dir = temp_dir("crash-seq");
+    let pipe_dir = temp_dir("crash-pipe");
+    let txs = traffic();
+
+    let mut seq = durable_node(&eng, &seq_dir);
+    submit_all(&seq, &txs);
+    drain_sequentially(&mut seq, gas_limit);
+    let seq_chain = chain_bytes(&seq);
+
+    let mut pipe = durable_node(&eng, &pipe_dir);
+    submit_all(&pipe, &txs);
+    pipe.run_pipeline(&PipelineConfig::new(gas_limit))
+        .expect("pipelined production succeeds");
+    drop(pipe); // the "crash": nothing beyond the WAL survives
+
+    let wal_path = pipe_dir.join(WAL_FILE);
+    let healthy = fs::read(&wal_path).expect("pipelined wal");
+    let total = file_len(&wal_path).expect("wal length");
+    let cuts = [0, total / 4, total / 2, 3 * total / 4, total];
+    for cut in cuts {
+        fs::write(&wal_path, &healthy).expect("restore wal");
+        kill_at(&wal_path, cut).expect("inject crash");
+        let recovered = Node::recover(
+            DurabilityConfig::new(&pipe_dir, DurabilityMode::Fsync),
+            counter_world(),
+            eng.clone(),
+        )
+        .unwrap_or_else(|e| panic!("cut at {cut}/{total}: recovery failed: {e}"));
+        let got = chain_bytes(&recovered);
+        assert!(
+            got.len() <= seq_chain.len(),
+            "cut at {cut}: recovered beyond the produced chain"
+        );
+        assert_eq!(
+            got,
+            seq_chain[..got.len()].to_vec(),
+            "cut at {cut}/{total}: recovered chain is not a sequential prefix"
+        );
+        // A full log recovers the full chain.
+        if cut == total {
+            assert_eq!(got.len(), seq_chain.len());
+        }
+    }
+
+    fs::remove_dir_all(&seq_dir).ok();
+    fs::remove_dir_all(&pipe_dir).ok();
+}
