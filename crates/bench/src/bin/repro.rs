@@ -76,7 +76,9 @@ use cc_bench::contention::{contention_threads, measure_contention, Backend, Cont
 use cc_bench::durability::{run_durability, DurabilityPoint};
 use cc_bench::json::Json;
 use cc_bench::micro::{run_micro, MicroPoint};
-use cc_bench::pipeline::{run_pipeline, verify_failure_path, PipelinePoint};
+use cc_bench::pipeline::{
+    run_follower, run_pipeline, verify_failure_path, verify_follower_failure_path, PipelinePoint,
+};
 use cc_bench::schedule::{run_schedule, SchedulePoint};
 use cc_bench::{
     average_speedups, engine, figure1_block_sizes, figure1_conflicts, measure, measure_abort_rate,
@@ -910,6 +912,43 @@ fn print_pipeline(opts: &Options) -> Vec<PipelinePoint> {
             std::process::exit(1);
         }
     }
+
+    println!(
+        "\n== Follower: sequential vs. speculative validation, {} threads ==",
+        opts.threads
+    );
+    let mut points = points;
+    let follower = run_follower(blocks, block_size, opts.threads, opts.repetitions);
+    println!("{:>22} {:>14} {:>14}", "case", "ms/block", "txns/s");
+    for p in &follower {
+        println!(
+            "{:>22} {:>14.3} {:>14.0}",
+            p.name, p.ms_per_block, p.txns_per_sec
+        );
+    }
+    let find = |name: &str| {
+        follower
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.ms_per_block)
+    };
+    if let (Some(seq), Some(spec)) = (find("follower-fsync-seq"), find("follower-fsync-spec")) {
+        println!(
+            "\nspeculation under fsync: {seq:.3} ms/block sequential vs {spec:.3} ms/block \
+             speculative ({:.1}% of the per-block fsync hidden behind validation)",
+            (1.0 - spec / seq) * 100.0
+        );
+    }
+    print!("\nfollower persist-failure path (seal fault → stale + discard pending + rollback → recovery): ");
+    match verify_follower_failure_path(opts.threads) {
+        Ok(()) => println!("ok"),
+        Err(reason) => {
+            println!("FAILED");
+            eprintln!("follower failure-path invariant violated: {reason}");
+            std::process::exit(1);
+        }
+    }
+    points.extend(follower);
     points
 }
 

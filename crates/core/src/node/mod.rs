@@ -3,6 +3,8 @@
 //! optionally a durable ledger (write-ahead log plus periodic snapshots)
 //! that [`Node::recover`] can rebuild the node from after a crash.
 
+pub mod follower;
+pub mod pending;
 pub mod pipeline;
 
 use crate::engine::{Engine, EngineConfig};
@@ -14,6 +16,7 @@ use cc_ledger::wal::{DurabilityMode, Wal, WAL_FILE};
 use cc_ledger::{Block, Blockchain, ChainError, SnapshotFile, Transaction};
 use cc_mempool::{Mempool, MempoolConfig, SubmitOutcome};
 use cc_vm::World;
+use pending::PendingChain;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -213,9 +216,11 @@ impl Node {
     /// built with (same deployed contracts and seeded state) — contracts
     /// are native code and cannot be serialized, so recovery is
     /// deterministic re-execution: the latest valid snapshot anchors the
-    /// chain, every recovered block is replayed serially through the
-    /// engine's validator (any strategy works — blocks carry their
-    /// schedules), the replayed world is compared **bit-for-bit**
+    /// chain, every recovered block is replayed through the same
+    /// speculative [`pending::PendingChain`] the follower pipeline uses
+    /// (any strategy works — blocks carry their schedules, and a serial
+    /// engine skips the trace checks), the replayed world is compared
+    /// **bit-for-bit**
     /// against the snapshot's world bytes at the snapshot height, and
     /// sealed blocks from the WAL's valid prefix extend the chain past
     /// it. Torn or corrupt WAL tails are dropped; effects of aborted or
@@ -235,17 +240,16 @@ impl Node {
         engine: Engine,
     ) -> Result<Node, CoreError> {
         let recovered = cc_ledger::recover(config.dir()).map_err(CoreError::durability)?;
-        let genesis_root = recovered
+        let genesis = recovered
             .chain
             .block(0)
-            .expect("recovered chain has a genesis")
-            .header
-            .state_root;
-        if world.state_root() != genesis_root {
+            .ok_or_else(|| CoreError::durability("recovered chain has no genesis block"))?;
+        if world.state_root() != genesis.header.state_root {
             return Err(CoreError::durability(
                 "supplied initial world does not match the recovered genesis state root",
             ));
         }
+        let genesis_hash = genesis.hash();
         let check_snapshot = |world: &World| -> Result<(), CoreError> {
             if world.snapshot().to_bytes() != recovered.snapshot_world_bytes {
                 return Err(CoreError::durability(format!(
@@ -258,23 +262,54 @@ impl Node {
         if recovered.snapshot_height == 0 {
             check_snapshot(&world)?;
         }
-        let validator = engine.validator();
         // The rebuilt chain also seeds the fresh mempool's per-sender
         // nonce boundaries: post-recovery submissions resume where the
         // chain left off instead of parking behind already-mined nonces.
         let mempool = Mempool::default();
-        for block in recovered.chain.iter().skip(1) {
-            validator.validate(&world, block).map_err(|e| {
-                CoreError::durability(format!(
-                    "replay of recovered block {} failed: {e}",
-                    block.header.number
-                ))
-            })?;
-            if block.header.number == recovered.snapshot_height {
-                check_snapshot(&world)?;
+        {
+            // Replay through the same speculative pending chain the
+            // follower pipeline uses: each recovered block validates
+            // against its predecessor's pending post-state, and the
+            // in-order commit flattens the overlay *before* the
+            // bit-for-bit snapshot comparison at the snapshot height.
+            let check_traces = engine.config().check_traces
+                && engine.strategy() != crate::engine::ExecutionStrategy::Serial;
+            let mut pending = PendingChain::new(
+                &world,
+                genesis_hash,
+                follower::FollowerConfig::DEFAULT_MAX_IN_FLIGHT,
+            )
+            .with_trace_checks(check_traces);
+            let replay_err = |number: u64, e: CoreError| {
+                CoreError::durability(format!("replay of recovered block {number} failed: {e}"))
+            };
+            let commit_oldest = |pending: &mut PendingChain<'_>| -> Result<(), CoreError> {
+                let Some(oldest) = pending.oldest_hash() else {
+                    return Ok(());
+                };
+                let number = pending
+                    .pending_state(&oldest)
+                    .expect("oldest is pending")
+                    .number;
+                pending.commit(&oldest).map_err(|e| replay_err(number, e))?;
+                if number == recovered.snapshot_height {
+                    check_snapshot(&world)?;
+                }
+                Ok(())
+            };
+            for block in recovered.chain.iter().skip(1) {
+                if pending.is_full() {
+                    commit_oldest(&mut pending)?;
+                }
+                pending
+                    .speculate(pending.tip_hash(), block)
+                    .map_err(|e| replay_err(block.header.number, e))?;
+                for tx in &block.transactions {
+                    mempool.observe_consumed(tx.sender, tx.nonce + 1);
+                }
             }
-            for tx in &block.transactions {
-                mempool.observe_consumed(tx.sender, tx.nonce + 1);
+            while !pending.is_empty() {
+                commit_oldest(&mut pending)?;
             }
         }
         let durability = if config.mode() == DurabilityMode::Off {
@@ -805,6 +840,27 @@ mod tests {
             .unwrap();
         node.mine_and_append(block_txs(0, 4)).unwrap();
         assert!(!dir.exists(), "Off mode must not touch the filesystem");
+    }
+
+    #[test]
+    fn recover_from_a_broken_directory_is_a_typed_error() {
+        // A directory that never existed.
+        let dir = temp_dir("no-such-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Buffered);
+        let err = Node::recover(config, fresh_world(), Engine::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Durability { .. }), "got: {err}");
+
+        // A directory whose snapshot is garbage: still a typed error,
+        // never a panic.
+        let dir = temp_dir("garbage-snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("snapshot-0.snap"), b"not a snapshot").unwrap();
+        let config = DurabilityConfig::new(&dir, DurabilityMode::Buffered);
+        let err = Node::recover(config, fresh_world(), Engine::default()).unwrap_err();
+        assert!(matches!(err, CoreError::Durability { .. }), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Schedule-integrity checks shared by the fork-join validator and the
+//! speculative pending chain: replayed lock traces against published
+//! profiles, and the hidden-data-race test over the happens-before graph.
+
+use crate::schedule::HappensBeforeGraph;
+use cc_ledger::ScheduleMetadata;
+use cc_primitives::fx::FxHashMap;
+use cc_stm::{LockId, LockMode};
+use std::collections::BTreeMap;
+
+/// Checks the lock traces a replay recorded (one `BTreeMap` per
+/// transaction, in block order) against the published schedule:
+///
+/// 1. every trace must equal the lock profile the miner published for
+///    that transaction,
+/// 2. every pair of transactions whose traces conflict must be ordered by
+///    the published happens-before graph (no hidden data race).
+///
+/// Returns a human-readable reason per violation; empty means the traces
+/// are consistent with the schedule.
+pub(crate) fn trace_check_reasons(
+    schedule: &ScheduleMetadata,
+    graph: &HappensBeforeGraph,
+    traces: &[BTreeMap<LockId, LockMode>],
+) -> Vec<String> {
+    let mut reasons = Vec::new();
+
+    // (1) Traces must match the published profiles.
+    for (index, trace) in traces.iter().enumerate() {
+        let published = schedule
+            .profiles
+            .iter()
+            .find(|p| p.tx_index == index)
+            .map(|p| p.profile.lock_set());
+        match published {
+            Some(profile) if &profile == trace => {}
+            Some(_) => reasons.push(format!(
+                "transaction {index}: replayed lock trace differs from the published profile"
+            )),
+            None => reasons.push(format!("transaction {index}: no lock profile published")),
+        }
+    }
+
+    // (2) No hidden data races: conflicting transactions must be
+    // ordered by the published graph. Mirroring the reduced
+    // construction, each lock's holders are sorted by their serial
+    // position and grouped into maximal runs of mutually-commuting
+    // modes; only cross pairs of *consecutive* runs need a
+    // reachability query. That is equivalent to checking every
+    // conflicting pair — ordering between consecutive runs
+    // composes transitively, and the published serial order
+    // respects every edge (enforced by `from_metadata`), so an
+    // ordered pair is always reachable in serial-order direction —
+    // but costs O(run boundaries) instead of O(h²) per hot lock.
+    let reachability = graph.reachability();
+    let mut position = vec![0usize; traces.len()];
+    for (pos, &tx) in schedule.serial_order.iter().enumerate() {
+        position[tx] = pos;
+    }
+    let mut by_lock: FxHashMap<LockId, Vec<(usize, LockMode)>> = FxHashMap::default();
+    for (index, trace) in traces.iter().enumerate() {
+        for (&lock, &mode) in trace {
+            by_lock.entry(lock).or_default().push((index, mode));
+        }
+    }
+    // Deterministic rejection messages regardless of hash order.
+    let mut locks: Vec<(LockId, Vec<(usize, LockMode)>)> = by_lock.into_iter().collect();
+    locks.sort_unstable_by_key(|&(lock, _)| lock);
+    for (lock, mut holders) in locks {
+        holders.sort_unstable_by_key(|&(tx, _)| position[tx]);
+        crate::schedule::for_each_consecutive_run_pair(
+            &holders,
+            |&(_, mode)| mode,
+            |prev, next| {
+                for &(tx_a, _) in prev {
+                    for &(tx_b, _) in next {
+                        if !reachability.can_reach(tx_a, tx_b) {
+                            reasons.push(format!(
+                                "data race: transactions {tx_a} and {tx_b} conflict on lock {lock} but are unordered in the published schedule"
+                            ));
+                            // One reason per lock is enough to reject.
+                            return false;
+                        }
+                    }
+                }
+                true
+            },
+        );
+    }
+
+    reasons
+}

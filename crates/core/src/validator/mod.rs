@@ -1,6 +1,7 @@
 //! Block validation: the serial baseline and the deterministic fork-join
 //! validator.
 
+pub(crate) mod checks;
 mod parallel;
 mod serial;
 

@@ -7,7 +7,6 @@ use crate::schedule::HappensBeforeGraph;
 use crate::stats::ValidationReport;
 use crate::validator::{receipt_mismatches, Validator};
 use cc_ledger::Block;
-use cc_primitives::fx::FxHashMap;
 use cc_stm::profile::collapse_trace;
 use cc_stm::{LockId, LockMode};
 use cc_vm::{Receipt, World};
@@ -109,74 +108,13 @@ impl Validator for ParallelValidator {
             traces.push(trace);
         }
 
-        let mut reasons = Vec::new();
-
-        if self.check_traces {
-            // (1) Traces must match the published profiles.
-            for (index, trace) in traces.iter().enumerate() {
-                let published = schedule
-                    .profiles
-                    .iter()
-                    .find(|p| p.tx_index == index)
-                    .map(|p| p.profile.lock_set());
-                match published {
-                    Some(profile) if &profile == trace => {}
-                    Some(_) => reasons.push(format!(
-                        "transaction {index}: replayed lock trace differs from the published profile"
-                    )),
-                    None => reasons.push(format!(
-                        "transaction {index}: no lock profile published"
-                    )),
-                }
-            }
-
-            // (2) No hidden data races: conflicting transactions must be
-            // ordered by the published graph. Mirroring the reduced
-            // construction, each lock's holders are sorted by their serial
-            // position and grouped into maximal runs of mutually-commuting
-            // modes; only cross pairs of *consecutive* runs need a
-            // reachability query. That is equivalent to checking every
-            // conflicting pair — ordering between consecutive runs
-            // composes transitively, and the published serial order
-            // respects every edge (enforced by `from_metadata`), so an
-            // ordered pair is always reachable in serial-order direction —
-            // but costs O(run boundaries) instead of O(h²) per hot lock.
-            let reachability = graph.reachability();
-            let mut position = vec![0usize; n];
-            for (pos, &tx) in schedule.serial_order.iter().enumerate() {
-                position[tx] = pos;
-            }
-            let mut by_lock: FxHashMap<LockId, Vec<(usize, LockMode)>> = FxHashMap::default();
-            for (index, trace) in traces.iter().enumerate() {
-                for (&lock, &mode) in trace {
-                    by_lock.entry(lock).or_default().push((index, mode));
-                }
-            }
-            // Deterministic rejection messages regardless of hash order.
-            let mut locks: Vec<(LockId, Vec<(usize, LockMode)>)> = by_lock.into_iter().collect();
-            locks.sort_unstable_by_key(|&(lock, _)| lock);
-            for (lock, mut holders) in locks {
-                holders.sort_unstable_by_key(|&(tx, _)| position[tx]);
-                crate::schedule::for_each_consecutive_run_pair(
-                    &holders,
-                    |&(_, mode)| mode,
-                    |prev, next| {
-                        for &(tx_a, _) in prev {
-                            for &(tx_b, _) in next {
-                                if !reachability.can_reach(tx_a, tx_b) {
-                                    reasons.push(format!(
-                                        "data race: transactions {tx_a} and {tx_b} conflict on lock {lock} but are unordered in the published schedule"
-                                    ));
-                                    // One reason per lock is enough to reject.
-                                    return false;
-                                }
-                            }
-                        }
-                        true
-                    },
-                );
-            }
-        }
+        // (1) + (2): traces match the published profiles, and no hidden
+        // data races (shared with the speculative pending chain).
+        let mut reasons = if self.check_traces {
+            crate::validator::checks::trace_check_reasons(schedule, &graph, &traces)
+        } else {
+            Vec::new()
+        };
 
         // (3) Receipts must match.
         reasons.extend(receipt_mismatches(&block.receipts, &replayed_receipts));

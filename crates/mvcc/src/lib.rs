@@ -248,6 +248,187 @@ mod tests {
         txn.commit().unwrap();
     }
 
+    #[test]
+    fn finalize_below_commits_overlays_in_order() {
+        let shared = SharedBase(std::sync::Arc::new(Mutex::new(
+            [(1u64, 100u64), (2, 200)].into_iter().collect(),
+        )));
+        let runtime = MvccRuntime::new();
+        let map = VersionedMap::new(LockSpace::new("test.overlay"), shared.clone());
+        runtime.register(map.handle());
+
+        // Two "blocks" of speculated writes, each bounded by the oracle
+        // instant recorded after its last commit.
+        let txn = runtime.begin();
+        map.insert(&txn, 1, 111);
+        map.insert(&txn, 3, 333);
+        txn.commit().unwrap();
+        let boundary1 = runtime.oracle().latest();
+
+        let txn = runtime.begin();
+        map.insert(&txn, 1, 222);
+        map.take(&txn, &2);
+        txn.commit().unwrap();
+        let boundary2 = runtime.oracle().latest();
+
+        // Committing the first overlay flattens only its versions…
+        runtime.finalize_below(boundary1);
+        assert_eq!(
+            shared.0.lock().clone(),
+            [(1u64, 111u64), (2, 200), (3, 333)].into_iter().collect(),
+            "only the first block reached the base"
+        );
+        // …while readers above the boundary still see the second overlay.
+        let reader = runtime.begin();
+        assert_eq!(map.get(&reader, &1), Some(222));
+        assert_eq!(map.get(&reader, &2), None);
+        reader.commit().unwrap();
+
+        runtime.finalize_below(boundary2);
+        assert_eq!(
+            shared.0.lock().clone(),
+            [(1u64, 222u64), (3, 333)].into_iter().collect(),
+        );
+    }
+
+    #[test]
+    fn discard_above_rolls_pending_overlays_away() {
+        let shared = SharedBase(std::sync::Arc::new(Mutex::new(
+            [(1u64, 100u64)].into_iter().collect(),
+        )));
+        let runtime = MvccRuntime::new();
+        let map = VersionedMap::new(LockSpace::new("test.discard"), shared.clone());
+        runtime.register(map.handle());
+
+        let txn = runtime.begin();
+        map.insert(&txn, 1, 111);
+        txn.commit().unwrap();
+        let boundary1 = runtime.oracle().latest();
+
+        let txn = runtime.begin();
+        map.insert(&txn, 1, 999);
+        map.insert(&txn, 2, 999);
+        txn.commit().unwrap();
+
+        // The second overlay is rolled away; the base was never touched.
+        runtime.discard_above(boundary1);
+        let reader = runtime.begin();
+        assert_eq!(map.get(&reader, &1), Some(111), "first overlay intact");
+        assert_eq!(map.get(&reader, &2), None, "discarded write invisible");
+        reader.commit().unwrap();
+        assert_eq!(shared.0.lock().get(&1), Some(&100));
+
+        runtime.finalize_below(boundary1);
+        assert_eq!(
+            shared.0.lock().clone(),
+            [(1u64, 111u64)].into_iter().collect()
+        );
+    }
+
+    #[derive(Clone)]
+    struct TallyShared(std::sync::Arc<Mutex<HashMap<u64, u64>>>);
+
+    impl TallyBase<u64> for TallyShared {
+        fn load(&self, key: &u64) -> u64 {
+            self.0.lock().get(key).copied().unwrap_or(0)
+        }
+        fn store(&self, key: &u64, value: u64) {
+            self.0.lock().insert(*key, value);
+        }
+    }
+
+    #[test]
+    fn counter_overlays_slice_without_double_counting() {
+        // Counter versions store materialized totals; flattening an older
+        // overlay must not re-apply deltas the newer totals already
+        // include.
+        let shared = TallyShared(std::sync::Arc::new(Mutex::new(HashMap::new())));
+        let runtime = MvccRuntime::new();
+        let tally = VersionedCounterMap::new(LockSpace::new("test.tally"), shared.clone());
+        runtime.register(tally.handle());
+
+        let txn = runtime.begin();
+        tally.add(&txn, 7, 3);
+        txn.commit().unwrap();
+        let boundary1 = runtime.oracle().latest();
+
+        let txn = runtime.begin();
+        tally.add(&txn, 7, 4);
+        txn.commit().unwrap();
+        let boundary2 = runtime.oracle().latest();
+
+        runtime.finalize_below(boundary1);
+        assert_eq!(shared.0.lock().get(&7), Some(&3));
+        let reader = runtime.begin();
+        assert_eq!(tally.get(&reader, &7), 7, "newer total still visible");
+        reader.commit().unwrap();
+
+        runtime.finalize_below(boundary2);
+        assert_eq!(shared.0.lock().get(&7), Some(&7), "no double counting");
+
+        let txn = runtime.begin();
+        tally.add(&txn, 7, 5);
+        txn.commit().unwrap();
+        runtime.discard_above(boundary2);
+        let reader = runtime.begin();
+        assert_eq!(tally.get(&reader, &7), 7, "discarded delta vanished");
+        reader.commit().unwrap();
+    }
+
+    #[derive(Clone)]
+    struct VecShared(std::sync::Arc<Mutex<Vec<u64>>>);
+
+    impl VecBase<u64> for VecShared {
+        fn len(&self) -> usize {
+            self.0.lock().len()
+        }
+        fn load(&self, i: usize) -> Option<u64> {
+            self.0.lock().get(i).copied()
+        }
+        fn store(&self, items: Vec<u64>) {
+            *self.0.lock() = items;
+        }
+    }
+
+    #[test]
+    fn vec_overlays_slice_length_and_elements_consistently() {
+        let shared = VecShared(std::sync::Arc::new(Mutex::new(vec![10, 20])));
+        let runtime = MvccRuntime::new();
+        let vec = VersionedVec::new(LockSpace::new("test.vec"), shared.clone());
+        runtime.register(vec.handle());
+
+        let txn = runtime.begin();
+        vec.push(&txn, 30);
+        vec.set(&txn, 0, 11);
+        txn.commit().unwrap();
+        let boundary1 = runtime.oracle().latest();
+
+        let txn = runtime.begin();
+        assert_eq!(vec.pop(&txn), Some(30));
+        assert_eq!(vec.pop(&txn), Some(20));
+        txn.commit().unwrap();
+        let boundary2 = runtime.oracle().latest();
+
+        runtime.finalize_below(boundary1);
+        assert_eq!(*shared.0.lock(), vec![11, 20, 30], "first overlay only");
+        let reader = runtime.begin();
+        assert_eq!(
+            reader_contents(&vec, &reader),
+            vec![11],
+            "pops still pending"
+        );
+        reader.commit().unwrap();
+
+        runtime.finalize_below(boundary2);
+        assert_eq!(*shared.0.lock(), vec![11]);
+    }
+
+    fn reader_contents(vec: &VersionedVec<u64>, txn: &MvccTxn<'_>) -> Vec<u64> {
+        (0..vec.len(txn))
+            .map(|i| vec.get(txn, i).unwrap())
+            .collect()
+    }
+
     /// A backing store the test keeps a handle to, so finalized content
     /// can be inspected after the `VersionedMap` consumed it.
     #[derive(Clone)]

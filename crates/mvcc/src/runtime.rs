@@ -75,6 +75,31 @@ impl MvccRuntime {
         }
     }
 
+    /// Flattens every version at or below `boundary` into the backing
+    /// stores, keeping newer versions stacked above the base — the
+    /// **pending-overlay commit**. A speculatively validated block's
+    /// versions all carry timestamps at or below the oracle instant
+    /// recorded when its replay finished; flattening up to that boundary
+    /// commits exactly that block while later speculated blocks stay
+    /// pending. Like [`MvccRuntime::finalize_block`], this must not run
+    /// concurrently with active transactions.
+    pub fn finalize_below(&self, boundary: cc_primitives::ts::Timestamp) {
+        for collection in self.collections.lock().iter() {
+            collection.finalize_below(boundary);
+        }
+    }
+
+    /// Drops every version newer than `boundary` without touching the
+    /// backing stores — the **pending-overlay discard**. Rolls the
+    /// versioned state back to the boundary of the last trusted block
+    /// when a speculated block (or its predecessor) fails validation.
+    /// Must not run concurrently with active transactions.
+    pub fn discard_above(&self, boundary: cc_primitives::ts::Timestamp) {
+        for collection in self.collections.lock().iter() {
+            collection.discard_above(boundary);
+        }
+    }
+
     /// Garbage-collects versions that no active or future snapshot can
     /// read: in every version list, versions older than the newest one at
     /// or below the oldest active begin timestamp are dropped. Safe to run

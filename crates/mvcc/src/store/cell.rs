@@ -97,6 +97,17 @@ where
         }
     }
 
+    fn finalize_below(&self, boundary: Timestamp) {
+        let mut versions = self.versions.write();
+        if let Some(newest) = super::take_below(&mut versions, boundary) {
+            self.base.store(newest);
+        }
+    }
+
+    fn discard_above(&self, boundary: Timestamp) {
+        super::drop_above(&mut self.versions.write(), boundary);
+    }
+
     fn collect(&self, horizon: Timestamp) {
         prune(&mut self.versions.write(), horizon);
     }

@@ -164,6 +164,28 @@ where
         }
     }
 
+    fn finalize_below(&self, boundary: Timestamp) {
+        // Versions hold materialized running totals, so slicing by
+        // timestamp is exact: the newest total at or below the boundary
+        // moves to the base, and the retained newer totals already
+        // include it.
+        let mut versions = self.versions.write();
+        versions.retain(|key, list| {
+            if let Some(newest) = super::take_below(list, boundary) {
+                self.base.store(key, newest);
+            }
+            !list.is_empty()
+        });
+    }
+
+    fn discard_above(&self, boundary: Timestamp) {
+        let mut versions = self.versions.write();
+        versions.retain(|_, list| {
+            super::drop_above(list, boundary);
+            !list.is_empty()
+        });
+    }
+
     fn collect(&self, horizon: Timestamp) {
         let mut versions = self.versions.write();
         for list in versions.values_mut() {

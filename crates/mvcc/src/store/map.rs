@@ -120,6 +120,24 @@ where
         }
     }
 
+    fn finalize_below(&self, boundary: Timestamp) {
+        let mut versions = self.versions.write();
+        versions.retain(|key, list| {
+            if let Some(newest) = super::take_below(list, boundary) {
+                self.base.store(key, newest);
+            }
+            !list.is_empty()
+        });
+    }
+
+    fn discard_above(&self, boundary: Timestamp) {
+        let mut versions = self.versions.write();
+        versions.retain(|_, list| {
+            super::drop_above(list, boundary);
+            !list.is_empty()
+        });
+    }
+
     fn collect(&self, horizon: Timestamp) {
         let mut versions = self.versions.write();
         for list in versions.values_mut() {

@@ -52,6 +52,22 @@ pub trait MvccCollection: Send + Sync {
     /// Flattens the newest version of every key into the backing store and
     /// clears the version lists.
     fn finalize(&self);
+    /// Flattens the newest version **at or below `boundary`** of every key
+    /// into the backing store and drops the flattened versions, keeping
+    /// everything newer. With `boundary` at the newest installed
+    /// timestamp this degenerates to [`MvccCollection::finalize`]; with an
+    /// older boundary it commits one *pending overlay* (the versions a
+    /// speculatively validated block installed) while later overlays stay
+    /// stacked above the base. Reads at snapshots newer than `boundary`
+    /// observe the same values before and after: a flattened version's
+    /// value moves into the base it would have fallen through to.
+    fn finalize_below(&self, boundary: Timestamp);
+    /// Drops every version **newer than `boundary`**, discarding pending
+    /// overlays without touching the backing store. The inverse exit to
+    /// [`MvccCollection::finalize_below`]: a speculated block whose
+    /// predecessor failed (or whose own replay diverged) is rolled away by
+    /// cutting the version lists back to its predecessor's boundary.
+    fn discard_above(&self, boundary: Timestamp);
     /// Drops versions no snapshot at or after `horizon` can read.
     fn collect(&self, horizon: Timestamp);
 }
@@ -63,6 +79,31 @@ pub(crate) fn prune<T>(list: &mut Vec<Version<T>>, horizon: Timestamp) {
     if let Some(keep_from) = list.iter().rposition(|v| v.ts <= horizon) {
         list.drain(..keep_from);
     }
+}
+
+/// Splits a version list at `boundary`: removes every version at or
+/// below it and returns the newest removed value — the one
+/// `finalize_below` flattens into the backing store. Version lists are
+/// appended in ascending timestamp order inside the commit critical
+/// section, so the split is a partition point.
+pub(crate) fn take_below<T>(list: &mut Vec<Version<T>>, boundary: Timestamp) -> Option<T> {
+    let split = list.partition_point(|v| v.ts <= boundary);
+    list.drain(..split).next_back().map(|v| v.value)
+}
+
+/// Removes every version at or below `boundary` without flattening —
+/// used where the flattened value is reconstructed separately (the
+/// vector rebuilds its contents from both its length and element lists).
+pub(crate) fn drop_below<T>(list: &mut Vec<Version<T>>, boundary: Timestamp) {
+    let split = list.partition_point(|v| v.ts <= boundary);
+    list.drain(..split);
+}
+
+/// Drops every version newer than `boundary` (see
+/// [`MvccCollection::discard_above`]).
+pub(crate) fn drop_above<T>(list: &mut Vec<Version<T>>, boundary: Timestamp) {
+    let keep = list.partition_point(|v| v.ts <= boundary);
+    list.truncate(keep);
 }
 
 /// The newest version at or below `ts`, scanning backwards (lists are

@@ -161,6 +161,44 @@ where
         self.base.store(items);
     }
 
+    fn finalize_below(&self, boundary: Timestamp) {
+        // The length and element lists must be sliced at the same
+        // boundary: the flattened contents are rebuilt exactly like
+        // `finalize`, but reading each list *as of the boundary* instead
+        // of its newest entry.
+        let mut lengths = self.lengths.write();
+        let mut elements = self.elements.write();
+        let new_len = read_at(&lengths, boundary)
+            .map(|v| v.value)
+            .unwrap_or_else(|| self.base.len());
+        let items: Vec<T> = (0..new_len)
+            .map(
+                |i| match elements.get(&i).and_then(|list| read_at(list, boundary)) {
+                    Some(version) => version
+                        .value
+                        .clone()
+                        .expect("an in-bounds element is never a tombstone"),
+                    None => self.base.load(i).expect("base element within final length"),
+                },
+            )
+            .collect();
+        super::drop_below(&mut lengths, boundary);
+        elements.retain(|_, list| {
+            super::drop_below(list, boundary);
+            !list.is_empty()
+        });
+        self.base.store(items);
+    }
+
+    fn discard_above(&self, boundary: Timestamp) {
+        super::drop_above(&mut self.lengths.write(), boundary);
+        let mut elements = self.elements.write();
+        elements.retain(|_, list| {
+            super::drop_above(list, boundary);
+            !list.is_empty()
+        });
+    }
+
     fn collect(&self, horizon: Timestamp) {
         prune(&mut self.lengths.write(), horizon);
         let mut elements = self.elements.write();

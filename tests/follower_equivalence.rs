@@ -1,0 +1,266 @@
+//! Speculative follower validation must be *invisible* in the chain:
+//! for the same stream of sealed blocks, [`Node::run_follower_pipeline`]
+//! (replaying block N+1 against block N's still-pending post-state
+//! while N's WAL seal/fsync runs on the durability stage) has to leave
+//! byte-for-byte the same chain, world and durable artifacts as a
+//! sequential `validate_and_append` loop — under both concurrent
+//! strategies, across mid-stream rejections that discard pending
+//! descendants, and across machine crashes over a pipelined follower
+//! WAL.
+//!
+//! Producer engines run one worker so the block stream itself is
+//! deterministic; what is under test is that *pipelined validation*
+//! changes nothing about what the follower accepts.
+
+use cc_core::engine::Engine;
+use cc_core::node::{DurabilityConfig, Node};
+use cc_core::FollowerConfig;
+use cc_integration_tests::{counter_world, engine, increment_tx, optimistic_engine};
+use cc_ledger::faultsim::{file_len, kill_at};
+use cc_ledger::wal::{DurabilityMode, WAL_FILE};
+use cc_ledger::Block;
+use cc_primitives::codec::Encoder;
+use std::fs;
+use std::path::PathBuf;
+
+const BLOCKS: u64 = 5;
+const TXS_PER_BLOCK: u64 = 8;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cc-follower-equiv-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// A deterministic stream of sealed blocks from a one-worker producer.
+fn produce_blocks(producer_engine: &Engine) -> Vec<Block> {
+    let mut producer = Node::builder()
+        .world(counter_world())
+        .engine(producer_engine.clone())
+        .build()
+        .expect("producer node");
+    (0..BLOCKS)
+        .map(|i| {
+            let txs = (0..TXS_PER_BLOCK).map(|t| increment_tx(i, t, 1)).collect();
+            producer
+                .mine_and_append(txs)
+                .expect("producer block mines")
+                .block
+        })
+        .collect()
+}
+
+fn durable_follower(engine: &Engine, dir: &PathBuf) -> Node {
+    // A huge snapshot interval keeps every block in the WAL so crash
+    // cuts exercise log replay over the pipelined record stream.
+    let config = DurabilityConfig::new(dir, DurabilityMode::Fsync).snapshot_interval(1_000_000);
+    Node::builder()
+        .world(counter_world())
+        .engine(engine.clone())
+        .durability(config)
+        .build()
+        .expect("durable follower")
+}
+
+fn encode_block(block: &Block) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    block.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Every block of `node`'s chain, canonically encoded.
+fn chain_bytes(node: &Node) -> Vec<Vec<u8>> {
+    node.chain().iter().map(encode_block).collect()
+}
+
+/// The core equivalence check for one engine: a pipelined follower and
+/// a sequential follower fed the identical block stream must end with
+/// byte-identical chains, worlds and durable artifacts.
+fn assert_speculative_matches_serial(tag: &str, eng: &Engine) {
+    let seq_dir = temp_dir(&format!("{tag}-seq"));
+    let spec_dir = temp_dir(&format!("{tag}-spec"));
+    let blocks = produce_blocks(eng);
+
+    let mut seq = durable_follower(eng, &seq_dir);
+    for block in &blocks {
+        seq.validate_and_append(block).expect("sequential accept");
+    }
+
+    let mut spec = durable_follower(eng, &spec_dir);
+    let report = spec
+        .run_follower_pipeline(blocks.clone(), &FollowerConfig::new().max_in_flight(3))
+        .expect("pipelined validation succeeds");
+    assert_eq!(report.blocks, BLOCKS, "{tag}");
+
+    assert_eq!(
+        chain_bytes(&seq),
+        chain_bytes(&spec),
+        "speculative chain diverged from sequential ({tag})"
+    );
+    assert_eq!(
+        seq.world().snapshot().to_bytes(),
+        spec.world().snapshot().to_bytes(),
+        "speculative world diverged from sequential ({tag})"
+    );
+
+    // The durable artifacts agree too: recovering the pipelined
+    // follower's directory rebuilds the same chain.
+    drop(spec);
+    let recovered = Node::recover(
+        DurabilityConfig::new(&spec_dir, DurabilityMode::Fsync),
+        counter_world(),
+        eng.clone(),
+    )
+    .expect("pipelined follower directory recovers");
+    assert_eq!(chain_bytes(&seq), chain_bytes(&recovered), "{tag}");
+
+    fs::remove_dir_all(&seq_dir).ok();
+    fs::remove_dir_all(&spec_dir).ok();
+}
+
+#[test]
+fn speculative_follower_is_byte_identical_speculative_stm() {
+    assert_speculative_matches_serial("stm", &engine(1));
+}
+
+#[test]
+fn speculative_follower_is_byte_identical_optimistic_mvcc() {
+    assert_speculative_matches_serial("mvcc", &optimistic_engine(1));
+}
+
+/// Without durability the pipeline degenerates to speculate-then-commit
+/// per block; the equivalence must hold there as well.
+#[test]
+fn speculative_follower_matches_without_durability() {
+    for (tag, eng) in [("stm", engine(1)), ("mvcc", optimistic_engine(1))] {
+        let blocks = produce_blocks(&eng);
+        let build = || {
+            Node::builder()
+                .world(counter_world())
+                .engine(eng.clone())
+                .build()
+                .expect("in-memory follower")
+        };
+        let mut seq = build();
+        for block in &blocks {
+            seq.validate_and_append(block).expect("sequential accept");
+        }
+        let mut spec = build();
+        spec.run_follower_pipeline(blocks, &FollowerConfig::new())
+            .expect("fallback pipeline succeeds");
+        assert_eq!(chain_bytes(&seq), chain_bytes(&spec), "{tag}");
+        assert_eq!(
+            seq.world().snapshot().to_bytes(),
+            spec.world().snapshot().to_bytes(),
+            "{tag}"
+        );
+    }
+}
+
+/// A mid-stream validation failure rejects the bad block *before* it
+/// touches the base state, discards all pending descendants, and leaves
+/// the follower fresh at the valid prefix — from which it converges on
+/// the sequential chain once the honest remainder is re-streamed.
+#[test]
+fn mid_stream_rejection_discards_descendants_and_keeps_the_prefix() {
+    for (tag, eng) in [("stm", engine(1)), ("mvcc", optimistic_engine(1))] {
+        let dir = temp_dir(&format!("reject-{tag}"));
+        let blocks = produce_blocks(&eng);
+
+        // Tamper with block 3's receipts, re-committed so the block
+        // stays well-formed: speculation must reject it on replay.
+        let mut stream = blocks.clone();
+        let mut receipts = stream[2].receipts.clone();
+        receipts[0].gas_used += 1;
+        stream[2] = Block::build(
+            stream[2].header.parent_hash,
+            stream[2].header.number,
+            stream[2].transactions.clone(),
+            receipts,
+            stream[2].header.state_root,
+            stream[2].schedule.clone(),
+        );
+
+        let mut follower = durable_follower(&eng, &dir);
+        let err = follower
+            .run_follower_pipeline(stream, &FollowerConfig::new().max_in_flight(4))
+            .expect_err("tampered block must be rejected");
+        assert!(err.to_string().contains("receipt"), "{tag}: got {err}");
+        assert!(
+            !follower.is_stale(),
+            "{tag}: a speculate-time rejection must not stale the follower"
+        );
+        assert_eq!(
+            follower.chain().head_hash(),
+            blocks[1].hash(),
+            "{tag}: the valid prefix survives, descendants are dropped"
+        );
+
+        // The follower keeps working: streaming the honest remainder
+        // converges on the full chain, byte-identical to sequential.
+        follower
+            .run_follower_pipeline(blocks[2..].to_vec(), &FollowerConfig::new())
+            .expect("honest remainder validates");
+        let mut seq = Node::builder()
+            .world(counter_world())
+            .engine(eng.clone())
+            .build()
+            .unwrap();
+        for block in &blocks {
+            seq.validate_and_append(block).unwrap();
+        }
+        assert_eq!(chain_bytes(&seq), chain_bytes(&follower), "{tag}");
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Machine-crash fault injection (`cc_ledger::faultsim`) over a WAL
+/// written *by the follower pipeline*: however the overlapped seals
+/// interleaved the log, cutting it anywhere recovers a byte-identical
+/// prefix of the accepted chain.
+#[test]
+fn crash_cuts_over_a_pipelined_follower_wal_recover_prefixes() {
+    let eng = engine(1);
+    let dir = temp_dir("crash");
+    let blocks = produce_blocks(&eng);
+
+    let mut follower = durable_follower(&eng, &dir);
+    follower
+        .run_follower_pipeline(blocks.clone(), &FollowerConfig::new().max_in_flight(3))
+        .expect("pipelined validation succeeds");
+    let full_chain = chain_bytes(&follower);
+    drop(follower); // the "crash": nothing beyond the WAL survives
+
+    let wal_path = dir.join(WAL_FILE);
+    let healthy = fs::read(&wal_path).expect("pipelined follower wal");
+    let total = file_len(&wal_path).expect("wal length");
+    let cuts = [0, total / 4, total / 2, 3 * total / 4, total];
+    for cut in cuts {
+        fs::write(&wal_path, &healthy).expect("restore wal");
+        kill_at(&wal_path, cut).expect("inject crash");
+        let recovered = Node::recover(
+            DurabilityConfig::new(&dir, DurabilityMode::Fsync),
+            counter_world(),
+            eng.clone(),
+        )
+        .unwrap_or_else(|e| panic!("cut at {cut}/{total}: recovery failed: {e}"));
+        let got = chain_bytes(&recovered);
+        assert!(
+            got.len() <= full_chain.len(),
+            "cut at {cut}: recovered beyond the accepted chain"
+        );
+        assert_eq!(
+            got,
+            full_chain[..got.len()].to_vec(),
+            "cut at {cut}/{total}: recovered chain is not a prefix"
+        );
+        // A full log recovers the full chain.
+        if cut == total {
+            assert_eq!(got.len(), full_chain.len());
+        }
+    }
+
+    fs::remove_dir_all(&dir).ok();
+}
